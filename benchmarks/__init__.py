@@ -1,0 +1,1 @@
+"""Benchmark suite: one module per table/figure of the LANNS paper."""

@@ -1,0 +1,62 @@
+"""Table 3: SIFT1M query times (ms/query) with varying executor counts.
+
+Paper (ms/query for 10k queries):
+
+                 (1,8)-partitioning      (2,4)-partitioning
+    Executors  HNSW   RS    RH    APD    RS    RH    APD
+    2          50.4   58.8  21    16.8   49.2  46.8  44.4
+    4          -      46.2  16.8  12.6   38.4  25.8  25.2
+    8          -      25.8  13.2  10.2   33    17.4  17.4
+
+Expected shape: RS slowest (probes all 8 segments), RH/APD much faster
+(probe 1-2 segments under virtual spill); times fall with executors.
+Reported numbers are the simulated E-executor makespan of the offline
+query pipeline divided by the query count.
+"""
+
+from benchmarks.conftest import EXECUTOR_SWEEP, write_table
+
+
+def test_table3_query_times(benchmark, sift_sweep, results_dir):
+    sweep = sift_sweep
+
+    def collect_rows():
+        rows = []
+        for executors in EXECUTOR_SWEEP:
+            row = {"Executors": executors}
+            row["HNSW"] = (
+                sweep.hnsw_query_seconds_per_query * 1e3
+                if executors == 2
+                else None
+            )
+            for shards, segments in ((1, 8), (2, 4)):
+                for segmenter in ("RS", "RH", "APD"):
+                    name = f"{segmenter}({shards},{segments})"
+                    row[f"{segmenter}({shards},{segments})"] = (
+                        sweep.query_makespan_per_query(name, executors) * 1e3
+                    )
+            rows.append(row)
+        return rows
+
+    rows = benchmark.pedantic(collect_rows, rounds=1, iterations=1)
+    write_table(
+        "table3_sift_query_times",
+        rows,
+        title=(
+            "Table 3 -- Query time (ms/query) on SIFT1M-like data, "
+            "simulated E-executor makespan"
+        ),
+        notes=(
+            "Paper shape: RS probes all segments (slowest), APD/RH probe "
+            "1-2 (fastest); times fall as executors grow."
+        ),
+    )
+    benchmark.extra_info["rows"] = rows
+
+    by_executors = {row["Executors"]: row for row in rows}
+    # Learned segmenters beat RS at the same partitioning (segment pruning).
+    assert by_executors[2]["APD(1,8)"] < by_executors[2]["RS(1,8)"]
+    assert by_executors[2]["RH(1,8)"] < by_executors[2]["RS(1,8)"]
+    # Scaling: 8 executors at least as fast as 2 for every method.
+    for column in ("RS(1,8)", "RH(1,8)", "APD(1,8)", "RS(2,4)"):
+        assert by_executors[8][column] <= by_executors[2][column] + 1e-9

@@ -1,0 +1,46 @@
+"""Table 5: GIST1M build times with varying executor counts.
+
+Paper (minutes for 1M points, d=960): HNSW 577; RS 132/96/48,
+RH 128/108/54, APD 140/106/52 for 2/4/8 executors -- a ~4.5x speedup at
+2 executors and ~11x at 8.  Same makespan model as Table 2.
+"""
+
+from benchmarks.conftest import EXECUTOR_SWEEP, write_table
+
+
+def test_table5_gist_build_times(benchmark, gist_sweep, results_dir):
+    sweep = gist_sweep
+
+    def collect_rows():
+        rows = []
+        for executors in EXECUTOR_SWEEP:
+            row = {"Executors": executors}
+            row["HNSW"] = (
+                sweep.hnsw_build_seconds if executors == 2 else None
+            )
+            for segmenter in ("RS", "RH", "APD"):
+                row[segmenter] = sweep.build_makespan(
+                    f"{segmenter}(1,8)", executors
+                )
+            rows.append(row)
+        return rows
+
+    rows = benchmark.pedantic(collect_rows, rounds=1, iterations=1)
+    write_table(
+        "table5_gist_build_times",
+        rows,
+        title=(
+            "Table 5 -- Build time (seconds) on GIST1M-like data (d=960), "
+            "(1,8)-partitioning, simulated E-executor makespan"
+        ),
+        notes=(
+            "Paper, minutes at 1M scale: HNSW 577 | RS 132/96/48 | "
+            "RH 128/108/54 | APD 140/106/52 for 2/4/8 executors."
+        ),
+    )
+    benchmark.extra_info["rows"] = rows
+
+    by_executors = {row["Executors"]: row for row in rows}
+    assert by_executors[2]["RS"] < sweep.hnsw_build_seconds * 0.8
+    for segmenter in ("RS", "RH", "APD"):
+        assert by_executors[8][segmenter] <= by_executors[2][segmenter]

@@ -1,0 +1,54 @@
+"""Table 6: GIST1M query times (ms/query) with varying executor counts.
+
+Paper (ms/query, 1k queries): HNSW 336; RS 330/222/132, RH 156/132/96,
+APD 144/108/66 for 2/4/8 executors.  Shape: RS ~ HNSW at 2 executors
+(it probes every segment), learned segmenters ~2x faster, everything
+scales with executors.
+"""
+
+from benchmarks.conftest import EXECUTOR_SWEEP, write_table
+
+
+def test_table6_gist_query_times(benchmark, gist_sweep, results_dir):
+    sweep = gist_sweep
+
+    def collect_rows():
+        rows = []
+        for executors in EXECUTOR_SWEEP:
+            row = {"Executors": executors}
+            row["HNSW"] = (
+                sweep.hnsw_query_seconds_per_query * 1e3
+                if executors == 2
+                else None
+            )
+            for segmenter in ("RS", "RH", "APD"):
+                row[segmenter] = (
+                    sweep.query_makespan_per_query(
+                        f"{segmenter}(1,8)", executors
+                    )
+                    * 1e3
+                )
+            rows.append(row)
+        return rows
+
+    rows = benchmark.pedantic(collect_rows, rounds=1, iterations=1)
+    write_table(
+        "table6_gist_query_times",
+        rows,
+        title=(
+            "Table 6 -- Query time (ms/query) on GIST1M-like data, "
+            "simulated E-executor makespan"
+        ),
+        notes=(
+            "Paper, ms/query at 1M scale: HNSW 336 | RS 330/222/132 | "
+            "RH 156/132/96 | APD 144/108/66 for 2/4/8 executors."
+        ),
+    )
+    benchmark.extra_info["rows"] = rows
+
+    by_executors = {row["Executors"]: row for row in rows}
+    # Learned segmenters probe fewer segments than RS.
+    assert by_executors[2]["APD"] < by_executors[2]["RS"]
+    assert by_executors[2]["RH"] < by_executors[2]["RS"]
+    for segmenter in ("RS", "RH", "APD"):
+        assert by_executors[8][segmenter] <= by_executors[2][segmenter] + 1e-9

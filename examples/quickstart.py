@@ -1,0 +1,63 @@
+"""Quickstart: build a LANNS index and query it.
+
+Builds a two-level partitioned index (2 shards x 4 APD segments) over a
+synthetic People-like embedding corpus, queries it, and checks recall
+against an exact scan -- the 60-second tour of the library.
+
+Run:
+    python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro import HnswParams, LannsConfig, build_lanns_index
+from repro.data import make_queries, people_like
+from repro.offline import exact_top_k, recall_at_k
+
+
+def main() -> None:
+    print("LANNS quickstart")
+    print("=" * 60)
+
+    # 1. Data: 8000 member embeddings in 50 dimensions (paper: 100M+).
+    base = people_like(8000, seed=0)
+    queries = make_queries(base, 100, seed=1)
+    print(f"corpus: {base.shape[0]} vectors, dim={base.shape[1]}")
+
+    # 2. Configure the platform: the paper's two-level partitioning.
+    config = LannsConfig(
+        num_shards=2,          # hash shards (one server node each)
+        num_segments=4,        # learned segments inside each shard
+        segmenter="apd",       # rs | rh | apd
+        alpha=0.15,            # spill: ~30% of queries probe 2 children
+        spill_mode="virtual",  # query-side spill (production choice)
+        hnsw=HnswParams(M=12, ef_construction=64),
+        topk_confidence=0.95,  # perShardTopK confidence
+        seed=0,
+    )
+
+    # 3. Build: learns the shared segmenter on a subsample, hash-shards
+    #    the corpus, routes each shard through the segmenter, and builds
+    #    one HNSW index per (shard, segment).
+    index = build_lanns_index(base, config=config)
+    stats = index.stats()
+    print(f"partitioning (shards, segments): {stats['partitioning']}")
+    print(f"shard sizes: {stats['shard_sizes']}")
+    print(f"segment sizes: {stats['segment_sizes']}")
+    print(f"perShardTopK for topK=100: {index.per_shard_budget(100)}")
+
+    # 4. Query.
+    ids, dists = index.query(queries[0], top_k=10)
+    print(f"\nquery 0 -> neighbors {ids.tolist()}")
+    print(f"          distances {np.round(dists, 3).tolist()}")
+
+    # 5. Recall against the exact answer.
+    truth, _ = exact_top_k(base, queries, 10)
+    found, _ = index.query_batch(queries, 10)
+    recall = recall_at_k(found, truth, 10)
+    print(f"\nrecall@10 over {len(queries)} queries: {recall:.4f}")
+    assert recall > 0.9
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,92 @@
+"""Segmenter playground: compare RS / RH / APD and the recall theory.
+
+Walks through the paper's Section 4 on one dataset:
+
+1. learns each segmenter and inspects its routing behaviour (balance,
+   query fan-out, physical-spill duplication);
+2. measures the end-to-end recall each strategy achieves at equal cost;
+3. evaluates the Theorem 1 failure bound and the Figure 4 approximation
+   that justify using only a few segmentation levels.
+
+Run:
+    python examples/segmenter_playground.py
+"""
+
+import numpy as np
+
+from repro import HnswParams, LannsConfig, build_lanns_index
+from repro.data import groups_like, make_queries
+from repro.offline import exact_top_k, recall_at_k
+from repro.segmenters import learn_segmenter
+from repro.segmenters.theory import (
+    failure_bound_1nn,
+    figure4_failure_probability,
+)
+
+
+def main() -> None:
+    print("Segmenter playground (Section 4)")
+    print("=" * 64)
+    base = groups_like(6000, seed=12)
+    queries = make_queries(base, 120, seed=13)
+    truth, _ = exact_top_k(base, queries, 10)
+
+    print("\n1. routing behaviour (8 segments, alpha=0.15)")
+    print(f"{'kind':5} {'balance':>8} {'query fan-out':>14} {'phys dup':>9}")
+    for kind in ("rs", "rh", "apd"):
+        segmenter = learn_segmenter(
+            base, kind, 8, alpha=0.15, seed=1, sample_size=6000
+        )
+        routes = segmenter.route_data_batch(base)
+        counts = np.bincount([r[0] for r in routes], minlength=8)
+        balance = counts.min() / counts.max()
+        fanout = np.mean(
+            [len(r) for r in segmenter.route_query_batch(queries)]
+        )
+        physical = learn_segmenter(
+            base, kind, 8, alpha=0.15, spill_mode="physical", seed=1,
+            sample_size=6000,
+        )
+        duplication = (
+            sum(len(r) for r in physical.route_data_batch(base)) / len(base)
+        )
+        print(f"{kind:5} {balance:8.3f} {fanout:14.2f} {duplication:9.2f}")
+
+    print("\n2. end-to-end recall@10 (1 shard x 8 segments, virtual spill)")
+    for kind in ("rs", "rh", "apd"):
+        config = LannsConfig(
+            num_shards=1,
+            num_segments=8,
+            segmenter=kind,
+            alpha=0.15,
+            hnsw=HnswParams(M=12, ef_construction=64),
+            segmenter_sample_size=6000,
+            seed=2,
+        )
+        index = build_lanns_index(base, config=config)
+        ids, _ = index.query_batch(queries, 10, ef=96)
+        probe_cost = np.mean(
+            [len(index.segmenter.route_query(q)) for q in queries]
+        )
+        print(
+            f"  {kind:4} recall={recall_at_k(ids, truth, 10):.4f} "
+            f"segments probed/query={probe_cost:.2f}"
+        )
+
+    print("\n3. theory: why only a few levels (Figure 4 / Theorem 1)")
+    curve = figure4_failure_probability(10_000, 0.15, 8)
+    for level in (1, 2, 3, 8):
+        print(
+            f"  P(miss true NN) bound at {level} level(s) "
+            f"({2**level:3d} segments): {curve[level - 1]:.2e}"
+        )
+    bound = float(
+        np.mean(
+            [failure_bound_1nn(q, base, 0.15, 3) for q in queries[:30]]
+        )
+    )
+    print(f"  Theorem 1 data-dependent bound (depth 3, avg): {bound:.3f}")
+
+
+if __name__ == "__main__":
+    main()

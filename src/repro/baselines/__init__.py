@@ -1,0 +1,37 @@
+"""From-scratch ANN baselines for the Figure 1 recall/QPS frontier.
+
+The paper motivates HNSW by the ann-benchmarks frontier (Figure 1):
+HNSW dominates tree-based (Annoy), hashing-based (LSH), and
+quantization-based (Faiss-IVF) methods on SIFT1M.  To reproduce that
+figure without external libraries, each family is implemented here:
+
+- :class:`BruteForceIndex` -- exact scan (recall 1.0, lowest QPS).
+- :class:`RPForestIndex` -- Annoy-style forest of random-projection trees.
+- :class:`LshIndex` -- multi-table random-hyperplane LSH.
+- :class:`IvfFlatIndex` -- k-means coarse quantizer + inverted lists.
+- :class:`PqIndex` -- product quantization with ADC scanning.
+
+All share the :class:`~repro.baselines.base.AnnIndex` interface so the
+figure harness can sweep their speed/accuracy knobs uniformly; our HNSW
+participates through :class:`~repro.baselines.base.HnswAdapter`.
+"""
+
+from repro.baselines.base import AnnIndex, HnswAdapter
+from repro.baselines.exact import BruteForceIndex
+from repro.baselines.kmeans import kmeans
+from repro.baselines.ivf import IvfFlatIndex
+from repro.baselines.lsh import LshIndex
+from repro.baselines.annoy_forest import RPForestIndex
+from repro.baselines.pq import PqIndex, ProductQuantizer
+
+__all__ = [
+    "AnnIndex",
+    "HnswAdapter",
+    "BruteForceIndex",
+    "kmeans",
+    "IvfFlatIndex",
+    "LshIndex",
+    "RPForestIndex",
+    "PqIndex",
+    "ProductQuantizer",
+]

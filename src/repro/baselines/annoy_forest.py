@@ -1,0 +1,152 @@
+"""Annoy-style random-projection forest (Spotify's method, Section 2).
+
+"Each tree is constructed by picking two points at random and splitting
+the dataset using the hyperplane separating the two points.  This is done
+recursively until the number of points in space is small enough to
+perform an exhaustive search."
+
+Search walks all trees simultaneously with a priority queue keyed by
+margin (distance to the splitting plane), collecting leaf candidates
+until ``search_k`` are gathered -- Annoy's actual query algorithm, and
+the reason boundary queries can still reach the right leaf.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.baselines.base import AnnIndex
+from repro.utils.rng import resolve_rng
+from repro.utils.validation import as_vector
+
+
+@dataclass
+class _Node:
+    """One tree node; leaves carry row ids, internal nodes a hyperplane."""
+
+    rows: np.ndarray | None = None  # leaves only
+    normal: np.ndarray | None = None
+    offset: float = 0.0
+    left: int = -1
+    right: int = -1
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.rows is not None
+
+
+class RPForestIndex(AnnIndex):
+    """Forest of randomized two-point-split trees.
+
+    Knobs: ``num_trees`` (more = higher recall, slower build) and
+    ``search_k`` (candidates gathered per query; more = higher recall,
+    lower QPS).
+    """
+
+    name = "rp_forest"
+
+    def __init__(
+        self,
+        num_trees: int = 10,
+        leaf_size: int = 32,
+        search_k: int | None = None,
+        *,
+        seed: int = 0,
+    ) -> None:
+        super().__init__()
+        if num_trees < 1:
+            raise ValueError(f"num_trees must be positive, got {num_trees}")
+        if leaf_size < 2:
+            raise ValueError(f"leaf_size must be >= 2, got {leaf_size}")
+        self.num_trees = int(num_trees)
+        self.leaf_size = int(leaf_size)
+        self.search_k = search_k
+        self.seed = int(seed)
+        self._trees: list[list[_Node]] = []
+
+    # -- build -------------------------------------------------------------------
+    def _split(
+        self, rows: np.ndarray, rng: np.random.Generator
+    ) -> tuple[np.ndarray, float, np.ndarray, np.ndarray] | None:
+        """Two-point split; None when the sample is degenerate."""
+        data = self.data
+        for _ in range(3):  # retry a couple of times on degenerate pairs
+            pair = rng.choice(rows, size=2, replace=False)
+            a, b = data[pair[0]], data[pair[1]]
+            normal = a - b
+            norm = float(np.linalg.norm(normal))
+            if norm == 0.0:
+                continue
+            normal = normal / norm
+            offset = float(normal @ ((a + b) / 2.0))
+            side = data[rows] @ normal < offset
+            if side.any() and not side.all():
+                return normal, offset, rows[side], rows[~side]
+        return None
+
+    def _build_tree(self, rng: np.random.Generator) -> list[_Node]:
+        nodes: list[_Node] = []
+
+        def recurse(rows: np.ndarray) -> int:
+            index = len(nodes)
+            nodes.append(_Node())
+            if rows.size <= self.leaf_size:
+                nodes[index].rows = rows
+                return index
+            split = self._split(rows, rng)
+            if split is None:
+                nodes[index].rows = rows
+                return index
+            normal, offset, left_rows, right_rows = split
+            nodes[index].normal = normal
+            nodes[index].offset = offset
+            nodes[index].left = recurse(left_rows)
+            nodes[index].right = recurse(right_rows)
+            return index
+
+        recurse(np.arange(self.data.shape[0], dtype=np.int64))
+        return nodes
+
+    def _fit(self, data: np.ndarray) -> None:
+        rng = resolve_rng(self.seed)
+        self._trees = [self._build_tree(rng) for _ in range(self.num_trees)]
+
+    # -- search ------------------------------------------------------------------
+    def search(self, query: np.ndarray, k: int) -> tuple[np.ndarray, np.ndarray]:
+        query = as_vector(query, dim=self.data.shape[1], name="query")
+        budget = self.search_k if self.search_k is not None else k * self.num_trees * 2
+        # Priority queue over tree frontiers: (-margin, counter, tree, node).
+        # Larger margin = query is further inside that subtree's halfspace.
+        frontier: list[tuple[float, int, int, int]] = []
+        counter = 0
+        for tree_id in range(len(self._trees)):
+            frontier.append((-np.inf, counter, tree_id, 0))
+            counter += 1
+        heapq.heapify(frontier)
+        candidates: list[np.ndarray] = []
+        gathered = 0
+        while frontier and gathered < budget:
+            _, _, tree_id, node_id = heapq.heappop(frontier)
+            node = self._trees[tree_id][node_id]
+            if node.is_leaf:
+                candidates.append(node.rows)
+                gathered += node.rows.size
+                continue
+            margin = float(node.normal @ query) - node.offset
+            near, far = (
+                (node.left, node.right) if margin < 0 else (node.right, node.left)
+            )
+            heapq.heappush(frontier, (-abs(margin), counter, tree_id, near))
+            counter += 1
+            # The far child is reachable but at a penalty proportional to
+            # how far the query sits from the plane.
+            heapq.heappush(frontier, (abs(margin), counter, tree_id, far))
+            counter += 1
+        if candidates:
+            unique = np.unique(np.concatenate(candidates))
+        else:  # pragma: no cover - only with absurd budgets
+            unique = np.empty(0, dtype=np.int64)
+        return self._rank_candidates(query, unique, k)

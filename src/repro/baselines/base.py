@@ -1,0 +1,109 @@
+"""Common interface for the ANN baseline family."""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+from repro.utils.validation import as_matrix, as_vector
+
+
+class AnnIndex(ABC):
+    """An approximate nearest neighbor index over a fixed dataset.
+
+    All baselines use Euclidean distance (the Figure 1 setting).
+    """
+
+    #: Human-readable algorithm name for reports.
+    name: str = ""
+
+    def __init__(self) -> None:
+        self._data: np.ndarray | None = None
+        #: Full-vector-distance work counter (Figure 1 work metric).
+        self.ops = 0
+
+    @property
+    def data(self) -> np.ndarray:
+        """The indexed vectors."""
+        if self._data is None:
+            raise RuntimeError(f"{type(self).__name__} is not fitted")
+        return self._data
+
+    @property
+    def is_fitted(self) -> bool:
+        """Whether :meth:`fit` has run."""
+        return self._data is not None
+
+    def fit(self, data: np.ndarray) -> "AnnIndex":
+        """Index ``data``; returns self."""
+        self._data = as_matrix(data, name="data")
+        self._fit(self._data)
+        return self
+
+    @abstractmethod
+    def _fit(self, data: np.ndarray) -> None:
+        """Algorithm-specific build."""
+
+    @abstractmethod
+    def search(self, query: np.ndarray, k: int) -> tuple[np.ndarray, np.ndarray]:
+        """Return ``(ids, distances)`` of up to ``k`` neighbors, ascending."""
+
+    def search_batch(
+        self, queries: np.ndarray, k: int
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Search many queries; rows padded with -1 / inf."""
+        queries = as_matrix(queries, name="queries")
+        n = queries.shape[0]
+        ids = np.full((n, k), -1, dtype=np.int64)
+        dists = np.full((n, k), np.inf, dtype=np.float64)
+        for row in range(n):
+            found_ids, found_dists = self.search(queries[row], k)
+            ids[row, : len(found_ids)] = found_ids
+            dists[row, : len(found_dists)] = found_dists
+        return ids, dists
+
+    def _rank_candidates(
+        self, query: np.ndarray, candidates: np.ndarray, k: int
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Exactly rank a candidate id set against ``query``.
+
+        Shared by every candidate-generation baseline (forest, LSH, IVF).
+        """
+        query = as_vector(query, dim=self.data.shape[1], name="query")
+        self.ops += int(candidates.size)
+        if candidates.size == 0:
+            return (
+                np.empty(0, dtype=np.int64),
+                np.empty(0, dtype=np.float64),
+            )
+        vectors = self.data[candidates]
+        dists = np.sqrt(((vectors - query) ** 2).sum(axis=1))
+        order = np.argsort(dists, kind="stable")[:k]
+        return candidates[order].astype(np.int64), dists[order].astype(np.float64)
+
+
+class HnswAdapter(AnnIndex):
+    """Wraps :class:`repro.hnsw.HnswIndex` in the baseline interface."""
+
+    name = "hnsw"
+
+    def __init__(self, params=None, ef_search: int | None = None) -> None:
+        super().__init__()
+        from repro.hnsw.params import HnswParams
+
+        self.params = params or HnswParams()
+        self.ef_search = ef_search
+        self._index = None
+
+    def _fit(self, data: np.ndarray) -> None:
+        from repro.hnsw.index import build_hnsw
+
+        self._index = build_hnsw(data, params=self.params)
+        # Separate build-time work from the query-time counter.
+        self._index.reset_distance_ops()
+
+    def search(self, query: np.ndarray, k: int) -> tuple[np.ndarray, np.ndarray]:
+        result = self._index.search(query, k, ef=self.ef_search)
+        self.ops = self._index.distance_ops
+        return result

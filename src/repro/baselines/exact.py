@@ -1,0 +1,30 @@
+"""Exact brute-force baseline: the recall-1.0 anchor of Figure 1."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines.base import AnnIndex
+from repro.utils.validation import as_vector
+
+
+class BruteForceIndex(AnnIndex):
+    """Full scan with precomputed squared norms."""
+
+    name = "brute_force"
+
+    def _fit(self, data: np.ndarray) -> None:
+        self._sq_norms = np.einsum("ij,ij->i", data, data)
+
+    def search(self, query: np.ndarray, k: int) -> tuple[np.ndarray, np.ndarray]:
+        query = as_vector(query, dim=self.data.shape[1], name="query")
+        self.ops += self.data.shape[0]
+        scores = self._sq_norms - 2.0 * (self.data @ query)
+        k = min(k, self.data.shape[0])
+        # argpartition then sort the short prefix: O(n + k log k).
+        prefix = np.argpartition(scores, k - 1)[:k]
+        order = prefix[np.argsort(scores[prefix], kind="stable")]
+        dists = np.sqrt(
+            np.maximum(scores[order] + float(query @ query), 0.0)
+        )
+        return order.astype(np.int64), dists.astype(np.float64)

@@ -1,0 +1,86 @@
+"""Multi-table random-hyperplane LSH (Indyk-Motwani family).
+
+Each table hashes a vector to the sign pattern of ``num_bits`` random
+hyperplane projections; near vectors collide with high probability.
+Queries collect the union of their buckets across tables (plus optional
+Hamming-distance-1 multiprobes) and rank candidates exactly.
+
+Speed/accuracy knobs: more tables / fewer bits / more probes -> higher
+recall, lower QPS.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines.base import AnnIndex
+from repro.utils.rng import resolve_rng
+from repro.utils.validation import as_vector
+
+
+class LshIndex(AnnIndex):
+    """Sign-random-projection LSH with multiprobe."""
+
+    name = "lsh"
+
+    def __init__(
+        self,
+        num_tables: int = 8,
+        num_bits: int = 12,
+        *,
+        multiprobe: int = 0,
+        seed: int = 0,
+    ) -> None:
+        super().__init__()
+        if num_tables < 1:
+            raise ValueError(f"num_tables must be positive, got {num_tables}")
+        if not 1 <= num_bits <= 62:
+            raise ValueError(f"num_bits must be in [1, 62], got {num_bits}")
+        if multiprobe < 0:
+            raise ValueError(f"multiprobe must be >= 0, got {multiprobe}")
+        self.num_tables = int(num_tables)
+        self.num_bits = int(num_bits)
+        self.multiprobe = int(multiprobe)
+        self.seed = int(seed)
+        self._hyperplanes: np.ndarray | None = None  # (tables, bits, dim)
+        self._tables: list[dict[int, list[int]]] = []
+
+    def _signatures(self, vectors: np.ndarray) -> np.ndarray:
+        """Bucket keys of shape ``(num_tables, num_vectors)``."""
+        # projections: (tables, bits, n)
+        projections = np.einsum(
+            "tbd,nd->tbn", self._hyperplanes, vectors, optimize=True
+        )
+        bits = (projections > 0).astype(np.int64)
+        weights = (1 << np.arange(self.num_bits, dtype=np.int64))[
+            np.newaxis, :, np.newaxis
+        ]
+        return (bits * weights).sum(axis=1)
+
+    def _fit(self, data: np.ndarray) -> None:
+        rng = resolve_rng(self.seed)
+        self._hyperplanes = rng.standard_normal(
+            (self.num_tables, self.num_bits, data.shape[1])
+        ).astype(np.float32)
+        keys = self._signatures(data)
+        self._tables = []
+        for table in range(self.num_tables):
+            buckets: dict[int, list[int]] = {}
+            for row, key in enumerate(keys[table].tolist()):
+                buckets.setdefault(key, []).append(row)
+            self._tables.append(buckets)
+
+    def search(self, query: np.ndarray, k: int) -> tuple[np.ndarray, np.ndarray]:
+        query = as_vector(query, dim=self.data.shape[1], name="query")
+        self.ops += self.num_tables * self.num_bits  # hash projections
+        keys = self._signatures(query[np.newaxis, :])[:, 0]
+        candidates: set[int] = set()
+        for table, key in enumerate(keys.tolist()):
+            buckets = self._tables[table]
+            candidates.update(buckets.get(key, ()))
+            # Multiprobe: also visit buckets at Hamming distance 1.
+            for bit in range(min(self.multiprobe, self.num_bits)):
+                candidates.update(buckets.get(key ^ (1 << bit), ()))
+        return self._rank_candidates(
+            query, np.fromiter(candidates, dtype=np.int64, count=len(candidates)), k
+        )

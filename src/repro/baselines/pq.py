@@ -1,0 +1,181 @@
+"""Product quantization (Jegou et al.) with ADC scanning.
+
+The vector space is split into ``m`` subspaces; each subspace is
+clustered into ``ks`` codewords, so a vector compresses to ``m`` bytes
+(for ``ks=256``).  Queries score every code with an Asymmetric Distance
+Computation table: per-subspace distances from the query to each
+codeword, summed by table lookup.
+
+This is the compression family of Section 2: "the dataset is split into
+multiple smaller, tall datasets based on its dimensions, and each of
+these sub-datasets are then clustered into k clusters".
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines.base import AnnIndex
+from repro.baselines.kmeans import kmeans
+from repro.utils.validation import as_matrix, as_vector
+
+
+class ProductQuantizer:
+    """The codec: fit codebooks, encode vectors, build ADC tables.
+
+    Parameters
+    ----------
+    num_subspaces:
+        ``m``: how many chunks the dimensions are split into (must divide
+        the dimensionality).
+    num_codes:
+        ``ks``: codewords per subspace.
+    """
+
+    def __init__(
+        self,
+        num_subspaces: int = 8,
+        num_codes: int = 256,
+        *,
+        seed: int = 0,
+        kmeans_iters: int = 15,
+    ) -> None:
+        if num_subspaces < 1:
+            raise ValueError(
+                f"num_subspaces must be positive, got {num_subspaces}"
+            )
+        if num_codes < 2:
+            raise ValueError(f"num_codes must be >= 2, got {num_codes}")
+        self.num_subspaces = int(num_subspaces)
+        self.num_codes = int(num_codes)
+        self.seed = int(seed)
+        self.kmeans_iters = int(kmeans_iters)
+        self.codebooks: np.ndarray | None = None  # (m, ks, dim/m)
+        self.dim: int | None = None
+
+    @property
+    def is_fitted(self) -> bool:
+        """Whether codebooks have been trained."""
+        return self.codebooks is not None
+
+    def _chunks(self, vectors: np.ndarray) -> list[np.ndarray]:
+        width = self.dim // self.num_subspaces
+        return [
+            vectors[:, chunk * width : (chunk + 1) * width]
+            for chunk in range(self.num_subspaces)
+        ]
+
+    def fit(self, data: np.ndarray) -> "ProductQuantizer":
+        """Train one k-means codebook per subspace."""
+        data = as_matrix(data, name="data")
+        if data.shape[1] % self.num_subspaces != 0:
+            raise ValueError(
+                f"dim {data.shape[1]} is not divisible by "
+                f"num_subspaces={self.num_subspaces}"
+            )
+        self.dim = data.shape[1]
+        num_codes = min(self.num_codes, data.shape[0])
+        codebooks = []
+        for chunk_index, chunk in enumerate(self._chunks(data)):
+            centers, _ = kmeans(
+                chunk,
+                num_codes,
+                max_iters=self.kmeans_iters,
+                seed=self.seed + chunk_index,
+            )
+            codebooks.append(centers)
+        self.codebooks = np.stack(codebooks)  # (m, ks', dim/m)
+        return self
+
+    def encode(self, vectors: np.ndarray) -> np.ndarray:
+        """Compress vectors to ``(n, m)`` uint16 code matrices."""
+        vectors = as_matrix(vectors, dim=self.dim, name="vectors")
+        codes = np.empty(
+            (vectors.shape[0], self.num_subspaces), dtype=np.uint16
+        )
+        for chunk_index, chunk in enumerate(self._chunks(vectors)):
+            centers = self.codebooks[chunk_index]
+            cross = chunk.astype(np.float64) @ centers.T
+            norms = np.einsum("ij,ij->i", centers, centers)
+            codes[:, chunk_index] = np.argmin(
+                norms[np.newaxis, :] - 2.0 * cross, axis=1
+            )
+        return codes
+
+    def decode(self, codes: np.ndarray) -> np.ndarray:
+        """Reconstruct (approximate) vectors from codes."""
+        codes = np.asarray(codes)
+        parts = [
+            self.codebooks[chunk_index][codes[:, chunk_index]]
+            for chunk_index in range(self.num_subspaces)
+        ]
+        return np.concatenate(parts, axis=1).astype(np.float32)
+
+    def adc_table(self, query: np.ndarray) -> np.ndarray:
+        """Per-subspace squared distances from ``query`` to each codeword."""
+        query = as_vector(query, dim=self.dim, name="query")
+        width = self.dim // self.num_subspaces
+        table = np.empty(
+            (self.num_subspaces, self.codebooks.shape[1]), dtype=np.float64
+        )
+        for chunk_index in range(self.num_subspaces):
+            sub = query[chunk_index * width : (chunk_index + 1) * width]
+            diff = self.codebooks[chunk_index] - sub
+            table[chunk_index] = np.einsum("ij,ij->i", diff, diff)
+        return table
+
+    def adc_scores(self, query: np.ndarray, codes: np.ndarray) -> np.ndarray:
+        """Approximate squared distances from ``query`` to coded vectors."""
+        table = self.adc_table(query)
+        total = np.zeros(codes.shape[0], dtype=np.float64)
+        for chunk_index in range(self.num_subspaces):
+            total += table[chunk_index][codes[:, chunk_index]]
+        return total
+
+
+class PqIndex(AnnIndex):
+    """Flat PQ index: ADC-scan all codes, optionally rerank exactly."""
+
+    name = "pq"
+
+    def __init__(
+        self,
+        num_subspaces: int = 8,
+        num_codes: int = 256,
+        *,
+        rerank: int = 0,
+        seed: int = 0,
+    ) -> None:
+        super().__init__()
+        self.quantizer = ProductQuantizer(
+            num_subspaces, num_codes, seed=seed
+        )
+        if rerank < 0:
+            raise ValueError(f"rerank must be >= 0, got {rerank}")
+        self.rerank = int(rerank)
+        self._codes: np.ndarray | None = None
+
+    def _fit(self, data: np.ndarray) -> None:
+        self.quantizer.fit(data)
+        self._codes = self.quantizer.encode(data)
+
+    def search(self, query: np.ndarray, k: int) -> tuple[np.ndarray, np.ndarray]:
+        # ADC work in full-distance equivalents: the table build costs
+        # ks sub-distances per subspace (= ks full distances total) and
+        # the scan costs m lookups per code (= m/d of a full distance).
+        subspaces = self.quantizer.num_subspaces
+        self.ops += self.quantizer.codebooks.shape[1] + max(
+            1, int(self._codes.shape[0] * subspaces / self.quantizer.dim)
+        )
+        scores = self.quantizer.adc_scores(query, self._codes)
+        take = min(max(k, self.rerank), scores.shape[0])
+        prefix = np.argpartition(scores, take - 1)[:take]
+        if self.rerank:
+            # Rerank the shortlist with exact distances.
+            return self._rank_candidates(query, prefix.astype(np.int64), k)
+        order = prefix[np.argsort(scores[prefix], kind="stable")][:k]
+        query64 = np.asarray(query, dtype=np.float64)
+        exact = np.sqrt(
+            ((self.data[order].astype(np.float64) - query64) ** 2).sum(axis=1)
+        )
+        return order.astype(np.int64), exact

@@ -1,0 +1,235 @@
+"""Command-line interface for the LANNS platform.
+
+Four subcommands mirror the platform lifecycle::
+
+    python -m repro.cli build  --data vectors.npy --out idx --shards 2 \
+        --segments 4 --segmenter apd --root /tmp/lanns
+    python -m repro.cli query  --index idx --queries q.npy --top-k 10 \
+        --root /tmp/lanns --out results.npz
+    python -m repro.cli info   --index idx --root /tmp/lanns
+    python -m repro.cli bench  --dataset sift1m --top-k 10
+
+``--root`` is the LocalHdfs root directory all paths are relative to.
+Vector files are ``.npy`` (float32 matrices) or ``.fvecs``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.config import LannsConfig
+from repro.data.io import read_fvecs
+from repro.hnsw.params import HnswParams
+from repro.offline.indexing import build_index_job
+from repro.offline.querying import query_index_job
+from repro.sparklite.cluster import LocalCluster
+from repro.storage.hdfs import LocalHdfs
+from repro.storage.manifest import load_manifest
+
+
+def _load_vectors(path: str) -> np.ndarray:
+    """Load a vector matrix from .npy or .fvecs."""
+    suffix = Path(path).suffix.lower()
+    if suffix == ".npy":
+        return np.load(path).astype(np.float32)
+    if suffix == ".fvecs":
+        return read_fvecs(path)
+    raise SystemExit(f"unsupported vector file {path!r} (use .npy or .fvecs)")
+
+
+def _add_common(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--root", required=True, help="LocalHdfs root directory"
+    )
+    parser.add_argument(
+        "--executors", type=int, default=4, help="cluster executors"
+    )
+
+
+def _cmd_build(args: argparse.Namespace) -> int:
+    vectors = _load_vectors(args.data)
+    config = LannsConfig(
+        num_shards=args.shards,
+        num_segments=args.segments,
+        segmenter=args.segmenter,
+        alpha=args.alpha,
+        spill_mode=args.spill_mode,
+        metric=args.metric,
+        hnsw=HnswParams(
+            M=args.hnsw_m, ef_construction=args.ef_construction
+        ),
+        seed=args.seed,
+    )
+    fs = LocalHdfs(args.root)
+    cluster = LocalCluster(num_executors=args.executors, fs=fs)
+    begin = time.perf_counter()
+    manifest, metrics = build_index_job(
+        cluster, fs, vectors, config, args.out
+    )
+    elapsed = time.perf_counter() - begin
+    print(
+        f"built {manifest.total_vectors} vectors "
+        f"({config.num_shards}x{config.num_segments} partitions) "
+        f"into {args.root}/{args.out} in {elapsed:.1f}s"
+    )
+    print(f"per-partition build work: {metrics.total_task_time:.1f}s")
+    for executors in (2, 4, 8):
+        print(
+            f"  simulated makespan @ {executors} executors: "
+            f"{metrics.makespan(executors):.1f}s"
+        )
+    return 0
+
+
+def _cmd_query(args: argparse.Namespace) -> int:
+    queries = _load_vectors(args.queries)
+    fs = LocalHdfs(args.root)
+    cluster = LocalCluster(num_executors=args.executors, fs=fs)
+    begin = time.perf_counter()
+    result = query_index_job(
+        cluster,
+        fs,
+        args.index,
+        queries,
+        args.top_k,
+        ef=args.ef,
+        checkpoint=not args.no_checkpoint,
+    )
+    elapsed = time.perf_counter() - begin
+    print(
+        f"answered {queries.shape[0]} queries (top-{args.top_k}) "
+        f"in {elapsed:.2f}s "
+        f"({elapsed / queries.shape[0] * 1e3:.2f} ms/query wall)"
+    )
+    if args.out:
+        np.savez_compressed(args.out, ids=result.ids, dists=result.dists)
+        print(f"wrote ids/dists to {args.out}")
+    else:
+        preview = min(5, queries.shape[0])
+        for row in range(preview):
+            print(f"  query {row}: {result.ids[row][:10].tolist()}")
+    return 0
+
+
+def _cmd_info(args: argparse.Namespace) -> int:
+    fs = LocalHdfs(args.root)
+    manifest = load_manifest(fs, args.index)
+    payload = manifest.to_dict()
+    payload.pop("checksums", None)
+    print(json.dumps(payload, indent=2, sort_keys=True))
+    return 0
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from repro.core.builder import build_lanns_index
+    from repro.data.datasets import load_dataset
+    from repro.eval.timing import measure_qps
+    from repro.offline.recall import recall_at_k
+
+    dataset = load_dataset(args.dataset)
+    config = LannsConfig(
+        num_shards=args.shards,
+        num_segments=args.segments,
+        segmenter=args.segmenter,
+        hnsw=HnswParams(M=args.hnsw_m, ef_construction=args.ef_construction),
+        seed=args.seed,
+    )
+    print(f"dataset {dataset!r}")
+    begin = time.perf_counter()
+    index = build_lanns_index(dataset.base, config=config)
+    print(f"build: {time.perf_counter() - begin:.1f}s")
+    top_k = min(args.top_k, dataset.num_base)
+    ids = np.full((dataset.num_queries, top_k), -1, dtype=np.int64)
+    for row, query in enumerate(dataset.queries):
+        found, _ = index.query(query, top_k, ef=args.ef)
+        ids[row, : len(found)] = found
+    stats = measure_qps(
+        lambda q: index.query(q, top_k, ef=args.ef), dataset.queries
+    )
+    recall = recall_at_k(ids, dataset.ground_truth(top_k), top_k)
+    print(
+        f"recall@{top_k}: {recall:.4f}  "
+        f"qps: {stats['qps']:.0f}  p99: {stats['p99_ms']:.2f} ms"
+    )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The top-level argument parser (exposed for tests)."""
+    parser = argparse.ArgumentParser(
+        prog="repro.cli",
+        description="LANNS: web-scale approximate nearest neighbor lookup",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    build = commands.add_parser("build", help="build and persist an index")
+    _add_common(build)
+    build.add_argument("--data", required=True, help=".npy or .fvecs matrix")
+    build.add_argument("--out", required=True, help="index path under root")
+    build.add_argument("--shards", type=int, default=1)
+    build.add_argument("--segments", type=int, default=1)
+    build.add_argument(
+        "--segmenter", choices=["rs", "rh", "apd"], default="rs"
+    )
+    build.add_argument("--alpha", type=float, default=0.15)
+    build.add_argument(
+        "--spill-mode", choices=["virtual", "physical"], default="virtual"
+    )
+    build.add_argument(
+        "--metric",
+        choices=["euclidean", "cosine", "inner_product"],
+        default="euclidean",
+    )
+    build.add_argument("--hnsw-m", type=int, default=16)
+    build.add_argument("--ef-construction", type=int, default=100)
+    build.add_argument("--seed", type=int, default=0)
+    build.set_defaults(handler=_cmd_build)
+
+    query = commands.add_parser("query", help="query a persisted index")
+    _add_common(query)
+    query.add_argument("--index", required=True, help="index path under root")
+    query.add_argument("--queries", required=True, help=".npy or .fvecs")
+    query.add_argument("--top-k", type=int, default=10)
+    query.add_argument("--ef", type=int, default=None)
+    query.add_argument("--out", default=None, help="write results .npz here")
+    query.add_argument("--no-checkpoint", action="store_true")
+    query.set_defaults(handler=_cmd_query)
+
+    info = commands.add_parser("info", help="print an index's manifest")
+    _add_common(info)
+    info.add_argument("--index", required=True)
+    info.set_defaults(handler=_cmd_info)
+
+    bench = commands.add_parser(
+        "bench", help="build + evaluate a registry dataset in one shot"
+    )
+    bench.add_argument("--dataset", default="sift1m")
+    bench.add_argument("--top-k", type=int, default=10)
+    bench.add_argument("--ef", type=int, default=96)
+    bench.add_argument("--shards", type=int, default=1)
+    bench.add_argument("--segments", type=int, default=4)
+    bench.add_argument(
+        "--segmenter", choices=["rs", "rh", "apd"], default="apd"
+    )
+    bench.add_argument("--hnsw-m", type=int, default=12)
+    bench.add_argument("--ef-construction", type=int, default=56)
+    bench.add_argument("--seed", type=int, default=0)
+    bench.set_defaults(handler=_cmd_bench)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.handler(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,160 @@
+"""Configuration for a LANNS index.
+
+``LannsConfig`` bundles every tunable of the platform: the ``(n, m)``
+partitioning of the paper (``num_shards``, ``num_segments``), the
+segmentation strategy and its spill parameters, the HNSW hyper-parameters
+used inside each segment, and the ``perShardTopK`` confidence.
+
+The config serializes to a plain dict; the storage layer couples it with
+every exported index so offline build and online serving can never drift
+apart (Section 7 of the paper, enforced by
+:class:`repro.errors.MetadataMismatchError`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from repro.errors import ConfigError
+from repro.hnsw.params import HnswParams
+
+#: Segmenter kinds accepted by the platform.
+SEGMENTER_KINDS = ("rs", "rh", "apd")
+#: Spill modes (Section 4.3.2 / Table 7).
+SPILL_MODES = ("virtual", "physical")
+#: Metrics supported end-to-end.
+METRICS = ("euclidean", "cosine", "inner_product")
+
+
+@dataclass(frozen=True)
+class LannsConfig:
+    """All tunables of a LANNS deployment.
+
+    Parameters
+    ----------
+    num_shards:
+        First-level partitions; each shard is hosted on its own (simulated)
+        server node and every query visits every shard.
+    num_segments:
+        Second-level partitions per shard.  Must be a power of two for the
+        hyperplane segmenters (the tree is binary).
+    segmenter:
+        ``"rs"``, ``"rh"`` or ``"apd"``.
+    alpha:
+        Spill fraction; the paper uses 0.15 ("we route about 30% of
+        queries to both partitions at any level").
+    spill_mode:
+        ``"virtual"`` (query-side spill, production default) or
+        ``"physical"`` (data-side duplication).
+    metric:
+        Distance function shared by segmenter and HNSW.
+    hnsw:
+        Per-segment HNSW hyper-parameters.
+    topk_confidence:
+        ``topK.confidence`` for the perShardTopK optimisation (Eq. 5-6);
+        paper default 0.95.
+    use_per_shard_topk:
+        Disable to always fetch full topK from each shard.
+    paper_literal_probit:
+        Use the paper's literal ``(1 - p/2)`` quantile instead of the
+        standard ``(1 + p)/2``; see DESIGN.md substitution #7.
+    segmenter_sample_size:
+        Subsample budget for segmenter learning (paper: 250k).
+    seed:
+        Master seed; per-segment HNSW seeds are derived from it.
+    """
+
+    num_shards: int = 1
+    num_segments: int = 1
+    segmenter: str = "rs"
+    alpha: float = 0.15
+    spill_mode: str = "virtual"
+    metric: str = "euclidean"
+    hnsw: HnswParams = field(default_factory=HnswParams)
+    topk_confidence: float = 0.95
+    use_per_shard_topk: bool = True
+    paper_literal_probit: bool = False
+    segmenter_sample_size: int = 250_000
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.num_shards < 1:
+            raise ConfigError(f"num_shards must be >= 1, got {self.num_shards}")
+        if self.num_segments < 1:
+            raise ConfigError(
+                f"num_segments must be >= 1, got {self.num_segments}"
+            )
+        if self.segmenter not in SEGMENTER_KINDS:
+            raise ConfigError(
+                f"segmenter must be one of {SEGMENTER_KINDS}, "
+                f"got {self.segmenter!r}"
+            )
+        if self.segmenter in ("rh", "apd") and (
+            self.num_segments & (self.num_segments - 1)
+        ):
+            raise ConfigError(
+                "hyperplane segmenters need a power-of-two num_segments, "
+                f"got {self.num_segments}"
+            )
+        if not 0.0 <= self.alpha < 0.5:
+            raise ConfigError(f"alpha must be in [0, 0.5), got {self.alpha}")
+        if self.spill_mode not in SPILL_MODES:
+            raise ConfigError(
+                f"spill_mode must be one of {SPILL_MODES}, "
+                f"got {self.spill_mode!r}"
+            )
+        if self.metric not in METRICS:
+            raise ConfigError(
+                f"metric must be one of {METRICS}, got {self.metric!r}"
+            )
+        if not 0.0 < self.topk_confidence < 1.0:
+            raise ConfigError(
+                f"topk_confidence must be in (0, 1), got {self.topk_confidence}"
+            )
+        if self.segmenter_sample_size < 1:
+            raise ConfigError(
+                "segmenter_sample_size must be positive, got "
+                f"{self.segmenter_sample_size}"
+            )
+
+    @property
+    def partitioning(self) -> tuple[int, int]:
+        """The paper's ``(n, m)`` notation: (num_shards, num_segments)."""
+        return (self.num_shards, self.num_segments)
+
+    @property
+    def total_partitions(self) -> int:
+        """Number of (shard, segment) HNSW indices built."""
+        return self.num_shards * self.num_segments
+
+    def with_updates(self, **changes) -> "LannsConfig":
+        """A copy with the given fields replaced (validates again)."""
+        return replace(self, **changes)
+
+    def to_dict(self) -> dict:
+        """Plain-dict form (used in persisted index metadata)."""
+        return {
+            "num_shards": self.num_shards,
+            "num_segments": self.num_segments,
+            "segmenter": self.segmenter,
+            "alpha": self.alpha,
+            "spill_mode": self.spill_mode,
+            "metric": self.metric,
+            "hnsw": self.hnsw.to_dict(),
+            "topk_confidence": self.topk_confidence,
+            "use_per_shard_topk": self.use_per_shard_topk,
+            "paper_literal_probit": self.paper_literal_probit,
+            "segmenter_sample_size": self.segmenter_sample_size,
+            "seed": self.seed,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "LannsConfig":
+        """Inverse of :meth:`to_dict`."""
+        payload = dict(payload)
+        hnsw_payload = payload.pop("hnsw", None)
+        hnsw = HnswParams.from_dict(hnsw_payload) if hnsw_payload else HnswParams()
+        known = {f for f in cls.__dataclass_fields__ if f != "hnsw"}
+        return cls(
+            hnsw=hnsw, **{k: v for k, v in payload.items() if k in known}
+        )

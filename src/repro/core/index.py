@@ -1,0 +1,198 @@
+"""The LANNS index: shards -> segments -> HNSW, with two-level merging.
+
+This is the in-memory form of the platform.  The offline pipelines
+(:mod:`repro.offline`) build the same structure through the sparklite
+cluster and persist it through :mod:`repro.storage`; the online tier
+(:mod:`repro.online`) hosts one :class:`ShardIndex` per searcher node.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.config import LannsConfig
+from repro.core.merge import merge_segment_results, merge_shard_results
+from repro.core.topk import per_shard_top_k
+from repro.errors import IndexNotBuiltError
+from repro.hnsw.index import HnswIndex
+from repro.segmenters.base import Segmenter
+from repro.sharding.sharder import HashSharder
+from repro.utils.validation import as_matrix, as_vector
+
+
+class ShardIndex:
+    """One shard: a set of segment HNSW indices plus the shared segmenter.
+
+    Parameters
+    ----------
+    shard_id:
+        Position of this shard in the LANNS index.
+    segments:
+        One :class:`~repro.hnsw.index.HnswIndex` per segment (some may be
+        empty and are skipped at query time).
+    segmenter:
+        The shared, pre-learnt segmenter used for query routing.
+    """
+
+    def __init__(
+        self,
+        shard_id: int,
+        segments: list[HnswIndex],
+        segmenter: Segmenter,
+    ) -> None:
+        if len(segments) != segmenter.num_segments:
+            raise ValueError(
+                f"shard {shard_id}: {len(segments)} segment indices but "
+                f"segmenter expects {segmenter.num_segments}"
+            )
+        self.shard_id = int(shard_id)
+        self.segments = segments
+        self.segmenter = segmenter
+
+    def __len__(self) -> int:
+        """Number of stored vectors (counting physical-spill duplicates)."""
+        return sum(len(segment) for segment in self.segments)
+
+    @property
+    def segment_sizes(self) -> list[int]:
+        """Vector count per segment."""
+        return [len(segment) for segment in self.segments]
+
+    def probed_segments(self, query: np.ndarray) -> tuple[int, ...]:
+        """Segment ids the segmenter would probe for ``query``."""
+        return self.segmenter.route_query(query)
+
+    def search(
+        self,
+        query: np.ndarray,
+        k: int,
+        *,
+        ef: int | None = None,
+    ) -> list[tuple[float, int]]:
+        """Search the shard: probe routed segments, merge (level 1).
+
+        Returns ``(distance, external_id)`` pairs, ascending, at most
+        ``k`` of them.
+        """
+        segment_ids = self.segmenter.route_query(query)
+        partials = []
+        for segment_id in segment_ids:
+            segment = self.segments[segment_id]
+            if len(segment) == 0:
+                continue
+            ids, dists = segment.search(query, min(k, len(segment)), ef=ef)
+            partials.append(list(zip(dists.tolist(), ids.tolist())))
+        if not partials:
+            return []
+        return merge_segment_results(partials, k)
+
+
+class LannsIndex:
+    """The full two-level LANNS index.
+
+    Build with :func:`repro.core.builder.build_lanns_index`; query with
+    :meth:`query` / :meth:`query_batch`.
+    """
+
+    def __init__(
+        self,
+        config: LannsConfig,
+        shards: list[ShardIndex],
+        segmenter: Segmenter,
+    ) -> None:
+        if len(shards) != config.num_shards:
+            raise ValueError(
+                f"{len(shards)} shards but config expects {config.num_shards}"
+            )
+        self.config = config
+        self.shards = shards
+        self.segmenter = segmenter
+        self.sharder = HashSharder(config.num_shards)
+
+    # -- introspection ----------------------------------------------------------
+    def __len__(self) -> int:
+        """Stored vector count, including physical-spill duplicates."""
+        return sum(len(shard) for shard in self.shards)
+
+    @property
+    def dim(self) -> int:
+        """Vector dimensionality (from the first non-empty segment)."""
+        for shard in self.shards:
+            for segment in shard.segments:
+                if len(segment):
+                    return segment.dim
+        raise IndexNotBuiltError("index has no vectors")
+
+    def stats(self) -> dict:
+        """Shape summary used by examples, logs and tests."""
+        return {
+            "partitioning": self.config.partitioning,
+            "segmenter": self.config.segmenter,
+            "spill_mode": self.config.spill_mode,
+            "total_vectors": len(self),
+            "shard_sizes": [len(shard) for shard in self.shards],
+            "segment_sizes": [shard.segment_sizes for shard in self.shards],
+        }
+
+    # -- querying ----------------------------------------------------------------
+    def per_shard_budget(self, top_k: int) -> int:
+        """The perShardTopK each shard is asked for (Eq. 5-6)."""
+        if not self.config.use_per_shard_topk:
+            return int(top_k)
+        return per_shard_top_k(
+            top_k,
+            self.config.num_shards,
+            self.config.topk_confidence,
+            paper_literal=self.config.paper_literal_probit,
+        )
+
+    def query(
+        self,
+        query: np.ndarray,
+        top_k: int,
+        *,
+        ef: int | None = None,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Approximate top-k over the whole index.
+
+        Every query visits every shard (sharding is locality-free); inside
+        a shard the segmenter decides which segments to probe.  Shard
+        results are capped at ``perShardTopK`` and merged at this "broker"
+        level (level-2 merge).
+
+        Returns
+        -------
+        (ids, distances): int64 and float64 arrays, ascending by distance.
+        """
+        if top_k <= 0:
+            raise ValueError(f"top_k must be positive, got {top_k}")
+        if len(self) == 0:
+            raise IndexNotBuiltError("query on an empty LANNS index")
+        query = as_vector(query, name="query")
+        budget = self.per_shard_budget(top_k)
+        shard_results = [
+            shard.search(query, budget, ef=ef) for shard in self.shards
+        ]
+        merged = merge_shard_results(shard_results, top_k)
+        ids = np.asarray([item_id for _, item_id in merged], dtype=np.int64)
+        dists = np.asarray([dist for dist, _ in merged], dtype=np.float64)
+        return ids, dists
+
+    def query_batch(
+        self,
+        queries: np.ndarray,
+        top_k: int,
+        *,
+        ef: int | None = None,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Query many vectors; rows padded with id -1 / distance inf."""
+        queries = as_matrix(queries, name="queries")
+        n = queries.shape[0]
+        ids = np.full((n, top_k), -1, dtype=np.int64)
+        dists = np.full((n, top_k), np.inf, dtype=np.float64)
+        for i in range(n):
+            found_ids, found_dists = self.query(queries[i], top_k, ef=ef)
+            count = len(found_ids)
+            ids[i, :count] = found_ids
+            dists[i, :count] = found_dists
+        return ids, dists

@@ -1,0 +1,45 @@
+"""Two-level result merging (Section 5.3 / Figure 7).
+
+LANNS merges in two stages that mirror the serving topology:
+
+1. *Segment-level* merge happens inside the server node hosting the shard
+   ("does not require additional network I/O").
+2. *Shard-level* merge happens at the broker / driver.
+
+Both stages are top-k merges over ``(distance, id)`` pairs; physical spill
+can surface the same id from two segments, so the segment-level merge
+dedupes by id (keeping the best distance).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.utils.heap import merge_top_k
+
+#: A search result: list of (distance, external_id), ascending distance.
+ResultList = "list[tuple[float, int]]"
+
+
+def merge_segment_results(
+    segment_results: Sequence[Sequence[tuple[float, int]]],
+    k: int,
+) -> list[tuple[float, int]]:
+    """First-level merge: segment candidates -> shard result.
+
+    Physical spill stores boundary points in several segments of the same
+    shard, so duplicates are possible and are deduped here.
+    """
+    return merge_top_k(segment_results, k, dedupe=True)
+
+
+def merge_shard_results(
+    shard_results: Sequence[Sequence[tuple[float, int]]],
+    k: int,
+) -> list[tuple[float, int]]:
+    """Second-level merge: shard results -> final topK.
+
+    Hash sharding stores every id in exactly one shard, so no dedupe is
+    needed; we keep it anyway for safety (it is O(total results)).
+    """
+    return merge_top_k(shard_results, k, dedupe=True)

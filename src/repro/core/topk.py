@@ -1,0 +1,85 @@
+"""The ``perShardTopK`` optimisation (Section 5.3.2, Eq. 5-6).
+
+When a dataset is hash-sharded uniformly across ``S`` shards, the number
+of a query's true top-``K`` neighbors landing in one shard is
+``Binomial(K, 1/S)``.  Asking each shard for the full ``K`` results wastes
+network and merge cost; LANNS instead fetches the upper end of the normal
+approximation interval of that binomial:
+
+    s' = 1 / S
+    cI = s' + f(p) * sqrt(s' (1 - s') / topK)          (Eq. 5)
+    perShardTopK = min(topK, ceil(cI * topK))          (Eq. 6)
+
+where ``f(p)`` is a standard-normal quantile for confidence ``p``.
+
+The paper's text defines ``f(p)`` as the ``1 - p/2`` quantile with
+``p = 0.95``, which evaluates to z = 0.063 -- clearly a typo for the usual
+Wald interval (at confidence 0.95 one wants z = 1.96).  We default to the
+standard ``(1 + p) / 2`` quantile and expose the literal reading behind
+``paper_literal=True`` so the difference can be measured (see
+``benchmarks/bench_ablation_per_shard_topk.py``).
+"""
+
+from __future__ import annotations
+
+import math
+
+from scipy.stats import norm
+
+from repro.utils.validation import check_positive
+
+
+def probit(quantile: float) -> float:
+    """Inverse CDF of the standard normal distribution."""
+    if not 0.0 < quantile < 1.0:
+        raise ValueError(f"quantile must be in (0, 1), got {quantile}")
+    return float(norm.ppf(quantile))
+
+
+def per_shard_top_k(
+    top_k: int,
+    num_shards: int,
+    confidence: float = 0.95,
+    *,
+    paper_literal: bool = False,
+) -> int:
+    """How many neighbors to request from each of ``num_shards`` shards.
+
+    Parameters
+    ----------
+    top_k:
+        The global number of neighbors requested.
+    num_shards:
+        Number of uniform hash shards.
+    confidence:
+        ``topK.confidence``: the probability that a shard's share of the
+        true top-K fits within the returned budget.
+    paper_literal:
+        Use the paper's literal ``1 - p/2`` quantile (see module docs).
+
+    Returns
+    -------
+    An integer in ``[1, top_k]``.  With one shard this is exactly
+    ``top_k``; the budget shrinks as shards are added but never below 1.
+
+    Notes
+    -----
+    Segments deliberately do NOT get their own budget: "Employing a per
+    segment topK could lead to fewer than topK results as the final
+    output. Thus ... we propagate the shard level perShardTopK to the
+    associated segments" (Section 5.3.2).
+    """
+    check_positive(top_k, "top_k")
+    check_positive(num_shards, "num_shards")
+    if not 0.0 < confidence < 1.0:
+        raise ValueError(
+            f"confidence must be in (0, 1), got {confidence}"
+        )
+    if num_shards == 1:
+        return int(top_k)
+    share = 1.0 / num_shards
+    quantile = (1.0 - confidence / 2.0) if paper_literal else (1.0 + confidence) / 2.0
+    z = probit(quantile)
+    interval = share + z * math.sqrt(share * (1.0 - share) / top_k)
+    budget = min(top_k, math.ceil(interval * top_k))
+    return max(int(budget), 1)

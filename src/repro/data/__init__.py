@@ -1,0 +1,37 @@
+"""Datasets: synthetic recipes, registry, IO and ground truth.
+
+The real SIFT1M/GIST1M archives and LinkedIn's production datasets are
+not available offline, so each is substituted by a deterministic
+synthetic generator that preserves the *dimensionality and structure*
+the paper reports (see DESIGN.md, substitutions #3-#4).  True fvecs/ivecs
+readers are provided for runs where the real archives exist.
+"""
+
+from repro.data.synthetic import (
+    clustered_gaussians,
+    gist_like,
+    groups_like,
+    make_queries,
+    neardupe_like,
+    people_like,
+    sift_like,
+)
+from repro.data.datasets import Dataset, available_datasets, load_dataset
+from repro.data.io import read_fvecs, read_ivecs, write_fvecs, write_ivecs
+
+__all__ = [
+    "clustered_gaussians",
+    "sift_like",
+    "gist_like",
+    "groups_like",
+    "people_like",
+    "neardupe_like",
+    "make_queries",
+    "Dataset",
+    "available_datasets",
+    "load_dataset",
+    "read_fvecs",
+    "write_fvecs",
+    "read_ivecs",
+    "write_ivecs",
+]

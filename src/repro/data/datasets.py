@@ -1,0 +1,169 @@
+"""Dataset registry used by tests, examples and every benchmark.
+
+``load_dataset(name)`` returns a fully materialised
+:class:`Dataset` -- base vectors, query vectors and (lazily computed,
+cached) exact ground truth.  Default sizes are scaled down from the paper
+so the whole benchmark suite runs in minutes on two cores; set the
+``REPRO_SCALE`` environment variable (e.g. ``REPRO_SCALE=4``) to grow
+every dataset proportionally.
+
+=============  =========================  ====================== ======
+registry name  paper dataset              paper size             dim
+=============  =========================  ====================== ======
+sift1m         SIFT1M                     1M base / 10k queries  128
+gist1m         GIST1M                     1M base / 1k queries   960
+groups         LinkedIn Groups            2.7M / 10k-20k         256
+people         LinkedIn People Search     180M / 20k             50
+pymk           People You May Know        100M / 1M-372M         50
+neardupe       LinkedIn Near-Duplicates   148k / 500k            2048
+=============  =========================  ====================== ======
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.data import synthetic
+from repro.offline.brute_force import exact_top_k
+
+
+def scale_factor() -> float:
+    """The global dataset scale multiplier (``REPRO_SCALE``, default 1)."""
+    raw = os.environ.get("REPRO_SCALE", "1")
+    try:
+        value = float(raw)
+    except ValueError:
+        raise ValueError(f"REPRO_SCALE must be numeric, got {raw!r}") from None
+    if value <= 0:
+        raise ValueError(f"REPRO_SCALE must be positive, got {value}")
+    return value
+
+
+@dataclass
+class Dataset:
+    """A benchmark dataset: base vectors, queries and exact ground truth."""
+
+    name: str
+    base: np.ndarray
+    queries: np.ndarray
+    metric: str = "euclidean"
+    paper_reference: str = ""
+    _truth_cache: dict = field(default_factory=dict, repr=False)
+
+    @property
+    def num_base(self) -> int:
+        """Number of indexed vectors."""
+        return self.base.shape[0]
+
+    @property
+    def num_queries(self) -> int:
+        """Number of query vectors."""
+        return self.queries.shape[0]
+
+    @property
+    def dim(self) -> int:
+        """Vector dimensionality."""
+        return self.base.shape[1]
+
+    def ground_truth(self, k: int) -> np.ndarray:
+        """Exact top-``k`` ids per query (cached per ``k`` ceiling)."""
+        cached_k = max([k] + [existing for existing in self._truth_cache])
+        if cached_k not in self._truth_cache:
+            ids, _ = exact_top_k(
+                self.base, self.queries, cached_k, metric=self.metric
+            )
+            self._truth_cache.clear()
+            self._truth_cache[cached_k] = ids
+        return self._truth_cache[cached_k][:, :k]
+
+    def __repr__(self) -> str:
+        return (
+            f"Dataset(name={self.name!r}, base={self.num_base}, "
+            f"queries={self.num_queries}, dim={self.dim})"
+        )
+
+
+#: name -> (generator, base_size, query_count, paper_reference)
+_RECIPES = {
+    "sift1m": (
+        synthetic.sift_like,
+        10_000,
+        200,
+        "SIFT1M: 1M base / 10k queries, d=128 (Tables 1-3)",
+    ),
+    "gist1m": (
+        synthetic.gist_like,
+        4_000,
+        100,
+        "GIST1M: 1M base / 1k queries, d=960 (Tables 4-6)",
+    ),
+    "groups": (
+        synthetic.groups_like,
+        8_000,
+        200,
+        "Groups: 2.7M groups, d=256 (Tables 7-9)",
+    ),
+    "people": (
+        synthetic.people_like,
+        20_000,
+        200,
+        "People Search: 180M members, d=50 (Tables 8-9)",
+    ),
+    "pymk": (
+        synthetic.people_like,
+        16_000,
+        200,
+        "PYMK: 100M members, d=50 (Tables 8-9)",
+    ),
+    "neardupe": (
+        synthetic.neardupe_like,
+        3_000,
+        100,
+        "NearDupe: 148k images, d=2048 (Tables 8-9)",
+    ),
+}
+
+
+def available_datasets() -> list[str]:
+    """Registered dataset names."""
+    return sorted(_RECIPES)
+
+
+def load_dataset(
+    name: str,
+    *,
+    scale: float | None = None,
+    seed: int = 0,
+) -> Dataset:
+    """Materialise a registry dataset.
+
+    Parameters
+    ----------
+    scale:
+        Size multiplier; defaults to the ``REPRO_SCALE`` env variable.
+    seed:
+        Generator seed (queries use ``seed + 1`` so they are disjoint
+        draws from the same distribution).
+    """
+    try:
+        generator, base_size, query_count, reference = _RECIPES[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown dataset {name!r}; available: {available_datasets()}"
+        ) from None
+    if scale is None:
+        scale = scale_factor()
+    num_base = max(int(base_size * scale), 32)
+    num_queries = max(int(query_count * min(scale, 4.0)), 10)
+    # PYMK shares the people generator but must be a different draw.
+    generator_seed = seed if name != "pymk" else seed + 1000
+    base = generator(num_base, seed=generator_seed)
+    queries = synthetic.make_queries(
+        base, num_queries, seed=generator_seed + 1, perturbation=0.1
+    )
+    return Dataset(
+        name=name, base=base, queries=queries, paper_reference=reference
+    )

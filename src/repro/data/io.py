@@ -1,0 +1,75 @@
+"""fvecs / ivecs IO: the TEXMEX format of the real SIFT1M / GIST1M.
+
+Each vector is stored as a little-endian int32 dimensionality followed by
+``dim`` components (float32 for fvecs, int32 for ivecs).  Provided so the
+benchmarks can consume the genuine archives when they are available
+(point ``REPRO_SIFT1M_DIR`` at the extracted files); the synthetic
+recipes are used otherwise.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+from repro.errors import SerializationError
+
+
+def _read_vecs(path: str | Path, dtype) -> np.ndarray:
+    raw = np.fromfile(str(path), dtype=np.int32)
+    if raw.size == 0:
+        return np.empty((0, 0), dtype=dtype)
+    dim = int(raw[0])
+    if dim <= 0:
+        raise SerializationError(f"{path}: bad leading dimension {dim}")
+    width = dim + 1
+    if raw.size % width != 0:
+        raise SerializationError(
+            f"{path}: size {raw.size} not a multiple of dim+1={width}"
+        )
+    table = raw.reshape(-1, width)
+    if not np.all(table[:, 0] == dim):
+        raise SerializationError(f"{path}: inconsistent per-vector dims")
+    body = table[:, 1:]
+    if dtype == np.float32:
+        return body.copy().view(np.float32)
+    return body.astype(dtype)
+
+
+def read_fvecs(path: str | Path) -> np.ndarray:
+    """Read an ``.fvecs`` file into a float32 matrix."""
+    return _read_vecs(path, np.float32)
+
+
+def read_ivecs(path: str | Path) -> np.ndarray:
+    """Read an ``.ivecs`` file (e.g. ground truth ids) into int32."""
+    return _read_vecs(path, np.int32)
+
+
+def write_fvecs(path: str | Path, vectors: np.ndarray) -> None:
+    """Write a float32 matrix as ``.fvecs``."""
+    vectors = np.asarray(vectors, dtype=np.float32)
+    if vectors.ndim != 2:
+        raise SerializationError(
+            f"fvecs needs a 2-D array, got shape {vectors.shape}"
+        )
+    n, dim = vectors.shape
+    table = np.empty((n, dim + 1), dtype=np.int32)
+    table[:, 0] = dim
+    table[:, 1:] = vectors.view(np.int32)
+    table.tofile(str(path))
+
+
+def write_ivecs(path: str | Path, vectors: np.ndarray) -> None:
+    """Write an int32 matrix as ``.ivecs``."""
+    vectors = np.asarray(vectors, dtype=np.int32)
+    if vectors.ndim != 2:
+        raise SerializationError(
+            f"ivecs needs a 2-D array, got shape {vectors.shape}"
+        )
+    n, dim = vectors.shape
+    table = np.empty((n, dim + 1), dtype=np.int32)
+    table[:, 0] = dim
+    table[:, 1:] = vectors
+    table.tofile(str(path))

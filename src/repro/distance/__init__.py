@@ -1,0 +1,28 @@
+"""Distance metrics and batched scorers.
+
+The online paper deployment spends "most of the search time ... doing
+<query, document> distance comparisons" (Section 7), so every metric here
+provides vectorised batch kernels, and :class:`~repro.distance.scorer.Scorer`
+adds per-index precomputation (cached squared norms, pre-normalised data)
+so the HNSW inner loop touches only fused numpy expressions.
+"""
+
+from repro.distance.metrics import (
+    CosineDistance,
+    EuclideanDistance,
+    InnerProductDistance,
+    Metric,
+    available_metrics,
+    get_metric,
+)
+from repro.distance.scorer import Scorer
+
+__all__ = [
+    "Metric",
+    "EuclideanDistance",
+    "CosineDistance",
+    "InnerProductDistance",
+    "get_metric",
+    "available_metrics",
+    "Scorer",
+]

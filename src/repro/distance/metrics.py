@@ -1,0 +1,137 @@
+"""Vector distance metrics.
+
+Three metric families cover the paper's use cases:
+
+- ``euclidean`` -- SIFT/GIST style descriptors (Tables 1-6 use Euclidean).
+- ``cosine`` -- normalised embedding search (Groups / People embeddings).
+- ``inner_product`` -- maximum inner product search, expressed as the
+  distance ``-<q, x>`` so that smaller is always better.
+
+Each metric exposes both an exact ``distance`` and an internal *ranking
+key* (``reduced``): a monotone transform that is cheaper to compute (e.g.
+squared Euclidean avoids the square root).  Index internals rank by the
+reduced value and convert to true distances only at the API boundary.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+
+class Metric(ABC):
+    """A distance metric with vectorised kernels.
+
+    Subclasses implement the reduced (ranking) form; this base class
+    derives user-facing true distances from it.
+    """
+
+    #: Registry name, e.g. ``"euclidean"``.
+    name: str = ""
+
+    # -- reduced (ranking) space -------------------------------------------------
+    @abstractmethod
+    def reduced_pairwise(self, queries: np.ndarray, data: np.ndarray) -> np.ndarray:
+        """Reduced distances of shape ``(len(queries), len(data))``."""
+
+    @abstractmethod
+    def to_true(self, reduced: np.ndarray) -> np.ndarray:
+        """Map reduced values to true distances (monotone, elementwise)."""
+
+    # -- convenience -------------------------------------------------------------
+    def reduced_batch(self, query: np.ndarray, data: np.ndarray) -> np.ndarray:
+        """Reduced distances from one query to each row of ``data``."""
+        return self.reduced_pairwise(query[np.newaxis, :], data)[0]
+
+    def pairwise(self, queries: np.ndarray, data: np.ndarray) -> np.ndarray:
+        """True distances of shape ``(len(queries), len(data))``."""
+        return self.to_true(self.reduced_pairwise(queries, data))
+
+    def batch(self, query: np.ndarray, data: np.ndarray) -> np.ndarray:
+        """True distances from one query to each row of ``data``."""
+        return self.to_true(self.reduced_batch(query, data))
+
+    def distance(self, x: np.ndarray, y: np.ndarray) -> float:
+        """True distance between two vectors."""
+        return float(self.batch(np.asarray(x, dtype=np.float32),
+                                np.asarray(y, dtype=np.float32)[np.newaxis, :])[0])
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        return f"{type(self).__name__}()"
+
+
+class EuclideanDistance(Metric):
+    """L2 distance; ranks by squared distance to avoid square roots."""
+
+    name = "euclidean"
+
+    def reduced_pairwise(self, queries: np.ndarray, data: np.ndarray) -> np.ndarray:
+        # ||q - x||^2 = ||q||^2 - 2 q.x + ||x||^2, computed as one GEMM.
+        q_norms = np.einsum("ij,ij->i", queries, queries)[:, np.newaxis]
+        x_norms = np.einsum("ij,ij->i", data, data)[np.newaxis, :]
+        squared = q_norms + x_norms - 2.0 * (queries @ data.T)
+        # Rounding can push tiny distances below zero.
+        np.maximum(squared, 0.0, out=squared)
+        return squared
+
+    def to_true(self, reduced: np.ndarray) -> np.ndarray:
+        return np.sqrt(reduced)
+
+
+class CosineDistance(Metric):
+    """Cosine distance ``1 - cos(q, x)``.
+
+    Zero vectors are treated as orthogonal to everything (distance 1).
+    """
+
+    name = "cosine"
+
+    def reduced_pairwise(self, queries: np.ndarray, data: np.ndarray) -> np.ndarray:
+        q_norms = np.linalg.norm(queries, axis=1, keepdims=True)
+        x_norms = np.linalg.norm(data, axis=1, keepdims=True).T
+        denom = q_norms * x_norms
+        with np.errstate(divide="ignore", invalid="ignore"):
+            cosine = np.where(denom > 0.0, (queries @ data.T) / denom, 0.0)
+        return 1.0 - np.clip(cosine, -1.0, 1.0)
+
+    def to_true(self, reduced: np.ndarray) -> np.ndarray:
+        return np.asarray(reduced)
+
+
+class InnerProductDistance(Metric):
+    """Maximum inner product search as the distance ``-<q, x>``."""
+
+    name = "inner_product"
+
+    def reduced_pairwise(self, queries: np.ndarray, data: np.ndarray) -> np.ndarray:
+        return -(queries @ data.T)
+
+    def to_true(self, reduced: np.ndarray) -> np.ndarray:
+        return np.asarray(reduced)
+
+
+_METRICS: dict[str, type[Metric]] = {
+    cls.name: cls
+    for cls in (EuclideanDistance, CosineDistance, InnerProductDistance)
+}
+# Friendly aliases.
+_ALIASES = {"l2": "euclidean", "ip": "inner_product", "dot": "inner_product"}
+
+
+def available_metrics() -> list[str]:
+    """Names accepted by :func:`get_metric`."""
+    return sorted(_METRICS)
+
+
+def get_metric(metric: str | Metric) -> Metric:
+    """Resolve a metric name (or pass through a Metric instance)."""
+    if isinstance(metric, Metric):
+        return metric
+    key = _ALIASES.get(metric.lower(), metric.lower())
+    try:
+        return _METRICS[key]()
+    except KeyError:
+        raise ValueError(
+            f"unknown metric {metric!r}; available: {available_metrics()}"
+        ) from None

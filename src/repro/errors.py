@@ -1,0 +1,55 @@
+"""Exception hierarchy for the LANNS reproduction.
+
+All library-raised exceptions derive from :class:`LannsError` so callers can
+catch one base class.  Programming errors (bad arguments) raise the standard
+``ValueError`` / ``TypeError`` where that is the idiomatic choice, but
+domain-level failures use this hierarchy.
+"""
+
+
+class LannsError(Exception):
+    """Base class for all LANNS-specific errors."""
+
+
+class ConfigError(LannsError):
+    """An invalid or inconsistent :class:`~repro.core.config.LannsConfig`."""
+
+
+class IndexNotBuiltError(LannsError):
+    """An operation requires a built index but the index is empty."""
+
+
+class SegmenterNotFittedError(LannsError):
+    """A data-dependent segmenter was used before ``fit`` was called."""
+
+
+class SerializationError(LannsError):
+    """An index or segmenter payload could not be (de)serialized."""
+
+
+class MetadataMismatchError(SerializationError):
+    """Persisted metadata disagrees with the loading configuration.
+
+    The paper stresses that coupling the segmenter and distance metadata
+    with the serialized index "ensures that the platform doesn't allow
+    accidental differences in the algorithm configuration between offline
+    index build and online serving" (Section 7).  This error enforces that.
+    """
+
+
+class StorageError(LannsError):
+    """A failure inside the :mod:`repro.storage` filesystem layer."""
+
+
+class ClusterError(LannsError):
+    """A failure inside the :mod:`repro.sparklite` execution engine."""
+
+
+class StageTimeoutError(ClusterError):
+    """Cascading executor failures exhausted all retries for a stage.
+
+    This models the "time-out errors" of Section 5.3.1 of the paper: when
+    executors die repeatedly before a stage completes, the stage restarts
+    cascade and the job never finishes.  Checkpointing partial results to
+    HDFS (``checkpoint=True``) prevents this failure mode.
+    """

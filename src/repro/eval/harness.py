@@ -1,0 +1,143 @@
+"""Shared experiment machinery used by the benchmark suite.
+
+The Table 1-6 experiments all follow the same flow: build a partitioned
+index through the offline pipeline (collecting build-stage metrics), run
+the query pipeline (collecting query-stage metrics), and score recall
+against exact ground truth.  This module wraps that flow once so each
+benchmark file only declares its sweep.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.config import LannsConfig
+from repro.core.index import LannsIndex, ShardIndex
+from repro.data.datasets import Dataset
+from repro.offline.indexing import build_index_job
+from repro.offline.querying import QueryJobResult, query_index_job
+from repro.offline.recall import recall_curve
+from repro.segmenters.base import Segmenter
+from repro.sparklite.cluster import LocalCluster
+from repro.sparklite.metrics import StageMetrics
+from repro.storage.hdfs import LocalHdfs
+from repro.storage.manifest import IndexManifest, load_lanns_index
+
+
+@dataclass
+class SegmentedExperiment:
+    """A built-and-persisted index plus everything needed to query it."""
+
+    dataset: Dataset
+    config: LannsConfig
+    fs: LocalHdfs
+    cluster: LocalCluster
+    index_path: str
+    manifest: IndexManifest
+    build_metrics: StageMetrics
+
+    def load_index(self) -> LannsIndex:
+        """Materialise the persisted index in memory."""
+        return load_lanns_index(self.fs, self.index_path)
+
+    def query(
+        self,
+        top_k: int,
+        *,
+        ef: int | None = None,
+        num_query_partitions: int | None = None,
+    ) -> QueryJobResult:
+        """Run the offline query pipeline over the dataset's query set."""
+        return query_index_job(
+            self.cluster,
+            self.fs,
+            self.index_path,
+            self.dataset.queries,
+            top_k,
+            ef=ef,
+            num_query_partitions=num_query_partitions,
+            checkpoint=False,
+        )
+
+
+def build_partitioned(
+    dataset: Dataset,
+    config: LannsConfig,
+    fs: LocalHdfs,
+    cluster: LocalCluster,
+    *,
+    index_path: str | None = None,
+    segmenter: Segmenter | None = None,
+) -> SegmentedExperiment:
+    """Build one configuration through the offline pipeline."""
+    if index_path is None:
+        index_path = (
+            f"indices/{dataset.name}/{config.segmenter}"
+            f"-s{config.num_shards}x{config.num_segments}"
+            f"-{config.spill_mode}-a{config.alpha}"
+        )
+    manifest, build_metrics = build_index_job(
+        cluster,
+        fs,
+        dataset.base,
+        config,
+        index_path,
+        segmenter=segmenter,
+    )
+    return SegmentedExperiment(
+        dataset=dataset,
+        config=config,
+        fs=fs,
+        cluster=cluster,
+        index_path=index_path,
+        manifest=manifest,
+        build_metrics=build_metrics,
+    )
+
+
+def evaluate_recall(
+    dataset: Dataset, result_ids: np.ndarray, ks: list[int]
+) -> dict[int, float]:
+    """Recall of ``result_ids`` against the dataset's exact ground truth."""
+    truth = dataset.ground_truth(max(ks))
+    return recall_curve(result_ids, truth, ks)
+
+
+def query_experiment(
+    experiment: SegmentedExperiment,
+    top_k: int,
+    ks: list[int],
+    *,
+    ef: int | None = None,
+) -> tuple[QueryJobResult, dict[int, float]]:
+    """Query + score one experiment; returns (job result, recall@k map)."""
+    result = experiment.query(top_k, ef=ef)
+    recalls = evaluate_recall(experiment.dataset, result.ids, ks)
+    return result, recalls
+
+
+def swap_segmenter(index: LannsIndex, segmenter: Segmenter) -> LannsIndex:
+    """Rebind a built index to a segmenter with different spill boundaries.
+
+    Under *virtual* spill, data placement depends only on the split medians
+    -- not on the spill boundaries -- so indices built once can be queried
+    under several ``alpha`` values by swapping the segmenter.  This is how
+    the Table 7 spill sweep reuses builds.
+
+    The new segmenter must have the same segment count; both the new and
+    existing configuration must use virtual spill.
+    """
+    if index.config.spill_mode != "virtual":
+        raise ValueError("swap_segmenter requires a virtual-spill index")
+    if segmenter.num_segments != index.config.num_segments:
+        raise ValueError(
+            f"segmenter has {segmenter.num_segments} segments, index has "
+            f"{index.config.num_segments}"
+        )
+    shards = [
+        ShardIndex(shard.shard_id, shard.segments, segmenter)
+        for shard in index.shards
+    ]
+    return LannsIndex(index.config, shards, segmenter)

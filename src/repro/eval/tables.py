@@ -1,0 +1,87 @@
+"""Paper-style result tables.
+
+Every benchmark renders its rows with :func:`format_table` and persists
+them with :func:`write_result_table` to ``benchmarks/results/<name>.txt``
+(plus a machine-readable ``.json`` next to it), so a full
+``pytest benchmarks/ --benchmark-only`` run leaves the reproduced tables
+on disk for comparison against the paper.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Mapping, Sequence
+
+
+def _render_cell(value) -> str:
+    if isinstance(value, float):
+        if value != value:  # NaN
+            return "-"
+        if abs(value) >= 1000:
+            return f"{value:.0f}"
+        if abs(value) >= 10:
+            return f"{value:.1f}"
+        return f"{value:.4f}".rstrip("0").rstrip(".") or "0"
+    if value is None:
+        return "-"
+    return str(value)
+
+
+def format_table(
+    rows: Sequence[Mapping],
+    *,
+    columns: Sequence[str] | None = None,
+    title: str | None = None,
+) -> str:
+    """Render dict rows as an aligned, boxless text table."""
+    if not rows:
+        return (title + "\n" if title else "") + "(no rows)"
+    if columns is None:
+        columns = list(rows[0].keys())
+    rendered = [
+        [_render_cell(row.get(column)) for column in columns] for row in rows
+    ]
+    widths = [
+        max(len(str(column)), *(len(line[i]) for line in rendered))
+        for i, column in enumerate(columns)
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    header = "  ".join(
+        str(column).ljust(widths[i]) for i, column in enumerate(columns)
+    )
+    lines.append(header)
+    lines.append("  ".join("-" * width for width in widths))
+    for line in rendered:
+        lines.append(
+            "  ".join(cell.ljust(widths[i]) for i, cell in enumerate(line))
+        )
+    return "\n".join(lines)
+
+
+def write_result_table(
+    name: str,
+    rows: Sequence[Mapping],
+    *,
+    results_dir: str | Path,
+    title: str | None = None,
+    columns: Sequence[str] | None = None,
+    notes: str | None = None,
+) -> str:
+    """Persist a table as ``<results_dir>/<name>.txt`` + ``.json``.
+
+    Returns the rendered text (also printed by the benchmarks).
+    """
+    results_dir = Path(results_dir)
+    results_dir.mkdir(parents=True, exist_ok=True)
+    text = format_table(rows, columns=columns, title=title)
+    if notes:
+        text = text + "\n\n" + notes.strip() + "\n"
+    (results_dir / f"{name}.txt").write_text(text, encoding="utf-8")
+    payload = {"name": name, "title": title, "rows": [dict(row) for row in rows]}
+    (results_dir / f"{name}.json").write_text(
+        json.dumps(payload, indent=2, default=str), encoding="utf-8"
+    )
+    return text

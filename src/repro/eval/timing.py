@@ -1,0 +1,60 @@
+"""Wall-clock measurement helpers."""
+
+from __future__ import annotations
+
+import time
+from typing import Callable
+
+import numpy as np
+
+
+class Timer:
+    """Context manager measuring elapsed wall time.
+
+    >>> with Timer() as timer:
+    ...     work()
+    >>> timer.elapsed  # seconds
+    """
+
+    def __init__(self) -> None:
+        self.elapsed = 0.0
+        self._start = 0.0
+
+    def __enter__(self) -> "Timer":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.elapsed = time.perf_counter() - self._start
+
+
+def measure_latency(
+    query_fn: Callable[[np.ndarray], object],
+    queries: np.ndarray,
+) -> np.ndarray:
+    """Per-query latencies (seconds) of ``query_fn`` over ``queries``."""
+    queries = np.asarray(queries)
+    latencies = np.empty(queries.shape[0], dtype=np.float64)
+    for row in range(queries.shape[0]):
+        start = time.perf_counter()
+        query_fn(queries[row])
+        latencies[row] = time.perf_counter() - start
+    return latencies
+
+
+def measure_qps(
+    query_fn: Callable[[np.ndarray], object],
+    queries: np.ndarray,
+) -> dict:
+    """Serve ``queries`` one by one; report throughput/latency stats.
+
+    Returns a dict with ``qps``, ``mean_ms``, ``p50_ms``, ``p99_ms``.
+    """
+    latencies = measure_latency(query_fn, queries)
+    total = float(latencies.sum())
+    return {
+        "qps": (len(latencies) / total) if total > 0 else float("inf"),
+        "mean_ms": float(latencies.mean() * 1e3),
+        "p50_ms": float(np.quantile(latencies, 0.50) * 1e3),
+        "p99_ms": float(np.quantile(latencies, 0.99) * 1e3),
+    }

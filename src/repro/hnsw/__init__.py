@@ -1,0 +1,23 @@
+"""Hierarchical Navigable Small World graphs, from scratch.
+
+This subpackage implements the full HNSW algorithm of Malkov & Yashunin
+(TPAMI 2016) that LANNS uses as its core ANN engine (Section 3 of the
+paper): a multi-layer proximity graph with power-law level assignment,
+greedy coarse-to-fine descent, beam search (``SEARCH-LAYER``) on the base
+layer and the neighbor-selection *heuristic* with bidirectional link
+shrinking.
+
+Public API::
+
+    from repro.hnsw import HnswIndex, HnswParams
+
+    index = HnswIndex(dim=128, metric="euclidean", params=HnswParams(M=16))
+    index.add(vectors, ids=my_ids)
+    ids, dists = index.search(query, k=10)
+"""
+
+from repro.hnsw.params import HnswParams
+from repro.hnsw.graph import HnswGraph, VisitedTable
+from repro.hnsw.index import HnswIndex, build_hnsw
+
+__all__ = ["HnswParams", "HnswGraph", "VisitedTable", "HnswIndex", "build_hnsw"]

@@ -1,0 +1,146 @@
+"""Layered adjacency storage for HNSW plus the visited-set machinery.
+
+The graph is deliberately simple: for each node we keep one Python list of
+neighbor ids per level the node participates in.  Python lists beat numpy
+arrays here because neighbor lists are short (<= 2M entries), mutated on
+every insert, and iterated in the hot loop.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import numpy as np
+
+
+class HnswGraph:
+    """The multi-layer proximity graph.
+
+    Attributes
+    ----------
+    levels:
+        ``levels[node]`` is the top level of ``node`` (0 = base layer only).
+    entry_point:
+        Node id used as the global entry point, or ``-1`` when empty.
+    """
+
+    __slots__ = ("_neighbors", "levels", "entry_point", "max_level")
+
+    def __init__(self) -> None:
+        # _neighbors[node][level] -> list[int]
+        self._neighbors: list[list[list[int]]] = []
+        self.levels: list[int] = []
+        self.entry_point: int = -1
+        self.max_level: int = -1
+
+    def __len__(self) -> int:
+        return len(self.levels)
+
+    def add_node(self, level: int) -> int:
+        """Create a node participating in layers ``0..level``; return its id."""
+        if level < 0:
+            raise ValueError(f"level must be non-negative, got {level}")
+        node = len(self.levels)
+        self.levels.append(level)
+        self._neighbors.append([[] for _ in range(level + 1)])
+        return node
+
+    def neighbors(self, node: int, level: int) -> list[int]:
+        """The (mutable) neighbor list of ``node`` at ``level``."""
+        return self._neighbors[node][level]
+
+    def set_neighbors(self, node: int, level: int, neighbor_ids: list[int]) -> None:
+        """Replace the neighbor list of ``node`` at ``level``."""
+        self._neighbors[node][level] = list(neighbor_ids)
+
+    def add_link(self, node: int, level: int, neighbor: int) -> None:
+        """Append a directed edge ``node -> neighbor`` at ``level``."""
+        self._neighbors[node][level].append(neighbor)
+
+    def degree(self, node: int, level: int) -> int:
+        """Out-degree of ``node`` at ``level``."""
+        return len(self._neighbors[node][level])
+
+    # -- invariants (used by tests and sanity checks) ------------------------------
+    def check_invariants(self, max_m: int, max_m0: int) -> None:
+        """Raise ``AssertionError`` if structural invariants are violated.
+
+        Checks: degrees within bounds, neighbors exist at the same level,
+        no self-loops, entry point is at ``max_level``.
+        """
+        n = len(self)
+        if n == 0:
+            assert self.entry_point == -1
+            return
+        assert 0 <= self.entry_point < n
+        assert self.levels[self.entry_point] == self.max_level
+        for node in range(n):
+            for level in range(self.levels[node] + 1):
+                nbrs = self._neighbors[node][level]
+                bound = max_m0 if level == 0 else max_m
+                assert len(nbrs) <= bound, (
+                    f"node {node} level {level} degree {len(nbrs)} > {bound}"
+                )
+                assert node not in nbrs, f"self-loop at node {node}"
+                assert len(set(nbrs)) == len(nbrs), (
+                    f"duplicate neighbors at node {node} level {level}"
+                )
+                for nbr in nbrs:
+                    assert 0 <= nbr < n
+                    assert self.levels[nbr] >= level, (
+                        f"node {node} links to {nbr} above its top level"
+                    )
+
+
+class VisitedTable:
+    """Epoch-based visited marker: O(1) reset between searches.
+
+    A plain ``set`` allocates per search; a boolean array needs an O(n)
+    clear.  Tagging each slot with the epoch of its last visit makes reset a
+    single integer increment.
+
+    The tags live in a plain Python list (not numpy): the search inner
+    loop tests one node at a time, and CPython list indexing is an order
+    of magnitude faster than numpy scalar indexing.  ``search_layer``
+    accesses ``tags`` / ``epoch`` directly for the same reason.
+    """
+
+    __slots__ = ("tags", "epoch")
+
+    def __init__(self, capacity: int = 1024) -> None:
+        self.tags: list[int] = [0] * max(capacity, 1)
+        self.epoch = 0
+
+    def reset(self, capacity: int) -> None:
+        """Start a new search over ``capacity`` nodes."""
+        if capacity > len(self.tags):
+            self.tags.extend([0] * (2 * capacity - len(self.tags)))
+        self.epoch += 1
+
+    def visit(self, node: int) -> None:
+        """Mark ``node`` visited in the current epoch."""
+        self.tags[node] = self.epoch
+
+    def visited(self, node: int) -> bool:
+        """Whether ``node`` was visited in the current epoch."""
+        return self.tags[node] == self.epoch
+
+
+class VisitedPool:
+    """Thread-local pool of :class:`VisitedTable` instances.
+
+    Offline query pipelines search one index from several threads; giving
+    each thread its own table avoids both locking and per-query allocation.
+    """
+
+    def __init__(self) -> None:
+        self._local = threading.local()
+
+    def get(self, capacity: int) -> VisitedTable:
+        """Borrow this thread's table, reset for ``capacity`` nodes."""
+        table = getattr(self._local, "table", None)
+        if table is None:
+            table = VisitedTable(capacity)
+            self._local.table = table
+        table.reset(capacity)
+        return table

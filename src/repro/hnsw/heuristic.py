@@ -1,0 +1,81 @@
+"""Neighbor selection for HNSW link construction.
+
+Implements ``SELECT-NEIGHBORS-HEURISTIC`` (Algorithm 4 of Malkov &
+Yashunin): a candidate ``e`` is linked only if it is closer to the new
+point than to every already-selected neighbor.  This favours edges that
+span *different* directions, which is what keeps the graph navigable in
+clustered data; plain "closest M" selection degrades recall noticeably
+(see ``benchmarks/bench_ablation_heuristic.py``).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.distance.scorer import Scorer
+
+_IDS_DTYPE = np.int64
+
+
+def select_neighbors_simple(
+    candidates: list[tuple[float, int]], m: int
+) -> list[tuple[float, int]]:
+    """Plain closest-``m`` selection (``SELECT-NEIGHBORS-SIMPLE``)."""
+    return sorted(candidates)[:m]
+
+
+def select_neighbors_heuristic(
+    scorer: Scorer,
+    candidates: list[tuple[float, int]],
+    m: int,
+    *,
+    keep_pruned: bool = True,
+) -> list[tuple[float, int]]:
+    """Diversity-aware neighbor selection.
+
+    Parameters
+    ----------
+    scorer:
+        Used to measure candidate-to-candidate distances (reduced space).
+    candidates:
+        ``(reduced_distance_to_query, node)`` pairs, any order.
+    m:
+        Maximum number of neighbors to select.
+    keep_pruned:
+        When ``True``, pad the result with the best discarded candidates
+        (``keepPrunedConnections`` in the paper).
+
+    Returns
+    -------
+    Selected ``(reduced_distance, node)`` pairs, at most ``m``.
+    """
+    if m <= 0:
+        return []
+    ordered = sorted(candidates)
+    if len(ordered) <= m:
+        return ordered
+
+    # One GEMM gives all candidate-to-candidate distances; the selection
+    # loop then runs on plain Python floats (no per-pair numpy calls).
+    ids = np.asarray([node for _, node in ordered], dtype=_IDS_DTYPE)
+    cross = scorer.pairwise_ids(ids).tolist()
+
+    selected: list[tuple[float, int]] = []
+    selected_positions: list[int] = []
+    discarded: list[tuple[float, int]] = []
+    for position, (dist, node) in enumerate(ordered):
+        if len(selected) >= m:
+            discarded.append((dist, node))
+            continue
+        # Keep `node` only if it is closer to the query than to every
+        # already-selected neighbor.
+        row = cross[position]
+        if any(row[other] < dist for other in selected_positions):
+            discarded.append((dist, node))
+        else:
+            selected.append((dist, node))
+            selected_positions.append(position)
+    if keep_pruned and len(selected) < m:
+        selected.extend(discarded[: m - len(selected)])
+        selected.sort()
+    return selected

@@ -1,0 +1,385 @@
+"""The public HNSW index: insertion, search, external ids, persistence.
+
+Implements ``INSERT`` (Algorithm 1) and ``K-NN-SEARCH`` (Algorithm 5) of
+Malkov & Yashunin on top of the primitives in :mod:`repro.hnsw.search` and
+:mod:`repro.hnsw.heuristic`.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.distance.scorer import Scorer
+from repro.errors import IndexNotBuiltError
+from repro.hnsw.graph import HnswGraph, VisitedPool
+from repro.hnsw.heuristic import select_neighbors_heuristic, select_neighbors_simple
+from repro.hnsw.params import HnswParams
+from repro.hnsw.search import descend_to_level, search_layer
+from repro.utils.validation import as_matrix, as_vector
+
+_IDS_DTYPE = np.int64
+
+
+class HnswIndex:
+    """A Hierarchical Navigable Small World index.
+
+    Parameters
+    ----------
+    dim:
+        Vector dimensionality.
+    metric:
+        ``"euclidean"``, ``"cosine"`` or ``"inner_product"``.
+    params:
+        Hyper-parameters; see :class:`~repro.hnsw.params.HnswParams`.
+
+    Notes
+    -----
+    The index is *incremental*: :meth:`add` may be called repeatedly.
+    External ids are arbitrary non-negative integers (defaults to
+    0..n-1 in insertion order); duplicates are rejected.
+    """
+
+    def __init__(
+        self,
+        dim: int,
+        metric: str = "euclidean",
+        params: HnswParams | None = None,
+    ) -> None:
+        self.params = params or HnswParams()
+        self.metric_name = metric if isinstance(metric, str) else metric.name
+        self._scorer = Scorer(metric, dim)
+        self._graph = HnswGraph()
+        self._external_ids: list[int] = []
+        self._id_to_row: dict[int, int] = {}
+        self._rng = np.random.default_rng(self.params.seed)
+        self._visited_pool = VisitedPool()
+
+    # -- introspection -------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._graph)
+
+    @property
+    def dim(self) -> int:
+        """Vector dimensionality."""
+        return self._scorer.dim
+
+    @property
+    def max_level(self) -> int:
+        """Top layer currently present (-1 when empty)."""
+        return self._graph.max_level
+
+    @property
+    def graph(self) -> HnswGraph:
+        """The underlying layered graph (read-mostly; used by tests)."""
+        return self._graph
+
+    @property
+    def external_ids(self) -> np.ndarray:
+        """External ids in internal row order."""
+        return np.asarray(self._external_ids, dtype=_IDS_DTYPE)
+
+    @property
+    def distance_ops(self) -> int:
+        """Full-vector distance evaluations so far (build + search)."""
+        return self._scorer.ops
+
+    def reset_distance_ops(self) -> None:
+        """Zero the distance counter (e.g. after build, before search)."""
+        self._scorer.ops = 0
+
+    def vector(self, external_id: int) -> np.ndarray:
+        """Stored vector for ``external_id`` (normalised for cosine)."""
+        return np.array(self._scorer.data[self._id_to_row[external_id]])
+
+    # -- construction ----------------------------------------------------------------
+    def _draw_level(self) -> int:
+        uniform = float(self._rng.random())
+        # Guard against log(0).
+        uniform = max(uniform, np.finfo(np.float64).tiny)
+        return int(-math.log(uniform) * self.params.effective_ml)
+
+    def add(self, vectors: np.ndarray, ids: np.ndarray | None = None) -> None:
+        """Insert vectors (Algorithm 1 of Malkov & Yashunin).
+
+        Parameters
+        ----------
+        vectors:
+            Shape ``(n, dim)`` or a single ``(dim,)`` vector.
+        ids:
+            Optional external ids, one per vector; must be new.
+        """
+        vectors = as_matrix(vectors, dim=self.dim, name="vectors")
+        n = vectors.shape[0]
+        if ids is None:
+            start = (max(self._id_to_row) + 1) if self._id_to_row else 0
+            ids = np.arange(start, start + n, dtype=_IDS_DTYPE)
+        else:
+            ids = np.asarray(ids, dtype=_IDS_DTYPE)
+            if ids.shape != (n,):
+                raise ValueError(
+                    f"ids has shape {ids.shape}, expected ({n},)"
+                )
+            if len(set(ids.tolist())) != n:
+                raise ValueError("duplicate ids within one add() call")
+        for external_id in ids.tolist():
+            if external_id in self._id_to_row:
+                raise ValueError(f"id {external_id} already present")
+        rows = self._scorer.add(vectors)
+        for row, external_id in zip(rows.tolist(), ids.tolist()):
+            self._external_ids.append(external_id)
+            self._id_to_row[external_id] = row
+            self._insert_row(row)
+
+    def _insert_row(self, row: int) -> None:
+        params = self.params
+        graph = self._graph
+        level = self._draw_level()
+        query = self._scorer.data[row]
+
+        if len(graph) == 0:
+            graph.add_node(level)
+            graph.entry_point = row
+            graph.max_level = level
+            return
+
+        previous_max = graph.max_level
+        graph.add_node(level)
+        visited = self._visited_pool.get(len(graph))
+
+        # Phase 1: greedy descent through layers above `level`.
+        entry, entry_dist = descend_to_level(graph, self._scorer, query, level)
+
+        # Phase 2: beam search and linking from min(level, previous_max) to 0.
+        ef = max(params.ef_construction, 1)
+        entries = [(entry_dist, entry)]
+        for layer in range(min(level, previous_max), -1, -1):
+            visited.reset(len(graph))
+            candidates = search_layer(
+                graph, self._scorer, query, entries, ef, layer, visited
+            )
+            m = params.M
+            if params.use_heuristic:
+                neighbors = select_neighbors_heuristic(
+                    self._scorer,
+                    candidates,
+                    m,
+                    keep_pruned=params.keep_pruned_connections,
+                )
+            else:
+                neighbors = select_neighbors_simple(candidates, m)
+            graph.set_neighbors(row, layer, [node for _, node in neighbors])
+            max_degree = (
+                params.effective_max_m0 if layer == 0 else params.effective_max_m
+            )
+            for dist, neighbor in neighbors:
+                self._link_back(neighbor, row, dist, layer, max_degree)
+            entries = candidates  # reuse the beam as entries for the next layer
+        if level > previous_max:
+            graph.entry_point = row
+            graph.max_level = level
+
+    def _link_back(
+        self, node: int, new_row: int, dist: float, layer: int, max_degree: int
+    ) -> None:
+        """Add the reverse edge ``node -> new_row``, shrinking if over-full."""
+        graph = self._graph
+        neighbors = graph.neighbors(node, layer)
+        if len(neighbors) < max_degree:
+            graph.add_link(node, layer, new_row)
+            return
+        # Over-full: re-select the best `max_degree` among old + new using
+        # the same diversity heuristic, measured from `node`.
+        node_vector = self._scorer.data[node]
+        candidate_ids = neighbors + [new_row]
+        dists = self._scorer.score_ids(
+            node_vector, np.asarray(candidate_ids, dtype=_IDS_DTYPE)
+        )
+        candidates = list(zip(dists.tolist(), candidate_ids))
+        if self.params.use_heuristic:
+            reselected = select_neighbors_heuristic(
+                self._scorer,
+                candidates,
+                max_degree,
+                keep_pruned=self.params.keep_pruned_connections,
+            )
+        else:
+            reselected = select_neighbors_simple(candidates, max_degree)
+        graph.set_neighbors(node, layer, [nbr for _, nbr in reselected])
+
+    # -- search ------------------------------------------------------------------------
+    def search(
+        self, query: np.ndarray, k: int, ef: int | None = None
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Return the approximate ``k`` nearest neighbors of ``query``.
+
+        Parameters
+        ----------
+        query:
+            A single ``(dim,)`` vector.
+        k:
+            Number of neighbors.
+        ef:
+            Beam width; defaults to ``max(params.ef_search, k)``.
+
+        Returns
+        -------
+        (ids, distances):
+            External ids and *true* metric distances, ascending, length
+            ``min(k, len(index))``.
+        """
+        if len(self._graph) == 0:
+            raise IndexNotBuiltError("search on an empty HNSW index")
+        if k <= 0:
+            raise ValueError(f"k must be positive, got {k}")
+        query = as_vector(query, dim=self.dim, name="query")
+        prepared = self._scorer.prepare_query(query)
+        beam = max(ef if ef is not None else self.params.ef_search, k)
+
+        entry, entry_dist = descend_to_level(self._graph, self._scorer, prepared, 0)
+        visited = self._visited_pool.get(len(self._graph))
+        candidates = search_layer(
+            self._graph,
+            self._scorer,
+            prepared,
+            [(entry_dist, entry)],
+            beam,
+            0,
+            visited,
+        )
+        top = candidates[:k]
+        rows = np.asarray([node for _, node in top], dtype=_IDS_DTYPE)
+        reduced = np.asarray([dist for dist, _ in top], dtype=np.float64)
+        ids = self.external_ids[rows]
+        return ids, self._scorer.to_true(reduced)
+
+    def search_batch(
+        self, queries: np.ndarray, k: int, ef: int | None = None
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Search many queries; returns ``(n, k)`` id and distance arrays.
+
+        Rows are padded with id ``-1`` / distance ``inf`` when the index
+        holds fewer than ``k`` points.
+        """
+        queries = as_matrix(queries, dim=self.dim, name="queries")
+        n = queries.shape[0]
+        ids = np.full((n, k), -1, dtype=_IDS_DTYPE)
+        dists = np.full((n, k), np.inf, dtype=np.float64)
+        for i in range(n):
+            found_ids, found_dists = self.search(queries[i], k, ef=ef)
+            count = len(found_ids)
+            ids[i, :count] = found_ids
+            dists[i, :count] = found_dists
+        return ids, dists
+
+    # -- persistence --------------------------------------------------------------------
+    def to_arrays(self) -> dict:
+        """Serialize to a dict of numpy arrays + metadata (npz-friendly).
+
+        Adjacency is stored per level as a CSR-style (indptr, indices)
+        pair over all nodes; nodes below a level contribute empty ranges.
+        """
+        n = len(self._graph)
+        payload: dict = {
+            "format_version": np.asarray(1),
+            "metric": np.asarray(self.metric_name),
+            "dim": np.asarray(self.dim),
+            "count": np.asarray(n),
+            "entry_point": np.asarray(self._graph.entry_point),
+            "max_level": np.asarray(self._graph.max_level),
+            "levels": np.asarray(self._graph.levels, dtype=np.int32),
+            "external_ids": self.external_ids,
+            "vectors": np.array(self._scorer.data),
+            "params_json": np.asarray(_params_to_json(self.params)),
+        }
+        for level in range(self._graph.max_level + 1):
+            indptr = np.zeros(n + 1, dtype=np.int64)
+            chunks: list[list[int]] = []
+            total = 0
+            for node in range(n):
+                if self._graph.levels[node] >= level:
+                    nbrs = self._graph.neighbors(node, level)
+                    chunks.append(nbrs)
+                    total += len(nbrs)
+                indptr[node + 1] = total
+            indices = np.asarray(
+                [nbr for chunk in chunks for nbr in chunk], dtype=np.int64
+            )
+            payload[f"indptr_{level}"] = indptr
+            payload[f"indices_{level}"] = indices
+        return payload
+
+    @classmethod
+    def from_arrays(cls, payload: dict) -> "HnswIndex":
+        """Inverse of :meth:`to_arrays`."""
+        params = _params_from_json(str(payload["params_json"]))
+        index = cls(
+            dim=int(payload["dim"]),
+            metric=str(payload["metric"]),
+            params=params,
+        )
+        n = int(payload["count"])
+        if n == 0:
+            return index
+        levels = np.asarray(payload["levels"], dtype=np.int64)
+        vectors = np.asarray(payload["vectors"], dtype=np.float32)
+        graph = index._graph
+        # Rebuild storage directly (vectors are already normalised for
+        # cosine, so bypass Scorer.add's re-normalisation).
+        index._scorer._grow(n)
+        index._scorer._data[:n] = vectors
+        index._scorer._sq_norms[:n] = np.einsum("ij,ij->i", vectors, vectors)
+        index._scorer._count = n
+        for node in range(n):
+            graph.add_node(int(levels[node]))
+        graph.entry_point = int(payload["entry_point"])
+        graph.max_level = int(payload["max_level"])
+        for level in range(graph.max_level + 1):
+            indptr = np.asarray(payload[f"indptr_{level}"], dtype=np.int64)
+            indices = np.asarray(payload[f"indices_{level}"], dtype=np.int64)
+            for node in range(n):
+                if levels[node] >= level:
+                    start, stop = indptr[node], indptr[node + 1]
+                    graph.set_neighbors(node, level, indices[start:stop].tolist())
+        external = np.asarray(payload["external_ids"], dtype=np.int64)
+        index._external_ids = external.tolist()
+        index._id_to_row = {ext: row for row, ext in enumerate(index._external_ids)}
+        return index
+
+    def save(self, path: str) -> None:
+        """Save to an ``.npz`` file."""
+        np.savez_compressed(path, **self.to_arrays())
+
+    @classmethod
+    def load(cls, path: str) -> "HnswIndex":
+        """Load from an ``.npz`` file written by :meth:`save`."""
+        with np.load(path, allow_pickle=False) as archive:
+            payload = {key: archive[key] for key in archive.files}
+        return cls.from_arrays(payload)
+
+
+def _params_to_json(params: HnswParams) -> str:
+    import json
+
+    return json.dumps(params.to_dict())
+
+
+def _params_from_json(text: str) -> HnswParams:
+    import json
+
+    return HnswParams.from_dict(json.loads(text))
+
+
+def build_hnsw(
+    vectors: np.ndarray,
+    *,
+    ids: np.ndarray | None = None,
+    metric: str = "euclidean",
+    params: HnswParams | None = None,
+) -> HnswIndex:
+    """One-call construction of an :class:`HnswIndex` over ``vectors``."""
+    vectors = as_matrix(vectors, name="vectors")
+    index = HnswIndex(dim=vectors.shape[1], metric=metric, params=params)
+    index.add(vectors, ids=ids)
+    return index

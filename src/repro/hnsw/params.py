@@ -1,0 +1,89 @@
+"""HNSW hyper-parameters.
+
+Names follow the original paper / hnswlib conventions:
+
+- ``M`` -- target out-degree on the upper layers; ``max_m0`` (default
+  ``2 * M``) bounds the base layer, which needs more links because it holds
+  every element.
+- ``ef_construction`` -- beam width used while inserting.
+- ``ef_search`` -- default beam width used while querying; per-query
+  override is available on :meth:`repro.hnsw.HnswIndex.search`.
+- ``ml`` -- level-generation factor; the level of a new point is
+  ``floor(-ln(U) * ml)``.  The paper recommends ``1 / ln(M)``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class HnswParams:
+    """Immutable bundle of HNSW hyper-parameters (validated on creation)."""
+
+    M: int = 16
+    ef_construction: int = 100
+    ef_search: int = 50
+    max_m: int | None = None
+    max_m0: int | None = None
+    ml: float | None = None
+    seed: int = 0
+    extend_candidates: bool = False
+    keep_pruned_connections: bool = True
+    #: Use SELECT-NEIGHBORS-HEURISTIC (True, the paper's choice) or plain
+    #: closest-M selection (False; ablation only -- hurts recall on
+    #: clustered data).
+    use_heuristic: bool = True
+
+    def __post_init__(self) -> None:
+        if self.M < 2:
+            raise ValueError(f"M must be >= 2, got {self.M}")
+        if self.ef_construction < 1:
+            raise ValueError(
+                f"ef_construction must be >= 1, got {self.ef_construction}"
+            )
+        if self.ef_search < 1:
+            raise ValueError(f"ef_search must be >= 1, got {self.ef_search}")
+        if self.max_m is not None and self.max_m < 1:
+            raise ValueError(f"max_m must be >= 1, got {self.max_m}")
+        if self.max_m0 is not None and self.max_m0 < 1:
+            raise ValueError(f"max_m0 must be >= 1, got {self.max_m0}")
+        if self.ml is not None and self.ml <= 0:
+            raise ValueError(f"ml must be positive, got {self.ml}")
+
+    @property
+    def effective_max_m(self) -> int:
+        """Maximum out-degree on layers above the base layer."""
+        return self.max_m if self.max_m is not None else self.M
+
+    @property
+    def effective_max_m0(self) -> int:
+        """Maximum out-degree on the base layer (default ``2 * M``)."""
+        return self.max_m0 if self.max_m0 is not None else 2 * self.M
+
+    @property
+    def effective_ml(self) -> float:
+        """Level-generation factor (default ``1 / ln(M)``)."""
+        return self.ml if self.ml is not None else 1.0 / math.log(self.M)
+
+    def to_dict(self) -> dict:
+        """Plain-dict form used by the serialization layer."""
+        return {
+            "M": self.M,
+            "ef_construction": self.ef_construction,
+            "ef_search": self.ef_search,
+            "max_m": self.max_m,
+            "max_m0": self.max_m0,
+            "ml": self.ml,
+            "seed": self.seed,
+            "extend_candidates": self.extend_candidates,
+            "keep_pruned_connections": self.keep_pruned_connections,
+            "use_heuristic": self.use_heuristic,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "HnswParams":
+        """Inverse of :meth:`to_dict` (ignores unknown keys)."""
+        known = {f for f in cls.__dataclass_fields__}
+        return cls(**{k: v for k, v in payload.items() if k in known})

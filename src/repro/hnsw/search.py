@@ -1,0 +1,136 @@
+"""HNSW search primitives: greedy descent and beam search.
+
+These free functions implement ``SEARCH-LAYER`` (Algorithm 2 of Malkov &
+Yashunin) and the greedy single-entry descent used on the upper layers.
+Both the build path and the query path share them.
+
+Distances are in the scorer's *reduced* space throughout (see
+:mod:`repro.distance.scorer`).
+"""
+
+from __future__ import annotations
+
+import heapq
+
+import numpy as np
+
+from repro.distance.scorer import Scorer
+from repro.hnsw.graph import HnswGraph, VisitedTable
+
+_IDS_DTYPE = np.int64
+
+
+def greedy_descent(
+    graph: HnswGraph,
+    scorer: Scorer,
+    query: np.ndarray,
+    entry_point: int,
+    entry_dist: float,
+    level: int,
+) -> tuple[int, float]:
+    """Greedily walk to the local minimum of ``query`` at ``level``.
+
+    Equivalent to ``SEARCH-LAYER`` with ``ef=1`` but cheaper: it keeps a
+    single current node and moves to any strictly closer neighbor.
+
+    Returns
+    -------
+    (node, reduced_distance) of the local minimum reached.
+    """
+    current, current_dist = entry_point, entry_dist
+    while True:
+        neighbors = graph.neighbors(current, level)
+        if not neighbors:
+            return current, current_dist
+        ids = np.asarray(neighbors, dtype=_IDS_DTYPE)
+        dists = scorer.score_ids(query, ids)
+        best = int(np.argmin(dists))
+        best_dist = float(dists[best])
+        if best_dist >= current_dist:
+            return current, current_dist
+        current, current_dist = neighbors[best], best_dist
+
+
+def search_layer(
+    graph: HnswGraph,
+    scorer: Scorer,
+    query: np.ndarray,
+    entry_points: list[tuple[float, int]],
+    ef: int,
+    level: int,
+    visited: VisitedTable,
+) -> list[tuple[float, int]]:
+    """Beam search at one layer (``SEARCH-LAYER``, Algorithm 2).
+
+    Parameters
+    ----------
+    entry_points:
+        ``(reduced_distance, node)`` seeds; all are marked visited.
+    ef:
+        Beam width: the size of the dynamic result list.
+
+    Returns
+    -------
+    Up to ``ef`` ``(reduced_distance, node)`` pairs sorted ascending.
+    """
+    # candidates: min-heap of frontier nodes; results: max-heap (negated)
+    # of the best `ef` found so far.
+    candidates: list[tuple[float, int]] = []
+    results: list[tuple[float, int]] = []
+    tags, epoch = visited.tags, visited.epoch  # direct access: hot loop
+    for dist, node in entry_points:
+        tags[node] = epoch
+        candidates.append((dist, node))
+        results.append((-dist, node))
+    heapq.heapify(candidates)
+    heapq.heapify(results)
+
+    while candidates:
+        dist, node = heapq.heappop(candidates)
+        if dist > -results[0][0] and len(results) >= ef:
+            break  # frontier is strictly worse than the full beam
+        fresh = [
+            neighbor
+            for neighbor in graph.neighbors(node, level)
+            if tags[neighbor] != epoch
+        ]
+        if not fresh:
+            continue
+        for neighbor in fresh:
+            tags[neighbor] = epoch
+        dists = scorer.score_ids(query, np.asarray(fresh, dtype=_IDS_DTYPE))
+        worst = -results[0][0]
+        full = len(results) >= ef
+        for neighbor_dist, neighbor in zip(dists.tolist(), fresh):
+            if not full:
+                heapq.heappush(results, (-neighbor_dist, neighbor))
+                heapq.heappush(candidates, (neighbor_dist, neighbor))
+                full = len(results) >= ef
+                worst = -results[0][0]
+            elif neighbor_dist < worst:
+                heapq.heapreplace(results, (-neighbor_dist, neighbor))
+                heapq.heappush(candidates, (neighbor_dist, neighbor))
+                worst = -results[0][0]
+    return sorted((-neg_dist, node) for neg_dist, node in results)
+
+
+def descend_to_level(
+    graph: HnswGraph,
+    scorer: Scorer,
+    query: np.ndarray,
+    target_level: int,
+) -> tuple[int, float]:
+    """Greedy-descend from the global entry point down to ``target_level + 1``.
+
+    Returns the entry ``(node, reduced_distance)`` to use at
+    ``target_level``.  The graph must be non-empty.
+    """
+    entry = graph.entry_point
+    entry_dist = float(
+        scorer.score_ids(query, np.asarray([entry], dtype=_IDS_DTYPE))[0]
+    )
+    for level in range(graph.max_level, target_level, -1):
+        entry, entry_dist = greedy_descent(
+            graph, scorer, query, entry, entry_dist, level
+        )
+    return entry, entry_dist

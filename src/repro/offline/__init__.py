@@ -1,0 +1,25 @@
+"""Offline LANNS: the Spark-style batch pipelines of Section 5.
+
+- :func:`~repro.offline.learn.learn_segmenter_job` -- Figure 5.
+- :func:`~repro.offline.indexing.build_index_job` -- Figure 6.
+- :func:`~repro.offline.querying.query_index_job` -- Figure 7, including
+  the two-level merge and HDFS checkpointing of partial results.
+- :func:`~repro.offline.brute_force.brute_force_job` -- Figure 8, the
+  distributed exact search used for ground truth on large datasets.
+"""
+
+from repro.offline.learn import learn_segmenter_job
+from repro.offline.indexing import build_index_job
+from repro.offline.querying import query_index_job
+from repro.offline.brute_force import brute_force_job, exact_top_k
+from repro.offline.recall import recall_at_k, recall_curve
+
+__all__ = [
+    "learn_segmenter_job",
+    "build_index_job",
+    "query_index_job",
+    "brute_force_job",
+    "exact_top_k",
+    "recall_at_k",
+    "recall_curve",
+]

@@ -1,0 +1,269 @@
+"""Distributed querying with two-level merging (Section 5.3, Figure 7).
+
+Pipeline stages (each a cluster stage with its own metrics):
+
+1. ``partial-search`` -- one task per (query-partition, shard, segment)
+   triple that the segmenter routes at least one query to.  Each task
+   loads "its" segment index (executor-cached) and searches its queries
+   with the shard-level ``perShardTopK`` budget.  Partial results are
+   checkpointed to a temporary filesystem path, which is the paper's
+   defence against cascading executor time-outs (Section 5.3.1).
+2. ``segment-merge`` -- one task per (query-partition, shard): merge the
+   segment candidates into shard results (the merge that happens inside a
+   server node in the online system).
+3. ``shard-merge`` -- one task per query-partition: merge shard results
+   into the final topK (the broker-side merge).
+
+The temporary checkpoint path is cleaned as soon as the final merge
+finishes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.merge import merge_segment_results, merge_shard_results
+from repro.core.topk import per_shard_top_k
+from repro.sparklite.cluster import LocalCluster
+from repro.sparklite.metrics import StageMetrics
+from repro.storage.hdfs import LocalHdfs
+from repro.storage.manifest import (
+    hnsw_from_bytes,
+    load_manifest,
+    load_segmenter,
+    segment_file,
+)
+from repro.utils.validation import as_matrix
+
+
+@dataclass
+class QueryJobResult:
+    """Output of :func:`query_index_job`.
+
+    Attributes
+    ----------
+    ids, dists:
+        ``(num_queries, top_k)`` arrays (padded with -1 / inf).
+    stages:
+        Metrics of the three pipeline stages, in execution order; the
+        total simulated makespan of these is what Tables 3 and 6 report.
+    """
+
+    ids: np.ndarray
+    dists: np.ndarray
+    stages: list[StageMetrics]
+
+    def stage(self, name: str) -> StageMetrics:
+        """Metrics of the named stage."""
+        for metrics in self.stages:
+            if metrics.stage == name:
+                return metrics
+        raise KeyError(f"no stage named {name!r}")
+
+    def total_makespan(self, num_executors: int) -> float:
+        """Simulated end-to-end time on ``num_executors`` executors."""
+        return sum(
+            metrics.makespan(num_executors) for metrics in self.stages
+        )
+
+
+class _SegmentCache:
+    """Executor-local cache of deserialized segment indices.
+
+    "The respective HNSW Indices and query partitions are loaded inside
+    the executor"; loading once per (shard, segment) mirrors an executor
+    keeping its assigned index in memory across its task queue.
+    """
+
+    def __init__(self, fs: LocalHdfs, index_path: str) -> None:
+        self._fs = fs
+        self._index_path = index_path
+        self._cache: dict[tuple[int, int], object] = {}
+
+    def get(self, shard: int, segment: int):
+        key = (shard, segment)
+        if key not in self._cache:
+            raw = self._fs.read_bytes(
+                f"{self._index_path}/{segment_file(shard, segment)}"
+            )
+            self._cache[key] = hnsw_from_bytes(raw)
+        return self._cache[key]
+
+
+def query_index_job(
+    cluster: LocalCluster,
+    fs: LocalHdfs,
+    index_path: str,
+    queries: np.ndarray,
+    top_k: int,
+    *,
+    ef: int | None = None,
+    num_query_partitions: int | None = None,
+    checkpoint: bool = True,
+    output_path: str | None = None,
+) -> QueryJobResult:
+    """Run a (large) query set against a persisted index (Figure 7).
+
+    Parameters
+    ----------
+    queries:
+        Query matrix; row index is the query id.
+    top_k:
+        Global neighbor count; each shard is only asked for the
+        ``perShardTopK`` budget (Eq. 5-6).
+    checkpoint:
+        Persist partial results to a temp path (Section 5.3.1).  Keep on
+        when ``cluster.failure_rate > 0`` or stages may time out.
+    output_path:
+        Optional final-results destination (one npz with ids/dists).
+    """
+    if top_k <= 0:
+        raise ValueError(f"top_k must be positive, got {top_k}")
+    manifest = load_manifest(fs, index_path)
+    config = manifest.lanns_config
+    segmenter = load_segmenter(fs, index_path, manifest)
+    queries = as_matrix(queries, dim=manifest.dim, name="queries")
+    num_queries = queries.shape[0]
+    if num_query_partitions is None:
+        num_query_partitions = cluster.num_executors
+    query_parts = [
+        part
+        for part in np.array_split(np.arange(num_queries), num_query_partitions)
+        if part.size
+    ]
+
+    budget = (
+        per_shard_top_k(
+            top_k,
+            config.num_shards,
+            config.topk_confidence,
+            paper_literal=config.paper_literal_probit,
+        )
+        if config.use_per_shard_topk
+        else top_k
+    )
+
+    # Driver-side routing: which segments does each query probe?
+    routes = segmenter.route_query_batch(queries)
+    cache = _SegmentCache(fs, index_path)
+    stages: list[StageMetrics] = []
+
+    # -- stage 1: partial search ------------------------------------------------
+    contexts: list[tuple[int, int, int, np.ndarray]] = []
+    for part_index, part_rows in enumerate(query_parts):
+        for shard in range(config.num_shards):
+            segment_rows: dict[int, list[int]] = {}
+            for row in part_rows.tolist():
+                for segment in routes[row]:
+                    segment_rows.setdefault(segment, []).append(row)
+            for segment, rows in sorted(segment_rows.items()):
+                contexts.append(
+                    (part_index, shard, segment, np.asarray(rows, dtype=np.int64))
+                )
+
+    def make_search_task(context):
+        part_index, shard, segment, rows = context
+
+        def task():
+            index = cache.get(shard, segment)
+            if len(index) == 0:
+                return (part_index, shard, rows, None, None)
+            k = min(budget, len(index))
+            ids, dists = index.search_batch(queries[rows], k, ef=ef)
+            return (part_index, shard, rows, ids, dists)
+
+        return task
+
+    outcome = cluster.run_tasks(
+        [make_search_task(context) for context in contexts],
+        stage="partial-search",
+        checkpoint=checkpoint,
+    )
+    stages.append(outcome.metrics)
+
+    # -- stage 2: segment-level merge per (query partition, shard) ----------------
+    by_part_shard: dict[tuple[int, int], list] = {}
+    for partial in outcome.results:
+        part_index, shard, rows, ids, dists = partial
+        if ids is None:
+            continue
+        by_part_shard.setdefault((part_index, shard), []).append(
+            (rows, ids, dists)
+        )
+
+    def make_segment_merge_task(key):
+        partials = by_part_shard[key]
+
+        def task():
+            merged: dict[int, list[tuple[float, int]]] = {}
+            per_query: dict[int, list] = {}
+            for rows, ids, dists in partials:
+                for position, row in enumerate(rows.tolist()):
+                    found = [
+                        (float(dist), int(item))
+                        for dist, item in zip(dists[position], ids[position])
+                        if item >= 0
+                    ]
+                    per_query.setdefault(row, []).append(found)
+            for row, candidate_lists in per_query.items():
+                merged[row] = merge_segment_results(candidate_lists, budget)
+            return key, merged
+
+        return task
+
+    part_shard_keys = sorted(by_part_shard)
+    outcome = cluster.run_tasks(
+        [make_segment_merge_task(key) for key in part_shard_keys],
+        stage="segment-merge",
+        checkpoint=checkpoint,
+    )
+    stages.append(outcome.metrics)
+
+    # -- stage 3: shard-level merge per query partition ----------------------------
+    by_part: dict[int, list[dict]] = {}
+    for (part_index, _shard), merged in outcome.results:
+        by_part.setdefault(part_index, []).append(merged)
+
+    def make_shard_merge_task(part_index):
+        shard_maps = by_part.get(part_index, [])
+
+        def task():
+            final: dict[int, list[tuple[float, int]]] = {}
+            rows = set()
+            for shard_map in shard_maps:
+                rows.update(shard_map)
+            for row in rows:
+                shard_lists = [
+                    shard_map[row]
+                    for shard_map in shard_maps
+                    if row in shard_map
+                ]
+                final[row] = merge_shard_results(shard_lists, top_k)
+            return final
+
+        return task
+
+    outcome = cluster.run_tasks(
+        [make_shard_merge_task(part_index) for part_index in range(len(query_parts))],
+        stage="shard-merge",
+        checkpoint=checkpoint,
+    )
+    stages.append(outcome.metrics)
+
+    # -- assemble ---------------------------------------------------------------------
+    ids = np.full((num_queries, top_k), -1, dtype=np.int64)
+    dists = np.full((num_queries, top_k), np.inf, dtype=np.float64)
+    for final in outcome.results:
+        for row, results in final.items():
+            for rank, (dist, item) in enumerate(results[:top_k]):
+                ids[row, rank] = item
+                dists[row, rank] = dist
+    if output_path is not None:
+        import io
+
+        buffer = io.BytesIO()
+        np.savez_compressed(buffer, ids=ids, dists=dists)
+        fs.write_bytes(output_path, buffer.getvalue())
+    return QueryJobResult(ids=ids, dists=dists, stages=stages)

@@ -1,0 +1,59 @@
+"""Recall computation.
+
+"The recall, measured as the fraction of true k-nearest neighbors
+returned in a result set of size k" (Section 1).  Computed per query
+against exact ground truth and averaged.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def recall_at_k(
+    result_ids: np.ndarray, truth_ids: np.ndarray, k: int
+) -> float:
+    """Mean fraction of the true top-``k`` present in the results' top-``k``.
+
+    Parameters
+    ----------
+    result_ids:
+        ``(num_queries, >=k)`` approximate ids (may contain -1 padding).
+    truth_ids:
+        ``(num_queries, >=k)`` exact ids.
+    k:
+        Cutoff; both arrays must have at least ``k`` columns.
+    """
+    result_ids = np.asarray(result_ids)
+    truth_ids = np.asarray(truth_ids)
+    if result_ids.ndim != 2 or truth_ids.ndim != 2:
+        raise ValueError("result_ids and truth_ids must be 2-D")
+    if result_ids.shape[0] != truth_ids.shape[0]:
+        raise ValueError(
+            f"query counts differ: {result_ids.shape[0]} vs "
+            f"{truth_ids.shape[0]}"
+        )
+    if k <= 0:
+        raise ValueError(f"k must be positive, got {k}")
+    if result_ids.shape[1] < k or truth_ids.shape[1] < k:
+        raise ValueError(
+            f"need at least k={k} columns, got {result_ids.shape[1]} and "
+            f"{truth_ids.shape[1]}"
+        )
+    total = 0.0
+    for found, truth in zip(result_ids[:, :k], truth_ids[:, :k]):
+        valid_truth = {int(item) for item in truth if item >= 0}
+        if not valid_truth:
+            continue
+        found_set = {int(item) for item in found if item >= 0}
+        total += len(found_set & valid_truth) / len(valid_truth)
+    return total / result_ids.shape[0]
+
+
+def recall_curve(
+    result_ids: np.ndarray,
+    truth_ids: np.ndarray,
+    ks: list[int],
+) -> dict[int, float]:
+    """Recall at several cutoffs, e.g. the R@1..R@100 columns of Table 1."""
+    return {k: recall_at_k(result_ids, truth_ids, k) for k in ks}

@@ -1,0 +1,126 @@
+"""The broker: query fan-out, perShardTopK, and the final merge.
+
+"The final merge happens at the broker or the client. The broker is also
+responsible for calculating and passing the perShardTopK to each shard."
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ThreadPoolExecutor
+
+import numpy as np
+
+from repro.core.config import LannsConfig
+from repro.core.merge import merge_shard_results
+from repro.core.topk import per_shard_top_k
+from repro.online.searcher import SearcherNode
+from repro.utils.validation import as_vector
+
+
+class Broker:
+    """Fans queries out to a searcher fleet and merges shard results.
+
+    Parameters
+    ----------
+    searchers:
+        One searcher per shard, in shard order.
+    config:
+        The index configuration (for perShardTopK parameters).
+    parallel_fanout:
+        Issue shard requests on a thread pool (as a real broker would);
+        sequential when ``False`` (deterministic timing for tests).
+    """
+
+    def __init__(
+        self,
+        searchers: list[SearcherNode],
+        config: LannsConfig,
+        *,
+        parallel_fanout: bool = False,
+    ) -> None:
+        if len(searchers) != config.num_shards:
+            raise ValueError(
+                f"{len(searchers)} searchers for {config.num_shards} shards"
+            )
+        for shard_id, searcher in enumerate(searchers):
+            if searcher.shard_id != shard_id:
+                raise ValueError(
+                    f"searcher at position {shard_id} serves shard "
+                    f"{searcher.shard_id}; searchers must be in shard order"
+                )
+        self.searchers = searchers
+        self.config = config
+        self.parallel_fanout = bool(parallel_fanout)
+
+    def per_shard_budget(self, top_k: int) -> int:
+        """The perShardTopK this broker passes to each searcher."""
+        if not self.config.use_per_shard_topk:
+            return int(top_k)
+        return per_shard_top_k(
+            top_k,
+            self.config.num_shards,
+            self.config.topk_confidence,
+            paper_literal=self.config.paper_literal_probit,
+        )
+
+    def query(
+        self,
+        index_name: str,
+        query: np.ndarray,
+        top_k: int,
+        *,
+        ef: int | None = None,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Serve one query end to end.
+
+        Returns
+        -------
+        (ids, distances): ascending by distance, at most ``top_k``.
+        """
+        if top_k <= 0:
+            raise ValueError(f"top_k must be positive, got {top_k}")
+        query = as_vector(query, name="query")
+        budget = self.per_shard_budget(top_k)
+        if self.parallel_fanout and len(self.searchers) > 1:
+            with ThreadPoolExecutor(
+                max_workers=len(self.searchers)
+            ) as pool:
+                futures = [
+                    pool.submit(
+                        searcher.search, index_name, query, budget, ef=ef
+                    )
+                    for searcher in self.searchers
+                ]
+                shard_results = [future.result() for future in futures]
+        else:
+            shard_results = [
+                searcher.search(index_name, query, budget, ef=ef)
+                for searcher in self.searchers
+            ]
+        merged = merge_shard_results(shard_results, top_k)
+        ids = np.asarray([item for _, item in merged], dtype=np.int64)
+        dists = np.asarray([dist for dist, _ in merged], dtype=np.float64)
+        return ids, dists
+
+    def query_batch(
+        self,
+        index_name: str,
+        queries: np.ndarray,
+        top_k: int,
+        *,
+        ef: int | None = None,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Serve many queries; rows padded with id -1 / distance inf."""
+        queries = np.asarray(queries, dtype=np.float32)
+        if queries.ndim == 1:
+            queries = queries[np.newaxis, :]
+        n = queries.shape[0]
+        ids = np.full((n, top_k), -1, dtype=np.int64)
+        dists = np.full((n, top_k), np.inf, dtype=np.float64)
+        for row in range(n):
+            found_ids, found_dists = self.query(
+                index_name, queries[row], top_k, ef=ef
+            )
+            ids[row, : len(found_ids)] = found_ids
+            dists[row, : len(found_dists)] = found_dists
+        return ids, dists

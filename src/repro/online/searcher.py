@@ -1,0 +1,88 @@
+"""Searcher nodes: the per-shard serving processes.
+
+"The first stage of the two-step merging, i.e., the shard level merging,
+happens at the machine where the shard is hosted (called a 'searcher')."
+
+A searcher can host the same shard of *several* indices ("to enable
+online A/B tests between different modeling techniques"), keyed by index
+name.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.index import ShardIndex
+
+
+class SearcherNode:
+    """One serving machine hosting shard ``shard_id`` of named indices."""
+
+    def __init__(self, shard_id: int) -> None:
+        self.shard_id = int(shard_id)
+        self._indices: dict[str, ShardIndex] = {}
+
+    # -- hosting -----------------------------------------------------------------
+    def host(self, index_name: str, shard: ShardIndex) -> None:
+        """Attach one index's shard under ``index_name``."""
+        if shard.shard_id != self.shard_id:
+            raise ValueError(
+                f"searcher {self.shard_id} cannot host shard "
+                f"{shard.shard_id}"
+            )
+        if index_name in self._indices:
+            raise ValueError(
+                f"searcher {self.shard_id} already hosts index "
+                f"{index_name!r}"
+            )
+        self._indices[index_name] = shard
+
+    def unhost(self, index_name: str) -> None:
+        """Detach a hosted index (e.g. at the end of an A/B test)."""
+        if index_name not in self._indices:
+            raise KeyError(f"index {index_name!r} is not hosted here")
+        del self._indices[index_name]
+
+    @property
+    def hosted_indices(self) -> list[str]:
+        """Names of the indices this searcher serves."""
+        return sorted(self._indices)
+
+    def memory_vectors(self) -> int:
+        """Total stored vectors across hosted indices.
+
+        "The majority of storage needed in the online node comes from the
+        vector representations" -- this is the proxy the capacity tests
+        use.
+        """
+        return sum(len(shard) for shard in self._indices.values())
+
+    # -- serving --------------------------------------------------------------------
+    def search(
+        self,
+        index_name: str,
+        query: np.ndarray,
+        k: int,
+        *,
+        ef: int | None = None,
+    ) -> list[tuple[float, int]]:
+        """Serve one query against the hosted shard of ``index_name``.
+
+        Performs segment routing + the in-node (level 1) merge; returns at
+        most ``k`` ``(distance, id)`` pairs -- the ``perShardTopK`` budget
+        the broker asked for.
+        """
+        try:
+            shard = self._indices[index_name]
+        except KeyError:
+            raise KeyError(
+                f"searcher {self.shard_id} does not host index "
+                f"{index_name!r} (hosted: {self.hosted_indices})"
+            ) from None
+        return shard.search(query, k, ef=ef)
+
+    def __repr__(self) -> str:
+        return (
+            f"SearcherNode(shard_id={self.shard_id}, "
+            f"indices={self.hosted_indices})"
+        )

@@ -1,0 +1,155 @@
+"""End-to-end online service: deploy exported indices and serve queries.
+
+Reproduces the Figure 9 topology: the offline Spark job exports the
+serialized index to HDFS; each searcher node deserializes *its shard*
+"using the persisted metadata with minimal additional configuration"; a
+broker fronts the fleet.  Deploying a second index under another name
+onto the same fleet models the paper's online A/B test construct.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.core.config import LannsConfig
+from repro.errors import MetadataMismatchError
+from repro.online.broker import Broker
+from repro.online.searcher import SearcherNode
+from repro.storage.hdfs import LocalHdfs
+from repro.storage.manifest import load_manifest, load_segmenter, load_shard
+
+
+class OnlineService:
+    """A searcher fleet plus broker, loaded from exported indices.
+
+    Create empty, then :meth:`deploy` one or more indices.  All deployed
+    indices must agree on ``num_shards`` (they share the fleet).
+    """
+
+    def __init__(self, *, parallel_fanout: bool = False) -> None:
+        self.searchers: list[SearcherNode] = []
+        self.brokers: dict[str, Broker] = {}
+        self.configs: dict[str, LannsConfig] = {}
+        self.parallel_fanout = bool(parallel_fanout)
+
+    @property
+    def deployed_indices(self) -> list[str]:
+        """Names of deployed indices."""
+        return sorted(self.brokers)
+
+    def deploy(
+        self,
+        fs: LocalHdfs,
+        index_path: str,
+        *,
+        index_name: str = "default",
+        expected_config: LannsConfig | None = None,
+    ) -> Broker:
+        """Load an exported index onto the fleet under ``index_name``.
+
+        Parameters
+        ----------
+        expected_config:
+            Optional guard: raise
+            :class:`~repro.errors.MetadataMismatchError` when the
+            persisted configuration differs (offline/online drift).
+
+        Returns
+        -------
+        The broker serving ``index_name``.
+        """
+        if index_name in self.brokers:
+            raise ValueError(f"index {index_name!r} is already deployed")
+        manifest = load_manifest(fs, index_path)
+        config = manifest.lanns_config
+        if expected_config is not None and expected_config != config:
+            raise MetadataMismatchError(
+                "deploy-time configuration mismatch:\n  persisted: "
+                f"{config}\n  expected:  {expected_config}"
+            )
+        if self.searchers and len(self.searchers) != config.num_shards:
+            raise ValueError(
+                f"fleet has {len(self.searchers)} searchers but index "
+                f"{index_name!r} needs {config.num_shards}"
+            )
+        if not self.searchers:
+            self.searchers = [
+                SearcherNode(shard_id)
+                for shard_id in range(config.num_shards)
+            ]
+        segmenter = load_segmenter(fs, index_path, manifest)
+        for shard_id, searcher in enumerate(self.searchers):
+            shard = load_shard(
+                fs,
+                index_path,
+                shard_id,
+                manifest=manifest,
+                segmenter=segmenter,
+            )
+            searcher.host(index_name, shard)
+        broker = Broker(
+            self.searchers, config, parallel_fanout=self.parallel_fanout
+        )
+        self.brokers[index_name] = broker
+        self.configs[index_name] = config
+        return broker
+
+    def undeploy(self, index_name: str) -> None:
+        """Remove an index from every searcher (end of an A/B test)."""
+        if index_name not in self.brokers:
+            raise KeyError(f"index {index_name!r} is not deployed")
+        for searcher in self.searchers:
+            searcher.unhost(index_name)
+        del self.brokers[index_name]
+        del self.configs[index_name]
+
+    # -- serving -----------------------------------------------------------------------
+    def query(
+        self,
+        query: np.ndarray,
+        top_k: int,
+        *,
+        index_name: str = "default",
+        ef: int | None = None,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Serve one query against a deployed index."""
+        try:
+            broker = self.brokers[index_name]
+        except KeyError:
+            raise KeyError(
+                f"index {index_name!r} is not deployed "
+                f"(deployed: {self.deployed_indices})"
+            ) from None
+        return broker.query(index_name, query, top_k, ef=ef)
+
+    def measure_qps(
+        self,
+        queries: np.ndarray,
+        top_k: int,
+        *,
+        index_name: str = "default",
+        ef: int | None = None,
+    ) -> dict:
+        """Serve a query batch and report throughput / latency stats.
+
+        Returns a dict with ``qps``, ``mean_latency_ms``,
+        ``p99_latency_ms`` (the paper reports p99) and ``count``.
+        """
+        queries = np.asarray(queries, dtype=np.float32)
+        if queries.ndim == 1:
+            queries = queries[np.newaxis, :]
+        latencies = np.empty(queries.shape[0], dtype=np.float64)
+        begin = time.perf_counter()
+        for row in range(queries.shape[0]):
+            start = time.perf_counter()
+            self.query(queries[row], top_k, index_name=index_name, ef=ef)
+            latencies[row] = time.perf_counter() - start
+        elapsed = time.perf_counter() - begin
+        return {
+            "count": int(queries.shape[0]),
+            "qps": queries.shape[0] / elapsed if elapsed > 0 else float("inf"),
+            "mean_latency_ms": float(latencies.mean() * 1e3),
+            "p99_latency_ms": float(np.quantile(latencies, 0.99) * 1e3),
+        }

@@ -1,0 +1,147 @@
+"""Approximate Principal Direction segmenter (APD, Section 4.3.3).
+
+The paper approximates the sparsest cut of the similarity graph
+``A = D D^T`` (assuming ``D`` is "almost regular") by the second-largest
+*right* singular vector of the data matrix ``D``, and splits on the
+projections ``U = D.h`` exactly like the RH segmenter.
+
+We compute the singular vector matrix-free: power iteration on the Gram
+operator ``G w = D^T (D w)`` costs ``O(n d)`` per step, never forms the
+``d x d`` (let alone ``n x n``) matrix, and is deterministic given the
+seed.  The second vector is obtained by Gram-Schmidt deflation against the
+first at every step.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.segmenters.base import register_segmenter
+from repro.segmenters.hyperplane import HyperplaneTreeSegmenter
+from repro.utils.rng import resolve_rng
+from repro.utils.validation import as_matrix
+
+#: Stop power iteration when successive vectors differ by less than this.
+_TOLERANCE = 1e-7
+
+
+def _power_iteration(
+    data: np.ndarray,
+    rng: np.random.Generator,
+    *,
+    orthogonal_to: np.ndarray | None = None,
+    iterations: int = 100,
+) -> np.ndarray:
+    """Leading right-singular direction of ``data`` via power iteration.
+
+    When ``orthogonal_to`` is given, the iterate is re-orthogonalised
+    against it each step, yielding the next singular direction.
+    """
+    dim = data.shape[1]
+    vector = rng.standard_normal(dim)
+    if orthogonal_to is not None:
+        vector -= (vector @ orthogonal_to) * orthogonal_to
+    norm = float(np.linalg.norm(vector))
+    vector = vector / norm if norm > 0 else np.eye(dim, dtype=np.float64)[0]
+    for _ in range(iterations):
+        # G v = D^T (D v); O(n d) and never materialises D^T D.
+        step = data.T @ (data @ vector)
+        if orthogonal_to is not None:
+            step -= (step @ orthogonal_to) * orthogonal_to
+        norm = float(np.linalg.norm(step))
+        if norm == 0.0:
+            # Data has rank < 2 along this direction; any orthogonal unit
+            # vector is a valid (degenerate) answer.
+            break
+        step /= norm
+        if float(np.linalg.norm(step - vector)) < _TOLERANCE:
+            vector = step
+            break
+        vector = step
+    return vector
+
+
+def second_singular_vector(
+    data: np.ndarray,
+    *,
+    seed: int | np.random.Generator | None = 0,
+    iterations: int = 100,
+) -> np.ndarray:
+    """The second-largest right singular vector of ``data`` (unit norm).
+
+    This is the hyperplane the APD segmenter splits on.  Deterministic for
+    a fixed seed; validated against ``numpy.linalg.svd`` in the tests.
+    """
+    data = as_matrix(data, name="data").astype(np.float64)
+    if data.shape[1] < 2:
+        raise ValueError("APD needs at least 2 dimensions")
+    rng = resolve_rng(seed)
+    first = _power_iteration(data, rng, iterations=iterations)
+    second = _power_iteration(
+        data, rng, orthogonal_to=first, iterations=iterations
+    )
+    return second
+
+
+@register_segmenter
+class ApdSegmenter(HyperplaneTreeSegmenter):
+    """APD: hyperplanes from the second right singular vector per node.
+
+    Parameters are those of :class:`HyperplaneTreeSegmenter` plus
+    ``iterations`` controlling the power-iteration budget.
+    """
+
+    kind = "apd"
+
+    def __init__(
+        self,
+        num_segments: int,
+        *,
+        alpha: float = 0.15,
+        spill_mode: str = "virtual",
+        seed: int = 0,
+        iterations: int = 100,
+    ) -> None:
+        super().__init__(
+            num_segments, alpha=alpha, spill_mode=spill_mode, seed=seed
+        )
+        if iterations < 1:
+            raise ValueError(f"iterations must be >= 1, got {iterations}")
+        self.iterations = int(iterations)
+
+    def _make_hyperplane(
+        self, subset: np.ndarray, rng: np.random.Generator
+    ) -> np.ndarray:
+        return second_singular_vector(
+            subset, seed=rng, iterations=self.iterations
+        ).astype(np.float32)
+
+    def to_dict(self) -> dict:
+        payload = super().to_dict()
+        payload["iterations"] = self.iterations
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "ApdSegmenter":
+        segmenter = cls(
+            int(payload["num_segments"]),
+            alpha=float(payload["alpha"]),
+            spill_mode=str(payload["spill_mode"]),
+            seed=int(payload["seed"]),
+            iterations=int(payload.get("iterations", 100)),
+        )
+        from repro.segmenters.hyperplane import HyperplaneNode
+
+        segmenter.dim = None if payload["dim"] is None else int(payload["dim"])
+        segmenter._nodes = [
+            None
+            if node is None
+            else HyperplaneNode(
+                np.asarray(node["hyperplane"], dtype=np.float32),
+                float(node["split"]),
+                float(node["lo"]),
+                float(node["hi"]),
+            )
+            for node in payload["nodes"]
+        ]
+        return segmenter

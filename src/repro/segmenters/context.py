@@ -1,0 +1,125 @@
+"""Context-based segmentation: the paper's Section 8 future-work feature.
+
+"As future work, our approach of using segments can be explored for
+other purposes as well. For example, for context-based searches, we can
+build a segment per context and perform search in one or a few segments
+based on the contexts selected at query time."
+
+A :class:`ContextSegmenter` assigns each document to the segment of its
+*context label* (e.g. language, country, content type).  Unlike the
+geometric segmenters it cannot route from the vector alone, so routing
+uses a side-channel: documents are ingested with labels via
+:meth:`route_labels`, and queries carry an explicit set of requested
+contexts.  The LANNS machinery (per-segment HNSW builds, in-shard
+merging, perShardTopK) is reused unchanged through
+:class:`ContextualLannsIndex` in :mod:`repro.core.contextual`.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.segmenters.base import Segmenter, register_segmenter
+
+
+@register_segmenter
+class ContextSegmenter(Segmenter):
+    """One segment per context label.
+
+    Parameters
+    ----------
+    contexts:
+        The ordered list of known context labels; segment ``i`` stores
+        the documents of ``contexts[i]``.
+    default_context:
+        Where to route documents with an unknown label; ``None`` (the
+        default) makes unknown labels an error.
+    """
+
+    kind = "context"
+
+    def __init__(
+        self,
+        contexts: Sequence[str],
+        *,
+        default_context: str | None = None,
+    ) -> None:
+        labels = [str(context) for context in contexts]
+        if not labels:
+            raise ValueError("contexts must be non-empty")
+        if len(set(labels)) != len(labels):
+            raise ValueError(f"duplicate context labels in {labels}")
+        super().__init__(len(labels))
+        self.contexts = labels
+        self._segment_of = {label: i for i, label in enumerate(labels)}
+        if default_context is not None and default_context not in self._segment_of:
+            raise ValueError(
+                f"default_context {default_context!r} is not a known context"
+            )
+        self.default_context = default_context
+
+    # -- lifecycle ---------------------------------------------------------------
+    @property
+    def is_fitted(self) -> bool:
+        """Label routing needs no training."""
+        return True
+
+    def fit(self, data: np.ndarray) -> "ContextSegmenter":
+        """No-op: contexts are metadata, not learned from vectors."""
+        return self
+
+    # -- label routing (the real interface) ----------------------------------------
+    def segment_of(self, context: str) -> int:
+        """Segment id of one context label."""
+        segment = self._segment_of.get(str(context))
+        if segment is None:
+            if self.default_context is None:
+                raise KeyError(
+                    f"unknown context {context!r}; known: {self.contexts}"
+                )
+            segment = self._segment_of[self.default_context]
+        return segment
+
+    def route_labels(self, labels: Iterable[str]) -> list[tuple[int, ...]]:
+        """Data routing for a sequence of per-document context labels."""
+        return [(self.segment_of(label),) for label in labels]
+
+    def route_contexts(self, contexts: Iterable[str]) -> tuple[int, ...]:
+        """Query routing for an explicit set of requested contexts."""
+        segments = sorted({self.segment_of(context) for context in contexts})
+        if not segments:
+            raise ValueError("a contextual query needs at least one context")
+        return tuple(segments)
+
+    # -- vector routing (Segmenter interface) ----------------------------------------
+    def route_data_batch(self, data: np.ndarray) -> list[tuple[int, ...]]:
+        """Vectors carry no context; explicit labels are required."""
+        raise TypeError(
+            "ContextSegmenter cannot route from vectors; ingest with "
+            "per-document labels via ContextualLannsIndex / route_labels"
+        )
+
+    def route_query_batch(self, queries: np.ndarray) -> list[tuple[int, ...]]:
+        """Without requested contexts, a query probes every segment."""
+        queries = np.asarray(queries, dtype=np.float32)
+        count = queries.shape[0] if queries.ndim == 2 else 1
+        everywhere = tuple(range(self.num_segments))
+        return [everywhere] * count
+
+    # -- persistence ---------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        return {
+            "kind": self.kind,
+            "num_segments": self.num_segments,
+            "contexts": list(self.contexts),
+            "default_context": self.default_context,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "ContextSegmenter":
+        return cls(
+            payload["contexts"],
+            default_context=payload.get("default_context"),
+        )

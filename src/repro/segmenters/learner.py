@@ -1,0 +1,90 @@
+"""Segmenter learning (Section 5.1, Figure 5).
+
+LANNS pre-learns a single segmenter on a uniform subsample of the dataset
+and shares it across all shards ("since the data distribution in our
+shards is uniform").  :func:`learn_segmenter` reproduces that pipeline:
+subsample -> fit -> return a routing-ready segmenter.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.segmenters.apd import ApdSegmenter
+from repro.segmenters.base import Segmenter
+from repro.segmenters.random_segmenter import RandomSegmenter
+from repro.segmenters.rh import RandomHyperplaneSegmenter
+from repro.utils.rng import resolve_rng
+from repro.utils.validation import as_matrix
+
+#: Paper default: segmenters are learnt on a 250k-point subsample.
+DEFAULT_SAMPLE_SIZE = 250_000
+
+
+def make_segmenter(
+    kind: str,
+    num_segments: int,
+    *,
+    alpha: float = 0.15,
+    spill_mode: str = "virtual",
+    seed: int = 0,
+) -> Segmenter:
+    """Instantiate an unfitted segmenter by kind name ("rs"/"rh"/"apd")."""
+    if kind == "rs":
+        return RandomSegmenter(num_segments, seed=seed)
+    if kind == "rh":
+        return RandomHyperplaneSegmenter(
+            num_segments, alpha=alpha, spill_mode=spill_mode, seed=seed
+        )
+    if kind == "apd":
+        return ApdSegmenter(
+            num_segments, alpha=alpha, spill_mode=spill_mode, seed=seed
+        )
+    raise ValueError(f"unknown segmenter kind {kind!r} (use rs / rh / apd)")
+
+
+def uniform_subsample(
+    data: np.ndarray,
+    sample_size: int,
+    seed: int | np.random.Generator | None = 0,
+) -> np.ndarray:
+    """Sample ``min(sample_size, n)`` rows uniformly without replacement."""
+    data = as_matrix(data, name="data")
+    if sample_size <= 0:
+        raise ValueError(f"sample_size must be positive, got {sample_size}")
+    n = data.shape[0]
+    if n <= sample_size:
+        return data
+    rng = resolve_rng(seed)
+    rows = rng.choice(n, size=sample_size, replace=False)
+    return data[np.sort(rows)]
+
+
+def learn_segmenter(
+    data: np.ndarray,
+    kind: str,
+    num_segments: int,
+    *,
+    alpha: float = 0.15,
+    spill_mode: str = "virtual",
+    sample_size: int = DEFAULT_SAMPLE_SIZE,
+    seed: int = 0,
+) -> Segmenter:
+    """Learn a segmenter on a uniform subsample of ``data`` (Figure 5).
+
+    Parameters mirror the paper: ``alpha`` is the spill fraction,
+    ``sample_size`` the subsample budget (paper uses 250k).
+
+    Returns
+    -------
+    A fitted, routing-ready :class:`~repro.segmenters.base.Segmenter`.
+    """
+    segmenter = make_segmenter(
+        kind,
+        num_segments,
+        alpha=alpha,
+        spill_mode=spill_mode,
+        seed=seed,
+    )
+    sample = uniform_subsample(data, sample_size, seed=seed)
+    return segmenter.fit(sample)

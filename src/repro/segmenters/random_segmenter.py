@@ -1,0 +1,75 @@
+"""The Random Segmenter (RS) of Section 4.3.1.
+
+"The segmenter is essentially a modulo segmenter. At indexing time, for
+each document, it randomly selects a segment where it should be routed.
+Since this type of segmenter has no guarantees about the locality of the
+data, a query vector would be routed to all segments."
+
+Routing is made deterministic by hashing a per-point draw from a seeded
+stream, so rebuilding the same dataset yields the same layout.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.segmenters.base import Segmenter, register_segmenter
+from repro.utils.validation import as_matrix
+
+
+@register_segmenter
+class RandomSegmenter(Segmenter):
+    """Data-independent segmenter; queries probe every segment.
+
+    Parameters
+    ----------
+    num_segments:
+        Number of segments per shard.
+    seed:
+        Seed of the assignment stream.
+    """
+
+    kind = "rs"
+
+    def __init__(self, num_segments: int, seed: int = 0) -> None:
+        super().__init__(num_segments)
+        self.seed = int(seed)
+        self._counter = 0
+
+    @property
+    def is_fitted(self) -> bool:
+        """RS needs no learning; always ready."""
+        return True
+
+    def fit(self, data: np.ndarray) -> "RandomSegmenter":
+        """No-op: RS is data-independent."""
+        return self
+
+    def route_data_batch(self, data: np.ndarray) -> list[tuple[int, ...]]:
+        data = as_matrix(data)
+        n = data.shape[0]
+        # A fresh, seeded stream per call position keeps assignment uniform
+        # and reproducible regardless of batch sizes.
+        rng = np.random.default_rng((self.seed, self._counter))
+        self._counter += 1
+        segments = rng.integers(0, self.num_segments, size=n)
+        return [(int(segment),) for segment in segments]
+
+    def route_query_batch(self, queries: np.ndarray) -> list[tuple[int, ...]]:
+        queries = as_matrix(queries)
+        everywhere = tuple(range(self.num_segments))
+        return [everywhere for _ in range(queries.shape[0])]
+
+    def to_dict(self) -> dict:
+        return {
+            "kind": self.kind,
+            "num_segments": self.num_segments,
+            "seed": self.seed,
+            "counter": self._counter,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "RandomSegmenter":
+        segmenter = cls(int(payload["num_segments"]), seed=int(payload["seed"]))
+        segmenter._counter = int(payload.get("counter", 0))
+        return segmenter

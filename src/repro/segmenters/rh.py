@@ -1,0 +1,33 @@
+"""Random Hyperplane segmenter (RH, Section 4.3.2).
+
+"At each internal node of our segmenter, we first generate a random
+hyperplane from the unit sphere and project all points on this generated
+hyperplane. We then perform a median split based on these projected
+values."
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.segmenters.base import register_segmenter
+from repro.segmenters.hyperplane import HyperplaneTreeSegmenter
+
+
+@register_segmenter
+class RandomHyperplaneSegmenter(HyperplaneTreeSegmenter):
+    """RH: tree of uniformly random unit hyperplanes with median splits."""
+
+    kind = "rh"
+
+    def _make_hyperplane(
+        self, subset: np.ndarray, rng: np.random.Generator
+    ) -> np.ndarray:
+        # A standard normal vector normalised to unit length is uniform on
+        # the sphere.
+        direction = rng.standard_normal(subset.shape[1])
+        norm = float(np.linalg.norm(direction))
+        if norm == 0.0:  # pragma: no cover - probability zero
+            direction[0] = 1.0
+            norm = 1.0
+        return (direction / norm).astype(np.float32)

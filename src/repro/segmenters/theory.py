@@ -1,0 +1,167 @@
+"""Recall-bound theory for spill trees (Section 4.3.2 of the paper).
+
+Implements, from Dasgupta & Sinha as restated in the paper:
+
+- Definition 1: the potential functions ``phi`` (1-NN, Eq. 1) and
+  ``phi_k`` (k-NN, Eq. 2);
+- Theorem 1: upper bounds on the probability that a depth-``L`` spill
+  tree with spill ``alpha`` fails to return the true nearest neighbor(s)
+  (Eq. 3 and Eq. 4);
+- the Figure 4 approximation ``P(L) = sum_i 1 / (2 (0.5 + alpha)^i n)``
+  used by the paper to pick the (small) number of segmentation levels.
+
+The potential ``phi_m`` is evaluated on the ``m`` points nearest to the
+query -- the expected cell population at the corresponding tree level.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.distance.metrics import get_metric
+from repro.utils.validation import as_matrix, as_vector
+
+
+def _sorted_distances(query: np.ndarray, data: np.ndarray, metric: str) -> np.ndarray:
+    data = as_matrix(data, name="data")
+    query = as_vector(query, dim=data.shape[1], name="query")
+    distances = get_metric(metric).batch(query, data)
+    return np.sort(distances)
+
+
+def potential_phi(
+    query: np.ndarray,
+    data: np.ndarray,
+    m: int,
+    *,
+    metric: str = "euclidean",
+) -> float:
+    """Definition 1, Eq. (1): 1-NN potential over the ``m`` nearest points.
+
+    ``phi_m = (1/m) * sum_{i=2..m} ||q - x_(1)|| / ||q - x_(i)||``
+
+    Small values mean the nearest neighbor is well separated from the rest
+    (easy instance); values near 1 mean many points are nearly as close
+    as the true neighbor (hard instance).
+    """
+    if m < 2:
+        raise ValueError(f"m must be >= 2, got {m}")
+    ordered = _sorted_distances(query, data, metric)
+    m = min(m, ordered.shape[0])
+    nearest = ordered[0]
+    rest = ordered[1:m]
+    if nearest == 0.0:
+        # The query coincides with its nearest neighbor: every ratio is 0.
+        return 0.0
+    with np.errstate(divide="ignore"):
+        ratios = np.where(rest > 0.0, nearest / rest, 1.0)
+    return float(ratios.sum() / m)
+
+
+def potential_phi_k(
+    query: np.ndarray,
+    data: np.ndarray,
+    k: int,
+    m: int,
+    *,
+    metric: str = "euclidean",
+) -> float:
+    """Definition 1, Eq. (2): k-NN potential over the ``m`` nearest points.
+
+    ``phi_{k,m} = (1/m) * sum_{i=k+1..m} (avg_{j<=k} ||q - x_(j)||) / ||q - x_(i)||``
+    """
+    if k < 1:
+        raise ValueError(f"k must be >= 1, got {k}")
+    if m <= k:
+        raise ValueError(f"m must exceed k, got m={m}, k={k}")
+    ordered = _sorted_distances(query, data, metric)
+    m = min(m, ordered.shape[0])
+    if m <= k:
+        return 0.0
+    numerator = float(ordered[:k].mean())
+    rest = ordered[k:m]
+    if numerator == 0.0:
+        return 0.0
+    with np.errstate(divide="ignore"):
+        ratios = np.where(rest > 0.0, numerator / rest, 1.0)
+    return float(ratios.sum() / m)
+
+
+def _level_populations(n: int, alpha: float, depth: int) -> list[int]:
+    """Expected cell sizes ``(0.5 + alpha)^i * n`` for levels 0..depth."""
+    return [max(int((0.5 + alpha) ** i * n), 2) for i in range(depth + 1)]
+
+
+def failure_bound_1nn(
+    query: np.ndarray,
+    data: np.ndarray,
+    alpha: float,
+    depth: int,
+    *,
+    metric: str = "euclidean",
+) -> float:
+    """Theorem 1, Eq. (3): bound on P(tree misses the true 1-NN).
+
+    ``(1 / 2 alpha) * sum_{i=0..L} phi_{(0.5+alpha)^i n}(q, x)``
+
+    The bound is clipped to 1 since it is a probability bound.
+    """
+    if not 0.0 < alpha < 0.5:
+        raise ValueError(f"alpha must be in (0, 0.5), got {alpha}")
+    if depth < 0:
+        raise ValueError(f"depth must be non-negative, got {depth}")
+    data = as_matrix(data, name="data")
+    total = sum(
+        potential_phi(query, data, m, metric=metric)
+        for m in _level_populations(data.shape[0], alpha, depth)
+    )
+    return min(total / (2.0 * alpha), 1.0)
+
+
+def failure_bound_knn(
+    query: np.ndarray,
+    data: np.ndarray,
+    k: int,
+    alpha: float,
+    depth: int,
+    *,
+    metric: str = "euclidean",
+) -> float:
+    """Theorem 1, Eq. (4): bound on P(tree misses any of the true k-NN).
+
+    ``(k / alpha) * sum_{i=0..L} phi_{k,(0.5+alpha)^i n}(q, x)``
+    """
+    if not 0.0 < alpha < 0.5:
+        raise ValueError(f"alpha must be in (0, 0.5), got {alpha}")
+    data = as_matrix(data, name="data")
+    total = 0.0
+    for m in _level_populations(data.shape[0], alpha, depth):
+        if m > k:
+            total += potential_phi_k(query, data, k, m, metric=metric)
+    return min(k * total / alpha, 1.0)
+
+
+def figure4_failure_probability(
+    n: int,
+    alpha: float,
+    max_level: int,
+) -> np.ndarray:
+    """The Figure 4 curve: ``P(L) = sum_{i=1..L} 1 / (2 (0.5+alpha)^i n)``.
+
+    The paper plots this data-independent approximation for ``n = 10000``
+    and increasing tree depth to argue for using only 1-8 segments per
+    shard (1-3 levels).
+
+    Returns
+    -------
+    Array of length ``max_level`` with ``P(1) .. P(max_level)``.
+    """
+    if n < 1:
+        raise ValueError(f"n must be positive, got {n}")
+    if not 0.0 < alpha < 0.5:
+        raise ValueError(f"alpha must be in (0, 0.5), got {alpha}")
+    if max_level < 1:
+        raise ValueError(f"max_level must be >= 1, got {max_level}")
+    levels = np.arange(1, max_level + 1, dtype=np.float64)
+    terms = 1.0 / (2.0 * np.power(0.5 + alpha, levels) * n)
+    return np.cumsum(terms)

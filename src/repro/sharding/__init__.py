@@ -1,0 +1,5 @@
+"""Sharding: the first level of LANNS partitioning (Section 4.1)."""
+
+from repro.sharding.sharder import HashSharder
+
+__all__ = ["HashSharder"]

@@ -1,0 +1,60 @@
+"""Stable hash sharding.
+
+"When a point is inserted, it is hashed to one particular shard using the
+key of the data point. Since this partitioning does not exploit any
+locality information, each query is routed to *all* shards" (Section 4.1).
+
+The hash must be stable across processes and Python versions (the builtin
+``hash`` is salted per process), so we use the first 8 bytes of MD5 of the
+key's decimal representation.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+import numpy as np
+
+
+def stable_hash(key: int | str) -> int:
+    """A 63-bit, process-stable hash of an integer or string key.
+
+    63 bits (not 64) so values fit in a signed int64 numpy array.
+    """
+    digest = hashlib.md5(str(key).encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "little") & 0x7FFF_FFFF_FFFF_FFFF
+
+
+class HashSharder:
+    """Assigns record keys to shards by stable hashing.
+
+    Parameters
+    ----------
+    num_shards:
+        Number of shards; keys map uniformly onto ``0..num_shards-1``.
+    """
+
+    def __init__(self, num_shards: int) -> None:
+        if num_shards < 1:
+            raise ValueError(f"num_shards must be >= 1, got {num_shards}")
+        self.num_shards = int(num_shards)
+
+    def shard_of(self, key: int | str) -> int:
+        """Shard id for one key."""
+        return stable_hash(key) % self.num_shards
+
+    def shard_of_batch(self, keys) -> np.ndarray:
+        """Shard ids for a sequence of keys, as an int64 array."""
+        return np.asarray(
+            [stable_hash(key) for key in keys], dtype=np.int64
+        ) % self.num_shards
+
+    def partition(self, keys) -> list[np.ndarray]:
+        """Row indices per shard: ``partition(keys)[s]`` selects shard s."""
+        shard_ids = self.shard_of_batch(keys)
+        return [
+            np.flatnonzero(shard_ids == shard) for shard in range(self.num_shards)
+        ]
+
+    def __repr__(self) -> str:
+        return f"HashSharder(num_shards={self.num_shards})"

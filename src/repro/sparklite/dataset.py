@@ -1,0 +1,155 @@
+"""Eager partitioned collections: the RDD-flavoured half of sparklite.
+
+Only the operations LANNS pipelines need (Figures 6-8): elementwise maps,
+partition-wise maps, key-based repartitioning ("shuffles") and grouping.
+Execution is eager -- each transformation runs one stage on the cluster
+and returns a new materialised dataset -- which keeps the engine tiny and
+the per-stage metrics easy to attribute.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Sequence
+
+from repro.sharding.sharder import stable_hash
+
+
+class Dataset:
+    """A list of partitions, each a Python list, bound to a cluster."""
+
+    def __init__(self, cluster, partitions: list[list]) -> None:
+        self.cluster = cluster
+        self.partitions = partitions
+
+    # -- constructors ------------------------------------------------------------
+    @classmethod
+    def from_items(
+        cls, cluster, items: Sequence, num_partitions: int | None = None
+    ) -> "Dataset":
+        """Split ``items`` into ``num_partitions`` contiguous partitions."""
+        items = list(items)
+        if num_partitions is None:
+            num_partitions = cluster.num_executors
+        if num_partitions < 1:
+            raise ValueError(
+                f"num_partitions must be >= 1, got {num_partitions}"
+            )
+        partitions: list[list] = [[] for _ in range(num_partitions)]
+        if items:
+            base, extra = divmod(len(items), num_partitions)
+            start = 0
+            for index in range(num_partitions):
+                size = base + (1 if index < extra else 0)
+                partitions[index] = items[start : start + size]
+                start += size
+        return cls(cluster, partitions)
+
+    # -- introspection ------------------------------------------------------------
+    @property
+    def num_partitions(self) -> int:
+        """Number of partitions."""
+        return len(self.partitions)
+
+    def count(self) -> int:
+        """Total number of rows."""
+        return sum(len(partition) for partition in self.partitions)
+
+    def collect(self) -> list:
+        """All rows, concatenated in partition order."""
+        return [row for partition in self.partitions for row in partition]
+
+    # -- stages ----------------------------------------------------------------------
+    def _run_per_partition(
+        self, fn: Callable[[list], list], stage: str, checkpoint: bool = False
+    ) -> "Dataset":
+        def make_task(partition: list):
+            def task() -> list:
+                return fn(partition)
+
+            return task
+
+        tasks = [make_task(partition) for partition in self.partitions]
+        outcome = self.cluster.run_tasks(tasks, stage=stage, checkpoint=checkpoint)
+        return Dataset(self.cluster, outcome.results)
+
+    def map_partitions(
+        self,
+        fn: Callable[[list], list],
+        *,
+        stage: str = "map_partitions",
+        checkpoint: bool = False,
+    ) -> "Dataset":
+        """Apply ``fn`` to each whole partition (one task per partition)."""
+        return self._run_per_partition(fn, stage, checkpoint)
+
+    def map(self, fn: Callable, *, stage: str = "map") -> "Dataset":
+        """Apply ``fn`` to each row."""
+        return self._run_per_partition(
+            lambda partition: [fn(row) for row in partition], stage
+        )
+
+    def flat_map(self, fn: Callable, *, stage: str = "flat_map") -> "Dataset":
+        """Apply ``fn`` (returning an iterable) to each row and flatten."""
+
+        def per_partition(partition: list) -> list:
+            output: list = []
+            for row in partition:
+                output.extend(fn(row))
+            return output
+
+        return self._run_per_partition(per_partition, stage)
+
+    def filter(self, predicate: Callable, *, stage: str = "filter") -> "Dataset":
+        """Keep rows where ``predicate`` is true."""
+        return self._run_per_partition(
+            lambda partition: [row for row in partition if predicate(row)],
+            stage,
+        )
+
+    # -- shuffles -----------------------------------------------------------------------
+    def repartition_by_key(
+        self,
+        num_partitions: int,
+        key_fn: Callable = None,
+        *,
+        stage: str = "repartition",
+    ) -> "Dataset":
+        """Shuffle rows so equal keys land in the same partition.
+
+        ``key_fn`` defaults to ``row[0]`` (key-value pairs).  Keys are
+        placed by stable hash, so the layout is process-independent.
+        """
+        if num_partitions < 1:
+            raise ValueError(
+                f"num_partitions must be >= 1, got {num_partitions}"
+            )
+        if key_fn is None:
+            key_fn = lambda row: row[0]  # noqa: E731 - tiny default
+        buckets: list[list] = [[] for _ in range(num_partitions)]
+        for partition in self.partitions:
+            for row in partition:
+                buckets[stable_hash(key_fn(row)) % num_partitions].append(row)
+        # The shuffle itself is a data movement, not compute; run a trivial
+        # identity stage so it still appears in the metrics.
+        return Dataset(self.cluster, buckets)._run_per_partition(
+            lambda partition: partition, stage
+        )
+
+    def group_by_key(
+        self, key_fn: Callable = None, *, stage: str = "group_by_key"
+    ) -> "Dataset":
+        """Group rows by key *within each partition*.
+
+        Repartition by the same key first for a global grouping; rows
+        become ``(key, [row, ...])`` pairs.
+        """
+        if key_fn is None:
+            key_fn = lambda row: row[0]  # noqa: E731 - tiny default
+
+        def per_partition(partition: list) -> list:
+            groups: dict = {}
+            for row in partition:
+                groups.setdefault(key_fn(row), []).append(row)
+            return sorted(groups.items(), key=lambda item: str(item[0]))
+
+        return self._run_per_partition(per_partition, stage)

@@ -1,0 +1,55 @@
+"""Per-task and per-stage execution metrics.
+
+Every stage run by the cluster records how long each task took and how
+many attempts it needed.  The experiment harness uses these to report
+both *measured* wall time and the *simulated* makespan for an arbitrary
+executor count (see :mod:`repro.sparklite.scheduler`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.sparklite.scheduler import simulated_makespan
+
+
+@dataclass
+class TaskRecord:
+    """Execution record of one task (its final, successful attempt)."""
+
+    task_id: int
+    duration: float
+    executor: int
+    attempts: int = 1
+
+
+@dataclass
+class StageMetrics:
+    """Execution record of one stage (a set of tasks run together)."""
+
+    stage: str
+    tasks: list[TaskRecord] = field(default_factory=list)
+    wall_time: float = 0.0
+    failures: int = 0
+    rounds: int = 1
+
+    @property
+    def task_durations(self) -> list[float]:
+        """Durations of all successful tasks, in task order."""
+        return [task.duration for task in sorted(self.tasks, key=lambda t: t.task_id)]
+
+    @property
+    def total_task_time(self) -> float:
+        """Sum of task durations (work, ignoring parallelism)."""
+        return sum(task.duration for task in self.tasks)
+
+    def makespan(self, num_executors: int) -> float:
+        """Simulated completion time on ``num_executors`` executors."""
+        return simulated_makespan(self.task_durations, num_executors)
+
+    def __repr__(self) -> str:
+        return (
+            f"StageMetrics(stage={self.stage!r}, tasks={len(self.tasks)}, "
+            f"wall={self.wall_time:.3f}s, work={self.total_task_time:.3f}s, "
+            f"failures={self.failures})"
+        )

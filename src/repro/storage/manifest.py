@@ -1,0 +1,223 @@
+"""Index export format: persisted LANNS indices with coupled metadata.
+
+Layout under an index root path on the filesystem::
+
+    <root>/metadata.json                 -- manifest: config, layout, checksums
+    <root>/segmenter.json                -- the shared pre-learnt segmenter
+    <root>/shard=<s>/segment=<g>.npz     -- one serialized HNSW per partition
+
+"The serialized index consists of the graph index, the actual embeddings
+(vectors) and additional metadata (like the segmenter, distance function
+used during index build, etc) ... This ensures that the platform doesn't
+allow accidental differences in the algorithm configuration between
+offline index build and online serving." (Section 7)
+
+That guarantee is enforced here: loading validates per-file SHA-256
+checksums, and :func:`load_lanns_index` raises
+:class:`~repro.errors.MetadataMismatchError` when the caller's expected
+configuration disagrees with the persisted one.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import io
+import json
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.config import LannsConfig
+from repro.core.index import LannsIndex, ShardIndex
+from repro.errors import MetadataMismatchError, SerializationError
+from repro.hnsw.index import HnswIndex
+from repro.segmenters.base import Segmenter, segmenter_from_dict
+from repro.storage.hdfs import LocalHdfs
+from repro.version import __version__
+
+_FORMAT_VERSION = 1
+
+
+def hnsw_to_bytes(index: HnswIndex) -> bytes:
+    """Serialize an HNSW index to compressed npz bytes."""
+    buffer = io.BytesIO()
+    np.savez_compressed(buffer, **index.to_arrays())
+    return buffer.getvalue()
+
+
+def hnsw_from_bytes(data: bytes) -> HnswIndex:
+    """Inverse of :func:`hnsw_to_bytes`."""
+    buffer = io.BytesIO(data)
+    with np.load(buffer, allow_pickle=False) as archive:
+        payload = {key: archive[key] for key in archive.files}
+    return HnswIndex.from_arrays(payload)
+
+
+def _checksum(data: bytes) -> str:
+    return hashlib.sha256(data).hexdigest()
+
+
+def segment_file(shard: int, segment: int) -> str:
+    """Relative path of one partition's serialized index."""
+    return f"shard={shard}/segment={segment}.npz"
+
+
+@dataclass
+class IndexManifest:
+    """The ``metadata.json`` document coupled with every exported index."""
+
+    config: dict
+    dim: int
+    total_vectors: int
+    shard_sizes: list[int]
+    checksums: dict[str, str] = field(default_factory=dict)
+    format_version: int = _FORMAT_VERSION
+    created_by: str = f"repro-lanns/{__version__}"
+
+    def to_dict(self) -> dict:
+        return {
+            "format_version": self.format_version,
+            "created_by": self.created_by,
+            "config": self.config,
+            "dim": self.dim,
+            "total_vectors": self.total_vectors,
+            "shard_sizes": self.shard_sizes,
+            "checksums": self.checksums,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "IndexManifest":
+        if payload.get("format_version") != _FORMAT_VERSION:
+            raise SerializationError(
+                f"unsupported index format version "
+                f"{payload.get('format_version')!r}"
+            )
+        return cls(
+            config=payload["config"],
+            dim=int(payload["dim"]),
+            total_vectors=int(payload["total_vectors"]),
+            shard_sizes=[int(size) for size in payload["shard_sizes"]],
+            checksums=dict(payload["checksums"]),
+            format_version=int(payload["format_version"]),
+            created_by=str(payload.get("created_by", "unknown")),
+        )
+
+    @property
+    def lanns_config(self) -> LannsConfig:
+        """The persisted configuration as a validated object."""
+        return LannsConfig.from_dict(self.config)
+
+
+def save_lanns_index(
+    index: LannsIndex, fs: LocalHdfs, path: str
+) -> IndexManifest:
+    """Export a built :class:`~repro.core.index.LannsIndex` (Figure 6 output).
+
+    Returns the manifest that was written to ``<path>/metadata.json``.
+    """
+    checksums: dict[str, str] = {}
+    for shard in index.shards:
+        for segment_id, segment in enumerate(shard.segments):
+            relative = segment_file(shard.shard_id, segment_id)
+            data = hnsw_to_bytes(segment)
+            fs.write_bytes(f"{path}/{relative}", data)
+            checksums[relative] = _checksum(data)
+    segmenter_raw = json.dumps(index.segmenter.to_dict()).encode("utf-8")
+    fs.write_bytes(f"{path}/segmenter.json", segmenter_raw)
+    checksums["segmenter.json"] = _checksum(segmenter_raw)
+    manifest = IndexManifest(
+        config=index.config.to_dict(),
+        dim=index.dim,
+        total_vectors=len(index),
+        shard_sizes=[len(shard) for shard in index.shards],
+        checksums=checksums,
+    )
+    fs.write_json(f"{path}/metadata.json", manifest.to_dict())
+    return manifest
+
+
+def load_manifest(fs: LocalHdfs, path: str) -> IndexManifest:
+    """Read just the manifest of an exported index."""
+    return IndexManifest.from_dict(fs.read_json(f"{path}/metadata.json"))
+
+
+def load_segmenter(
+    fs: LocalHdfs, path: str, manifest: IndexManifest | None = None
+) -> Segmenter:
+    """Load the shared segmenter of an exported index (checksum-verified)."""
+    manifest = manifest or load_manifest(fs, path)
+    raw = fs.read_bytes(f"{path}/segmenter.json")
+    _verify(manifest, "segmenter.json", raw)
+    return segmenter_from_dict(json.loads(raw.decode("utf-8")))
+
+
+def load_shard(
+    fs: LocalHdfs,
+    path: str,
+    shard_id: int,
+    *,
+    manifest: IndexManifest | None = None,
+    segmenter: Segmenter | None = None,
+) -> ShardIndex:
+    """Load one shard of an exported index (what a searcher node does)."""
+    manifest = manifest or load_manifest(fs, path)
+    config = manifest.lanns_config
+    if not 0 <= shard_id < config.num_shards:
+        raise ValueError(
+            f"shard_id {shard_id} out of range for {config.num_shards} shards"
+        )
+    segmenter = segmenter or load_segmenter(fs, path, manifest)
+    segments = []
+    for segment_id in range(config.num_segments):
+        relative = segment_file(shard_id, segment_id)
+        raw = fs.read_bytes(f"{path}/{relative}")
+        _verify(manifest, relative, raw)
+        segments.append(hnsw_from_bytes(raw))
+    return ShardIndex(shard_id, segments, segmenter)
+
+
+def load_lanns_index(
+    fs: LocalHdfs,
+    path: str,
+    *,
+    expected_config: LannsConfig | None = None,
+) -> LannsIndex:
+    """Load a full exported index back into memory.
+
+    Parameters
+    ----------
+    expected_config:
+        When given, must equal the persisted configuration; a mismatch
+        raises :class:`~repro.errors.MetadataMismatchError` (the paper's
+        offline/online drift guard).
+    """
+    manifest = load_manifest(fs, path)
+    config = manifest.lanns_config
+    if expected_config is not None and expected_config != config:
+        raise MetadataMismatchError(
+            "persisted index configuration does not match the expected "
+            f"configuration:\n  persisted: {config}\n  expected:  "
+            f"{expected_config}"
+        )
+    segmenter = load_segmenter(fs, path, manifest)
+    shards = [
+        load_shard(
+            fs, path, shard_id, manifest=manifest, segmenter=segmenter
+        )
+        for shard_id in range(config.num_shards)
+    ]
+    return LannsIndex(config, shards, segmenter)
+
+
+def _verify(manifest: IndexManifest, relative: str, raw: bytes) -> None:
+    expected = manifest.checksums.get(relative)
+    if expected is None:
+        raise MetadataMismatchError(
+            f"file {relative!r} is not listed in the index manifest"
+        )
+    actual = _checksum(raw)
+    if actual != expected:
+        raise MetadataMismatchError(
+            f"checksum mismatch for {relative!r}: manifest says "
+            f"{expected[:12]}..., file hashes to {actual[:12]}..."
+        )

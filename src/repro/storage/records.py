@@ -1,0 +1,149 @@
+"""A compact, schema'd binary record format ("Avro-like").
+
+The paper ships serialized indices and search results between systems as
+Avro datasets.  This module provides the same role without the Avro
+dependency: a self-describing binary container whose header carries a JSON
+schema, so a reader needs no out-of-band knowledge.
+
+Supported field types:
+
+======== ======================================= =================
+type     Python value                            encoding
+======== ======================================= =================
+int      int                                     little-endian i64
+float    float                                   little-endian f64
+str      str                                     u32 length + UTF-8
+bytes    bytes                                   u32 length + raw
+vector   1-D float32 numpy array (any length)    u32 length + f32*n
+======== ======================================= =================
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+
+import numpy as np
+
+from repro.errors import SerializationError
+
+_MAGIC = b"LREC"
+_VERSION = 1
+_TYPES = ("int", "float", "str", "bytes", "vector")
+
+
+class RecordSchema:
+    """An ordered list of ``(field_name, field_type)`` pairs."""
+
+    def __init__(self, fields: list[tuple[str, str]]) -> None:
+        if not fields:
+            raise SerializationError("schema needs at least one field")
+        names = [name for name, _ in fields]
+        if len(set(names)) != len(names):
+            raise SerializationError(f"duplicate field names in {names}")
+        for name, field_type in fields:
+            if field_type not in _TYPES:
+                raise SerializationError(
+                    f"field {name!r} has unknown type {field_type!r}; "
+                    f"valid types: {_TYPES}"
+                )
+        self.fields = [(str(name), str(field_type)) for name, field_type in fields]
+
+    def to_json(self) -> str:
+        return json.dumps(self.fields)
+
+    @classmethod
+    def from_json(cls, text: str) -> "RecordSchema":
+        return cls([tuple(pair) for pair in json.loads(text)])
+
+    def __eq__(self, other) -> bool:
+        return isinstance(other, RecordSchema) and self.fields == other.fields
+
+    def __repr__(self) -> str:
+        return f"RecordSchema({self.fields})"
+
+
+def _encode_field(field_type: str, value) -> bytes:
+    if field_type == "int":
+        return struct.pack("<q", int(value))
+    if field_type == "float":
+        return struct.pack("<d", float(value))
+    if field_type == "str":
+        raw = str(value).encode("utf-8")
+        return struct.pack("<I", len(raw)) + raw
+    if field_type == "bytes":
+        raw = bytes(value)
+        return struct.pack("<I", len(raw)) + raw
+    # vector
+    array = np.asarray(value, dtype=np.float32)
+    if array.ndim != 1:
+        raise SerializationError(
+            f"vector fields must be 1-D, got shape {array.shape}"
+        )
+    return struct.pack("<I", array.shape[0]) + array.tobytes()
+
+
+class _Reader:
+    """Cursor over a byte buffer with typed reads."""
+
+    def __init__(self, data: bytes) -> None:
+        self.data = data
+        self.offset = 0
+
+    def take(self, count: int) -> bytes:
+        if self.offset + count > len(self.data):
+            raise SerializationError("record file truncated")
+        chunk = self.data[self.offset : self.offset + count]
+        self.offset += count
+        return chunk
+
+    def read_u32(self) -> int:
+        return struct.unpack("<I", self.take(4))[0]
+
+    def read_field(self, field_type: str):
+        if field_type == "int":
+            return struct.unpack("<q", self.take(8))[0]
+        if field_type == "float":
+            return struct.unpack("<d", self.take(8))[0]
+        if field_type == "str":
+            return self.take(self.read_u32()).decode("utf-8")
+        if field_type == "bytes":
+            return self.take(self.read_u32())
+        length = self.read_u32()
+        return np.frombuffer(self.take(4 * length), dtype=np.float32).copy()
+
+
+def write_records(schema: RecordSchema, records: list[dict]) -> bytes:
+    """Serialize ``records`` (dicts keyed by field name) under ``schema``."""
+    parts = [_MAGIC, struct.pack("<B", _VERSION)]
+    schema_raw = schema.to_json().encode("utf-8")
+    parts.append(struct.pack("<I", len(schema_raw)))
+    parts.append(schema_raw)
+    parts.append(struct.pack("<I", len(records)))
+    for record in records:
+        for name, field_type in schema.fields:
+            if name not in record:
+                raise SerializationError(f"record is missing field {name!r}")
+            parts.append(_encode_field(field_type, record[name]))
+    return b"".join(parts)
+
+
+def read_records(data: bytes) -> tuple[RecordSchema, list[dict]]:
+    """Parse a buffer written by :func:`write_records`."""
+    reader = _Reader(data)
+    if reader.take(4) != _MAGIC:
+        raise SerializationError("not a record file (bad magic)")
+    version = struct.unpack("<B", reader.take(1))[0]
+    if version != _VERSION:
+        raise SerializationError(f"unsupported record file version {version}")
+    schema = RecordSchema.from_json(reader.take(reader.read_u32()).decode("utf-8"))
+    count = reader.read_u32()
+    records = []
+    for _ in range(count):
+        record = {}
+        for name, field_type in schema.fields:
+            record[name] = reader.read_field(field_type)
+        records.append(record)
+    if reader.offset != len(data):
+        raise SerializationError("trailing bytes after final record")
+    return schema, records

@@ -1,0 +1,21 @@
+"""Shared low-level utilities: bounded heaps, RNG helpers, validation."""
+
+from repro.utils.heap import TopKHeap, merge_top_k
+from repro.utils.rng import resolve_rng, spawn_seeds
+from repro.utils.validation import (
+    as_matrix,
+    as_vector,
+    check_positive,
+    check_probability,
+)
+
+__all__ = [
+    "TopKHeap",
+    "merge_top_k",
+    "resolve_rng",
+    "spawn_seeds",
+    "as_matrix",
+    "as_vector",
+    "check_positive",
+    "check_probability",
+]

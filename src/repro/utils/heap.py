@@ -1,0 +1,128 @@
+"""Bounded top-k heaps and top-k merge utilities.
+
+Nearest-neighbor code needs one structure over and over: "keep the k
+smallest-distance (id, distance) pairs seen so far".  Python's ``heapq`` is
+a min-heap, so we keep a *max*-heap of size ``k`` by negating distances;
+the root is then the current worst candidate and can be evicted in O(log k).
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Iterable, Iterator, Sequence
+
+
+class TopKHeap:
+    """A bounded container keeping the ``k`` smallest-distance items.
+
+    Parameters
+    ----------
+    k:
+        Maximum number of items retained.  Must be positive.
+
+    Notes
+    -----
+    Items are ``(distance, item_id)`` pairs.  Ties on distance are broken
+    by item id so behaviour is deterministic.
+    """
+
+    __slots__ = ("k", "_heap")
+
+    def __init__(self, k: int) -> None:
+        if k <= 0:
+            raise ValueError(f"k must be positive, got {k}")
+        self.k = int(k)
+        # Entries are (-distance, -item_id) so the heap root is the worst
+        # candidate (largest distance, then largest id).
+        self._heap: list[tuple[float, int]] = []
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def __bool__(self) -> bool:
+        return bool(self._heap)
+
+    @property
+    def worst_distance(self) -> float:
+        """Distance of the current worst retained item (+inf when not full)."""
+        if len(self._heap) < self.k:
+            return float("inf")
+        return -self._heap[0][0]
+
+    def push(self, distance: float, item_id: int) -> bool:
+        """Offer one item; return ``True`` if it was retained."""
+        if len(self._heap) < self.k:
+            heapq.heappush(self._heap, (-distance, -item_id))
+            return True
+        worst_neg_dist, worst_neg_id = self._heap[0]
+        # Accept strictly better distances; on a tie prefer the smaller id
+        # so results are stable regardless of insertion order.
+        if -distance > worst_neg_dist or (
+            -distance == worst_neg_dist and -item_id > worst_neg_id
+        ):
+            heapq.heapreplace(self._heap, (-distance, -item_id))
+            return True
+        return False
+
+    def extend(self, pairs: Iterable[tuple[float, int]]) -> None:
+        """Offer many ``(distance, id)`` pairs."""
+        for distance, item_id in pairs:
+            self.push(distance, item_id)
+
+    def items(self) -> list[tuple[float, int]]:
+        """Return retained items sorted by (distance, id) ascending."""
+        return sorted((-d, -i) for d, i in self._heap)
+
+    def ids(self) -> list[int]:
+        """Return retained ids sorted by (distance, id) ascending."""
+        return [item_id for _, item_id in self.items()]
+
+    def __iter__(self) -> Iterator[tuple[float, int]]:
+        return iter(self.items())
+
+
+def merge_top_k(
+    candidate_lists: Sequence[Sequence[tuple[float, int]]],
+    k: int,
+    *,
+    dedupe: bool = True,
+) -> list[tuple[float, int]]:
+    """Merge several sorted-or-unsorted candidate lists into a global top-k.
+
+    This is the primitive behind both levels of LANNS merging: segment
+    results merge into shard results, shard results merge into the final
+    response (Section 5.3 of the paper).
+
+    Parameters
+    ----------
+    candidate_lists:
+        Sequences of ``(distance, id)`` pairs.
+    k:
+        Number of results to keep.
+    dedupe:
+        When ``True`` (the default) the same id appearing in several lists
+        (e.g. via physical spill duplication) is kept once, at its best
+        distance.
+
+    Returns
+    -------
+    list of (distance, id), sorted ascending by (distance, id).
+    """
+    if k <= 0:
+        raise ValueError(f"k must be positive, got {k}")
+    if dedupe:
+        best: dict[int, float] = {}
+        for candidates in candidate_lists:
+            for distance, item_id in candidates:
+                previous = best.get(item_id)
+                if previous is None or distance < previous:
+                    best[item_id] = distance
+        heap = TopKHeap(k)
+        for item_id, distance in best.items():
+            heap.push(distance, item_id)
+        return heap.items()
+    heap = TopKHeap(k)
+    for candidates in candidate_lists:
+        for distance, item_id in candidates:
+            heap.push(distance, item_id)
+    return heap.items()

@@ -1,0 +1,33 @@
+"""Deterministic random-number helpers.
+
+Every stochastic component in the library (HNSW level draws, random
+hyperplanes, the random segmenter, synthetic data) accepts either a seed or
+a ``numpy.random.Generator``.  These helpers normalise that argument and
+derive independent child seeds so that, e.g., each segment of a partitioned
+index gets its own reproducible stream.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+RngLike = "int | np.random.Generator | None"
+
+
+def resolve_rng(seed_or_rng: int | np.random.Generator | None) -> np.random.Generator:
+    """Return a ``numpy.random.Generator`` for a seed, generator or ``None``."""
+    if isinstance(seed_or_rng, np.random.Generator):
+        return seed_or_rng
+    return np.random.default_rng(seed_or_rng)
+
+
+def spawn_seeds(seed: int | None, count: int) -> list[int]:
+    """Derive ``count`` independent 63-bit child seeds from ``seed``.
+
+    Uses ``numpy.random.SeedSequence`` spawning, so children are
+    statistically independent and stable across platforms.
+    """
+    if count < 0:
+        raise ValueError(f"count must be non-negative, got {count}")
+    sequence = np.random.SeedSequence(seed)
+    return [int(child.generate_state(1)[0]) for child in sequence.spawn(count)]

@@ -1,0 +1,65 @@
+"""Shared fixtures for the test suite.
+
+Datasets are deliberately small (hundreds of points, <= 32 dims) so the
+full suite stays fast; recall assertions use generous-but-meaningful
+thresholds that a correct implementation passes with margin and a broken
+one does not.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.hnsw.params import HnswParams
+from repro.offline.brute_force import exact_top_k
+from repro.sparklite.cluster import LocalCluster
+from repro.storage.hdfs import LocalHdfs
+
+#: Small HNSW parameters shared by tests that build indices.
+FAST_HNSW = HnswParams(M=8, ef_construction=48, ef_search=48, seed=0)
+
+
+def make_clustered(
+    n: int, dim: int, *, num_clusters: int = 8, seed: int = 0, scale: float = 4.0
+) -> np.ndarray:
+    """Clustered float32 data (locality for segmenters to exploit)."""
+    rng = np.random.default_rng(seed)
+    centers = rng.normal(scale=scale, size=(num_clusters, dim))
+    assignment = rng.integers(0, num_clusters, size=n)
+    data = centers[assignment] + rng.normal(size=(n, dim))
+    return data.astype(np.float32)
+
+
+@pytest.fixture(scope="session")
+def clustered_data() -> np.ndarray:
+    """600 x 16 clustered base vectors."""
+    return make_clustered(600, 16, seed=1)
+
+
+@pytest.fixture(scope="session")
+def clustered_queries(clustered_data) -> np.ndarray:
+    """40 in-distribution queries for :func:`clustered_data`."""
+    rng = np.random.default_rng(2)
+    rows = rng.integers(0, clustered_data.shape[0], size=40)
+    noise = rng.normal(scale=0.2, size=(40, clustered_data.shape[1]))
+    return (clustered_data[rows] + noise).astype(np.float32)
+
+
+@pytest.fixture(scope="session")
+def clustered_truth(clustered_data, clustered_queries) -> np.ndarray:
+    """Exact top-20 ids for the clustered fixture."""
+    ids, _ = exact_top_k(clustered_data, clustered_queries, 20)
+    return ids
+
+
+@pytest.fixture
+def fs(tmp_path) -> LocalHdfs:
+    """A fresh LocalHdfs rooted in the test's tmp dir."""
+    return LocalHdfs(tmp_path / "hdfs")
+
+
+@pytest.fixture
+def cluster(fs) -> LocalCluster:
+    """A 4-executor inline cluster with the tmp filesystem attached."""
+    return LocalCluster(num_executors=4, fs=fs)

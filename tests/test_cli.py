@@ -1,0 +1,127 @@
+"""Tests for the command-line interface (build / query / info)."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+from repro.data.io import write_fvecs
+from tests.conftest import make_clustered
+
+
+@pytest.fixture(scope="module")
+def corpus(tmp_path_factory):
+    root = tmp_path_factory.mktemp("cli")
+    data = make_clustered(400, 10, seed=41)
+    queries = data[:12] + 0.01
+    np.save(root / "data.npy", data)
+    np.save(root / "queries.npy", queries)
+    write_fvecs(root / "data.fvecs", data)
+    return root, data, queries
+
+
+def build_args(root, extra=()):
+    return [
+        "build",
+        "--root", str(root / "hdfs"),
+        "--data", str(root / "data.npy"),
+        "--out", "idx",
+        "--shards", "2",
+        "--segments", "2",
+        "--segmenter", "rh",
+        "--hnsw-m", "8",
+        "--ef-construction", "48",
+        *extra,
+    ]
+
+
+class TestBuild:
+    def test_build_writes_index(self, corpus, capsys):
+        root, data, _ = corpus
+        assert main(build_args(root)) == 0
+        out = capsys.readouterr().out
+        assert f"built {len(data)} vectors" in out
+        assert (root / "hdfs" / "idx" / "metadata.json").exists()
+
+    def test_build_from_fvecs(self, corpus, capsys):
+        root, _, _ = corpus
+        args = build_args(root)
+        args[args.index("--data") + 1] = str(root / "data.fvecs")
+        args[args.index("--out") + 1] = "idx-fvecs"
+        assert main(args) == 0
+
+    def test_unsupported_format_rejected(self, corpus):
+        root, _, _ = corpus
+        args = build_args(root)
+        args[args.index("--data") + 1] = str(root / "data.csv")
+        with pytest.raises(SystemExit):
+            main(args)
+
+
+class TestQuery:
+    def test_query_prints_results(self, corpus, capsys):
+        root, _, _ = corpus
+        main(build_args(root))
+        capsys.readouterr()
+        code = main(
+            [
+                "query",
+                "--root", str(root / "hdfs"),
+                "--index", "idx",
+                "--queries", str(root / "queries.npy"),
+                "--top-k", "5",
+                "--ef", "48",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "answered 12 queries" in out
+        assert "query 0:" in out
+
+    def test_query_writes_npz(self, corpus, capsys, tmp_path):
+        root, data, queries = corpus
+        main(build_args(root))
+        out_file = tmp_path / "results.npz"
+        main(
+            [
+                "query",
+                "--root", str(root / "hdfs"),
+                "--index", "idx",
+                "--queries", str(root / "queries.npy"),
+                "--top-k", "3",
+                "--out", str(out_file),
+                "--no-checkpoint",
+            ]
+        )
+        with np.load(out_file) as archive:
+            assert archive["ids"].shape == (len(queries), 3)
+            # Queries are near-copies of the first rows; top-1 must match.
+            assert archive["ids"][0, 0] == 0
+
+
+class TestInfo:
+    def test_info_prints_manifest(self, corpus, capsys):
+        root, data, _ = corpus
+        main(build_args(root))
+        capsys.readouterr()
+        code = main(
+            ["info", "--root", str(root / "hdfs"), "--index", "idx"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        payload = json.loads(out)
+        assert payload["total_vectors"] == len(data)
+        assert payload["config"]["segmenter"] == "rh"
+        assert "checksums" not in payload  # elided for readability
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_bad_segmenter_rejected(self, corpus):
+        root, _, _ = corpus
+        with pytest.raises(SystemExit):
+            main(build_args(root, extra=["--segmenter", "annoy"]))

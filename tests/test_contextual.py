@@ -1,0 +1,167 @@
+"""Tests for context-based segmentation (the Section 8 extension)."""
+
+import numpy as np
+import pytest
+
+from repro.core.contextual import ContextualLannsIndex, build_contextual_index
+from repro.errors import ConfigError
+from repro.offline.brute_force import exact_top_k
+from repro.segmenters.base import segmenter_from_dict
+from repro.segmenters.context import ContextSegmenter
+from tests.conftest import FAST_HNSW, make_clustered
+
+CONTEXTS = ["en", "de", "fr"]
+
+
+@pytest.fixture(scope="module")
+def labeled_corpus():
+    rng = np.random.default_rng(31)
+    data = make_clustered(600, 12, seed=31)
+    labels = [CONTEXTS[i] for i in rng.integers(0, 3, size=600)]
+    return data, labels
+
+
+@pytest.fixture(scope="module")
+def contextual(labeled_corpus):
+    data, labels = labeled_corpus
+    return build_contextual_index(
+        data, labels, contexts=CONTEXTS, num_shards=2, hnsw=FAST_HNSW, seed=5
+    )
+
+
+class TestContextSegmenter:
+    def test_segment_mapping(self):
+        segmenter = ContextSegmenter(CONTEXTS)
+        assert segmenter.num_segments == 3
+        assert segmenter.segment_of("de") == 1
+
+    def test_unknown_context_rejected_by_default(self):
+        segmenter = ContextSegmenter(CONTEXTS)
+        with pytest.raises(KeyError, match="unknown context"):
+            segmenter.segment_of("jp")
+
+    def test_default_context_fallback(self):
+        segmenter = ContextSegmenter(CONTEXTS, default_context="en")
+        assert segmenter.segment_of("jp") == 0
+
+    def test_invalid_default_rejected(self):
+        with pytest.raises(ValueError, match="default_context"):
+            ContextSegmenter(CONTEXTS, default_context="jp")
+
+    def test_duplicate_contexts_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            ContextSegmenter(["en", "en"])
+
+    def test_empty_contexts_rejected(self):
+        with pytest.raises(ValueError):
+            ContextSegmenter([])
+
+    def test_route_labels(self):
+        segmenter = ContextSegmenter(CONTEXTS)
+        assert segmenter.route_labels(["fr", "en"]) == [(2,), (0,)]
+
+    def test_route_contexts_sorted_unique(self):
+        segmenter = ContextSegmenter(CONTEXTS)
+        assert segmenter.route_contexts(["fr", "en", "fr"]) == (0, 2)
+
+    def test_route_contexts_requires_one(self):
+        with pytest.raises(ValueError):
+            ContextSegmenter(CONTEXTS).route_contexts([])
+
+    def test_vector_data_routing_rejected(self):
+        segmenter = ContextSegmenter(CONTEXTS)
+        with pytest.raises(TypeError, match="labels"):
+            segmenter.route_data_batch(np.ones((2, 4), dtype=np.float32))
+
+    def test_query_routing_defaults_to_all(self):
+        segmenter = ContextSegmenter(CONTEXTS)
+        routes = segmenter.route_query_batch(np.ones((2, 4), dtype=np.float32))
+        assert routes == [(0, 1, 2), (0, 1, 2)]
+
+    def test_serialization_roundtrip(self):
+        segmenter = ContextSegmenter(CONTEXTS, default_context="de")
+        restored = segmenter_from_dict(segmenter.to_dict())
+        assert isinstance(restored, ContextSegmenter)
+        assert restored.contexts == CONTEXTS
+        assert restored.default_context == "de"
+
+
+class TestContextualIndex:
+    def test_every_vector_stored_once(self, contextual, labeled_corpus):
+        data, labels = labeled_corpus
+        assert len(contextual) == len(data)
+        sizes = contextual.context_sizes()
+        for context in CONTEXTS:
+            assert sizes[context] == labels.count(context)
+
+    def test_scoped_query_returns_only_context_members(
+        self, contextual, labeled_corpus
+    ):
+        data, labels = labeled_corpus
+        en_rows = {i for i, label in enumerate(labels) if label == "en"}
+        for row in (0, 10, 50):
+            ids, _ = contextual.query(data[row], 5, contexts=["en"])
+            assert set(ids.tolist()) <= en_rows
+
+    def test_scoped_query_matches_scoped_brute_force(
+        self, contextual, labeled_corpus
+    ):
+        data, labels = labeled_corpus
+        de_rows = np.asarray(
+            [i for i, label in enumerate(labels) if label == "de"]
+        )
+        queries = data[:20]
+        truth_local, _ = exact_top_k(data[de_rows], queries, 5)
+        truth = de_rows[truth_local]
+        hits = 0
+        for row, query in enumerate(queries):
+            ids, _ = contextual.query(query, 5, contexts=["de"], ef=64)
+            hits += len(set(ids.tolist()) & set(truth[row].tolist()))
+        assert hits / (len(queries) * 5) >= 0.9
+
+    def test_multi_context_query(self, contextual, labeled_corpus):
+        data, labels = labeled_corpus
+        allowed = {
+            i for i, label in enumerate(labels) if label in ("en", "fr")
+        }
+        ids, _ = contextual.query(data[0], 10, contexts=["en", "fr"])
+        assert set(ids.tolist()) <= allowed
+
+    def test_unscoped_query_equals_all_contexts(self, contextual, labeled_corpus):
+        data, _ = labeled_corpus
+        all_ids, _ = contextual.query(data[3], 10, ef=64)
+        explicit_ids, _ = contextual.query(
+            data[3], 10, contexts=CONTEXTS, ef=64
+        )
+        np.testing.assert_array_equal(all_ids, explicit_ids)
+
+    def test_unknown_context_query_rejected(self, contextual, labeled_corpus):
+        data, _ = labeled_corpus
+        with pytest.raises(KeyError):
+            contextual.query(data[0], 5, contexts=["jp"])
+
+    def test_invalid_topk(self, contextual, labeled_corpus):
+        data, _ = labeled_corpus
+        with pytest.raises(ValueError):
+            contextual.query(data[0], 0, contexts=["en"])
+
+    def test_contexts_inferred_from_labels(self, labeled_corpus):
+        data, labels = labeled_corpus
+        index = build_contextual_index(
+            data[:100], labels[:100], hnsw=FAST_HNSW
+        )
+        assert index.contexts == sorted(set(labels[:100]))
+
+    def test_label_count_validated(self, labeled_corpus):
+        data, labels = labeled_corpus
+        with pytest.raises(ValueError, match="labels"):
+            build_contextual_index(data, labels[:10], hnsw=FAST_HNSW)
+
+    def test_custom_ids(self, labeled_corpus):
+        data, labels = labeled_corpus
+        ids = np.arange(len(data)) + 70_000
+        index = build_contextual_index(
+            data, labels, contexts=CONTEXTS, ids=ids, hnsw=FAST_HNSW
+        )
+        found, _ = index.query(data[0], 1, contexts=[labels[0]])
+        assert found[0] == 70_000

@@ -1,0 +1,79 @@
+"""Tests for the perShardTopK normal-approximation budget (Eq. 5-6)."""
+
+import math
+
+import pytest
+
+from repro.core.topk import per_shard_top_k, probit
+
+
+class TestProbit:
+    def test_known_quantiles(self):
+        assert probit(0.975) == pytest.approx(1.959964, abs=1e-4)
+        assert probit(0.5) == pytest.approx(0.0, abs=1e-9)
+        assert probit(0.025) == pytest.approx(-1.959964, abs=1e-4)
+
+    def test_domain(self):
+        with pytest.raises(ValueError):
+            probit(0.0)
+        with pytest.raises(ValueError):
+            probit(1.0)
+
+
+class TestPerShardTopK:
+    def test_single_shard_returns_full_topk(self):
+        assert per_shard_top_k(100, 1) == 100
+
+    def test_paper_like_setting(self):
+        """S=20, topK=100, p=0.95: s'=0.05, z=1.96 =>
+        cI = 0.05 + 1.96*sqrt(0.05*0.95/100) = 0.0927 -> ceil(9.27) = 10."""
+        budget = per_shard_top_k(100, 20, 0.95)
+        expected = math.ceil(
+            (0.05 + 1.959964 * math.sqrt(0.05 * 0.95 / 100)) * 100
+        )
+        assert budget == expected == 10
+
+    def test_never_exceeds_topk(self):
+        for shards in (2, 3, 5, 50):
+            for top_k in (1, 10, 1000):
+                assert per_shard_top_k(top_k, shards) <= top_k
+
+    def test_at_least_one(self):
+        assert per_shard_top_k(1, 100) >= 1
+
+    def test_more_shards_smaller_budget(self):
+        budgets = [per_shard_top_k(200, shards) for shards in (2, 4, 8, 16, 32)]
+        assert all(b1 >= b2 for b1, b2 in zip(budgets, budgets[1:]))
+
+    def test_higher_confidence_larger_budget(self):
+        low = per_shard_top_k(1000, 10, 0.80)
+        high = per_shard_top_k(1000, 10, 0.999)
+        assert high >= low
+
+    def test_budget_covers_expected_share_plus_slack(self):
+        """The budget must exceed the expected per-shard share topK/S."""
+        for shards in (2, 5, 20):
+            for top_k in (50, 100, 1000):
+                assert per_shard_top_k(top_k, shards) > top_k / shards
+
+    def test_paper_literal_quantile_is_smaller(self):
+        """The literal (1 - p/2) reading yields z ~= 0.063, so a much
+        smaller budget -- the ablation the docs discuss."""
+        standard = per_shard_top_k(1000, 20, 0.95)
+        literal = per_shard_top_k(1000, 20, 0.95, paper_literal=True)
+        assert literal < standard
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            per_shard_top_k(0, 5)
+        with pytest.raises(ValueError):
+            per_shard_top_k(10, 0)
+        with pytest.raises(ValueError):
+            per_shard_top_k(10, 5, confidence=0.0)
+
+    def test_union_of_budgets_can_cover_topk(self):
+        """Sanity: S * perShardTopK >= topK, otherwise the merge could
+        never return topK results even in the best case."""
+        for shards in (2, 4, 8, 20, 32):
+            budget = per_shard_top_k(100, shards, 0.95)
+            assert shards * budget >= 100

@@ -1,0 +1,188 @@
+"""Tests for the synthetic dataset recipes, registry and fvecs IO."""
+
+import numpy as np
+import pytest
+
+from repro.data.datasets import Dataset, available_datasets, load_dataset
+from repro.data.io import read_fvecs, read_ivecs, write_fvecs, write_ivecs
+from repro.data.synthetic import (
+    clustered_gaussians,
+    gist_like,
+    groups_like,
+    make_queries,
+    neardupe_like,
+    people_like,
+    sift_like,
+)
+from repro.errors import SerializationError
+
+
+class TestGenerators:
+    def test_clustered_gaussians_shape_and_dtype(self):
+        data = clustered_gaussians(100, 8, seed=0)
+        assert data.shape == (100, 8)
+        assert data.dtype == np.float32
+
+    def test_deterministic(self):
+        np.testing.assert_array_equal(
+            clustered_gaussians(50, 4, seed=7), clustered_gaussians(50, 4, seed=7)
+        )
+
+    def test_seeds_differ(self):
+        a = clustered_gaussians(50, 4, seed=1)
+        b = clustered_gaussians(50, 4, seed=2)
+        assert not np.array_equal(a, b)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            clustered_gaussians(0, 4)
+        with pytest.raises(ValueError):
+            clustered_gaussians(10, 0)
+        with pytest.raises(ValueError):
+            clustered_gaussians(10, 4, num_clusters=0)
+
+    def test_sift_like_matches_paper_shape(self):
+        data = sift_like(200, seed=0)
+        assert data.shape[1] == 128  # paper dimensionality
+        assert data.min() >= 0.0 and data.max() <= 255.0
+        # Integer-valued like real SIFT descriptors.
+        np.testing.assert_array_equal(data, np.round(data))
+
+    def test_gist_like_matches_paper_shape(self):
+        data = gist_like(50, seed=0)
+        assert data.shape[1] == 960
+        assert data.min() >= 0.0 and data.max() <= 1.0
+
+    def test_groups_like_unit_norm(self):
+        data = groups_like(50, seed=0)
+        assert data.shape[1] == 256
+        np.testing.assert_allclose(
+            np.linalg.norm(data, axis=1), 1.0, rtol=1e-4
+        )
+
+    def test_people_like_dim(self):
+        assert people_like(30, seed=0).shape[1] == 50
+
+    def test_neardupe_contains_near_duplicates(self):
+        data = neardupe_like(200, seed=0, duplicate_fraction=0.3)
+        assert data.shape == (200, 2048)
+        # Nearest-neighbor distances of duplicates are tiny compared to
+        # the typical inter-point distance.
+        sample = data[:80]
+        dists = np.linalg.norm(
+            sample[:, np.newaxis, :] - sample[np.newaxis, :, :], axis=2
+        )
+        np.fill_diagonal(dists, np.inf)
+        nearest = dists.min(axis=1)
+        median_scale = np.median(dists[np.isfinite(dists)])
+        assert (nearest < 0.1 * median_scale).mean() > 0.15
+
+    def test_neardupe_fraction_validation(self):
+        with pytest.raises(ValueError):
+            neardupe_like(10, duplicate_fraction=1.0)
+
+    def test_make_queries_in_distribution(self):
+        data = clustered_gaussians(300, 8, seed=3)
+        queries = make_queries(data, 40, seed=4)
+        assert queries.shape == (40, 8)
+        # Queries should be near the data manifold: each has a base point
+        # much closer than the dataset diameter.
+        dists = np.linalg.norm(
+            queries[:, np.newaxis, :] - data[np.newaxis, :, :], axis=2
+        ).min(axis=1)
+        assert dists.mean() < np.std(data) * 3
+
+    def test_make_queries_validation(self):
+        with pytest.raises(ValueError):
+            make_queries(clustered_gaussians(10, 2), 0)
+
+
+class TestRegistry:
+    def test_names(self):
+        assert available_datasets() == [
+            "gist1m",
+            "groups",
+            "neardupe",
+            "people",
+            "pymk",
+            "sift1m",
+        ]
+
+    def test_unknown_rejected(self):
+        with pytest.raises(ValueError, match="unknown dataset"):
+            load_dataset("laion")
+
+    def test_load_scaled_down(self):
+        dataset = load_dataset("sift1m", scale=0.01)
+        assert dataset.dim == 128
+        assert dataset.num_base >= 32
+        assert dataset.num_queries >= 10
+        assert "SIFT1M" in dataset.paper_reference
+
+    def test_paper_dims(self):
+        expectations = {
+            "sift1m": 128,
+            "gist1m": 960,
+            "groups": 256,
+            "people": 50,
+            "pymk": 50,
+            "neardupe": 2048,
+        }
+        for name, dim in expectations.items():
+            assert load_dataset(name, scale=0.01).dim == dim
+
+    def test_people_and_pymk_are_different_draws(self):
+        people = load_dataset("people", scale=0.01)
+        pymk = load_dataset("pymk", scale=0.01)
+        n = min(people.num_base, pymk.num_base)
+        assert not np.array_equal(people.base[:n], pymk.base[:n])
+
+    def test_ground_truth_cached_and_correct(self):
+        dataset = load_dataset("people", scale=0.01)
+        truth5 = dataset.ground_truth(5)
+        truth3 = dataset.ground_truth(3)
+        np.testing.assert_array_equal(truth5[:, :3], truth3)
+        from repro.offline.brute_force import exact_top_k
+
+        expected, _ = exact_top_k(dataset.base, dataset.queries, 5)
+        np.testing.assert_array_equal(truth5, expected)
+
+    def test_dataset_repr(self):
+        dataset = load_dataset("people", scale=0.01)
+        assert "people" in repr(dataset)
+
+
+class TestFvecsIo:
+    def test_fvecs_roundtrip(self, tmp_path):
+        rng = np.random.default_rng(0)
+        vectors = rng.normal(size=(20, 12)).astype(np.float32)
+        path = tmp_path / "x.fvecs"
+        write_fvecs(path, vectors)
+        np.testing.assert_array_equal(read_fvecs(path), vectors)
+
+    def test_ivecs_roundtrip(self, tmp_path):
+        ids = np.arange(60, dtype=np.int32).reshape(6, 10)
+        path = tmp_path / "x.ivecs"
+        write_ivecs(path, ids)
+        np.testing.assert_array_equal(read_ivecs(path), ids)
+
+    def test_empty_file(self, tmp_path):
+        path = tmp_path / "empty.fvecs"
+        path.write_bytes(b"")
+        assert read_fvecs(path).size == 0
+
+    def test_corrupt_dimension_rejected(self, tmp_path):
+        path = tmp_path / "bad.fvecs"
+        np.array([-3, 0, 0], dtype=np.int32).tofile(path)
+        with pytest.raises(SerializationError):
+            read_fvecs(path)
+
+    def test_inconsistent_dims_rejected(self, tmp_path):
+        path = tmp_path / "bad.fvecs"
+        np.array([2, 0, 0, 3, 0, 0], dtype=np.int32).tofile(path)
+        with pytest.raises(SerializationError):
+            read_fvecs(path)
+
+    def test_non_2d_write_rejected(self, tmp_path):
+        with pytest.raises(SerializationError):
+            write_fvecs(tmp_path / "x.fvecs", np.ones(5, dtype=np.float32))

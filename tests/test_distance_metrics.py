@@ -1,0 +1,141 @@
+"""Tests for the distance metrics: exactness and metric properties."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.distance.metrics import (
+    CosineDistance,
+    EuclideanDistance,
+    InnerProductDistance,
+    available_metrics,
+    get_metric,
+)
+
+finite_vectors = hnp.arrays(
+    np.float32,
+    st.integers(2, 8).map(lambda d: (d,)),
+    elements=st.floats(-50, 50, allow_nan=False, width=32),
+)
+
+
+def random_matrix(rng, n, d):
+    return rng.normal(size=(n, d)).astype(np.float32)
+
+
+class TestRegistry:
+    def test_available(self):
+        assert available_metrics() == ["cosine", "euclidean", "inner_product"]
+
+    def test_aliases(self):
+        assert isinstance(get_metric("l2"), EuclideanDistance)
+        assert isinstance(get_metric("ip"), InnerProductDistance)
+        assert isinstance(get_metric("dot"), InnerProductDistance)
+
+    def test_instance_passthrough(self):
+        metric = EuclideanDistance()
+        assert get_metric(metric) is metric
+
+    def test_unknown_rejected(self):
+        with pytest.raises(ValueError, match="unknown metric"):
+            get_metric("manhattan")
+
+
+class TestEuclidean:
+    def test_matches_norm(self):
+        rng = np.random.default_rng(0)
+        queries = random_matrix(rng, 5, 12)
+        data = random_matrix(rng, 9, 12)
+        expected = np.linalg.norm(
+            queries[:, np.newaxis, :] - data[np.newaxis, :, :], axis=2
+        )
+        actual = EuclideanDistance().pairwise(queries, data)
+        np.testing.assert_allclose(actual, expected, rtol=1e-4, atol=1e-4)
+
+    def test_reduced_is_squared(self):
+        metric = EuclideanDistance()
+        x = np.array([[0.0, 0.0]], dtype=np.float32)
+        y = np.array([[3.0, 4.0]], dtype=np.float32)
+        assert metric.reduced_pairwise(x, y)[0, 0] == pytest.approx(25.0)
+        assert metric.pairwise(x, y)[0, 0] == pytest.approx(5.0)
+
+    def test_self_distance_zero(self):
+        rng = np.random.default_rng(1)
+        data = random_matrix(rng, 6, 8)
+        diag = np.diag(EuclideanDistance().pairwise(data, data))
+        np.testing.assert_allclose(diag, 0.0, atol=1e-2)
+
+    @given(finite_vectors.flatmap(
+        lambda x: st.tuples(
+            st.just(x),
+            hnp.arrays(np.float32, x.shape,
+                       elements=st.floats(-50, 50, allow_nan=False, width=32)),
+            hnp.arrays(np.float32, x.shape,
+                       elements=st.floats(-50, 50, allow_nan=False, width=32)),
+        )
+    ))
+    @settings(max_examples=60, deadline=None)
+    def test_triangle_inequality_and_symmetry(self, triple):
+        x, y, z = triple
+        metric = EuclideanDistance()
+        d_xy = metric.distance(x, y)
+        d_yx = metric.distance(y, x)
+        d_xz = metric.distance(x, z)
+        d_zy = metric.distance(z, y)
+        assert d_xy == pytest.approx(d_yx, rel=1e-4, abs=1e-3)
+        assert d_xy <= d_xz + d_zy + 1e-2
+
+
+class TestCosine:
+    def test_range_and_orthogonality(self):
+        metric = CosineDistance()
+        x = np.array([[1.0, 0.0]], dtype=np.float32)
+        y = np.array([[0.0, 2.0]], dtype=np.float32)
+        assert metric.pairwise(x, y)[0, 0] == pytest.approx(1.0)
+        assert metric.pairwise(x, x)[0, 0] == pytest.approx(0.0, abs=1e-6)
+        opposite = np.array([[-3.0, 0.0]], dtype=np.float32)
+        assert metric.pairwise(x, opposite)[0, 0] == pytest.approx(2.0)
+
+    def test_scale_invariance(self):
+        rng = np.random.default_rng(2)
+        x = random_matrix(rng, 4, 6)
+        y = random_matrix(rng, 5, 6)
+        base = CosineDistance().pairwise(x, y)
+        scaled = CosineDistance().pairwise(x * 7.5, y * 0.1)
+        np.testing.assert_allclose(base, scaled, rtol=1e-4, atol=1e-5)
+
+    def test_zero_vector_is_orthogonal_to_all(self):
+        metric = CosineDistance()
+        zero = np.zeros((1, 4), dtype=np.float32)
+        other = np.ones((1, 4), dtype=np.float32)
+        assert metric.pairwise(zero, other)[0, 0] == pytest.approx(1.0)
+
+
+class TestInnerProduct:
+    def test_negated_dot(self):
+        metric = InnerProductDistance()
+        x = np.array([[1.0, 2.0]], dtype=np.float32)
+        y = np.array([[3.0, 4.0]], dtype=np.float32)
+        assert metric.pairwise(x, y)[0, 0] == pytest.approx(-11.0)
+
+    def test_larger_dot_means_smaller_distance(self):
+        metric = InnerProductDistance()
+        q = np.array([1.0, 0.0], dtype=np.float32)
+        strong = np.array([[5.0, 0.0]], dtype=np.float32)
+        weak = np.array([[1.0, 0.0]], dtype=np.float32)
+        assert metric.batch(q, strong)[0] < metric.batch(q, weak)[0]
+
+
+class TestRankingConsistency:
+    @pytest.mark.parametrize("name", ["euclidean", "cosine", "inner_product"])
+    def test_reduced_preserves_order(self, name):
+        """Sorting by reduced distance == sorting by true distance."""
+        rng = np.random.default_rng(3)
+        metric = get_metric(name)
+        query = rng.normal(size=10).astype(np.float32)
+        data = random_matrix(rng, 50, 10)
+        reduced = metric.reduced_batch(query, data)
+        true = metric.batch(query, data)
+        np.testing.assert_array_equal(np.argsort(reduced), np.argsort(true))

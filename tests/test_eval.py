@@ -1,0 +1,141 @@
+"""Tests for the eval helpers: timing, tables, experiment harness."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import LannsConfig
+from repro.eval.harness import (
+    build_partitioned,
+    evaluate_recall,
+    query_experiment,
+    swap_segmenter,
+)
+from repro.eval.tables import format_table, write_result_table
+from repro.eval.timing import Timer, measure_latency, measure_qps
+from repro.data.datasets import Dataset
+from repro.segmenters.learner import learn_segmenter
+from tests.conftest import FAST_HNSW
+
+
+class TestTimer:
+    def test_measures_elapsed(self):
+        with Timer() as timer:
+            sum(range(10_000))
+        assert timer.elapsed > 0
+
+
+class TestMeasure:
+    def test_latency_shape(self):
+        queries = np.zeros((7, 3))
+        latencies = measure_latency(lambda q: None, queries)
+        assert latencies.shape == (7,)
+        assert (latencies >= 0).all()
+
+    def test_qps_keys(self):
+        stats = measure_qps(lambda q: None, np.zeros((5, 2)))
+        assert set(stats) == {"qps", "mean_ms", "p50_ms", "p99_ms"}
+        assert stats["qps"] > 0
+
+
+class TestTables:
+    def test_format_alignment(self):
+        rows = [
+            {"method": "HNSW", "recall": 0.9912, "ms": 50.4},
+            {"method": "RS(1,8)", "recall": 0.979, "ms": 58.8},
+        ]
+        text = format_table(rows, title="Table X")
+        lines = text.splitlines()
+        assert lines[0] == "Table X"
+        assert "method" in lines[1]
+        assert len(lines) == 5
+
+    def test_format_empty(self):
+        assert "(no rows)" in format_table([])
+
+    def test_column_selection(self):
+        text = format_table(
+            [{"a": 1, "b": 2}], columns=["b"]
+        )
+        assert "a" not in text.splitlines()[0]
+
+    def test_write_result_table(self, tmp_path):
+        rows = [{"k": 1, "recall": 0.5}]
+        text = write_result_table(
+            "table_test",
+            rows,
+            results_dir=tmp_path,
+            title="T",
+            notes="paper says 0.6",
+        )
+        assert (tmp_path / "table_test.txt").exists()
+        assert (tmp_path / "table_test.json").exists()
+        assert "paper says" in (tmp_path / "table_test.txt").read_text()
+
+    def test_nan_rendered_as_dash(self):
+        assert "-" in format_table([{"x": float("nan")}])
+
+
+class TestHarness:
+    @pytest.fixture(scope="class")
+    def dataset(self, clustered_data, clustered_queries):
+        return Dataset(
+            name="unit", base=clustered_data, queries=clustered_queries
+        )
+
+    @pytest.fixture(scope="class")
+    def experiment(self, dataset, tmp_path_factory):
+        from repro.sparklite.cluster import LocalCluster
+        from repro.storage.hdfs import LocalHdfs
+
+        fs = LocalHdfs(tmp_path_factory.mktemp("hdfs"))
+        cluster = LocalCluster(num_executors=4, fs=fs)
+        config = LannsConfig(
+            num_shards=1,
+            num_segments=2,
+            segmenter="rh",
+            hnsw=FAST_HNSW,
+            segmenter_sample_size=600,
+        )
+        return build_partitioned(dataset, config, fs, cluster)
+
+    def test_build_records_metrics(self, experiment):
+        assert experiment.build_metrics.tasks
+        assert experiment.manifest.total_vectors == 600
+
+    def test_query_and_recall(self, experiment):
+        result, recalls = query_experiment(
+            experiment, top_k=10, ks=[1, 10], ef=64
+        )
+        assert set(recalls) == {1, 10}
+        assert recalls[10] > 0.5  # RH loses recall but not everything
+
+    def test_evaluate_recall_vs_truth(self, dataset, clustered_truth):
+        perfect = evaluate_recall(dataset, clustered_truth[:, :10], [1, 5, 10])
+        assert perfect == {1: 1.0, 5: 1.0, 10: 1.0}
+
+    def test_swap_segmenter_reuses_builds(self, experiment, dataset):
+        index = experiment.load_index()
+        wider = learn_segmenter(
+            dataset.base,
+            "rh",
+            2,
+            alpha=0.3,
+            spill_mode="virtual",
+            seed=experiment.config.seed,
+        )
+        swapped = swap_segmenter(index, wider)
+        # Same stored vectors, different query fan-out.
+        assert len(swapped) == len(index)
+        original_fanout = np.mean(
+            [len(r) for r in index.segmenter.route_query_batch(dataset.queries)]
+        )
+        swapped_fanout = np.mean(
+            [len(r) for r in swapped.segmenter.route_query_batch(dataset.queries)]
+        )
+        assert swapped_fanout >= original_fanout
+
+    def test_swap_segmenter_validation(self, experiment, dataset):
+        index = experiment.load_index()
+        wrong_count = learn_segmenter(dataset.base, "rh", 4, seed=0)
+        with pytest.raises(ValueError, match="segments"):
+            swap_segmenter(index, wrong_count)

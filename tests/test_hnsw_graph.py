@@ -1,0 +1,129 @@
+"""Tests for the layered graph storage and visited-set machinery."""
+
+import pytest
+
+from repro.hnsw.graph import HnswGraph, VisitedPool, VisitedTable
+
+
+class TestHnswGraph:
+    def test_add_node_assigns_sequential_ids(self):
+        graph = HnswGraph()
+        assert graph.add_node(0) == 0
+        assert graph.add_node(2) == 1
+        assert len(graph) == 2
+        assert graph.levels == [0, 2]
+
+    def test_negative_level_rejected(self):
+        with pytest.raises(ValueError):
+            HnswGraph().add_node(-1)
+
+    def test_links_per_level(self):
+        graph = HnswGraph()
+        graph.add_node(1)
+        graph.add_node(1)
+        graph.add_link(0, 0, 1)
+        graph.add_link(0, 1, 1)
+        assert graph.neighbors(0, 0) == [1]
+        assert graph.neighbors(0, 1) == [1]
+        assert graph.neighbors(1, 0) == []
+        assert graph.degree(0, 0) == 1
+
+    def test_set_neighbors_copies(self):
+        graph = HnswGraph()
+        graph.add_node(0)
+        graph.add_node(0)
+        source = [1]
+        graph.set_neighbors(0, 0, source)
+        source.append(99)
+        assert graph.neighbors(0, 0) == [1]
+
+    def test_invariants_pass_on_valid_graph(self):
+        graph = HnswGraph()
+        graph.add_node(1)
+        graph.add_node(0)
+        graph.entry_point = 0
+        graph.max_level = 1
+        graph.add_link(0, 0, 1)
+        graph.add_link(1, 0, 0)
+        graph.check_invariants(max_m=4, max_m0=8)
+
+    def test_invariants_catch_self_loop(self):
+        graph = HnswGraph()
+        graph.add_node(0)
+        graph.entry_point = 0
+        graph.max_level = 0
+        graph.add_link(0, 0, 0)
+        with pytest.raises(AssertionError, match="self-loop"):
+            graph.check_invariants(max_m=4, max_m0=8)
+
+    def test_invariants_catch_degree_overflow(self):
+        graph = HnswGraph()
+        for _ in range(4):
+            graph.add_node(0)
+        graph.entry_point = 0
+        graph.max_level = 0
+        graph.set_neighbors(0, 0, [1, 2, 3])
+        with pytest.raises(AssertionError, match="degree"):
+            graph.check_invariants(max_m=2, max_m0=2)
+
+    def test_invariants_catch_link_above_neighbor_level(self):
+        graph = HnswGraph()
+        graph.add_node(1)
+        graph.add_node(0)
+        graph.entry_point = 0
+        graph.max_level = 1
+        graph.set_neighbors(0, 1, [1])  # node 1 does not exist at level 1
+        with pytest.raises(AssertionError, match="above its top level"):
+            graph.check_invariants(max_m=4, max_m0=8)
+
+    def test_empty_graph_invariants(self):
+        HnswGraph().check_invariants(max_m=4, max_m0=8)
+
+
+class TestVisitedTable:
+    def test_visit_and_reset(self):
+        table = VisitedTable(4)
+        table.reset(4)
+        assert not table.visited(2)
+        table.visit(2)
+        assert table.visited(2)
+        table.reset(4)
+        assert not table.visited(2)
+
+    def test_grows_on_demand(self):
+        table = VisitedTable(2)
+        table.reset(100)
+        table.visit(99)
+        assert table.visited(99)
+
+    def test_epochs_isolate_searches(self):
+        table = VisitedTable(8)
+        for _ in range(100):
+            table.reset(8)
+            assert not table.visited(3)
+            table.visit(3)
+
+
+class TestVisitedPool:
+    def test_same_thread_reuses_table(self):
+        pool = VisitedPool()
+        first = pool.get(10)
+        first.visit(5)
+        second = pool.get(10)
+        assert second is first
+        assert not second.visited(5)  # reset happened
+
+    def test_threads_get_distinct_tables(self):
+        import threading
+
+        pool = VisitedPool()
+        main_table = pool.get(10)
+        seen = {}
+
+        def worker():
+            seen["table"] = pool.get(10)
+
+        thread = threading.Thread(target=worker)
+        thread.start()
+        thread.join()
+        assert seen["table"] is not main_table

@@ -1,0 +1,63 @@
+"""Tests for HnswParams validation and derived defaults."""
+
+import math
+
+import pytest
+
+from repro.hnsw.params import HnswParams
+
+
+class TestValidation:
+    def test_defaults_valid(self):
+        params = HnswParams()
+        assert params.M == 16
+        assert params.ef_construction == 100
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"M": 1},
+            {"ef_construction": 0},
+            {"ef_search": 0},
+            {"max_m": 0},
+            {"max_m0": -1},
+            {"ml": 0.0},
+        ],
+    )
+    def test_bad_values_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            HnswParams(**kwargs)
+
+    def test_frozen(self):
+        params = HnswParams()
+        with pytest.raises(Exception):
+            params.M = 32
+
+
+class TestDerivedDefaults:
+    def test_max_m0_defaults_to_2m(self):
+        assert HnswParams(M=10).effective_max_m0 == 20
+        assert HnswParams(M=10, max_m0=15).effective_max_m0 == 15
+
+    def test_max_m_defaults_to_m(self):
+        assert HnswParams(M=10).effective_max_m == 10
+        assert HnswParams(M=10, max_m=12).effective_max_m == 12
+
+    def test_ml_defaults_to_inverse_log_m(self):
+        assert HnswParams(M=16).effective_ml == pytest.approx(
+            1.0 / math.log(16)
+        )
+        assert HnswParams(M=16, ml=0.5).effective_ml == 0.5
+
+
+class TestSerialization:
+    def test_roundtrip(self):
+        params = HnswParams(
+            M=12, ef_construction=77, ef_search=33, max_m0=30, ml=0.4, seed=9
+        )
+        assert HnswParams.from_dict(params.to_dict()) == params
+
+    def test_from_dict_ignores_unknown_keys(self):
+        payload = HnswParams().to_dict()
+        payload["bogus"] = 1
+        assert HnswParams.from_dict(payload) == HnswParams()

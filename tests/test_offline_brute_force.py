@@ -1,0 +1,126 @@
+"""Tests for exact search: blocked scan and the distributed job (Fig 8)."""
+
+import numpy as np
+import pytest
+
+from repro.offline.brute_force import brute_force_job, exact_top_k
+from repro.offline.recall import recall_at_k, recall_curve
+from repro.sparklite.cluster import LocalCluster
+
+
+def naive_top_k(data, queries, k):
+    out = np.empty((len(queries), k), dtype=np.int64)
+    for row, query in enumerate(queries):
+        dists = np.linalg.norm(data - query, axis=1)
+        out[row] = np.argsort(dists, kind="stable")[:k]
+    return out
+
+
+class TestExactTopK:
+    def test_matches_naive(self, clustered_data, clustered_queries):
+        ids, dists = exact_top_k(clustered_data, clustered_queries, 10)
+        expected = naive_top_k(clustered_data, clustered_queries, 10)
+        np.testing.assert_array_equal(ids, expected)
+        assert np.all(np.diff(dists, axis=1) >= -1e-9)
+
+    def test_blocking_invariance(self, clustered_data, clustered_queries):
+        small_blocks, _ = exact_top_k(
+            clustered_data, clustered_queries, 7, block_size=13
+        )
+        big_blocks, _ = exact_top_k(
+            clustered_data, clustered_queries, 7, block_size=100_000
+        )
+        np.testing.assert_array_equal(small_blocks, big_blocks)
+
+    def test_k_clamped_to_n(self, clustered_data, clustered_queries):
+        ids, _ = exact_top_k(clustered_data[:5], clustered_queries[:3], 10)
+        assert ids.shape == (3, 5)
+
+    def test_cosine_metric(self, clustered_data, clustered_queries):
+        ids, dists = exact_top_k(
+            clustered_data, clustered_queries[:5], 5, metric="cosine"
+        )
+        assert (dists >= -1e-6).all() and (dists <= 2.0 + 1e-6).all()
+
+    def test_invalid_k(self, clustered_data, clustered_queries):
+        with pytest.raises(ValueError):
+            exact_top_k(clustered_data, clustered_queries, 0)
+
+
+class TestBruteForceJob:
+    def test_equals_single_process_exact(self, clustered_data, clustered_queries):
+        cluster = LocalCluster(num_executors=3)
+        job_ids, job_dists = brute_force_job(
+            cluster, clustered_data, clustered_queries, 10
+        )
+        exact_ids, exact_dists = exact_top_k(
+            clustered_data, clustered_queries, 10
+        )
+        np.testing.assert_array_equal(job_ids, exact_ids)
+        np.testing.assert_allclose(job_dists, exact_dists, rtol=1e-5)
+
+    def test_external_ids_mapped(self, clustered_data, clustered_queries):
+        cluster = LocalCluster(num_executors=2)
+        ids = np.arange(len(clustered_data)) + 10_000
+        job_ids, _ = brute_force_job(
+            cluster, clustered_data, clustered_queries, 5, ids=ids
+        )
+        assert (job_ids >= 10_000).all()
+        exact_ids, _ = exact_top_k(clustered_data, clustered_queries, 5)
+        np.testing.assert_array_equal(job_ids - 10_000, exact_ids)
+
+    def test_partition_count_irrelevant(self, clustered_data, clustered_queries):
+        cluster = LocalCluster(num_executors=2)
+        one, _ = brute_force_job(
+            cluster, clustered_data, clustered_queries, 8, num_partitions=1
+        )
+        many, _ = brute_force_job(
+            cluster, clustered_data, clustered_queries, 8, num_partitions=7
+        )
+        np.testing.assert_array_equal(one, many)
+
+    def test_stages_recorded(self, clustered_data, clustered_queries):
+        cluster = LocalCluster(num_executors=2)
+        brute_force_job(cluster, clustered_data, clustered_queries[:5], 3)
+        names = [stage.stage for stage in cluster.stages]
+        assert "brute-force" in names
+        assert "brute-force-merge" in names
+
+
+class TestRecall:
+    def test_perfect_recall(self):
+        truth = np.array([[1, 2, 3], [4, 5, 6]])
+        assert recall_at_k(truth, truth, 3) == 1.0
+
+    def test_partial_recall(self):
+        results = np.array([[1, 2, 9], [4, 8, 7]])
+        truth = np.array([[1, 2, 3], [4, 5, 6]])
+        assert recall_at_k(results, truth, 3) == pytest.approx(0.5)
+
+    def test_order_within_topk_irrelevant(self):
+        results = np.array([[3, 2, 1]])
+        truth = np.array([[1, 2, 3]])
+        assert recall_at_k(results, truth, 3) == 1.0
+
+    def test_padding_ignored(self):
+        results = np.array([[1, -1, -1]])
+        truth = np.array([[1, 2, 3]])
+        assert recall_at_k(results, truth, 3) == pytest.approx(1 / 3)
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            recall_at_k(np.array([1, 2]), np.array([[1, 2]]), 2)
+        with pytest.raises(ValueError):
+            recall_at_k(np.ones((2, 3)), np.ones((3, 3)), 2)
+        with pytest.raises(ValueError):
+            recall_at_k(np.ones((2, 3)), np.ones((2, 3)), 5)
+        with pytest.raises(ValueError):
+            recall_at_k(np.ones((2, 3)), np.ones((2, 3)), 0)
+
+    def test_recall_curve(self):
+        results = np.array([[1, 2, 9, 10]])
+        truth = np.array([[1, 2, 3, 4]])
+        curve = recall_curve(results, truth, [1, 2, 4])
+        assert curve[1] == 1.0
+        assert curve[2] == 1.0
+        assert curve[4] == pytest.approx(0.5)

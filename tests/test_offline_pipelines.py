@@ -1,0 +1,157 @@
+"""Tests for the offline jobs: learn (Fig 5), index (Fig 6), query (Fig 7)."""
+
+import numpy as np
+import pytest
+
+from repro.core.builder import build_lanns_index
+from repro.core.config import LannsConfig
+from repro.offline.indexing import build_index_job
+from repro.offline.learn import learn_segmenter_job, load_learnt_segmenter
+from repro.offline.querying import query_index_job
+from repro.offline.recall import recall_at_k
+from repro.sparklite.cluster import LocalCluster
+from repro.storage.manifest import load_lanns_index
+from tests.conftest import FAST_HNSW
+
+
+@pytest.fixture(scope="module")
+def config():
+    return LannsConfig(
+        num_shards=2,
+        num_segments=2,
+        segmenter="apd",
+        hnsw=FAST_HNSW,
+        segmenter_sample_size=600,
+        seed=4,
+    )
+
+
+class TestLearnJob:
+    def test_learns_and_persists(self, cluster, fs, clustered_data, config):
+        segmenter = learn_segmenter_job(
+            cluster, fs, clustered_data, config, output_path="segmenters/s1"
+        )
+        assert segmenter.is_fitted
+        restored = load_learnt_segmenter(fs, "segmenters/s1")
+        assert restored.route_data_batch(clustered_data[:20]) == (
+            segmenter.route_data_batch(clustered_data[:20])
+        )
+        assert cluster.last_stage().stage == "learn-segmenter"
+
+    def test_no_persistence_without_path(self, cluster, fs, clustered_data, config):
+        learn_segmenter_job(cluster, fs, clustered_data, config)
+        assert fs.ls_recursive("") == []
+
+
+class TestBuildJob:
+    def test_build_writes_full_layout(self, cluster, fs, clustered_data, config):
+        manifest, metrics = build_index_job(
+            cluster, fs, clustered_data, config, "idx"
+        )
+        assert manifest.total_vectors == len(clustered_data)
+        assert metrics.stage == "hnsw-build"
+        assert len(metrics.tasks) == config.total_partitions
+        files = fs.ls_recursive("idx")
+        assert "idx/metadata.json" in files
+        assert len([f for f in files if f.endswith(".npz")]) == 4
+
+    def test_built_index_loads_and_answers(self, cluster, fs, clustered_data, clustered_queries, clustered_truth, config):
+        build_index_job(cluster, fs, clustered_data, config, "idx")
+        index = load_lanns_index(fs, "idx")
+        hits = 0
+        for query, truth in zip(clustered_queries[:20], clustered_truth[:20]):
+            ids, _ = index.query(query, 10, ef=64)
+            hits += len(set(ids.tolist()) & set(truth[:10].tolist()))
+        assert hits / 200 >= 0.85
+
+    def test_shared_segmenter_reused(self, cluster, fs, clustered_data, config):
+        segmenter = learn_segmenter_job(cluster, fs, clustered_data, config)
+        manifest, _ = build_index_job(
+            cluster, fs, clustered_data, config, "idx", segmenter=segmenter
+        )
+        index = load_lanns_index(fs, "idx")
+        assert index.segmenter.route_data_batch(clustered_data[:10]) == (
+            segmenter.route_data_batch(clustered_data[:10])
+        )
+
+
+class TestQueryJob:
+    @pytest.fixture()
+    def persisted(self, cluster, fs, clustered_data, config):
+        build_index_job(cluster, fs, clustered_data, config, "idx")
+        return "idx"
+
+    def test_matches_in_memory_index(
+        self, cluster, fs, persisted, clustered_data, clustered_queries, config
+    ):
+        result = query_index_job(
+            cluster, fs, persisted, clustered_queries, top_k=10, ef=64,
+            checkpoint=False,
+        )
+        memory_index = build_lanns_index(clustered_data, config=config)
+        memory_ids, _ = memory_index.query_batch(clustered_queries, 10, ef=64)
+        agreement = (result.ids == memory_ids).mean()
+        assert agreement > 0.99
+
+    def test_three_stages_recorded(self, cluster, fs, persisted, clustered_queries):
+        result = query_index_job(
+            cluster, fs, persisted, clustered_queries, top_k=5,
+            checkpoint=False,
+        )
+        assert [m.stage for m in result.stages] == [
+            "partial-search",
+            "segment-merge",
+            "shard-merge",
+        ]
+        assert result.total_makespan(4) <= result.total_makespan(1) + 1e-9
+        assert result.stage("partial-search").tasks
+
+    def test_recall_against_truth(
+        self, cluster, fs, persisted, clustered_queries, clustered_truth
+    ):
+        result = query_index_job(
+            cluster, fs, persisted, clustered_queries, top_k=10, ef=64,
+            checkpoint=False,
+        )
+        assert recall_at_k(result.ids, clustered_truth, 10) >= 0.85
+
+    def test_output_persisted(self, cluster, fs, persisted, clustered_queries):
+        query_index_job(
+            cluster, fs, persisted, clustered_queries[:10], top_k=5,
+            checkpoint=False, output_path="results/out.npz",
+        )
+        assert fs.exists("results/out.npz")
+
+    def test_checkpointing_survives_failures(
+        self, fs, persisted, clustered_queries, clustered_truth
+    ):
+        flaky = LocalCluster(
+            num_executors=4,
+            failure_rate=0.25,
+            max_rounds=40,
+            seed=13,
+            fs=fs,
+        )
+        result = query_index_job(
+            flaky, fs, persisted, clustered_queries, top_k=10, ef=64,
+            checkpoint=True,
+        )
+        assert recall_at_k(result.ids, clustered_truth, 10) >= 0.85
+        # Temp checkpoint paths were cleaned.
+        assert fs.ls_recursive("_tmp") == []
+
+    def test_invalid_topk(self, cluster, fs, persisted, clustered_queries):
+        with pytest.raises(ValueError):
+            query_index_job(
+                cluster, fs, persisted, clustered_queries, top_k=0
+            )
+
+    def test_num_query_partitions_respected(
+        self, cluster, fs, persisted, clustered_queries
+    ):
+        result = query_index_job(
+            cluster, fs, persisted, clustered_queries, top_k=5,
+            num_query_partitions=5, checkpoint=False,
+        )
+        merge_tasks = result.stage("shard-merge").tasks
+        assert len(merge_tasks) == 5

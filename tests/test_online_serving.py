@@ -1,0 +1,188 @@
+"""Tests for the online tier: searchers, broker, service (Fig 9)."""
+
+import numpy as np
+import pytest
+
+from repro.core.builder import build_lanns_index
+from repro.core.config import LannsConfig
+from repro.errors import MetadataMismatchError
+from repro.online.broker import Broker
+from repro.online.searcher import SearcherNode
+from repro.online.service import OnlineService
+from repro.storage.manifest import save_lanns_index
+from tests.conftest import FAST_HNSW
+
+
+@pytest.fixture(scope="module")
+def config():
+    return LannsConfig(
+        num_shards=2,
+        num_segments=2,
+        segmenter="rh",
+        hnsw=FAST_HNSW,
+        segmenter_sample_size=600,
+        seed=6,
+    )
+
+
+@pytest.fixture(scope="module")
+def index(clustered_data, config):
+    return build_lanns_index(clustered_data, config=config)
+
+
+@pytest.fixture
+def service(index, fs):
+    save_lanns_index(index, fs, "prod/main")
+    service = OnlineService()
+    service.deploy(fs, "prod/main")
+    return service
+
+
+class TestSearcherNode:
+    def test_host_and_search(self, index, clustered_queries):
+        searcher = SearcherNode(0)
+        searcher.host("main", index.shards[0])
+        results = searcher.search("main", clustered_queries[0], 5)
+        assert len(results) <= 5
+
+    def test_shard_id_must_match(self, index):
+        searcher = SearcherNode(1)
+        with pytest.raises(ValueError, match="cannot host"):
+            searcher.host("main", index.shards[0])
+
+    def test_double_host_rejected(self, index):
+        searcher = SearcherNode(0)
+        searcher.host("main", index.shards[0])
+        with pytest.raises(ValueError, match="already hosts"):
+            searcher.host("main", index.shards[0])
+
+    def test_unknown_index_search(self, index, clustered_queries):
+        searcher = SearcherNode(0)
+        with pytest.raises(KeyError, match="does not host"):
+            searcher.search("ghost", clustered_queries[0], 5)
+
+    def test_ab_hosting_and_unhost(self, index, clustered_data):
+        searcher = SearcherNode(0)
+        searcher.host("model-a", index.shards[0])
+        variant = build_lanns_index(
+            clustered_data[:300],
+            config=index.config.with_updates(seed=99),
+        )
+        searcher.host("model-b", variant.shards[0])
+        assert searcher.hosted_indices == ["model-a", "model-b"]
+        assert searcher.memory_vectors() == len(index.shards[0]) + len(
+            variant.shards[0]
+        )
+        searcher.unhost("model-b")
+        assert searcher.hosted_indices == ["model-a"]
+        with pytest.raises(KeyError):
+            searcher.unhost("model-b")
+
+
+class TestBroker:
+    def test_broker_matches_in_memory_index(self, index, clustered_queries, config):
+        searchers = [SearcherNode(0), SearcherNode(1)]
+        for shard_id, searcher in enumerate(searchers):
+            searcher.host("main", index.shards[shard_id])
+        broker = Broker(searchers, config)
+        for query in clustered_queries[:10]:
+            broker_ids, _ = broker.query("main", query, 10, ef=64)
+            index_ids, _ = index.query(query, 10, ef=64)
+            np.testing.assert_array_equal(broker_ids, index_ids)
+
+    def test_parallel_fanout_same_results(self, index, clustered_queries, config):
+        searchers = [SearcherNode(0), SearcherNode(1)]
+        for shard_id, searcher in enumerate(searchers):
+            searcher.host("main", index.shards[shard_id])
+        sequential = Broker(searchers, config, parallel_fanout=False)
+        parallel = Broker(searchers, config, parallel_fanout=True)
+        for query in clustered_queries[:5]:
+            np.testing.assert_array_equal(
+                sequential.query("main", query, 8)[0],
+                parallel.query("main", query, 8)[0],
+            )
+
+    def test_searcher_order_enforced(self, index, config):
+        searchers = [SearcherNode(1), SearcherNode(0)]
+        with pytest.raises(ValueError, match="shard order"):
+            Broker(searchers, config)
+
+    def test_searcher_count_enforced(self, index, config):
+        with pytest.raises(ValueError, match="searchers"):
+            Broker([SearcherNode(0)], config)
+
+    def test_budget_passed_to_shards(self, index, config):
+        searchers = [SearcherNode(0), SearcherNode(1)]
+        for shard_id, searcher in enumerate(searchers):
+            searcher.host("main", index.shards[shard_id])
+        broker = Broker(searchers, config)
+        assert broker.per_shard_budget(100) < 100
+        off = Broker(
+            searchers, config.with_updates(use_per_shard_topk=False)
+        )
+        assert off.per_shard_budget(100) == 100
+
+    def test_query_batch_padding(self, index, clustered_queries, config):
+        searchers = [SearcherNode(0), SearcherNode(1)]
+        for shard_id, searcher in enumerate(searchers):
+            searcher.host("main", index.shards[shard_id])
+        broker = Broker(searchers, config)
+        ids, dists = broker.query_batch("main", clustered_queries[:3], 5)
+        assert ids.shape == (3, 5)
+
+
+class TestOnlineService:
+    def test_deploy_and_query(self, service, index, clustered_queries):
+        for query in clustered_queries[:10]:
+            online_ids, _ = service.query(query, 10, ef=64)
+            memory_ids, _ = index.query(query, 10, ef=64)
+            np.testing.assert_array_equal(online_ids, memory_ids)
+
+    def test_double_deploy_rejected(self, service, fs):
+        with pytest.raises(ValueError, match="already deployed"):
+            service.deploy(fs, "prod/main")
+
+    def test_config_drift_guard(self, index, fs, config):
+        save_lanns_index(index, fs, "prod/main")
+        service = OnlineService()
+        with pytest.raises(MetadataMismatchError):
+            service.deploy(
+                fs,
+                "prod/main",
+                expected_config=config.with_updates(topk_confidence=0.9),
+            )
+
+    def test_ab_deployment(self, service, fs, clustered_data, index, clustered_queries):
+        variant = build_lanns_index(
+            clustered_data,
+            config=index.config.with_updates(seed=123),
+        )
+        save_lanns_index(variant, fs, "prod/variant")
+        service.deploy(fs, "prod/variant", index_name="variant")
+        assert service.deployed_indices == ["default", "variant"]
+        ids_a, _ = service.query(clustered_queries[0], 5, index_name="default")
+        ids_b, _ = service.query(clustered_queries[0], 5, index_name="variant")
+        assert len(ids_a) == len(ids_b) == 5
+        service.undeploy("variant")
+        assert service.deployed_indices == ["default"]
+        with pytest.raises(KeyError):
+            service.query(clustered_queries[0], 5, index_name="variant")
+
+    def test_unknown_index_query(self, service, clustered_queries):
+        with pytest.raises(KeyError, match="not deployed"):
+            service.query(clustered_queries[0], 5, index_name="nope")
+
+    def test_measure_qps_stats(self, service, clustered_queries):
+        stats = service.measure_qps(clustered_queries[:10], 5)
+        assert stats["count"] == 10
+        assert stats["qps"] > 0
+        assert stats["p99_latency_ms"] >= stats["mean_latency_ms"] * 0.5
+
+    def test_shard_count_mismatch_on_shared_fleet(self, service, fs, clustered_data):
+        other = build_lanns_index(
+            clustered_data[:200],
+            config=LannsConfig(num_shards=1, hnsw=FAST_HNSW),
+        )
+        save_lanns_index(other, fs, "prod/other")
+        with pytest.raises(ValueError, match="searchers"):
+            service.deploy(fs, "prod/other", index_name="other")

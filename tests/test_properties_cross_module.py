@@ -1,0 +1,129 @@
+"""Cross-module property-based tests (hypothesis).
+
+These check the invariants the platform's correctness actually rests on:
+partitioning + two-level merging must be *transparent* -- for exact
+(brute force) search, any (shards, segments) layout must return exactly
+the global answer; and HNSW serialization must be lossless for arbitrary
+(well-formed) float32 data.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.merge import merge_segment_results, merge_shard_results
+from repro.core.topk import per_shard_top_k
+from repro.hnsw.index import HnswIndex, build_hnsw
+from repro.hnsw.params import HnswParams
+from repro.offline.brute_force import exact_top_k
+from repro.sharding.sharder import HashSharder
+from repro.storage.manifest import hnsw_from_bytes, hnsw_to_bytes
+
+TINY_HNSW = HnswParams(M=4, ef_construction=16, ef_search=16, seed=0)
+
+
+@st.composite
+def small_dataset(draw):
+    n = draw(st.integers(4, 40))
+    dim = draw(st.integers(2, 6))
+    flat = draw(
+        st.lists(
+            st.floats(-100, 100, allow_nan=False, width=32),
+            min_size=n * dim,
+            max_size=n * dim,
+        )
+    )
+    return np.asarray(flat, dtype=np.float32).reshape(n, dim)
+
+
+class TestPartitioningTransparency:
+    @given(small_dataset(), st.integers(1, 4), st.integers(1, 4), st.integers(1, 5))
+    @settings(max_examples=40, deadline=None)
+    def test_exact_search_is_partition_invariant(
+        self, data, num_shards, num_segments, k
+    ):
+        """Brute-force search through the two-level merge equals global
+        brute-force search, for ANY partition layout.
+
+        This is the platform's core correctness contract: partitioning
+        may cost recall only through the *approximate* per-segment index
+        and the segmenter routing, never through the merge machinery.
+        """
+        n = data.shape[0]
+        k = min(k, n)
+        query = data[0]
+        global_ids, _ = exact_top_k(data, query[np.newaxis], k)
+
+        sharder = HashSharder(num_shards)
+        rng = np.random.default_rng(0)
+        segment_of = rng.integers(0, num_segments, size=n)
+        shard_results = []
+        for shard in range(num_shards):
+            segment_lists = []
+            for segment in range(num_segments):
+                rows = np.asarray(
+                    [
+                        row
+                        for row in range(n)
+                        if sharder.shard_of(row) == shard
+                        and segment_of[row] == segment
+                    ],
+                    dtype=np.int64,
+                )
+                if rows.size == 0:
+                    continue
+                ids, dists = exact_top_k(
+                    data[rows], query[np.newaxis], min(k, rows.size)
+                )
+                segment_lists.append(
+                    [
+                        (float(dist), int(rows[item]))
+                        for dist, item in zip(dists[0], ids[0])
+                    ]
+                )
+            if segment_lists:
+                shard_results.append(
+                    merge_segment_results(segment_lists, k)
+                )
+        merged = merge_shard_results(shard_results, k)
+        assert [item for _, item in merged] == global_ids[0].tolist()
+
+    @given(st.integers(1, 64), st.integers(1, 1000))
+    @settings(max_examples=60, deadline=None)
+    def test_per_shard_budget_bounds(self, num_shards, top_k):
+        budget = per_shard_top_k(top_k, num_shards, 0.95)
+        assert 1 <= budget <= top_k
+        assert budget * num_shards >= top_k
+
+
+class TestHnswPropertyRoundtrip:
+    @given(small_dataset())
+    @settings(max_examples=20, deadline=None)
+    def test_serialization_lossless_for_arbitrary_data(self, data):
+        index = build_hnsw(data, params=TINY_HNSW)
+        restored = hnsw_from_bytes(hnsw_to_bytes(index))
+        query = data[0]
+        ids_a, dists_a = index.search(query, min(3, len(data)), ef=16)
+        ids_b, dists_b = restored.search(query, min(3, len(data)), ef=16)
+        np.testing.assert_array_equal(ids_a, ids_b)
+        np.testing.assert_allclose(dists_a, dists_b, rtol=1e-6)
+
+    @given(small_dataset())
+    @settings(max_examples=20, deadline=None)
+    def test_search_returns_valid_ids_and_sorted_distances(self, data):
+        index = build_hnsw(data, params=TINY_HNSW)
+        k = min(5, len(data))
+        ids, dists = index.search(data[0], k, ef=16)
+        assert len(ids) == k
+        assert len(set(ids.tolist())) == k  # no duplicates
+        assert (ids >= 0).all() and (ids < len(data)).all()
+        assert np.all(np.diff(dists) >= -1e-9)
+
+    @given(small_dataset())
+    @settings(max_examples=20, deadline=None)
+    def test_graph_invariants_for_arbitrary_data(self, data):
+        index = build_hnsw(data, params=TINY_HNSW)
+        index.graph.check_invariants(
+            TINY_HNSW.effective_max_m, TINY_HNSW.effective_max_m0
+        )

@@ -1,0 +1,128 @@
+"""Tests for the APD segmenter and its power-iteration SVD."""
+
+import numpy as np
+import pytest
+
+from repro.segmenters.apd import ApdSegmenter, second_singular_vector
+from repro.segmenters.base import segmenter_from_dict
+from tests.conftest import make_clustered
+
+
+def alignment(u, v) -> float:
+    """|cos| between two directions (sign-invariant)."""
+    return abs(float(u @ v) / (np.linalg.norm(u) * np.linalg.norm(v)))
+
+
+class TestSecondSingularVector:
+    def test_matches_numpy_svd(self):
+        rng = np.random.default_rng(0)
+        # Anisotropic data: distinct singular values so v2 is unique.
+        data = rng.normal(size=(200, 6)) * np.array([10, 5, 2, 1, 0.5, 0.1])
+        ours = second_singular_vector(data, seed=1)
+        _, _, vt = np.linalg.svd(data, full_matrices=False)
+        assert alignment(ours, vt[1]) > 0.99
+
+    def test_unit_norm(self):
+        rng = np.random.default_rng(1)
+        data = rng.normal(size=(100, 8))
+        vector = second_singular_vector(data, seed=0)
+        assert np.linalg.norm(vector) == pytest.approx(1.0, rel=1e-5)
+
+    def test_orthogonal_to_first(self):
+        rng = np.random.default_rng(2)
+        data = rng.normal(size=(150, 5)) * np.array([8, 3, 1, 0.5, 0.2])
+        _, _, vt = np.linalg.svd(data, full_matrices=False)
+        ours = second_singular_vector(data, seed=0)
+        assert alignment(ours, vt[0]) < 0.05
+
+    def test_deterministic(self):
+        rng = np.random.default_rng(3)
+        data = rng.normal(size=(80, 4))
+        a = second_singular_vector(data, seed=7)
+        b = second_singular_vector(data, seed=7)
+        np.testing.assert_allclose(a, b)
+
+    def test_separates_two_clusters(self):
+        """For two offset clusters, v2 aligns with the between-cluster
+        direction once the mean direction (v1) is removed -- the spectral
+        'sparsest cut' behaviour APD relies on."""
+        rng = np.random.default_rng(4)
+        offset = np.zeros(10)
+        offset[3] = 6.0
+        cluster_a = rng.normal(size=(150, 10)) + 10.0  # common mean
+        cluster_b = rng.normal(size=(150, 10)) + 10.0 + offset
+        data = np.concatenate([cluster_a, cluster_b])
+        vector = second_singular_vector(data, seed=0)
+        projections = data @ vector
+        side_a = projections[:150] > np.median(projections)
+        side_b = projections[150:] > np.median(projections)
+        # The split should mostly separate the clusters.
+        purity = max(
+            (side_a.mean() + (1 - side_b.mean())) / 2,
+            ((1 - side_a.mean()) + side_b.mean()) / 2,
+        )
+        assert purity > 0.9
+
+    def test_needs_two_dimensions(self):
+        with pytest.raises(ValueError):
+            second_singular_vector(np.ones((10, 1)))
+
+    def test_degenerate_rank_one_data_does_not_crash(self):
+        direction = np.ones((1, 4))
+        data = np.arange(1, 21, dtype=np.float64)[:, np.newaxis] @ direction
+        vector = second_singular_vector(data, seed=0)
+        assert np.isfinite(vector).all()
+
+
+class TestApdSegmenter:
+    @pytest.fixture(scope="class")
+    def data(self):
+        return make_clustered(600, 10, seed=9)
+
+    def test_fit_and_route(self, data):
+        segmenter = ApdSegmenter(4, seed=0).fit(data)
+        routes = segmenter.route_data_batch(data)
+        assert all(len(route) == 1 for route in routes)
+        counts = np.bincount([r[0] for r in routes], minlength=4)
+        assert counts.min() >= 0.5 * counts.max()
+
+    def test_fewer_boundary_queries_than_rh_on_clustered_data(self, data):
+        """APD picks the sparsest cut, so fewer queries should straddle
+        the split than under a random hyperplane (the paper's motivation:
+        'we would like to minimize the number of queries being routed to
+        multiple segments')."""
+        from repro.segmenters.rh import RandomHyperplaneSegmenter
+
+        apd = ApdSegmenter(2, alpha=0.15, seed=0).fit(data)
+        apd_fanout = np.mean(
+            [len(r) for r in apd.route_query_batch(data)]
+        )
+        rh_fanouts = []
+        for seed in range(5):
+            rh = RandomHyperplaneSegmenter(2, alpha=0.15, seed=seed).fit(data)
+            rh_fanouts.append(
+                np.mean([len(r) for r in rh.route_query_batch(data)])
+            )
+        # Not strictly lower for every random draw, but lower than the
+        # average random hyperplane.
+        assert apd_fanout <= np.mean(rh_fanouts) + 0.05
+
+    def test_iterations_validated(self):
+        with pytest.raises(ValueError):
+            ApdSegmenter(4, iterations=0)
+
+    def test_serialization_roundtrip(self, data):
+        segmenter = ApdSegmenter(
+            4, alpha=0.1, spill_mode="physical", seed=3, iterations=50
+        ).fit(data)
+        restored = segmenter_from_dict(segmenter.to_dict())
+        assert isinstance(restored, ApdSegmenter)
+        assert restored.iterations == 50
+        assert restored.route_data_batch(data[:50]) == (
+            segmenter.route_data_batch(data[:50])
+        )
+
+    def test_deterministic(self, data):
+        a = ApdSegmenter(4, seed=2).fit(data)
+        b = ApdSegmenter(4, seed=2).fit(data)
+        assert a.route_data_batch(data[:100]) == b.route_data_batch(data[:100])

@@ -1,0 +1,79 @@
+"""Tests for segmenter learning (subsample + fit, Figure 5)."""
+
+import numpy as np
+import pytest
+
+from repro.segmenters.apd import ApdSegmenter
+from repro.segmenters.learner import (
+    learn_segmenter,
+    make_segmenter,
+    uniform_subsample,
+)
+from repro.segmenters.random_segmenter import RandomSegmenter
+from repro.segmenters.rh import RandomHyperplaneSegmenter
+
+
+class TestMakeSegmenter:
+    def test_kinds(self):
+        assert isinstance(make_segmenter("rs", 4), RandomSegmenter)
+        assert isinstance(make_segmenter("rh", 4), RandomHyperplaneSegmenter)
+        assert isinstance(make_segmenter("apd", 4), ApdSegmenter)
+
+    def test_unknown_kind(self):
+        with pytest.raises(ValueError, match="unknown segmenter"):
+            make_segmenter("annoy", 4)
+
+    def test_parameters_forwarded(self):
+        segmenter = make_segmenter(
+            "rh", 8, alpha=0.2, spill_mode="physical", seed=9
+        )
+        assert segmenter.alpha == 0.2
+        assert segmenter.spill_mode == "physical"
+        assert segmenter.seed == 9
+
+
+class TestUniformSubsample:
+    def test_returns_all_when_small(self, clustered_data):
+        sample = uniform_subsample(clustered_data, 10_000, seed=0)
+        assert sample.shape == clustered_data.shape
+
+    def test_subsamples_without_replacement(self, clustered_data):
+        sample = uniform_subsample(clustered_data, 100, seed=0)
+        assert sample.shape == (100, clustered_data.shape[1])
+        # Without replacement: all rows distinct.
+        assert len(np.unique(sample, axis=0)) == 100
+
+    def test_deterministic(self, clustered_data):
+        a = uniform_subsample(clustered_data, 50, seed=1)
+        b = uniform_subsample(clustered_data, 50, seed=1)
+        np.testing.assert_array_equal(a, b)
+
+    def test_invalid_size(self, clustered_data):
+        with pytest.raises(ValueError):
+            uniform_subsample(clustered_data, 0)
+
+
+class TestLearnSegmenter:
+    def test_learns_fitted_segmenter(self, clustered_data):
+        segmenter = learn_segmenter(clustered_data, "rh", 4, seed=0)
+        assert segmenter.is_fitted
+        assert segmenter.num_segments == 4
+
+    def test_sample_size_controls_fit_data(self, clustered_data):
+        # Learning on a subsample must still produce a working segmenter.
+        segmenter = learn_segmenter(
+            clustered_data, "apd", 4, sample_size=128, seed=0
+        )
+        routes = segmenter.route_data_batch(clustered_data)
+        assert {route[0] for route in routes} == {0, 1, 2, 3}
+
+    def test_rs_requires_no_learning(self, clustered_data):
+        segmenter = learn_segmenter(clustered_data, "rs", 4, seed=0)
+        assert isinstance(segmenter, RandomSegmenter)
+
+    def test_spill_parameters_respected(self, clustered_data):
+        segmenter = learn_segmenter(
+            clustered_data, "rh", 2, alpha=0.05, spill_mode="physical", seed=0
+        )
+        assert segmenter.alpha == 0.05
+        assert segmenter.spill_mode == "physical"

@@ -1,0 +1,150 @@
+"""Tests for the Definition 1 potentials and Theorem 1 bounds."""
+
+import numpy as np
+import pytest
+
+from repro.segmenters.theory import (
+    failure_bound_1nn,
+    failure_bound_knn,
+    figure4_failure_probability,
+    potential_phi,
+    potential_phi_k,
+)
+from tests.conftest import make_clustered
+
+
+@pytest.fixture(scope="module")
+def data():
+    return make_clustered(400, 8, seed=11)
+
+
+class TestPotentialPhi:
+    def test_well_separated_neighbor_gives_small_potential(self):
+        """One point next to the query, the rest far away: easy instance."""
+        data = np.concatenate(
+            [
+                np.array([[0.1, 0.0]]),
+                np.ones((50, 2)) * 100.0
+                + np.random.default_rng(0).normal(size=(50, 2)),
+            ]
+        ).astype(np.float32)
+        query = np.zeros(2, dtype=np.float32)
+        easy = potential_phi(query, data, m=20)
+        assert easy < 0.05
+
+    def test_uniform_shell_gives_large_potential(self):
+        """All points equidistant: the hardest instance, ratios ~ 1."""
+        rng = np.random.default_rng(1)
+        directions = rng.normal(size=(50, 4))
+        directions /= np.linalg.norm(directions, axis=1, keepdims=True)
+        data = (directions * 10.0).astype(np.float32)
+        query = np.zeros(4, dtype=np.float32)
+        hard = potential_phi(query, data, m=50)
+        assert hard > 0.8
+
+    def test_potential_decreases_for_easier_queries(self, data):
+        query_near = data[0]  # exact data point: distance 0 to its NN
+        assert potential_phi(query_near, data, m=50) == 0.0
+
+    def test_m_validated(self, data):
+        with pytest.raises(ValueError):
+            potential_phi(data[0], data, m=1)
+
+
+class TestPotentialPhiK:
+    def test_reduces_to_reasonable_range(self, data):
+        value = potential_phi_k(data[0] + 0.01, data, k=5, m=50)
+        assert 0.0 <= value <= 1.0
+
+    def test_k_and_m_validated(self, data):
+        with pytest.raises(ValueError):
+            potential_phi_k(data[0], data, k=0, m=10)
+        with pytest.raises(ValueError):
+            potential_phi_k(data[0], data, k=10, m=10)
+
+    def test_harder_for_larger_k(self, data):
+        """Needing more of the neighborhood can only raise the potential
+        numerator (average of k nearest distances grows with k)."""
+        query = data[0] + 0.05
+        small_k = potential_phi_k(query, data, k=2, m=100)
+        large_k = potential_phi_k(query, data, k=20, m=100)
+        assert large_k >= small_k * 0.9  # allow slack from the 1/m factor
+
+
+class TestTheorem1Bounds:
+    def test_bound_is_probability(self, data):
+        for alpha in (0.05, 0.15, 0.3):
+            bound = failure_bound_1nn(data[0] + 0.01, data, alpha, depth=2)
+            assert 0.0 <= bound <= 1.0
+
+    def test_deeper_trees_have_larger_bound(self, data):
+        query = data[0] + 0.01
+        bounds = [
+            failure_bound_1nn(query, data, 0.1, depth=depth)
+            for depth in range(4)
+        ]
+        assert all(b1 >= b0 for b0, b1 in zip(bounds, bounds[1:]))
+
+    def test_more_spill_reduces_bound(self, data):
+        """Theorem 1 scales as 1/alpha: wider spill = safer routing."""
+        query = data[0] + 0.01
+        tight = failure_bound_1nn(query, data, 0.05, depth=2)
+        loose = failure_bound_1nn(query, data, 0.3, depth=2)
+        assert loose <= tight
+
+    def test_easy_instance_has_small_bound(self):
+        data = np.concatenate(
+            [
+                np.array([[0.01, 0.0]]),
+                np.random.default_rng(2).normal(size=(500, 2)) * 3 + 50,
+            ]
+        ).astype(np.float32)
+        bound = failure_bound_1nn(
+            np.zeros(2, dtype=np.float32), data, 0.15, depth=2
+        )
+        assert bound < 0.2
+
+    def test_knn_bound_validates_and_bounds(self, data):
+        bound = failure_bound_knn(data[0] + 0.01, data, k=5, alpha=0.15, depth=2)
+        assert 0.0 <= bound <= 1.0
+        with pytest.raises(ValueError):
+            failure_bound_knn(data[0], data, k=5, alpha=0.0, depth=1)
+
+    def test_alpha_validated(self, data):
+        with pytest.raises(ValueError):
+            failure_bound_1nn(data[0], data, 0.5, depth=1)
+        with pytest.raises(ValueError):
+            failure_bound_1nn(data[0], data, 0.1, depth=-1)
+
+
+class TestFigure4Curve:
+    def test_monotone_increasing_in_levels(self):
+        curve = figure4_failure_probability(10_000, 0.15, 8)
+        assert curve.shape == (8,)
+        assert (np.diff(curve) > 0).all()
+
+    def test_matches_closed_form(self):
+        n, alpha = 10_000, 0.15
+        curve = figure4_failure_probability(n, alpha, 3)
+        expected_l1 = 1.0 / (2 * (0.5 + alpha) * n)
+        assert curve[0] == pytest.approx(expected_l1)
+        expected_l2 = expected_l1 + 1.0 / (2 * (0.5 + alpha) ** 2 * n)
+        assert curve[1] == pytest.approx(expected_l2)
+
+    def test_larger_alpha_lowers_curve(self):
+        low = figure4_failure_probability(10_000, 0.05, 6)
+        high = figure4_failure_probability(10_000, 0.30, 6)
+        assert (high < low).all()
+
+    def test_larger_n_lowers_curve(self):
+        small = figure4_failure_probability(1_000, 0.15, 6)
+        large = figure4_failure_probability(100_000, 0.15, 6)
+        assert (large < small).all()
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            figure4_failure_probability(0, 0.15, 3)
+        with pytest.raises(ValueError):
+            figure4_failure_probability(100, 0.0, 3)
+        with pytest.raises(ValueError):
+            figure4_failure_probability(100, 0.15, 0)

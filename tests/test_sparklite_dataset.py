@@ -1,0 +1,107 @@
+"""Tests for the sparklite Dataset transformations."""
+
+import pytest
+
+from repro.sparklite.cluster import LocalCluster
+
+
+@pytest.fixture
+def cluster():
+    return LocalCluster(num_executors=3)
+
+
+class TestConstruction:
+    def test_partition_sizes_balanced(self, cluster):
+        dataset = cluster.parallelize(range(10), num_partitions=3)
+        sizes = [len(p) for p in dataset.partitions]
+        assert sum(sizes) == 10
+        assert max(sizes) - min(sizes) <= 1
+
+    def test_default_partitions_equals_executors(self, cluster):
+        dataset = cluster.parallelize(range(7))
+        assert dataset.num_partitions == 3
+
+    def test_empty_items(self, cluster):
+        dataset = cluster.parallelize([], num_partitions=4)
+        assert dataset.count() == 0
+        assert dataset.collect() == []
+
+    def test_invalid_partitions(self, cluster):
+        with pytest.raises(ValueError):
+            cluster.parallelize([1], num_partitions=0)
+
+    def test_collect_preserves_order(self, cluster):
+        dataset = cluster.parallelize(range(11), num_partitions=4)
+        assert dataset.collect() == list(range(11))
+
+
+class TestTransformations:
+    def test_map(self, cluster):
+        result = cluster.parallelize(range(6)).map(lambda x: x * x).collect()
+        assert result == [0, 1, 4, 9, 16, 25]
+
+    def test_filter(self, cluster):
+        result = (
+            cluster.parallelize(range(10)).filter(lambda x: x % 2 == 0).collect()
+        )
+        assert result == [0, 2, 4, 6, 8]
+
+    def test_flat_map(self, cluster):
+        result = (
+            cluster.parallelize([1, 2, 3]).flat_map(lambda x: [x] * x).collect()
+        )
+        assert result == [1, 2, 2, 3, 3, 3]
+
+    def test_map_partitions(self, cluster):
+        dataset = cluster.parallelize(range(9), num_partitions=3)
+        result = dataset.map_partitions(lambda part: [sum(part)]).collect()
+        assert sum(result) == sum(range(9))
+        assert len(result) == 3
+
+    def test_count(self, cluster):
+        assert cluster.parallelize(range(13)).count() == 13
+
+    def test_stages_recorded(self, cluster):
+        cluster.parallelize(range(4)).map(lambda x: x, stage="mapper")
+        assert cluster.last_stage().stage == "mapper"
+
+
+class TestShuffles:
+    def test_repartition_by_key_groups_keys(self, cluster):
+        pairs = [(key % 5, key) for key in range(50)]
+        dataset = cluster.parallelize(pairs, num_partitions=4)
+        shuffled = dataset.repartition_by_key(3)
+        # Same key never appears in two partitions.
+        for key in range(5):
+            holders = [
+                index
+                for index, part in enumerate(shuffled.partitions)
+                if any(row[0] == key for row in part)
+            ]
+            assert len(holders) == 1
+        assert sorted(shuffled.collect()) == sorted(pairs)
+
+    def test_repartition_with_custom_key_fn(self, cluster):
+        rows = list(range(30))
+        shuffled = cluster.parallelize(rows).repartition_by_key(
+            4, key_fn=lambda row: row % 3
+        )
+        assert sorted(shuffled.collect()) == rows
+
+    def test_group_by_key_within_partition(self, cluster):
+        pairs = [("a", 1), ("b", 2), ("a", 3), ("b", 4), ("a", 5)]
+        grouped = (
+            cluster.parallelize(pairs, num_partitions=2)
+            .repartition_by_key(2)
+            .group_by_key()
+            .collect()
+        )
+        merged = {}
+        for key, rows in grouped:
+            merged.setdefault(key, []).extend(value for _, value in rows)
+        assert sorted(merged["a"]) == [1, 3, 5]
+        assert sorted(merged["b"]) == [2, 4]
+
+    def test_repartition_validation(self, cluster):
+        with pytest.raises(ValueError):
+            cluster.parallelize([(1, 2)]).repartition_by_key(0)

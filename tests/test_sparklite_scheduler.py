@@ -1,0 +1,71 @@
+"""Tests for LPT scheduling and the simulated-makespan model."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sparklite.scheduler import lpt_assignment, simulated_makespan
+
+durations_strategy = st.lists(
+    st.floats(0.0, 100.0, allow_nan=False), min_size=0, max_size=40
+)
+
+
+class TestLptAssignment:
+    def test_every_task_assigned_once(self):
+        durations = [5.0, 3.0, 8.0, 1.0, 2.0]
+        assignment = lpt_assignment(durations, 2)
+        flat = sorted(task for tasks in assignment for task in tasks)
+        assert flat == [0, 1, 2, 3, 4]
+
+    def test_single_executor_gets_everything(self):
+        assignment = lpt_assignment([1.0, 2.0, 3.0], 1)
+        assert sorted(assignment[0]) == [0, 1, 2]
+
+    def test_balances_equal_tasks(self):
+        assignment = lpt_assignment([1.0] * 8, 4)
+        assert all(len(tasks) == 2 for tasks in assignment)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            lpt_assignment([1.0], 0)
+        with pytest.raises(ValueError):
+            lpt_assignment([-1.0], 2)
+
+
+class TestSimulatedMakespan:
+    def test_empty_tasks(self):
+        assert simulated_makespan([], 4) == 0.0
+
+    def test_one_executor_is_total_work(self):
+        durations = [3.0, 1.0, 4.0]
+        assert simulated_makespan(durations, 1) == pytest.approx(8.0)
+
+    def test_many_executors_floor_at_longest_task(self):
+        durations = [10.0, 1.0, 1.0, 1.0]
+        assert simulated_makespan(durations, 100) == pytest.approx(10.0)
+
+    def test_known_lpt_schedule(self):
+        # LPT on [8,5,4,3,2] with 2 executors: 8+3 vs 5+4+2 -> 11.
+        assert simulated_makespan([8, 5, 4, 3, 2], 2) == pytest.approx(11.0)
+
+    @given(durations_strategy, st.integers(1, 16))
+    @settings(max_examples=80, deadline=None)
+    def test_bounds(self, durations, executors):
+        """Makespan lies between the trivial lower bounds and total work."""
+        makespan = simulated_makespan(durations, executors)
+        total = sum(durations)
+        longest = max(durations, default=0.0)
+        assert makespan <= total + 1e-9
+        assert makespan >= longest - 1e-9
+        assert makespan >= total / executors - 1e-9
+
+    @given(durations_strategy, st.integers(1, 8))
+    @settings(max_examples=80, deadline=None)
+    def test_monotone_in_executors(self, durations, executors):
+        """More executors never increases the simulated time -- the
+        property behind the paper's executor sweeps."""
+        assert (
+            simulated_makespan(durations, executors + 1)
+            <= simulated_makespan(durations, executors) + 1e-9
+        )

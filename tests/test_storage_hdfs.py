@@ -1,0 +1,109 @@
+"""Tests for the LocalHdfs filesystem abstraction."""
+
+import pytest
+
+from repro.errors import StorageError
+from repro.storage.hdfs import LocalHdfs
+
+
+class TestReadWrite:
+    def test_bytes_roundtrip(self, fs):
+        fs.write_bytes("a/b/c.bin", b"\x00\x01\x02")
+        assert fs.read_bytes("a/b/c.bin") == b"\x00\x01\x02"
+
+    def test_text_roundtrip(self, fs):
+        fs.write_text("notes.txt", "héllo wörld")
+        assert fs.read_text("notes.txt") == "héllo wörld"
+
+    def test_json_roundtrip(self, fs):
+        payload = {"k": [1, 2, 3], "nested": {"x": "y"}}
+        fs.write_json("doc.json", payload)
+        assert fs.read_json("doc.json") == payload
+
+    def test_overwrite(self, fs):
+        fs.write_text("file", "one")
+        fs.write_text("file", "two")
+        assert fs.read_text("file") == "two"
+
+    def test_missing_file(self, fs):
+        with pytest.raises(StorageError, match="no such file"):
+            fs.read_bytes("missing")
+
+    def test_no_temp_files_left_behind(self, fs):
+        """Atomic writes must not leak .part files."""
+        for index in range(5):
+            fs.write_bytes(f"dir/file{index}", b"data")
+        leftovers = [
+            name for name in fs.ls_recursive("dir") if ".part" in name
+        ]
+        assert leftovers == []
+
+
+class TestNamespace:
+    def test_exists(self, fs):
+        assert not fs.exists("thing")
+        fs.write_text("thing", "x")
+        assert fs.exists("thing")
+
+    def test_ls_sorted(self, fs):
+        fs.write_text("dir/b", "x")
+        fs.write_text("dir/a", "x")
+        fs.write_text("dir/sub/c", "x")
+        assert fs.ls("dir") == ["a", "b", "sub"]
+
+    def test_ls_missing_dir(self, fs):
+        assert fs.ls("nowhere") == []
+
+    def test_ls_file_rejected(self, fs):
+        fs.write_text("plain", "x")
+        with pytest.raises(StorageError, match="not a directory"):
+            fs.ls("plain")
+
+    def test_ls_recursive(self, fs):
+        fs.write_text("tree/x/1", "a")
+        fs.write_text("tree/y/2", "b")
+        assert fs.ls_recursive("tree") == ["tree/x/1", "tree/y/2"]
+
+    def test_delete_file_and_tree(self, fs):
+        fs.write_text("gone/file", "x")
+        assert fs.delete("gone") is True
+        assert not fs.exists("gone")
+        assert fs.delete("gone") is False
+
+    def test_delete_root_refused(self, fs):
+        with pytest.raises(StorageError, match="root"):
+            fs.delete("")
+
+    def test_rename(self, fs):
+        fs.write_text("old/name", "payload")
+        fs.rename("old/name", "new/name")
+        assert fs.read_text("new/name") == "payload"
+        assert not fs.exists("old/name")
+
+    def test_rename_missing_source(self, fs):
+        with pytest.raises(StorageError):
+            fs.rename("nope", "somewhere")
+
+    def test_path_escape_rejected(self, fs):
+        with pytest.raises(StorageError, match="escapes"):
+            fs.write_text("../outside", "x")
+        with pytest.raises(StorageError, match="escapes"):
+            fs.read_bytes("a/../../outside")
+
+
+class TestTempPaths:
+    def test_make_temp_path_unique(self, fs):
+        assert fs.make_temp_path() != fs.make_temp_path()
+
+    def test_temp_path_cleaned_on_exit(self, fs):
+        with fs.temp_path("job") as path:
+            fs.write_text(f"{path}/partial", "data")
+            assert fs.exists(f"{path}/partial")
+        assert not fs.exists(path)
+
+    def test_temp_path_cleaned_on_error(self, fs):
+        with pytest.raises(RuntimeError):
+            with fs.temp_path("job") as path:
+                fs.write_text(f"{path}/partial", "data")
+                raise RuntimeError("boom")
+        assert not fs.exists(path)

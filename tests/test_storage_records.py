@@ -1,0 +1,121 @@
+"""Tests for the Avro-like record file format."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import SerializationError
+from repro.storage.records import RecordSchema, read_records, write_records
+
+FULL_SCHEMA = RecordSchema(
+    [
+        ("id", "int"),
+        ("score", "float"),
+        ("label", "str"),
+        ("blob", "bytes"),
+        ("embedding", "vector"),
+    ]
+)
+
+
+def sample_records(n=3):
+    rng = np.random.default_rng(0)
+    return [
+        {
+            "id": int(index),
+            "score": float(index) * 0.5,
+            "label": f"item-{index}",
+            "blob": bytes([index, index + 1]),
+            "embedding": rng.normal(size=4).astype(np.float32),
+        }
+        for index in range(n)
+    ]
+
+
+class TestSchema:
+    def test_duplicate_fields_rejected(self):
+        with pytest.raises(SerializationError, match="duplicate"):
+            RecordSchema([("a", "int"), ("a", "float")])
+
+    def test_unknown_type_rejected(self):
+        with pytest.raises(SerializationError, match="unknown type"):
+            RecordSchema([("a", "uuid")])
+
+    def test_empty_schema_rejected(self):
+        with pytest.raises(SerializationError):
+            RecordSchema([])
+
+    def test_json_roundtrip(self):
+        assert RecordSchema.from_json(FULL_SCHEMA.to_json()) == FULL_SCHEMA
+
+
+class TestRoundtrip:
+    def test_all_types(self):
+        records = sample_records()
+        schema, decoded = read_records(write_records(FULL_SCHEMA, records))
+        assert schema == FULL_SCHEMA
+        assert len(decoded) == len(records)
+        for original, restored in zip(records, decoded):
+            assert restored["id"] == original["id"]
+            assert restored["score"] == original["score"]
+            assert restored["label"] == original["label"]
+            assert restored["blob"] == original["blob"]
+            np.testing.assert_array_equal(
+                restored["embedding"], original["embedding"]
+            )
+
+    def test_empty_record_list(self):
+        schema, decoded = read_records(write_records(FULL_SCHEMA, []))
+        assert decoded == []
+
+    def test_unicode_strings(self):
+        schema = RecordSchema([("name", "str")])
+        data = write_records(schema, [{"name": "ümläut-日本語"}])
+        _, decoded = read_records(data)
+        assert decoded[0]["name"] == "ümläut-日本語"
+
+    def test_missing_field_rejected(self):
+        schema = RecordSchema([("a", "int"), ("b", "int")])
+        with pytest.raises(SerializationError, match="missing field"):
+            write_records(schema, [{"a": 1}])
+
+    def test_non_1d_vector_rejected(self):
+        schema = RecordSchema([("v", "vector")])
+        with pytest.raises(SerializationError, match="1-D"):
+            write_records(schema, [{"v": np.ones((2, 2))}])
+
+
+class TestCorruption:
+    def test_bad_magic(self):
+        with pytest.raises(SerializationError, match="magic"):
+            read_records(b"XXXX" + b"\x00" * 20)
+
+    def test_truncated_payload(self):
+        data = write_records(FULL_SCHEMA, sample_records())
+        with pytest.raises(SerializationError, match="truncated"):
+            read_records(data[:-5])
+
+    def test_trailing_garbage(self):
+        data = write_records(FULL_SCHEMA, sample_records())
+        with pytest.raises(SerializationError, match="trailing"):
+            read_records(data + b"junk")
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(-(2**62), 2**62),
+                st.floats(allow_nan=False, allow_infinity=False),
+                st.text(max_size=20),
+            ),
+            max_size=20,
+        )
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_property_roundtrip(self, rows):
+        schema = RecordSchema([("i", "int"), ("f", "float"), ("s", "str")])
+        records = [{"i": i, "f": f, "s": s} for i, f, s in rows]
+        _, decoded = read_records(write_records(schema, records))
+        assert [
+            (r["i"], r["f"], r["s"]) for r in decoded
+        ] == rows

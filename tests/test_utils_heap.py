@@ -1,0 +1,150 @@
+"""Tests for the bounded top-k heap and the top-k merge primitive."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.utils.heap import TopKHeap, merge_top_k
+
+
+class TestTopKHeap:
+    def test_rejects_non_positive_k(self):
+        with pytest.raises(ValueError):
+            TopKHeap(0)
+        with pytest.raises(ValueError):
+            TopKHeap(-3)
+
+    def test_keeps_k_smallest(self):
+        heap = TopKHeap(3)
+        for dist, item in [(5.0, 1), (1.0, 2), (3.0, 3), (2.0, 4), (4.0, 5)]:
+            heap.push(dist, item)
+        assert heap.items() == [(1.0, 2), (2.0, 4), (3.0, 3)]
+
+    def test_push_reports_retention(self):
+        heap = TopKHeap(2)
+        assert heap.push(5.0, 1) is True
+        assert heap.push(4.0, 2) is True
+        assert heap.push(10.0, 3) is False
+        assert heap.push(1.0, 4) is True
+
+    def test_worst_distance_is_inf_until_full(self):
+        heap = TopKHeap(2)
+        assert heap.worst_distance == float("inf")
+        heap.push(1.0, 1)
+        assert heap.worst_distance == float("inf")
+        heap.push(2.0, 2)
+        assert heap.worst_distance == 2.0
+
+    def test_tie_break_prefers_smaller_id(self):
+        heap = TopKHeap(1)
+        heap.push(1.0, 7)
+        heap.push(1.0, 3)
+        assert heap.items() == [(1.0, 3)]
+        heap.push(1.0, 9)
+        assert heap.items() == [(1.0, 3)]
+
+    def test_len_and_bool(self):
+        heap = TopKHeap(3)
+        assert not heap
+        assert len(heap) == 0
+        heap.push(1.0, 1)
+        assert heap
+        assert len(heap) == 1
+
+    def test_extend_and_iter(self):
+        heap = TopKHeap(2)
+        heap.extend([(3.0, 1), (1.0, 2), (2.0, 3)])
+        assert list(heap) == [(1.0, 2), (2.0, 3)]
+
+    def test_ids_sorted_by_distance(self):
+        heap = TopKHeap(3)
+        heap.extend([(3.0, 1), (1.0, 2), (2.0, 3)])
+        assert heap.ids() == [2, 3, 1]
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.floats(0, 1e6, allow_nan=False), st.integers(0, 10_000)
+            ),
+            max_size=200,
+        ),
+        st.integers(1, 20),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_matches_sorted_prefix(self, pairs, k):
+        """The heap's content always equals the sorted prefix of the input."""
+        heap = TopKHeap(k)
+        heap.extend(pairs)
+        expected = sorted(pairs)[:k]
+        # The heap dedupes nothing; equal (dist, id) pairs may collapse in
+        # sorting order only, so compare multiset-as-sorted-list.
+        assert heap.items() == expected
+
+
+class TestMergeTopK:
+    def test_rejects_non_positive_k(self):
+        with pytest.raises(ValueError):
+            merge_top_k([[(1.0, 1)]], 0)
+
+    def test_merges_across_lists(self):
+        result = merge_top_k(
+            [[(1.0, 1), (4.0, 4)], [(2.0, 2)], [(3.0, 3)]], 3
+        )
+        assert result == [(1.0, 1), (2.0, 2), (3.0, 3)]
+
+    def test_dedupes_keeping_best_distance(self):
+        result = merge_top_k([[(3.0, 7)], [(1.0, 7)], [(2.0, 8)]], 2)
+        assert result == [(1.0, 7), (2.0, 8)]
+
+    def test_no_dedupe_keeps_duplicates(self):
+        result = merge_top_k(
+            [[(3.0, 7)], [(1.0, 7)]], 2, dedupe=False
+        )
+        assert result == [(1.0, 7), (3.0, 7)]
+
+    def test_empty_input(self):
+        assert merge_top_k([], 5) == []
+        assert merge_top_k([[], []], 5) == []
+
+    @given(
+        st.lists(
+            st.lists(
+                st.tuples(
+                    st.floats(0, 100, allow_nan=False),
+                    st.integers(0, 50),
+                ),
+                max_size=30,
+            ),
+            max_size=5,
+        ),
+        st.integers(1, 10),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_merge_equals_global_topk_of_best_per_id(self, lists, k):
+        """Merging partitioned results reproduces the global top-k."""
+        best = {}
+        for candidates in lists:
+            for dist, item in candidates:
+                if item not in best or dist < best[item]:
+                    best[item] = dist
+        expected = sorted((dist, item) for item, dist in best.items())[:k]
+        assert merge_top_k(lists, k) == expected
+
+    @given(
+        st.lists(
+            st.tuples(st.floats(0, 100, allow_nan=False), st.integers(0, 1000)),
+            max_size=60,
+            unique_by=lambda pair: pair[1],
+        ),
+        st.integers(1, 8),
+        st.integers(1, 4),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_partitioning_invariance(self, pairs, k, num_parts):
+        """Splitting items across lists must not change the merged top-k.
+
+        This is the core correctness property behind LANNS sharding: a
+        query's answer cannot depend on how records were partitioned.
+        """
+        parts = [pairs[i::num_parts] for i in range(num_parts)]
+        assert merge_top_k(parts, k) == merge_top_k([pairs], k)
