@@ -1,0 +1,215 @@
+"""Batched serving throughput: `Broker.search_batch` vs sequential search.
+
+The LANNS paper serves ~2.5k QPS per shard by amortising work across
+concurrent traffic; this benchmark measures the reproduction's analogue,
+the lockstep batched query engine.  One broker fronts a sharded index;
+the same query stream is served twice:
+
+1. *sequential* -- one `Broker.search` call per query (each internally a
+   batch of one, so both modes exercise the identical kernel), and
+2. *batched* -- `Broker.search_batch` over fixed-size batches, i.e. one
+   shard fan-out and one vectorised multi-query merge per batch.
+
+The batch path must deliver >= 2x the sequential QPS (the PR's
+acceptance bar) and bit-identical per-query results.  Run standalone::
+
+    PYTHONPATH=src python benchmarks/bench_batch_throughput.py
+    PYTHONPATH=src python benchmarks/bench_batch_throughput.py --smoke
+
+``--smoke`` shrinks the workload to a few seconds and skips the speedup
+assertion (tiny runs are timing noise); it still verifies parity, which
+is what CI's benchmark smoke job guards.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.builder import build_lanns_index
+from repro.core.config import LannsConfig
+from repro.data.synthetic import clustered_gaussians, make_queries
+from repro.eval.tables import format_table
+from repro.eval.timing import measure_batch_qps, measure_qps
+from repro.hnsw.params import HnswParams
+from repro.online.broker import Broker
+from repro.online.searcher import SearcherNode
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def build_broker(args: argparse.Namespace) -> tuple[Broker, np.ndarray]:
+    """Build the synthetic corpus, index it, and front it with a broker."""
+    base = clustered_gaussians(args.num_base, args.dim, seed=args.seed)
+    queries = make_queries(base, args.num_queries, seed=args.seed + 1)
+    config = LannsConfig(
+        num_shards=args.shards,
+        num_segments=args.segments,
+        segmenter="rh",
+        hnsw=HnswParams(
+            M=12, ef_construction=56, ef_search=args.ef, seed=args.seed
+        ),
+        segmenter_sample_size=min(2000, args.num_base),
+        seed=args.seed,
+    )
+    index = build_lanns_index(base, config=config)
+    searchers = [SearcherNode(shard_id) for shard_id in range(args.shards)]
+    for shard_id, searcher in enumerate(searchers):
+        searcher.host("default", index.shards[shard_id])
+    broker = Broker(
+        searchers, config, parallel_fanout=args.shards > 1
+    )
+    return broker, queries
+
+
+def check_parity(
+    broker: Broker, queries: np.ndarray, top_k: int, ef: int
+) -> None:
+    """Batched results must be identical to looping single-query search."""
+    batch_ids, batch_dists = broker.search_batch(
+        "default", queries, top_k, ef=ef
+    )
+    for row in range(queries.shape[0]):
+        single_ids, single_dists = broker.search(
+            "default", queries[row], top_k, ef=ef
+        )
+        count = len(single_ids)
+        assert (batch_ids[row, :count] == single_ids).all(), (
+            f"batch/single id mismatch at query {row}"
+        )
+        assert (batch_ids[row, count:] == -1).all(), (
+            f"unexpected padding at query {row}"
+        )
+        assert (batch_dists[row, :count] == single_dists).all(), (
+            f"batch/single distance mismatch at query {row}"
+        )
+
+
+def run(args: argparse.Namespace) -> int:
+    broker, queries = build_broker(args)
+    print(
+        f"corpus: {args.num_base} x {args.dim}, {args.shards} shard(s) x "
+        f"{args.segments} segment(s), {queries.shape[0]} queries, "
+        f"top_k={args.top_k}, ef={args.ef}"
+    )
+    check_parity(broker, queries[: min(24, queries.shape[0])], args.top_k, args.ef)
+    print("parity: batched results identical to sequential ✓")
+
+    sequential_qps = measure_qps(
+        lambda query: broker.search("default", query, args.top_k, ef=args.ef),
+        queries,
+    )["qps"]
+    rows = []
+    best_speedup = 0.0
+    for batch_size in args.batch_sizes:
+        batched_qps = measure_batch_qps(
+            lambda batch: broker.search_batch(
+                "default", batch, args.top_k, ef=args.ef
+            ),
+            queries,
+            batch_size,
+        )["qps"]
+        speedup = batched_qps / sequential_qps
+        best_speedup = max(best_speedup, speedup)
+        rows.append(
+            {
+                "batch_size": batch_size,
+                "sequential_qps": sequential_qps,
+                "batched_qps": batched_qps,
+                "speedup": speedup,
+            }
+        )
+    text = format_table(
+        rows,
+        title=(
+            "Batched serving throughput (Broker.search_batch vs "
+            "sequential Broker.search)"
+        ),
+    )
+    print("\n" + text + "\n")
+
+    if not args.smoke:
+        RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+        (RESULTS_DIR / "batch_throughput.txt").write_text(
+            text + "\n", encoding="utf-8"
+        )
+        (RESULTS_DIR / "batch_throughput.json").write_text(
+            json.dumps(
+                {"name": "batch_throughput", "rows": rows},
+                indent=2,
+            ),
+            encoding="utf-8",
+        )
+        if best_speedup < args.min_speedup:
+            print(
+                f"FAIL: best batched speedup {best_speedup:.2f}x is below "
+                f"the required {args.min_speedup:.1f}x"
+            )
+            return 1
+        print(
+            f"OK: best batched speedup {best_speedup:.2f}x >= "
+            f"{args.min_speedup:.1f}x"
+        )
+    else:
+        print(
+            f"smoke OK (best speedup {best_speedup:.2f}x; assertion "
+            "skipped at smoke sizes)"
+        )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        description=(
+            "Measure batched vs sequential serving QPS through the broker"
+        )
+    )
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="tiny sizes, parity check only (for CI)",
+    )
+    parser.add_argument("--num-base", type=int, default=8000)
+    parser.add_argument("--num-queries", type=int, default=256)
+    parser.add_argument("--dim", type=int, default=32)
+    parser.add_argument("--shards", type=int, default=2)
+    parser.add_argument("--segments", type=int, default=2)
+    parser.add_argument("--top-k", type=int, default=10)
+    parser.add_argument("--ef", type=int, default=48)
+    parser.add_argument(
+        "--batch-sizes",
+        type=int,
+        nargs="+",
+        default=[16, 32, 64],
+        help="batch sizes to sweep",
+    )
+    parser.add_argument(
+        "--min-speedup",
+        type=float,
+        default=2.0,
+        help="required batched/sequential QPS ratio (non-smoke runs)",
+    )
+    parser.add_argument("--seed", type=int, default=0)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if any(size <= 0 for size in args.batch_sizes):
+        parser.error(f"--batch-sizes must be positive, got {args.batch_sizes}")
+    if args.num_base <= 0 or args.num_queries <= 0 or args.dim <= 0:
+        parser.error("--num-base, --num-queries and --dim must be positive")
+    if args.smoke:
+        args.num_base = min(args.num_base, 1200)
+        args.num_queries = min(args.num_queries, 48)
+        args.batch_sizes = [16]
+    return run(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

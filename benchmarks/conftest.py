@@ -16,7 +16,6 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from pathlib import Path
 
-import numpy as np
 import pytest
 
 from repro.core.config import LannsConfig
@@ -31,7 +30,6 @@ from repro.hnsw.index import build_hnsw
 from repro.hnsw.params import HnswParams
 from repro.offline.querying import QueryJobResult
 from repro.sparklite.cluster import LocalCluster
-from repro.sparklite.metrics import StageMetrics
 from repro.storage.hdfs import LocalHdfs
 
 RESULTS_DIR = Path(__file__).parent / "results"

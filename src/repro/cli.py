@@ -129,7 +129,7 @@ def _cmd_info(args: argparse.Namespace) -> int:
 def _cmd_bench(args: argparse.Namespace) -> int:
     from repro.core.builder import build_lanns_index
     from repro.data.datasets import load_dataset
-    from repro.eval.timing import measure_qps
+    from repro.eval.harness import serving_throughput
     from repro.offline.recall import recall_at_k
 
     dataset = load_dataset(args.dataset)
@@ -145,17 +145,24 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     index = build_lanns_index(dataset.base, config=config)
     print(f"build: {time.perf_counter() - begin:.1f}s")
     top_k = min(args.top_k, dataset.num_base)
-    ids = np.full((dataset.num_queries, top_k), -1, dtype=np.int64)
-    for row, query in enumerate(dataset.queries):
-        found, _ = index.query(query, top_k, ef=args.ef)
-        ids[row, : len(found)] = found
-    stats = measure_qps(
-        lambda q: index.query(q, top_k, ef=args.ef), dataset.queries
+    report = serving_throughput(
+        index,
+        dataset.queries,
+        top_k,
+        ef=args.ef,
+        batch_size=args.batch_size,
+        collect_ids=True,
     )
-    recall = recall_at_k(ids, dataset.ground_truth(top_k), top_k)
+    recall = recall_at_k(report["ids"], dataset.ground_truth(top_k), top_k)
+    sequential, batched = report["sequential"], report["batched"]
     print(
         f"recall@{top_k}: {recall:.4f}  "
-        f"qps: {stats['qps']:.0f}  p99: {stats['p99_ms']:.2f} ms"
+        f"qps: {sequential['qps']:.0f}  p99: {sequential['p99_ms']:.2f} ms"
+    )
+    print(
+        f"batched (B={args.batch_size}) qps: {batched['qps']:.0f}  "
+        f"batch p99: {batched['p99_batch_ms']:.2f} ms  "
+        f"speedup: {report['speedup']:.2f}x"
     )
     return 0
 
@@ -212,6 +219,12 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--dataset", default="sift1m")
     bench.add_argument("--top-k", type=int, default=10)
     bench.add_argument("--ef", type=int, default=96)
+    bench.add_argument(
+        "--batch-size",
+        type=int,
+        default=32,
+        help="batch size for the batched serving measurement",
+    )
     bench.add_argument("--shards", type=int, default=1)
     bench.add_argument("--segments", type=int, default=4)
     bench.add_argument(

@@ -20,7 +20,7 @@ from typing import Sequence
 import numpy as np
 
 from repro.core.config import LannsConfig
-from repro.core.index import LannsIndex, ShardIndex
+from repro.core.index import ShardIndex
 from repro.core.merge import merge_segment_results, merge_shard_results
 from repro.errors import ConfigError
 from repro.hnsw.index import HnswIndex

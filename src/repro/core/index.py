@@ -11,7 +11,10 @@ from __future__ import annotations
 import numpy as np
 
 from repro.core.config import LannsConfig
-from repro.core.merge import merge_segment_results, merge_shard_results
+from repro.core.merge import (
+    merge_segment_results_batch,
+    merge_shard_results_batch,
+)
 from repro.core.topk import per_shard_top_k
 from repro.errors import IndexNotBuiltError
 from repro.hnsw.index import HnswIndex
@@ -71,20 +74,79 @@ class ShardIndex:
     ) -> list[tuple[float, int]]:
         """Search the shard: probe routed segments, merge (level 1).
 
+        A thin wrapper over :meth:`search_batch` with a batch of one.
         Returns ``(distance, external_id)`` pairs, ascending, at most
         ``k`` of them.
         """
-        segment_ids = self.segmenter.route_query(query)
-        partials = []
-        for segment_id in segment_ids:
+        query = as_vector(query, name="query")
+        ids, dists = self.search_batch(query[np.newaxis, :], k, ef=ef)
+        return [
+            (float(dist), int(item))
+            for dist, item in zip(dists[0], ids[0])
+            if item >= 0
+        ]
+
+    def search_batch(
+        self,
+        queries: np.ndarray,
+        k: int,
+        *,
+        ef: int | None = None,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Batched shard search: route, lockstep-search, merge (level 1).
+
+        Query routing is one vectorised ``route_query_batch`` call; each
+        probed segment searches its sub-batch in lockstep; the segment
+        candidates merge per query through the vectorised batch merge.
+
+        Returns
+        -------
+        ``(B, k)`` id and distance arrays, padded with ``-1`` / ``inf``.
+        """
+        if k <= 0:
+            raise ValueError(f"k must be positive, got {k}")
+        queries = as_matrix(queries, name="queries")
+        num_queries = queries.shape[0]
+        empty_ids = np.full((num_queries, k), -1, dtype=np.int64)
+        empty_dists = np.full((num_queries, k), np.inf, dtype=np.float64)
+        if num_queries == 0:
+            return empty_ids, empty_dists
+        routes = self.segmenter.route_query_batch(queries)
+        segment_rows: dict[int, list[int]] = {}
+        for row, probed in enumerate(routes):
+            for segment_id in probed:
+                segment_rows.setdefault(segment_id, []).append(row)
+        # Pack each query's segment candidates into per-row probe slots,
+        # so the merge width scales with probes-per-query (1-2 under
+        # virtual spill), not with the shard's total segment count.
+        max_probes = max((len(probed) for probed in routes), default=0)
+        if max_probes == 0:
+            return empty_ids, empty_dists
+        cand_ids = np.full(
+            (num_queries, max_probes * k), -1, dtype=np.int64
+        )
+        cand_dists = np.full(
+            (num_queries, max_probes * k), np.inf, dtype=np.float64
+        )
+        next_slot = np.zeros(num_queries, dtype=np.int64)
+        any_results = False
+        for segment_id in sorted(segment_rows):
             segment = self.segments[segment_id]
             if len(segment) == 0:
                 continue
-            ids, dists = segment.search(query, min(k, len(segment)), ef=ef)
-            partials.append(list(zip(dists.tolist(), ids.tolist())))
-        if not partials:
-            return []
-        return merge_segment_results(partials, k)
+            rows = np.asarray(segment_rows[segment_id], dtype=np.int64)
+            budget = min(k, len(segment))
+            found_ids, found_dists = segment.search_batch(
+                queries[rows], budget, ef=ef
+            )
+            columns = next_slot[rows, np.newaxis] * k + np.arange(budget)
+            cand_ids[rows[:, np.newaxis], columns] = found_ids
+            cand_dists[rows[:, np.newaxis], columns] = found_dists
+            next_slot[rows] += 1
+            any_results = True
+        if not any_results:
+            return empty_ids, empty_dists
+        return merge_segment_results_batch(cand_ids, cand_dists, k)
 
 
 class LannsIndex:
@@ -155,6 +217,7 @@ class LannsIndex:
     ) -> tuple[np.ndarray, np.ndarray]:
         """Approximate top-k over the whole index.
 
+        A thin wrapper over :meth:`query_batch` with a batch of one.
         Every query visits every shard (sharding is locality-free); inside
         a shard the segmenter decides which segments to probe.  Shard
         results are capped at ``perShardTopK`` and merged at this "broker"
@@ -164,19 +227,10 @@ class LannsIndex:
         -------
         (ids, distances): int64 and float64 arrays, ascending by distance.
         """
-        if top_k <= 0:
-            raise ValueError(f"top_k must be positive, got {top_k}")
-        if len(self) == 0:
-            raise IndexNotBuiltError("query on an empty LANNS index")
         query = as_vector(query, name="query")
-        budget = self.per_shard_budget(top_k)
-        shard_results = [
-            shard.search(query, budget, ef=ef) for shard in self.shards
-        ]
-        merged = merge_shard_results(shard_results, top_k)
-        ids = np.asarray([item_id for _, item_id in merged], dtype=np.int64)
-        dists = np.asarray([dist for dist, _ in merged], dtype=np.float64)
-        return ids, dists
+        ids, dists = self.query_batch(query[np.newaxis, :], top_k, ef=ef)
+        valid = ids[0] >= 0
+        return ids[0][valid], dists[0][valid]
 
     def query_batch(
         self,
@@ -185,14 +239,24 @@ class LannsIndex:
         *,
         ef: int | None = None,
     ) -> tuple[np.ndarray, np.ndarray]:
-        """Query many vectors; rows padded with id -1 / distance inf."""
+        """Batched top-k: one shard sweep and one vectorised merge per batch.
+
+        Per-query results are identical to calling :meth:`query` in a
+        loop.  Rows are padded with id ``-1`` / distance ``inf``.
+        """
+        if top_k <= 0:
+            raise ValueError(f"top_k must be positive, got {top_k}")
+        if len(self) == 0:
+            raise IndexNotBuiltError("query on an empty LANNS index")
         queries = as_matrix(queries, name="queries")
-        n = queries.shape[0]
-        ids = np.full((n, top_k), -1, dtype=np.int64)
-        dists = np.full((n, top_k), np.inf, dtype=np.float64)
-        for i in range(n):
-            found_ids, found_dists = self.query(queries[i], top_k, ef=ef)
-            count = len(found_ids)
-            ids[i, :count] = found_ids
-            dists[i, :count] = found_dists
-        return ids, dists
+        if queries.shape[0] == 0:
+            return (
+                np.full((0, top_k), -1, dtype=np.int64),
+                np.full((0, top_k), np.inf, dtype=np.float64),
+            )
+        budget = self.per_shard_budget(top_k)
+        parts = [
+            shard.search_batch(queries, budget, ef=ef)
+            for shard in self.shards
+        ]
+        return merge_shard_results_batch(parts, top_k)

@@ -15,6 +15,9 @@ from __future__ import annotations
 
 from typing import Sequence
 
+import numpy as np
+
+from repro.core.topk import batch_top_k
 from repro.utils.heap import merge_top_k
 
 #: A search result: list of (distance, external_id), ascending distance.
@@ -43,3 +46,52 @@ def merge_shard_results(
     needed; we keep it anyway for safety (it is O(total results)).
     """
     return merge_top_k(shard_results, k, dedupe=True)
+
+
+# -- batched (multi-query) merges -----------------------------------------------------
+#
+# The batch serving path carries ``(B, k_i)`` id/distance arrays instead of
+# per-query Python lists; both merge levels reduce to one vectorised
+# :func:`~repro.core.topk.batch_top_k` call over the horizontally stacked
+# candidates.  Ordering and dedupe semantics match the list-based merges
+# exactly (ascending ``(distance, id)``, best distance kept per id).
+
+
+def merge_candidates_batch(
+    parts: Sequence[tuple[np.ndarray, np.ndarray]],
+    k: int,
+    *,
+    dedupe: bool = True,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Merge several aligned ``(B, k_i)`` (ids, dists) blocks per query.
+
+    Padding entries (id ``-1`` / distance ``inf``) pass through and pad
+    the output rows.
+    """
+    if not parts:
+        raise ValueError("merge_candidates_batch needs at least one block")
+    ids = np.concatenate([block_ids for block_ids, _ in parts], axis=1)
+    dists = np.concatenate([block_dists for _, block_dists in parts], axis=1)
+    out_ids, out_dists = batch_top_k(dists, ids, k, dedupe=dedupe)
+    return out_ids, out_dists
+
+
+def merge_segment_results_batch(
+    ids: np.ndarray,
+    dists: np.ndarray,
+    k: int,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Batched first-level merge (dedupes physical-spill duplicates).
+
+    Takes one pre-packed ``(B, C)`` candidate matrix pair -- the shard
+    packs each query's probed-segment results into per-row slots.
+    """
+    return batch_top_k(dists, ids, k, dedupe=True)
+
+
+def merge_shard_results_batch(
+    parts: Sequence[tuple[np.ndarray, np.ndarray]],
+    k: int,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Batched second-level merge: per-shard blocks -> final topK."""
+    return merge_candidates_batch(parts, k, dedupe=True)

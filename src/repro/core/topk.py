@@ -24,6 +24,7 @@ from __future__ import annotations
 
 import math
 
+import numpy as np
 from scipy.stats import norm
 
 from repro.utils.validation import check_positive
@@ -83,3 +84,75 @@ def per_shard_top_k(
     interval = share + z * math.sqrt(share * (1.0 - share) / top_k)
     budget = min(top_k, math.ceil(interval * top_k))
     return max(int(budget), 1)
+
+
+def batch_top_k(
+    dists: np.ndarray,
+    ids: np.ndarray,
+    k: int,
+    *,
+    dedupe: bool = True,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Vectorised per-row top-k over ``(B, C)`` candidate arrays.
+
+    The multi-query counterpart of :func:`repro.utils.heap.merge_top_k`:
+    every row is reduced to its ``k`` best ``(distance, id)`` pairs,
+    ordered ascending by ``(distance, id)`` -- the same tie-break the
+    single-query :class:`~repro.utils.heap.TopKHeap` uses -- with one
+    ``lexsort`` over the whole batch instead of B Python heaps.
+
+    Parameters
+    ----------
+    dists, ids:
+        ``(B, C)`` candidate distances (float) and ids (int).  Padding
+        entries are id ``-1`` / distance ``inf``.
+    k:
+        Results per row.
+    dedupe:
+        Keep each id once per row, at its best distance (physical spill
+        can surface a point from several segments).
+
+    Returns
+    -------
+    ``(B, k)`` id and distance arrays, padded with ``-1`` / ``inf``.
+    """
+    if k <= 0:
+        raise ValueError(f"k must be positive, got {k}")
+    dists = np.asarray(dists, dtype=np.float64)
+    ids = np.asarray(ids, dtype=np.int64)
+    if dists.shape != ids.shape or ids.ndim != 2:
+        raise ValueError(
+            f"dists/ids must be matching 2-D arrays, got {dists.shape} "
+            f"and {ids.shape}"
+        )
+    num_rows, num_cols = ids.shape
+    out_ids = np.full((num_rows, k), -1, dtype=np.int64)
+    out_dists = np.full((num_rows, k), np.inf, dtype=np.float64)
+    if num_rows == 0 or num_cols == 0:
+        return out_ids, out_dists
+
+    order = np.lexsort((ids, dists), axis=-1)
+    ids_sorted = np.take_along_axis(ids, order, axis=1)
+    dists_sorted = np.take_along_axis(dists, order, axis=1)
+    if dedupe:
+        # Keep an entry iff its id has no earlier (better-distance)
+        # occurrence in the same row.  A stable per-row argsort on id
+        # groups duplicates adjacently while preserving distance order
+        # inside each group, so the first element of every run is the
+        # best; scattering that mask back through the argsort gives the
+        # keep mask.  No arithmetic on ids, so any int64 ids are safe.
+        by_id = np.argsort(ids_sorted, axis=1, kind="stable")
+        grouped = np.take_along_axis(ids_sorted, by_id, axis=1)
+        first_of_run = np.ones((num_rows, num_cols), dtype=bool)
+        first_of_run[:, 1:] = grouped[:, 1:] != grouped[:, :-1]
+        keep = np.empty((num_rows, num_cols), dtype=bool)
+        np.put_along_axis(keep, by_id, first_of_run, axis=1)
+    else:
+        keep = np.ones((num_rows, num_cols), dtype=bool)
+    rank = np.cumsum(keep, axis=1)
+    take = keep & (rank <= k)
+    rows, cols = np.nonzero(take)
+    slots = rank[rows, cols] - 1
+    out_ids[rows, slots] = ids_sorted[rows, cols]
+    out_dists[rows, slots] = dists_sorted[rows, cols]
+    return out_ids, out_dists

@@ -104,17 +104,39 @@ class Scorer:
 
     # -- query preparation --------------------------------------------------------
     def prepare_query(self, query: np.ndarray) -> np.ndarray:
-        """Canonicalise one query vector for the metric."""
+        """Canonicalise one query vector: a batch of one."""
         query = np.asarray(query, dtype=np.float32)
         if query.ndim != 1 or query.shape[0] != self.dim:
             raise ValueError(
                 f"query has shape {query.shape}, expected ({self.dim},)"
             )
-        if self._is_cosine:
-            norm = float(np.linalg.norm(query))
-            if norm > 0.0:
-                return query / norm
-        return query
+        return self.prepare_queries(query[np.newaxis, :])[0]
+
+    def prepare_queries(self, queries: np.ndarray) -> np.ndarray:
+        """Canonicalise a ``(B, d)`` query batch in one pass.
+
+        Row ``i`` of the result equals ``prepare_query(queries[i])``: the
+        per-row operations (norm, divide) are rowwise-independent, so
+        preparation does not depend on batch composition.
+        """
+        queries = np.asarray(queries, dtype=np.float32)
+        if queries.ndim != 2 or queries.shape[1] != self.dim:
+            raise ValueError(
+                f"queries have shape {queries.shape}, expected (B, {self.dim})"
+            )
+        if self._is_cosine and queries.shape[0]:
+            norms = np.linalg.norm(queries, axis=1, keepdims=True)
+            safe = np.where(norms > 0.0, norms, 1.0)
+            return queries / safe
+        return queries
+
+    def query_sq_norms(self, prepared: np.ndarray) -> np.ndarray:
+        """Per-row squared norms of a *prepared* query batch.
+
+        Precompute once per batch; :meth:`score_pairs` consumes it for the
+        Euclidean expansion.
+        """
+        return np.einsum("bd,bd->b", prepared, prepared)
 
     # -- scoring ------------------------------------------------------------------
     def score_ids(self, query: np.ndarray, ids: np.ndarray) -> np.ndarray:
@@ -134,6 +156,48 @@ class Scorer:
             return 1.0 - rows @ query
         return -(rows @ query)
 
+    def score_pairs(
+        self,
+        queries: np.ndarray,
+        query_rows: np.ndarray,
+        ids: np.ndarray,
+        query_sq: np.ndarray | None = None,
+    ) -> np.ndarray:
+        """Reduced distances ``d(queries[query_rows[i]], data[ids[i]])``.
+
+        This is the batched-traversal hot path: the flat counterpart of
+        :meth:`score_ids` that scores many (query, candidate) pairs of a
+        *prepared* ``(B, d)`` batch in one vectorised call.  The per-pair
+        dot is an ``einsum`` row reduction, so every pair's value is
+        independent of which other pairs share the call -- a batch of one
+        produces bit-identical scores to any larger batch.
+
+        Parameters
+        ----------
+        queries:
+            Prepared ``(B, d)`` query batch (:meth:`prepare_queries`).
+        query_rows:
+            ``(n,)`` row index into ``queries`` for each pair.
+        ids:
+            ``(n,)`` stored-row index for each pair.
+        query_sq:
+            Optional precomputed :meth:`query_sq_norms` of ``queries``.
+        """
+        self.ops += len(ids)
+        rows = self._data[ids]
+        q_rows = queries[query_rows]
+        dots = np.einsum("nd,nd->n", rows, q_rows)
+        if self._is_euclidean:
+            if query_sq is None:
+                query_sq = self.query_sq_norms(queries)
+            scores = self._sq_norms[ids] - 2.0 * dots
+            scores += query_sq[query_rows]
+            np.maximum(scores, 0.0, out=scores)
+            return scores
+        if self._is_cosine:
+            return 1.0 - dots
+        return -dots
+
     def score_all(self, query: np.ndarray) -> np.ndarray:
         """Reduced distances from a *prepared* query to every stored row."""
         self.ops += self._count
@@ -146,6 +210,25 @@ class Scorer:
         if self._is_cosine:
             return 1.0 - data @ query
         return -(data @ query)
+
+    def score_all_batch(self, queries: np.ndarray) -> np.ndarray:
+        """Reduced distances from a *prepared* ``(B, d)`` batch to all rows.
+
+        One ``(B, d) @ (d, n)`` GEMM; the matrix-level scoring path used
+        by exhaustive rescoring and the brute-force baselines.
+        """
+        self.ops += self._count * queries.shape[0]
+        data = self.data
+        gram = queries @ data.T
+        if self._is_euclidean:
+            q_norms = self.query_sq_norms(queries)[:, np.newaxis]
+            scores = self._sq_norms[: self._count][np.newaxis, :] - 2.0 * gram
+            scores += q_norms
+            np.maximum(scores, 0.0, out=scores)
+            return scores
+        if self._is_cosine:
+            return 1.0 - gram
+        return -gram
 
     def pairwise_ids(self, ids: np.ndarray) -> np.ndarray:
         """All-pairs reduced distances among stored rows ``ids``.

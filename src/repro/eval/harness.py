@@ -16,6 +16,7 @@ import numpy as np
 from repro.core.config import LannsConfig
 from repro.core.index import LannsIndex, ShardIndex
 from repro.data.datasets import Dataset
+from repro.eval.timing import measure_batch_qps, measure_qps
 from repro.offline.indexing import build_index_job
 from repro.offline.querying import QueryJobResult, query_index_job
 from repro.offline.recall import recall_curve
@@ -116,6 +117,52 @@ def query_experiment(
     result = experiment.query(top_k, ef=ef)
     recalls = evaluate_recall(experiment.dataset, result.ids, ks)
     return result, recalls
+
+
+def serving_throughput(
+    index: LannsIndex,
+    queries: np.ndarray,
+    top_k: int,
+    *,
+    ef: int | None = None,
+    batch_size: int = 32,
+    collect_ids: bool = False,
+) -> dict:
+    """Compare sequential single-query QPS to batched QPS on one index.
+
+    Serves the query set twice -- once query-at-a-time through
+    :meth:`~repro.core.index.LannsIndex.query` and once in batches of
+    ``batch_size`` through
+    :meth:`~repro.core.index.LannsIndex.query_batch` -- and reports both
+    throughput dicts plus the batched/sequential speedup.  With
+    ``collect_ids`` the batched pass's ``(n, top_k)`` result ids are
+    returned under ``"ids"`` (e.g. for recall scoring) so callers do not
+    need a third serving pass.
+    """
+    queries = np.asarray(queries, dtype=np.float32)
+    if queries.shape[0] == 0:
+        raise ValueError("serving_throughput needs at least one query")
+    sequential = measure_qps(
+        lambda query: index.query(query, top_k, ef=ef), queries
+    )
+    chunks: list[np.ndarray] = []
+
+    def serve_batch(batch: np.ndarray) -> None:
+        ids, _ = index.query_batch(batch, top_k, ef=ef)
+        if collect_ids:
+            chunks.append(ids)
+
+    batched = measure_batch_qps(serve_batch, queries, batch_size)
+    report = {
+        "sequential": sequential,
+        "batched": batched,
+        "speedup": batched["qps"] / sequential["qps"]
+        if sequential["qps"] > 0
+        else float("inf"),
+    }
+    if collect_ids:
+        report["ids"] = np.concatenate(chunks, axis=0)
+    return report
 
 
 def swap_segmenter(index: LannsIndex, segmenter: Segmenter) -> LannsIndex:

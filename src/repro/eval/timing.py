@@ -58,3 +58,34 @@ def measure_qps(
         "p50_ms": float(np.quantile(latencies, 0.50) * 1e3),
         "p99_ms": float(np.quantile(latencies, 0.99) * 1e3),
     }
+
+
+def measure_batch_qps(
+    batch_fn: Callable[[np.ndarray], object],
+    queries: np.ndarray,
+    batch_size: int,
+) -> dict:
+    """Serve ``queries`` in batches of ``batch_size``; report throughput.
+
+    ``batch_fn`` receives a ``(b, d)`` slice per request.  Returns a dict
+    with ``qps`` (queries, not batches, per second), ``batch_size``,
+    ``batches``, ``mean_batch_ms`` and ``p99_batch_ms``.
+    """
+    if batch_size <= 0:
+        raise ValueError(f"batch_size must be positive, got {batch_size}")
+    queries = np.asarray(queries)
+    num_queries = queries.shape[0]
+    starts = list(range(0, num_queries, batch_size))
+    latencies = np.empty(len(starts), dtype=np.float64)
+    for request, start in enumerate(starts):
+        tick = time.perf_counter()
+        batch_fn(queries[start : start + batch_size])
+        latencies[request] = time.perf_counter() - tick
+    total = float(latencies.sum())
+    return {
+        "qps": (num_queries / total) if total > 0 else float("inf"),
+        "batch_size": int(batch_size),
+        "batches": len(starts),
+        "mean_batch_ms": float(latencies.mean() * 1e3),
+        "p99_batch_ms": float(np.quantile(latencies, 0.99) * 1e3),
+    }

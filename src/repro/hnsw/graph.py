@@ -10,8 +10,6 @@ from __future__ import annotations
 
 import threading
 
-import numpy as np
-
 
 class HnswGraph:
     """The multi-layer proximity graph.
@@ -144,3 +142,21 @@ class VisitedPool:
             self._local.table = table
         table.reset(capacity)
         return table
+
+    def get_many(self, capacity: int, count: int) -> list[VisitedTable]:
+        """Borrow ``count`` reset tables for one lockstep batch search.
+
+        The batch query path runs ``count`` searches concurrently in one
+        thread, so each needs its own visited set; the tables are reused
+        across batches on the same thread.
+        """
+        tables = getattr(self._local, "tables", None)
+        if tables is None:
+            tables = []
+            self._local.tables = tables
+        while len(tables) < count:
+            tables.append(VisitedTable(capacity))
+        borrowed = tables[:count]
+        for table in borrowed:
+            table.reset(capacity)
+        return borrowed

@@ -16,10 +16,22 @@ from repro.errors import IndexNotBuiltError
 from repro.hnsw.graph import HnswGraph, VisitedPool
 from repro.hnsw.heuristic import select_neighbors_heuristic, select_neighbors_simple
 from repro.hnsw.params import HnswParams
-from repro.hnsw.search import descend_to_level, search_layer
+from repro.hnsw.search import (
+    descend_to_level,
+    descend_to_level_batch,
+    search_layer,
+    search_layer_batch,
+)
 from repro.utils.validation import as_matrix, as_vector
 
 _IDS_DTYPE = np.int64
+
+#: Upper bound on queries searched in one lockstep round.  Each lockstep
+#: query needs its own O(num_nodes) visited table (pooled per thread), so
+#: an unbounded batch would cost O(B * num_nodes) memory; larger groups
+#: also stop amortising once the flat scoring calls are a few thousand
+#: rows wide.  search_batch slices big batches into groups of this size.
+_MAX_LOCKSTEP = 64
 
 
 class HnswIndex:
@@ -121,6 +133,10 @@ class HnswIndex:
                 raise ValueError(
                     f"ids has shape {ids.shape}, expected ({n},)"
                 )
+            if (ids < 0).any():
+                # -1 is the batch-result padding sentinel; negative
+                # external ids would be indistinguishable from it.
+                raise ValueError("external ids must be non-negative")
             if len(set(ids.tolist())) != n:
                 raise ValueError("duplicate ids within one add() call")
         for external_id in ids.tolist():
@@ -209,10 +225,57 @@ class HnswIndex:
         graph.set_neighbors(node, layer, [nbr for _, nbr in reselected])
 
     # -- search ------------------------------------------------------------------------
+    def _search_many(
+        self, queries: np.ndarray, k: int, ef: int | None
+    ) -> list[tuple[np.ndarray, np.ndarray]]:
+        """Lockstep-search a prepared batch; per-query (ids, true_dists).
+
+        This is the single query code path: :meth:`search` runs it with a
+        batch of one.  All distance evaluations go through the
+        batch-composition-invariant :meth:`Scorer.score_pairs` kernel, so
+        results do not depend on how queries are grouped into batches.
+        """
+        if k <= 0:
+            raise ValueError(f"k must be positive, got {k}")
+        if len(self._graph) == 0:
+            raise IndexNotBuiltError("search on an empty HNSW index")
+        prepared = self._scorer.prepare_queries(queries)
+        query_sq = self._scorer.query_sq_norms(prepared)
+        beam = max(ef if ef is not None else self.params.ef_search, k)
+
+        entries, entry_dists = descend_to_level_batch(
+            self._graph, self._scorer, prepared, 0, query_sq
+        )
+        tables = self._visited_pool.get_many(
+            len(self._graph), queries.shape[0]
+        )
+        per_query = search_layer_batch(
+            self._graph,
+            self._scorer,
+            prepared,
+            [[(entry_dists[i], entries[i])] for i in range(queries.shape[0])],
+            beam,
+            0,
+            tables,
+            query_sq,
+        )
+        external = self.external_ids  # one O(n) list->array conversion
+        output: list[tuple[np.ndarray, np.ndarray]] = []
+        for candidates in per_query:
+            top = candidates[:k]
+            rows = np.asarray([node for _, node in top], dtype=_IDS_DTYPE)
+            reduced = np.asarray([dist for dist, _ in top], dtype=np.float64)
+            output.append(
+                (external[rows], self._scorer.to_true(reduced))
+            )
+        return output
+
     def search(
         self, query: np.ndarray, k: int, ef: int | None = None
     ) -> tuple[np.ndarray, np.ndarray]:
         """Return the approximate ``k`` nearest neighbors of ``query``.
+
+        A thin wrapper over :meth:`search_batch` with a batch of one.
 
         Parameters
         ----------
@@ -229,48 +292,36 @@ class HnswIndex:
             External ids and *true* metric distances, ascending, length
             ``min(k, len(index))``.
         """
-        if len(self._graph) == 0:
-            raise IndexNotBuiltError("search on an empty HNSW index")
-        if k <= 0:
-            raise ValueError(f"k must be positive, got {k}")
         query = as_vector(query, dim=self.dim, name="query")
-        prepared = self._scorer.prepare_query(query)
-        beam = max(ef if ef is not None else self.params.ef_search, k)
-
-        entry, entry_dist = descend_to_level(self._graph, self._scorer, prepared, 0)
-        visited = self._visited_pool.get(len(self._graph))
-        candidates = search_layer(
-            self._graph,
-            self._scorer,
-            prepared,
-            [(entry_dist, entry)],
-            beam,
-            0,
-            visited,
-        )
-        top = candidates[:k]
-        rows = np.asarray([node for _, node in top], dtype=_IDS_DTYPE)
-        reduced = np.asarray([dist for dist, _ in top], dtype=np.float64)
-        ids = self.external_ids[rows]
-        return ids, self._scorer.to_true(reduced)
+        return self._search_many(query[np.newaxis, :], k, ef)[0]
 
     def search_batch(
         self, queries: np.ndarray, k: int, ef: int | None = None
     ) -> tuple[np.ndarray, np.ndarray]:
-        """Search many queries; returns ``(n, k)`` id and distance arrays.
+        """Search many queries in lockstep; ``(B, k)`` id/distance arrays.
 
-        Rows are padded with id ``-1`` / distance ``inf`` when the index
-        holds fewer than ``k`` points.
+        Per-query results are identical to calling :meth:`search` in a
+        loop; the batch amortises query preparation, entry-point descent
+        setup and pools every round's distance evaluations into one
+        vectorised call.  Rows are padded with id ``-1`` / distance
+        ``inf`` when the index holds fewer than ``k`` points.
         """
+        if k <= 0:
+            raise ValueError(f"k must be positive, got {k}")
         queries = as_matrix(queries, dim=self.dim, name="queries")
         n = queries.shape[0]
         ids = np.full((n, k), -1, dtype=_IDS_DTYPE)
         dists = np.full((n, k), np.inf, dtype=np.float64)
-        for i in range(n):
-            found_ids, found_dists = self.search(queries[i], k, ef=ef)
-            count = len(found_ids)
-            ids[i, :count] = found_ids
-            dists[i, :count] = found_dists
+        if n == 0:
+            return ids, dists
+        for start in range(0, n, _MAX_LOCKSTEP):
+            group = queries[start : start + _MAX_LOCKSTEP]
+            for i, (found_ids, found_dists) in enumerate(
+                self._search_many(group, k, ef), start=start
+            ):
+                count = len(found_ids)
+                ids[i, :count] = found_ids
+                dists[i, :count] = found_dists
         return ids, dists
 
     # -- persistence --------------------------------------------------------------------
@@ -343,6 +394,12 @@ class HnswIndex:
                     start, stop = indptr[node], indptr[node + 1]
                     graph.set_neighbors(node, level, indices[start:stop].tolist())
         external = np.asarray(payload["external_ids"], dtype=np.int64)
+        if (external < 0).any():
+            # Same invariant add() enforces: -1 is the batch padding
+            # sentinel, so a loaded index must not carry negative ids.
+            raise ValueError(
+                "persisted index contains negative external ids"
+            )
         index._external_ids = external.tolist()
         index._id_to_row = {ext: row for row, ext in enumerate(index._external_ids)}
         return index

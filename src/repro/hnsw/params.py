@@ -15,7 +15,7 @@ Names follow the original paper / hnswlib conventions:
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 
 @dataclass(frozen=True)

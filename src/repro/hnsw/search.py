@@ -134,3 +134,187 @@ def descend_to_level(
             graph, scorer, query, entry, entry_dist, level
         )
     return entry, entry_dist
+
+
+# -- lockstep batch kernels ----------------------------------------------------------
+#
+# The batched query path runs B independent searches "in lockstep": each
+# round, every still-active query contributes the candidate ids it needs
+# scored, the flat union is scored in ONE vectorised Scorer.score_pairs
+# call, and the per-query heap logic then consumes its slice.  Each
+# query's control flow (pop order, visited set, termination) is exactly
+# the single-query algorithm -- only the distance evaluations are pooled
+# -- and score_pairs is batch-composition-invariant, so a batch of one is
+# bit-identical to any larger batch.
+
+
+def descend_to_level_batch(
+    graph: HnswGraph,
+    scorer: Scorer,
+    queries: np.ndarray,
+    target_level: int,
+    query_sq: np.ndarray | None = None,
+) -> tuple[list[int], list[float]]:
+    """Batched :func:`descend_to_level` over a *prepared* ``(B, d)`` batch.
+
+    Returns per-query entry nodes and reduced entry distances for
+    ``target_level``.  The graph must be non-empty.
+    """
+    num_queries = queries.shape[0]
+    entry = graph.entry_point
+    entry_dists = scorer.score_pairs(
+        queries,
+        np.arange(num_queries),
+        np.full(num_queries, entry, dtype=_IDS_DTYPE),
+        query_sq,
+    )
+    current = [entry] * num_queries
+    current_dist = [float(dist) for dist in entry_dists]
+    for level in range(graph.max_level, target_level, -1):
+        active = list(range(num_queries))
+        while active:
+            flat_ids: list[int] = []
+            flat_rows: list[int] = []
+            spans: list[tuple[int, int]] = []
+            for i in active:
+                neighbors = graph.neighbors(current[i], level)
+                if not neighbors:
+                    continue  # local minimum: settled at this level
+                spans.append((i, len(neighbors)))
+                flat_ids.extend(neighbors)
+                flat_rows.extend([i] * len(neighbors))
+            if not flat_ids:
+                break
+            dists = scorer.score_pairs(
+                queries,
+                np.asarray(flat_rows),
+                np.asarray(flat_ids, dtype=_IDS_DTYPE),
+                query_sq,
+            )
+            moved: list[int] = []
+            offset = 0
+            for i, count in spans:
+                segment = dists[offset : offset + count]
+                best = int(np.argmin(segment))
+                best_dist = float(segment[best])
+                if best_dist < current_dist[i]:
+                    current[i] = flat_ids[offset + best]
+                    current_dist[i] = best_dist
+                    moved.append(i)
+                offset += count
+            active = moved
+    return current, current_dist
+
+
+def search_layer_batch(
+    graph: HnswGraph,
+    scorer: Scorer,
+    queries: np.ndarray,
+    entry_points: list[list[tuple[float, int]]],
+    ef: int,
+    level: int,
+    visited_tables: list[VisitedTable],
+    query_sq: np.ndarray | None = None,
+) -> list[list[tuple[float, int]]]:
+    """Batched :func:`search_layer`: one beam search per query, in lockstep.
+
+    Parameters
+    ----------
+    queries:
+        Prepared ``(B, d)`` query batch.
+    entry_points:
+        Per-query ``(reduced_distance, node)`` seeds.
+    visited_tables:
+        One reset :class:`VisitedTable` per query.
+
+    Returns
+    -------
+    Per-query sorted ``(reduced_distance, node)`` lists, each at most
+    ``ef`` long -- identical to running :func:`search_layer` per query.
+    """
+    num_queries = queries.shape[0]
+    candidates: list[list[tuple[float, int]]] = []
+    results: list[list[tuple[float, int]]] = []
+    for i in range(num_queries):
+        table = visited_tables[i]
+        tags, epoch = table.tags, table.epoch
+        cand: list[tuple[float, int]] = []
+        res: list[tuple[float, int]] = []
+        for dist, node in entry_points[i]:
+            tags[node] = epoch
+            cand.append((dist, node))
+            res.append((-dist, node))
+        heapq.heapify(cand)
+        heapq.heapify(res)
+        candidates.append(cand)
+        results.append(res)
+
+    active = [i for i in range(num_queries) if candidates[i]]
+    while active:
+        # Phase 1: advance each query to its next scoring point (or done).
+        flat_ids: list[int] = []
+        flat_rows: list[int] = []
+        spans: list[tuple[int, int]] = []
+        for i in active:
+            cand = candidates[i]
+            res = results[i]
+            table = visited_tables[i]
+            tags, epoch = table.tags, table.epoch
+            fresh: list[int] = []
+            while cand:
+                dist, node = heapq.heappop(cand)
+                if dist > -res[0][0] and len(res) >= ef:
+                    cand.clear()  # frontier strictly worse: terminate
+                    break
+                fresh = [
+                    neighbor
+                    for neighbor in graph.neighbors(node, level)
+                    if tags[neighbor] != epoch
+                ]
+                if fresh:
+                    for neighbor in fresh:
+                        tags[neighbor] = epoch
+                    break
+            if fresh:
+                spans.append((i, len(fresh)))
+                flat_ids.extend(fresh)
+                flat_rows.extend([i] * len(fresh))
+        if not flat_ids:
+            break
+
+        # Phase 2: one vectorised scoring call for the whole round.
+        dists = scorer.score_pairs(
+            queries,
+            np.asarray(flat_rows),
+            np.asarray(flat_ids, dtype=_IDS_DTYPE),
+            query_sq,
+        )
+
+        # Phase 3: per-query heap updates (same inner loop as search_layer).
+        still_active: list[int] = []
+        offset = 0
+        for i, count in spans:
+            cand = candidates[i]
+            res = results[i]
+            segment = dists[offset : offset + count].tolist()
+            worst = -res[0][0]
+            full = len(res) >= ef
+            for position in range(count):
+                neighbor_dist = segment[position]
+                neighbor = flat_ids[offset + position]
+                if not full:
+                    heapq.heappush(res, (-neighbor_dist, neighbor))
+                    heapq.heappush(cand, (neighbor_dist, neighbor))
+                    full = len(res) >= ef
+                    worst = -res[0][0]
+                elif neighbor_dist < worst:
+                    heapq.heapreplace(res, (-neighbor_dist, neighbor))
+                    heapq.heappush(cand, (neighbor_dist, neighbor))
+                    worst = -res[0][0]
+            offset += count
+            if cand:
+                still_active.append(i)
+        active = still_active
+    return [
+        sorted((-neg_dist, node) for neg_dist, node in res) for res in results
+    ]

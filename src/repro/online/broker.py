@@ -11,10 +11,10 @@ from concurrent.futures import ThreadPoolExecutor
 import numpy as np
 
 from repro.core.config import LannsConfig
-from repro.core.merge import merge_shard_results
+from repro.core.merge import merge_shard_results_batch
 from repro.core.topk import per_shard_top_k
 from repro.online.searcher import SearcherNode
-from repro.utils.validation import as_vector
+from repro.utils.validation import as_matrix, as_vector
 
 
 class Broker:
@@ -51,6 +51,26 @@ class Broker:
         self.searchers = searchers
         self.config = config
         self.parallel_fanout = bool(parallel_fanout)
+        # One long-lived fan-out pool, created eagerly (lazy creation
+        # would race under concurrent first requests).  Reusing it keeps
+        # the worker threads -- and therefore the per-thread
+        # visited-table caches inside each searcher's HNSW indices --
+        # alive across requests; a pool per call would re-allocate
+        # O(num_nodes) tables for every lockstep query on every request.
+        self._pool: ThreadPoolExecutor | None = (
+            ThreadPoolExecutor(
+                max_workers=len(searchers),
+                thread_name_prefix="broker-fanout",
+            )
+            if self.parallel_fanout and len(searchers) > 1
+            else None
+        )
+
+    def close(self) -> None:
+        """Shut down the fan-out pool; later requests run sequentially."""
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
 
     def per_shard_budget(self, top_k: int) -> int:
         """The perShardTopK this broker passes to each searcher."""
@@ -63,6 +83,83 @@ class Broker:
             paper_literal=self.config.paper_literal_probit,
         )
 
+    def search(
+        self,
+        index_name: str,
+        query: np.ndarray,
+        top_k: int,
+        *,
+        ef: int | None = None,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Serve one query end to end (a batch of one).
+
+        Returns
+        -------
+        (ids, distances): ascending by distance, at most ``top_k``.
+        """
+        query = as_vector(query, name="query")
+        ids, dists = self.search_batch(
+            index_name, query[np.newaxis, :], top_k, ef=ef
+        )
+        valid = ids[0] >= 0
+        return ids[0][valid], dists[0][valid]
+
+    def search_batch(
+        self,
+        index_name: str,
+        queries: np.ndarray,
+        top_k: int,
+        *,
+        ef: int | None = None,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Serve a query batch end to end: ONE fan-out for the whole batch.
+
+        Each shard receives the full ``(B, d)`` batch in a single request
+        (one thread-pool task per shard under ``parallel_fanout``) and
+        returns ``(B, perShardTopK)`` arrays; the broker then runs one
+        vectorised multi-query merge.  Per-query results are identical to
+        calling :meth:`search` in a loop.
+
+        Returns
+        -------
+        ``(B, top_k)`` id/distance arrays padded with ``-1`` / ``inf``.
+        """
+        if top_k <= 0:
+            raise ValueError(f"top_k must be positive, got {top_k}")
+        queries = as_matrix(queries, name="queries")
+        if queries.shape[0] == 0:
+            return (
+                np.full((0, top_k), -1, dtype=np.int64),
+                np.full((0, top_k), np.inf, dtype=np.float64),
+            )
+        budget = self.per_shard_budget(top_k)
+        parts = None
+        pool = self._pool  # snapshot: close() may race an in-flight call
+        if pool is not None:
+            try:
+                futures = [
+                    pool.submit(
+                        searcher.search_batch,
+                        index_name,
+                        queries,
+                        budget,
+                        ef=ef,
+                    )
+                    for searcher in self.searchers
+                ]
+            except RuntimeError:
+                # Pool shut down mid-request: fall through to sequential.
+                parts = None
+            else:
+                parts = [future.result() for future in futures]
+        if parts is None:
+            parts = [
+                searcher.search_batch(index_name, queries, budget, ef=ef)
+                for searcher in self.searchers
+            ]
+        return merge_shard_results_batch(parts, top_k)
+
+    # Backwards-compatible aliases (the original serving entry points).
     def query(
         self,
         index_name: str,
@@ -71,36 +168,8 @@ class Broker:
         *,
         ef: int | None = None,
     ) -> tuple[np.ndarray, np.ndarray]:
-        """Serve one query end to end.
-
-        Returns
-        -------
-        (ids, distances): ascending by distance, at most ``top_k``.
-        """
-        if top_k <= 0:
-            raise ValueError(f"top_k must be positive, got {top_k}")
-        query = as_vector(query, name="query")
-        budget = self.per_shard_budget(top_k)
-        if self.parallel_fanout and len(self.searchers) > 1:
-            with ThreadPoolExecutor(
-                max_workers=len(self.searchers)
-            ) as pool:
-                futures = [
-                    pool.submit(
-                        searcher.search, index_name, query, budget, ef=ef
-                    )
-                    for searcher in self.searchers
-                ]
-                shard_results = [future.result() for future in futures]
-        else:
-            shard_results = [
-                searcher.search(index_name, query, budget, ef=ef)
-                for searcher in self.searchers
-            ]
-        merged = merge_shard_results(shard_results, top_k)
-        ids = np.asarray([item for _, item in merged], dtype=np.int64)
-        dists = np.asarray([dist for dist, _ in merged], dtype=np.float64)
-        return ids, dists
+        """Alias of :meth:`search`."""
+        return self.search(index_name, query, top_k, ef=ef)
 
     def query_batch(
         self,
@@ -110,17 +179,5 @@ class Broker:
         *,
         ef: int | None = None,
     ) -> tuple[np.ndarray, np.ndarray]:
-        """Serve many queries; rows padded with id -1 / distance inf."""
-        queries = np.asarray(queries, dtype=np.float32)
-        if queries.ndim == 1:
-            queries = queries[np.newaxis, :]
-        n = queries.shape[0]
-        ids = np.full((n, top_k), -1, dtype=np.int64)
-        dists = np.full((n, top_k), np.inf, dtype=np.float64)
-        for row in range(n):
-            found_ids, found_dists = self.query(
-                index_name, queries[row], top_k, ef=ef
-            )
-            ids[row, : len(found_ids)] = found_ids
-            dists[row, : len(found_dists)] = found_dists
-        return ids, dists
+        """Alias of :meth:`search_batch`."""
+        return self.search_batch(index_name, queries, top_k, ef=ef)

@@ -72,14 +72,33 @@ class SearcherNode:
         most ``k`` ``(distance, id)`` pairs -- the ``perShardTopK`` budget
         the broker asked for.
         """
+        return self._shard(index_name).search(query, k, ef=ef)
+
+    def search_batch(
+        self,
+        index_name: str,
+        queries: np.ndarray,
+        k: int,
+        *,
+        ef: int | None = None,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Serve a query batch against the hosted shard of ``index_name``.
+
+        One network round-trip's worth of work in the real system: the
+        broker ships the whole batch, the searcher lockstep-searches its
+        shard and returns ``(B, k)`` id/distance arrays (padded with
+        ``-1`` / ``inf``).
+        """
+        return self._shard(index_name).search_batch(queries, k, ef=ef)
+
+    def _shard(self, index_name: str):
         try:
-            shard = self._indices[index_name]
+            return self._indices[index_name]
         except KeyError:
             raise KeyError(
                 f"searcher {self.shard_id} does not host index "
                 f"{index_name!r} (hosted: {self.hosted_indices})"
             ) from None
-        return shard.search(query, k, ef=ef)
 
     def __repr__(self) -> str:
         return (

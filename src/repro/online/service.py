@@ -9,12 +9,11 @@ onto the same fleet models the paper's online A/B test construct.
 
 from __future__ import annotations
 
-import time
-
 import numpy as np
 
 from repro.core.config import LannsConfig
 from repro.errors import MetadataMismatchError
+from repro.eval.timing import measure_batch_qps, measure_qps
 from repro.online.broker import Broker
 from repro.online.searcher import SearcherNode
 from repro.storage.hdfs import LocalHdfs
@@ -102,10 +101,20 @@ class OnlineService:
             raise KeyError(f"index {index_name!r} is not deployed")
         for searcher in self.searchers:
             searcher.unhost(index_name)
+        self.brokers[index_name].close()
         del self.brokers[index_name]
         del self.configs[index_name]
 
     # -- serving -----------------------------------------------------------------------
+    def _broker(self, index_name: str) -> Broker:
+        try:
+            return self.brokers[index_name]
+        except KeyError:
+            raise KeyError(
+                f"index {index_name!r} is not deployed "
+                f"(deployed: {self.deployed_indices})"
+            ) from None
+
     def query(
         self,
         query: np.ndarray,
@@ -115,14 +124,27 @@ class OnlineService:
         ef: int | None = None,
     ) -> tuple[np.ndarray, np.ndarray]:
         """Serve one query against a deployed index."""
-        try:
-            broker = self.brokers[index_name]
-        except KeyError:
-            raise KeyError(
-                f"index {index_name!r} is not deployed "
-                f"(deployed: {self.deployed_indices})"
-            ) from None
-        return broker.query(index_name, query, top_k, ef=ef)
+        return self._broker(index_name).search(index_name, query, top_k, ef=ef)
+
+    def query_batch(
+        self,
+        queries: np.ndarray,
+        top_k: int,
+        *,
+        index_name: str = "default",
+        ef: int | None = None,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Serve a query batch in one broker fan-out.
+
+        Returns ``(B, top_k)`` id/distance arrays padded with ``-1`` /
+        ``inf``; per-query results are identical to :meth:`query`.
+        """
+        return self._broker(index_name).search_batch(
+            index_name, queries, top_k, ef=ef
+        )
+
+    # The paper-facing name for the batch serving entry point.
+    search_batch = query_batch
 
     def measure_qps(
         self,
@@ -131,25 +153,44 @@ class OnlineService:
         *,
         index_name: str = "default",
         ef: int | None = None,
+        batch_size: int | None = None,
     ) -> dict:
-        """Serve a query batch and report throughput / latency stats.
+        """Serve a query set and report throughput / latency stats.
+
+        With ``batch_size=None`` every query is served individually (the
+        sequential baseline); otherwise queries are served in batches of
+        ``batch_size`` through :meth:`query_batch` and each batch counts
+        as one request for latency purposes.  Timing comes from
+        :mod:`repro.eval.timing` so both modes share one qps definition.
 
         Returns a dict with ``qps``, ``mean_latency_ms``,
-        ``p99_latency_ms`` (the paper reports p99) and ``count``.
+        ``p99_latency_ms`` (the paper reports p99), ``count`` and
+        ``batch_size``.
         """
         queries = np.asarray(queries, dtype=np.float32)
         if queries.ndim == 1:
             queries = queries[np.newaxis, :]
-        latencies = np.empty(queries.shape[0], dtype=np.float64)
-        begin = time.perf_counter()
-        for row in range(queries.shape[0]):
-            start = time.perf_counter()
-            self.query(queries[row], top_k, index_name=index_name, ef=ef)
-            latencies[row] = time.perf_counter() - start
-        elapsed = time.perf_counter() - begin
+        if batch_size is None:
+            stats = measure_qps(
+                lambda query: self.query(
+                    query, top_k, index_name=index_name, ef=ef
+                ),
+                queries,
+            )
+            mean_ms, p99_ms = stats["mean_ms"], stats["p99_ms"]
+        else:
+            stats = measure_batch_qps(
+                lambda batch: self.query_batch(
+                    batch, top_k, index_name=index_name, ef=ef
+                ),
+                queries,
+                batch_size,
+            )
+            mean_ms, p99_ms = stats["mean_batch_ms"], stats["p99_batch_ms"]
         return {
             "count": int(queries.shape[0]),
-            "qps": queries.shape[0] / elapsed if elapsed > 0 else float("inf"),
-            "mean_latency_ms": float(latencies.mean() * 1e3),
-            "p99_latency_ms": float(np.quantile(latencies, 0.99) * 1e3),
+            "batch_size": batch_size,
+            "qps": stats["qps"],
+            "mean_latency_ms": mean_ms,
+            "p99_latency_ms": p99_ms,
         }

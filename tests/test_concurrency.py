@@ -9,7 +9,6 @@ piece doing the heavy lifting here.
 
 from concurrent.futures import ThreadPoolExecutor
 
-import numpy as np
 import pytest
 
 from repro.core.builder import build_lanns_index

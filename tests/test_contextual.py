@@ -3,8 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.core.contextual import ContextualLannsIndex, build_contextual_index
-from repro.errors import ConfigError
+from repro.core.contextual import build_contextual_index
 from repro.offline.brute_force import exact_top_k
 from repro.segmenters.base import segmenter_from_dict
 from repro.segmenters.context import ContextSegmenter

@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.data.datasets import Dataset, available_datasets, load_dataset
+from repro.data.datasets import available_datasets, load_dataset
 from repro.data.io import read_fvecs, read_ivecs, write_fvecs, write_ivecs
 from repro.data.synthetic import (
     clustered_gaussians,

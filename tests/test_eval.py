@@ -67,6 +67,7 @@ class TestTables:
             title="T",
             notes="paper says 0.6",
         )
+        assert "T" in text
         assert (tmp_path / "table_test.txt").exists()
         assert (tmp_path / "table_test.json").exists()
         assert "paper says" in (tmp_path / "table_test.txt").read_text()

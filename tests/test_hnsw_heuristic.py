@@ -1,7 +1,6 @@
 """Tests for HNSW neighbor selection (simple and heuristic)."""
 
 import numpy as np
-import pytest
 
 from repro.distance.scorer import Scorer
 from repro.hnsw.heuristic import (

@@ -5,7 +5,6 @@ import pytest
 
 from repro.errors import IndexNotBuiltError
 from repro.hnsw.index import HnswIndex, build_hnsw
-from repro.hnsw.params import HnswParams
 from repro.offline.brute_force import exact_top_k
 from tests.conftest import FAST_HNSW
 

@@ -1,6 +1,5 @@
 """Tests for the offline jobs: learn (Fig 5), index (Fig 6), query (Fig 7)."""
 
-import numpy as np
 import pytest
 
 from repro.core.builder import build_lanns_index

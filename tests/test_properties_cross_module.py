@@ -8,13 +8,12 @@ the global answer; and HNSW serialization must be lossless for arbitrary
 """
 
 import numpy as np
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.core.merge import merge_segment_results, merge_shard_results
 from repro.core.topk import per_shard_top_k
-from repro.hnsw.index import HnswIndex, build_hnsw
+from repro.hnsw.index import build_hnsw
 from repro.hnsw.params import HnswParams
 from repro.offline.brute_force import exact_top_k
 from repro.sharding.sharder import HashSharder

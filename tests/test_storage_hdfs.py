@@ -3,7 +3,6 @@
 import pytest
 
 from repro.errors import StorageError
-from repro.storage.hdfs import LocalHdfs
 
 
 class TestReadWrite:
