@@ -10,14 +10,26 @@ the same query stream is served twice:
 2. *batched* -- `Broker.search_batch` over fixed-size batches, i.e. one
    shard fan-out and one vectorised multi-query merge per batch.
 
-The batch path must deliver >= 2x the sequential QPS (the PR's
-acceptance bar) and bit-identical per-query results.  Run standalone::
+The batch path must deliver >= 2x the sequential QPS (the PR-1
+acceptance bar) and bit-identical per-query results.
+
+With ``--clients N`` the benchmark instead load-tests the PR-2
+concurrent serving core: ``N`` closed-loop client threads issue
+*single-query* calls against the micro-batching broker (admission
+coalesces them into lockstep batches), then the same query set is
+re-served out of the broker's result cache.  Acceptance bars:
+micro-batched concurrent singles >= 1.5x the PR-1 sequential path, and
+cached repeat queries >= 5x uncached -- with per-query parity (identical
+ids *and* distances) asserted in-run for both.
+
+Run standalone::
 
     PYTHONPATH=src python benchmarks/bench_batch_throughput.py
+    PYTHONPATH=src python benchmarks/bench_batch_throughput.py --clients 8
     PYTHONPATH=src python benchmarks/bench_batch_throughput.py --smoke
 
 ``--smoke`` shrinks the workload to a few seconds and skips the speedup
-assertion (tiny runs are timing noise); it still verifies parity, which
+assertions (tiny runs are timing noise); it still verifies parity, which
 is what CI's benchmark smoke job guards.
 """
 
@@ -32,7 +44,9 @@ import numpy as np
 
 from repro.core.builder import build_lanns_index
 from repro.core.config import LannsConfig
+from repro.core.index import LannsIndex
 from repro.data.synthetic import clustered_gaussians, make_queries
+from repro.eval.harness import concurrent_serving_throughput
 from repro.eval.tables import format_table
 from repro.eval.timing import measure_batch_qps, measure_qps
 from repro.hnsw.params import HnswParams
@@ -42,8 +56,8 @@ from repro.online.searcher import SearcherNode
 RESULTS_DIR = Path(__file__).parent / "results"
 
 
-def build_broker(args: argparse.Namespace) -> tuple[Broker, np.ndarray]:
-    """Build the synthetic corpus, index it, and front it with a broker."""
+def build_index(args: argparse.Namespace) -> tuple[LannsIndex, np.ndarray]:
+    """Build the synthetic corpus and index it."""
     base = clustered_gaussians(args.num_base, args.dim, seed=args.seed)
     queries = make_queries(base, args.num_queries, seed=args.seed + 1)
     config = LannsConfig(
@@ -56,12 +70,17 @@ def build_broker(args: argparse.Namespace) -> tuple[Broker, np.ndarray]:
         segmenter_sample_size=min(2000, args.num_base),
         seed=args.seed,
     )
-    index = build_lanns_index(base, config=config)
+    return build_lanns_index(base, config=config), queries
+
+
+def build_broker(args: argparse.Namespace) -> tuple[Broker, np.ndarray]:
+    """Build the synthetic corpus, index it, and front it with a broker."""
+    index, queries = build_index(args)
     searchers = [SearcherNode(shard_id) for shard_id in range(args.shards)]
     for shard_id, searcher in enumerate(searchers):
         searcher.host("default", index.shards[shard_id])
     broker = Broker(
-        searchers, config, parallel_fanout=args.shards > 1
+        searchers, index.config, parallel_fanout=args.shards > 1
     )
     return broker, queries
 
@@ -87,6 +106,121 @@ def check_parity(
         assert (batch_dists[row, :count] == single_dists).all(), (
             f"batch/single distance mismatch at query {row}"
         )
+
+
+def run_concurrent(args: argparse.Namespace) -> int:
+    """The ``--clients`` mode: concurrent singles + heavy-hitter cache."""
+    index, queries = build_index(args)
+    print(
+        f"corpus: {args.num_base} x {args.dim}, {args.shards} shard(s) x "
+        f"{args.segments} segment(s), {queries.shape[0]} queries, "
+        f"top_k={args.top_k}, ef={args.ef}, clients={args.clients}, "
+        f"max_batch={args.max_batch}, max_wait_ms={args.max_wait_ms}"
+    )
+    report = concurrent_serving_throughput(
+        index,
+        queries,
+        args.top_k,
+        ef=args.ef,
+        clients=args.clients,
+        max_batch=args.max_batch,
+        max_wait_ms=args.max_wait_ms,
+    )
+    print("parity: concurrent + cached results identical to sequential ✓")
+    rows = [
+        {
+            "mode": "sequential (PR-1 path)",
+            "qps": report["sequential"]["qps"],
+            "p99_ms": report["sequential"]["p99_ms"],
+            "speedup": 1.0,
+        },
+        {
+            "mode": f"micro-batched x{report['clients']} clients",
+            "qps": report["concurrent"]["qps"],
+            "p99_ms": report["concurrent"]["p99_ms"],
+            "speedup": report["concurrent_speedup"],
+        },
+        {
+            "mode": "cached repeat queries",
+            "qps": report["cached"]["qps"],
+            "p99_ms": report["cached"]["p99_ms"],
+            "speedup": report["cache_speedup"],
+        },
+    ]
+    text = format_table(
+        rows,
+        title=(
+            "Concurrent serving core (micro-batched singles + result "
+            "cache vs sequential)"
+        ),
+    )
+    print("\n" + text + "\n")
+    core = report["core_stats"]
+    micro = core["microbatch"]
+    if micro is not None:
+        print(
+            f"micro-batches: {micro['batches_executed']} for "
+            f"{micro['rows_executed']} rows "
+            f"(largest {micro['largest_batch']}); cache: "
+            f"{core['cache']['hits']} hits / {core['cache']['misses']} misses"
+        )
+    else:
+        print(
+            "micro-batching disabled (--max-batch 1); cache: "
+            f"{core['cache']['hits']} hits / {core['cache']['misses']} misses"
+        )
+    stages = core["stages"]
+    for stage in ("queue_wait", "fanout", "merge"):
+        if stage in stages:
+            print(
+                f"  {stage:>10}: mean {stages[stage]['mean_ms']:.3f} ms  "
+                f"p99 {stages[stage]['p99_ms']:.3f} ms  "
+                f"(n={stages[stage]['count']})"
+            )
+
+    if args.smoke:
+        print(
+            f"smoke OK (concurrent {report['concurrent_speedup']:.2f}x, "
+            f"cached {report['cache_speedup']:.2f}x; assertions skipped "
+            "at smoke sizes)"
+        )
+        return 0
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    payload = {
+        "name": "concurrent_throughput",
+        "clients": report["clients"],
+        "rows": rows,
+        "stages": stages,
+    }
+    (RESULTS_DIR / "concurrent_throughput.json").write_text(
+        json.dumps(payload, indent=2), encoding="utf-8"
+    )
+    (RESULTS_DIR / "concurrent_throughput.txt").write_text(
+        text + "\n", encoding="utf-8"
+    )
+    failed = False
+    if report["concurrent_speedup"] < args.min_concurrent_speedup:
+        print(
+            f"FAIL: micro-batched concurrent speedup "
+            f"{report['concurrent_speedup']:.2f}x is below the required "
+            f"{args.min_concurrent_speedup:.1f}x"
+        )
+        failed = True
+    if report["cache_speedup"] < args.min_cache_speedup:
+        print(
+            f"FAIL: cached repeat-query speedup "
+            f"{report['cache_speedup']:.2f}x is below the required "
+            f"{args.min_cache_speedup:.1f}x"
+        )
+        failed = True
+    if failed:
+        return 1
+    print(
+        f"OK: concurrent {report['concurrent_speedup']:.2f}x >= "
+        f"{args.min_concurrent_speedup:.1f}x, cached "
+        f"{report['cache_speedup']:.2f}x >= {args.min_cache_speedup:.1f}x"
+    )
+    return 0
 
 
 def run(args: argparse.Namespace) -> int:
@@ -193,6 +327,46 @@ def build_parser() -> argparse.ArgumentParser:
         default=2.0,
         help="required batched/sequential QPS ratio (non-smoke runs)",
     )
+    parser.add_argument(
+        "--clients",
+        type=int,
+        default=0,
+        help=(
+            "load-test the concurrent serving core with this many "
+            "closed-loop client threads (0 = classic batched-vs-"
+            "sequential mode)"
+        ),
+    )
+    parser.add_argument(
+        "--max-batch",
+        type=int,
+        default=32,
+        help="micro-batch flush size (--clients mode)",
+    )
+    parser.add_argument(
+        "--max-wait-ms",
+        type=float,
+        default=2.0,
+        help="micro-batch flush deadline in ms (--clients mode)",
+    )
+    parser.add_argument(
+        "--min-concurrent-speedup",
+        type=float,
+        default=1.5,
+        help=(
+            "required micro-batched-concurrent/sequential QPS ratio "
+            "(--clients mode, non-smoke)"
+        ),
+    )
+    parser.add_argument(
+        "--min-cache-speedup",
+        type=float,
+        default=5.0,
+        help=(
+            "required cached/uncached QPS ratio "
+            "(--clients mode, non-smoke)"
+        ),
+    )
     parser.add_argument("--seed", type=int, default=0)
     return parser
 
@@ -204,10 +378,18 @@ def main(argv: list[str] | None = None) -> int:
         parser.error(f"--batch-sizes must be positive, got {args.batch_sizes}")
     if args.num_base <= 0 or args.num_queries <= 0 or args.dim <= 0:
         parser.error("--num-base, --num-queries and --dim must be positive")
+    if args.clients < 0:
+        parser.error(f"--clients must be >= 0, got {args.clients}")
+    if args.max_batch <= 0:
+        parser.error(f"--max-batch must be positive, got {args.max_batch}")
+    if args.max_wait_ms < 0:
+        parser.error(f"--max-wait-ms must be >= 0, got {args.max_wait_ms}")
     if args.smoke:
         args.num_base = min(args.num_base, 1200)
         args.num_queries = min(args.num_queries, 48)
         args.batch_sizes = [16]
+    if args.clients > 0:
+        return run_concurrent(args)
     return run(args)
 
 

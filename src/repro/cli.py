@@ -164,6 +164,31 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         f"batch p99: {batched['p99_batch_ms']:.2f} ms  "
         f"speedup: {report['speedup']:.2f}x"
     )
+    if args.clients > 0:
+        from repro.eval.harness import concurrent_serving_throughput
+
+        load = concurrent_serving_throughput(
+            index,
+            dataset.queries,
+            top_k,
+            ef=args.ef,
+            clients=args.clients,
+            max_batch=args.max_batch,
+            max_wait_ms=args.max_wait_ms,
+            cache_size=args.cache_size,
+        )
+        concurrent, cached = load["concurrent"], load["cached"]
+        print(
+            f"concurrent ({load['clients']} clients, micro-batch "
+            f"{args.max_batch}/{args.max_wait_ms}ms) qps: "
+            f"{concurrent['qps']:.0f}  p99: {concurrent['p99_ms']:.2f} ms  "
+            f"speedup: {load['concurrent_speedup']:.2f}x"
+        )
+        print(
+            f"cached repeats qps: {cached['qps']:.0f}  "
+            f"speedup: {load['cache_speedup']:.2f}x  "
+            f"(hits: {load['core_stats']['cache']['hits']})"
+        )
     return 0
 
 
@@ -224,6 +249,36 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=32,
         help="batch size for the batched serving measurement",
+    )
+    bench.add_argument(
+        "--clients",
+        type=int,
+        default=0,
+        help=(
+            "also load-test the concurrent serving core with this many "
+            "closed-loop client threads (0 = skip)"
+        ),
+    )
+    bench.add_argument(
+        "--max-batch",
+        type=int,
+        default=32,
+        help="micro-batch flush size for the concurrent load test",
+    )
+    bench.add_argument(
+        "--max-wait-ms",
+        type=float,
+        default=2.0,
+        help="micro-batch flush deadline (ms) for the concurrent load test",
+    )
+    bench.add_argument(
+        "--cache-size",
+        type=int,
+        default=None,
+        help=(
+            "broker result-cache capacity for the concurrent load test "
+            "(default: 2x the query count)"
+        ),
     )
     bench.add_argument("--shards", type=int, default=1)
     bench.add_argument("--segments", type=int, default=4)

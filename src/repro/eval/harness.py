@@ -16,7 +16,11 @@ import numpy as np
 from repro.core.config import LannsConfig
 from repro.core.index import LannsIndex, ShardIndex
 from repro.data.datasets import Dataset
-from repro.eval.timing import measure_batch_qps, measure_qps
+from repro.eval.timing import (
+    measure_batch_qps,
+    measure_concurrent_qps,
+    measure_qps,
+)
 from repro.offline.indexing import build_index_job
 from repro.offline.querying import QueryJobResult, query_index_job
 from repro.offline.recall import recall_curve
@@ -163,6 +167,125 @@ def serving_throughput(
     if collect_ids:
         report["ids"] = np.concatenate(chunks, axis=0)
     return report
+
+
+def concurrent_serving_throughput(
+    index: LannsIndex,
+    queries: np.ndarray,
+    top_k: int,
+    *,
+    ef: int | None = None,
+    clients: int = 8,
+    max_batch: int = 32,
+    max_wait_ms: float = 2.0,
+    cache_size: int | None = None,
+    check_parity: bool = True,
+) -> dict:
+    """Load-test the concurrent serving core against the PR-1 baseline.
+
+    Fronts ``index`` with two brokers over one shared searcher fleet:
+
+    - *baseline* -- the plain PR-1 broker (no admission layer, no cache),
+      serving the query set one call at a time (``sequential``);
+    - *core* -- the micro-batching broker with a result cache, driven by
+      ``clients`` closed-loop threads issuing single-query calls
+      (``concurrent``), then re-serving the now-cached query set
+      (``cached``).
+
+    With ``check_parity`` every concurrent and cached answer is asserted
+    bit-identical (ids and distances) to the baseline's sequential
+    answer, so the speedups cannot come from wrong results.  Returns the
+    three throughput dicts, the ``concurrent_speedup`` and
+    ``cache_speedup`` ratios, and the core broker's ``stats()`` snapshot.
+    """
+    from repro.online.broker import Broker
+    from repro.online.searcher import SearcherNode
+
+    queries = np.asarray(queries, dtype=np.float32)
+    if queries.shape[0] == 0:
+        raise ValueError("concurrent_serving_throughput needs queries")
+    num_shards = index.config.num_shards
+    searchers = [SearcherNode(shard_id) for shard_id in range(num_shards)]
+    for shard_id, searcher in enumerate(searchers):
+        searcher.host("bench", index.shards[shard_id])
+    if cache_size is None:
+        cache_size = 2 * queries.shape[0]
+    baseline = Broker(
+        searchers, index.config, parallel_fanout=num_shards > 1
+    )
+    core = Broker(
+        searchers,
+        index.config,
+        parallel_fanout=num_shards > 1,
+        max_batch=max_batch,
+        max_wait_ms=max_wait_ms,
+        cache_size=cache_size,
+    )
+    try:
+        expected = [
+            baseline.search("bench", query, top_k, ef=ef)
+            for query in queries
+        ]
+        sequential = measure_qps(
+            lambda query: baseline.search("bench", query, top_k, ef=ef),
+            queries,
+        )
+        concurrent = measure_concurrent_qps(
+            lambda query: core.search("bench", query, top_k, ef=ef),
+            queries,
+            clients,
+        )
+        # The concurrent pass filled the cache; this pass is all hits.
+        cached = measure_qps(
+            lambda query: core.search("bench", query, top_k, ef=ef),
+            queries,
+        )
+        # Snapshot before the parity re-serves below, so the reported
+        # hit/miss counters reflect the measured traffic only.
+        core_stats = core.stats()
+        if check_parity:
+            # Explicit raises, not bare asserts: parity is the guarantee
+            # behind the reported speedups and must survive ``python -O``.
+            def require(ok: bool, what: str, row: int) -> None:
+                if not ok:
+                    raise AssertionError(
+                        f"{what} mismatch vs sequential at query {row}"
+                    )
+
+            for row, (want_ids, want_dists) in enumerate(expected):
+                got_ids, got_dists = concurrent["results"][row]
+                require((got_ids == want_ids).all(), "concurrent id", row)
+                require(
+                    (got_dists == want_dists).all(),
+                    "concurrent distance",
+                    row,
+                )
+                hit_ids, hit_dists = core.search(
+                    "bench", queries[row], top_k, ef=ef
+                )
+                require((hit_ids == want_ids).all(), "cached id", row)
+                require(
+                    (hit_dists == want_dists).all(), "cached distance", row
+                )
+    finally:
+        baseline.close()
+        core.close()
+    concurrent = {
+        key: value for key, value in concurrent.items() if key != "results"
+    }
+    return {
+        "clients": concurrent["clients"],
+        "sequential": sequential,
+        "concurrent": concurrent,
+        "cached": cached,
+        "concurrent_speedup": concurrent["qps"] / sequential["qps"]
+        if sequential["qps"] > 0
+        else float("inf"),
+        "cache_speedup": cached["qps"] / sequential["qps"]
+        if sequential["qps"] > 0
+        else float("inf"),
+        "core_stats": core_stats,
+    }
 
 
 def swap_segmenter(index: LannsIndex, segmenter: Segmenter) -> LannsIndex:

@@ -2,7 +2,9 @@
 
 from __future__ import annotations
 
+import threading
 import time
+from collections import deque
 from typing import Callable
 
 import numpy as np
@@ -26,6 +28,83 @@ class Timer:
 
     def __exit__(self, *exc_info) -> None:
         self.elapsed = time.perf_counter() - self._start
+
+
+class StageLatencyRecorder:
+    """Thread-safe accumulator of per-stage serving latencies.
+
+    The broker records one sample per request into each named stage
+    (``queue_wait`` from the admission layer, ``fanout`` and ``merge``
+    from the execute path), so a load test can decompose end-to-end
+    latency into where the time actually went.
+
+    Memory is bounded for long-lived brokers: exact ``count`` and
+    ``total`` run forever, while the percentiles come from a sliding
+    window of the most recent ``window`` samples per stage.  Recording
+    happens under a lock (client and flusher threads record
+    concurrently); :meth:`summary` snapshots count / total / mean /
+    p50 / p99 per stage in milliseconds.
+    """
+
+    def __init__(self, window: int = 8192) -> None:
+        if window < 1:
+            raise ValueError(f"window must be >= 1, got {window}")
+        self.window = int(window)
+        self._lock = threading.Lock()
+        self._recent: dict[str, deque[float]] = {}
+        self._count: dict[str, int] = {}
+        self._total: dict[str, float] = {}
+
+    def record(self, stage: str, seconds: float) -> None:
+        """Append one latency sample (seconds) to ``stage``."""
+        seconds = float(seconds)
+        with self._lock:
+            recent = self._recent.get(stage)
+            if recent is None:
+                recent = self._recent[stage] = deque(maxlen=self.window)
+                self._count[stage] = 0
+                self._total[stage] = 0.0
+            recent.append(seconds)
+            self._count[stage] += 1
+            self._total[stage] += seconds
+
+    def recorder(self, stage: str) -> Callable[[float], None]:
+        """A single-argument callback bound to ``stage``."""
+        return lambda seconds: self.record(stage, seconds)
+
+    def reset(self) -> None:
+        """Drop all samples and counters."""
+        with self._lock:
+            self._recent.clear()
+            self._count.clear()
+            self._total.clear()
+
+    def summary(self) -> dict[str, dict]:
+        """Per-stage stats: count, total_ms, mean_ms, p50_ms, p99_ms.
+
+        ``count``/``total_ms``/``mean_ms`` cover every sample ever
+        recorded; the percentiles cover the recent window.
+        """
+        with self._lock:
+            snapshot = {
+                stage: (
+                    self._count[stage],
+                    self._total[stage],
+                    np.asarray(values, dtype=np.float64),
+                )
+                for stage, values in self._recent.items()
+                if values
+            }
+        return {
+            stage: {
+                "count": int(count),
+                "total_ms": float(total * 1e3),
+                "mean_ms": float(total / count * 1e3),
+                "p50_ms": float(np.quantile(recent, 0.50) * 1e3),
+                "p99_ms": float(np.quantile(recent, 0.99) * 1e3),
+            }
+            for stage, (count, total, recent) in snapshot.items()
+        }
 
 
 def measure_latency(
@@ -57,6 +136,73 @@ def measure_qps(
         "mean_ms": float(latencies.mean() * 1e3),
         "p50_ms": float(np.quantile(latencies, 0.50) * 1e3),
         "p99_ms": float(np.quantile(latencies, 0.99) * 1e3),
+    }
+
+
+def measure_concurrent_qps(
+    query_fn: Callable[[np.ndarray], object],
+    queries: np.ndarray,
+    num_clients: int,
+) -> dict:
+    """Serve ``queries`` from ``num_clients`` closed-loop client threads.
+
+    Each client owns a strided slice of the query set and issues its
+    queries one at a time (a new request only after the previous answer),
+    modelling independent callers rather than an open-loop flood.  All
+    clients start together behind a barrier; ``qps`` is total queries
+    over the barrier-to-last-finish wall time, and latency stats pool
+    every per-call sample.
+
+    Returns a dict with ``qps``, ``wall_s``, ``clients``, ``mean_ms``,
+    ``p50_ms``, ``p99_ms`` and ``results`` -- the per-query return values
+    of ``query_fn`` in query order, so callers can assert parity against
+    a sequential run without a second serving pass.
+    """
+    if num_clients <= 0:
+        raise ValueError(f"num_clients must be positive, got {num_clients}")
+    queries = np.asarray(queries)
+    num_queries = queries.shape[0]
+    num_clients = min(num_clients, max(num_queries, 1))
+    results: list = [None] * num_queries
+    latencies = np.zeros(num_queries, dtype=np.float64)
+    barrier = threading.Barrier(num_clients + 1)
+    errors: list[BaseException] = []
+
+    def client(worker: int) -> None:
+        try:
+            barrier.wait()
+            for row in range(worker, num_queries, num_clients):
+                start = time.perf_counter()
+                results[row] = query_fn(queries[row])
+                latencies[row] = time.perf_counter() - start
+        except BaseException as exc:  # surfaced to the caller below
+            errors.append(exc)
+
+    threads = [
+        threading.Thread(target=client, args=(worker,), daemon=True)
+        for worker in range(num_clients)
+    ]
+    for thread in threads:
+        thread.start()
+    barrier.wait()
+    begin = time.perf_counter()
+    for thread in threads:
+        thread.join()
+    wall = time.perf_counter() - begin
+    if errors:
+        raise errors[0]
+    return {
+        "qps": (num_queries / wall) if wall > 0 else float("inf"),
+        "wall_s": wall,
+        "clients": int(num_clients),
+        "mean_ms": float(latencies.mean() * 1e3) if num_queries else 0.0,
+        "p50_ms": float(np.quantile(latencies, 0.50) * 1e3)
+        if num_queries
+        else 0.0,
+        "p99_ms": float(np.quantile(latencies, 0.99) * 1e3)
+        if num_queries
+        else 0.0,
+        "results": results,
     }
 
 

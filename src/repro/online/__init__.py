@@ -4,7 +4,13 @@
   or more named indices, enabling A/B tests), performs the in-node
   segment-level merge.
 - :class:`~repro.online.broker.Broker` -- fans a query out to every
-  searcher with the ``perShardTopK`` budget and does the final merge.
+  searcher with the ``perShardTopK`` budget and does the final merge,
+  behind a result cache and an opportunistic micro-batching admission
+  layer.
+- :class:`~repro.online.microbatch.MicroBatcher` -- coalesces requests
+  arriving from many client threads into lockstep batches.
+- :class:`~repro.online.cache.QueryResultCache` -- broker-level LRU over
+  exact merged results, exploiting heavy-hitter query skew.
 - :class:`~repro.online.service.OnlineService` -- deploys an exported
   offline index onto a searcher fleet + broker, validating the coupled
   metadata so offline build and online serving cannot drift.
@@ -12,6 +18,14 @@
 
 from repro.online.searcher import SearcherNode
 from repro.online.broker import Broker
+from repro.online.cache import QueryResultCache
+from repro.online.microbatch import MicroBatcher
 from repro.online.service import OnlineService
 
-__all__ = ["SearcherNode", "Broker", "OnlineService"]
+__all__ = [
+    "SearcherNode",
+    "Broker",
+    "MicroBatcher",
+    "QueryResultCache",
+    "OnlineService",
+]

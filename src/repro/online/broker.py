@@ -1,11 +1,35 @@
-"""The broker: query fan-out, perShardTopK, and the final merge.
+"""The broker: admission, query fan-out, perShardTopK, and the final merge.
 
 "The final merge happens at the broker or the client. The broker is also
 responsible for calculating and passing the perShardTopK to each shard."
+
+PR 2 turns this into a concurrent serving core with three cooperating
+layers in front of the lockstep batch engine:
+
+1. an LRU **result cache** (:mod:`repro.online.cache`) consulted per
+   query row before admission and filled after the final merge;
+2. an opportunistic **micro-batching admission layer**
+   (:mod:`repro.online.microbatch`) that coalesces requests arriving from
+   many client threads into one lockstep batch (flush on ``max_batch``
+   rows or ``max_wait_ms``, whichever first);
+3. a **fan-out executor** sized independently of the searcher count
+   (``fanout_workers``), so in-flight batches can overlap their shard
+   requests instead of queueing behind one another on exactly
+   ``len(searchers)`` workers.  Note the overlap applies to *direct*
+   execution (micro-batching off, or concurrent ``search_batch`` callers
+   on an admission-disabled broker): with admission on, the single
+   flusher thread executes coalesced batches one at a time -- batching,
+   not pool width, is what buys throughput there.
+
+Every result still flows through the same `_execute_batch` fan-out +
+merge path PR 1 built, so micro-batched, cached, and direct requests are
+bit-identical per query.
 """
 
 from __future__ import annotations
 
+import threading
+import time
 from concurrent.futures import ThreadPoolExecutor
 
 import numpy as np
@@ -13,6 +37,9 @@ import numpy as np
 from repro.core.config import LannsConfig
 from repro.core.merge import merge_shard_results_batch
 from repro.core.topk import per_shard_top_k
+from repro.eval.timing import StageLatencyRecorder
+from repro.online.cache import QueryResultCache, result_cache_key
+from repro.online.microbatch import MicroBatcher
 from repro.online.searcher import SearcherNode
 from repro.utils.validation import as_matrix, as_vector
 
@@ -29,6 +56,30 @@ class Broker:
     parallel_fanout:
         Issue shard requests on a thread pool (as a real broker would);
         sequential when ``False`` (deterministic timing for tests).
+    fanout_workers:
+        Size of the fan-out pool, independent of ``len(searchers)``.
+        Defaults to ``2 * len(searchers)`` so two directly executed
+        batches can have all their shard requests in flight at once
+        (see the module docs for how this interacts with
+        micro-batching).  Ignored unless ``parallel_fanout``.
+    max_batch, max_wait_ms:
+        Micro-batching knobs.  ``max_batch <= 1`` disables admission
+        entirely (every request executes directly, PR-1 behavior);
+        otherwise concurrent requests coalesce until a group holds
+        ``max_batch`` rows or its oldest request has waited
+        ``max_wait_ms``.
+    cache:
+        A shared :class:`~repro.online.cache.QueryResultCache` (e.g. the
+        service-level cache spanning deployed indices).  When ``None``,
+        ``cache_size > 0`` creates a private cache of that capacity.
+    cache_size:
+        Capacity of the private cache when ``cache`` is not given;
+        ``0`` (default) serves every request from the index.
+    cache_epoch:
+        Deployment generation tag baked into this broker's cache keys.
+        The service bumps it on every deploy so a late ``put`` racing an
+        undeploy/re-deploy of the same name can never be served by the
+        new deployment.  Irrelevant for a private cache.
     """
 
     def __init__(
@@ -37,6 +88,12 @@ class Broker:
         config: LannsConfig,
         *,
         parallel_fanout: bool = False,
+        fanout_workers: int | None = None,
+        max_batch: int = 1,
+        max_wait_ms: float = 2.0,
+        cache: QueryResultCache | None = None,
+        cache_size: int = 0,
+        cache_epoch: int = 0,
     ) -> None:
         if len(searchers) != config.num_shards:
             raise ValueError(
@@ -48,9 +105,26 @@ class Broker:
                     f"searcher at position {shard_id} serves shard "
                     f"{searcher.shard_id}; searchers must be in shard order"
                 )
+        if fanout_workers is not None and fanout_workers < 1:
+            raise ValueError(
+                f"fanout_workers must be >= 1, got {fanout_workers}"
+            )
         self.searchers = searchers
         self.config = config
         self.parallel_fanout = bool(parallel_fanout)
+        self.fanout_workers = (
+            int(fanout_workers)
+            if fanout_workers is not None
+            else 2 * len(searchers)
+        )
+        self.timings = StageLatencyRecorder()
+        self.cache = (
+            cache if cache is not None else QueryResultCache(cache_size)
+        )
+        self.cache_epoch = int(cache_epoch)
+        self._served_lock = threading.Lock()
+        #: Query rows this broker answered (cache hits included).
+        self.queries_served = 0
         # One long-lived fan-out pool, created eagerly (lazy creation
         # would race under concurrent first requests).  Reusing it keeps
         # the worker threads -- and therefore the per-thread
@@ -59,21 +133,71 @@ class Broker:
         # O(num_nodes) tables for every lockstep query on every request.
         self._pool: ThreadPoolExecutor | None = (
             ThreadPoolExecutor(
-                max_workers=len(searchers),
+                max_workers=self.fanout_workers,
                 thread_name_prefix="broker-fanout",
             )
             if self.parallel_fanout and len(searchers) > 1
             else None
         )
+        self._batcher: MicroBatcher | None = (
+            MicroBatcher(
+                self._execute_keyed,
+                max_batch=max_batch,
+                max_wait_ms=max_wait_ms,
+                on_queue_wait=self.timings.recorder("queue_wait"),
+            )
+            if max_batch > 1
+            else None
+        )
 
     def close(self) -> None:
-        """Shut down the fan-out pool; later requests run sequentially."""
+        """Drain the admission layer and shut down the fan-out pool.
+
+        Idempotent and safe to call with requests in flight: pending
+        micro-batches execute before the flusher exits, and requests
+        admitted after close run inline/sequentially instead of hanging.
+        """
+        if self._batcher is not None:
+            self._batcher.close()
         if self._pool is not None:
             self._pool.shutdown(wait=True)
             self._pool = None
 
+    def stats(self) -> dict:
+        """Serving counters: cache, micro-batching, per-stage latency."""
+        return {
+            "cache": self.cache.stats.as_dict(),
+            "microbatch": dict(self._batcher.stats)
+            if self._batcher is not None
+            else None,
+            "stages": self.timings.summary(),
+            "fanout_workers": self.fanout_workers
+            if self._pool is not None
+            else 0,
+            "queries_served": self.queries_served,
+            # The fleet is shared between brokers (A/B deployments), so
+            # this counts ALL traffic the searchers saw, not just ours.
+            "fleet_queries_served": sum(
+                searcher.queries_served for searcher in self.searchers
+            ),
+        }
+
     def per_shard_budget(self, top_k: int) -> int:
-        """The perShardTopK this broker passes to each searcher."""
+        """The perShardTopK this broker passes to each searcher.
+
+        Degenerate cases (all reachable through micro-batch coalescing,
+        pinned by ``tests/test_online_serving.py``):
+
+        - **single shard**: the budget is exactly ``top_k`` -- Eq. 5-6
+          degrade to the identity, so one-shard serving never truncates.
+        - **top_k larger than a segment/shard**: the budget is a
+          *request* size, not a guarantee; shards with fewer points
+          return short rows padded with the ``-1`` id / ``inf`` distance
+          sentinels, which :func:`~repro.core.topk.batch_top_k` keeps
+          ordered after every real result.
+        - **empty batch**: no fan-out happens at all; the budget is only
+          computed for batches with at least one row.
+        """
         if not self.config.use_per_shard_topk:
             return int(top_k)
         return per_shard_top_k(
@@ -82,6 +206,17 @@ class Broker:
             self.config.topk_confidence,
             paper_literal=self.config.paper_literal_probit,
         )
+
+    def effective_ef(self, ef: int | None) -> int:
+        """Canonicalise ``ef``: ``None`` means the config's ``ef_search``.
+
+        The HNSW layer resolves ``ef=None`` to ``params.ef_search``
+        itself, so pinning the default here changes nothing downstream --
+        but it gives the cache and the admission layer a stable key, so
+        ``ef=None`` and an explicit ``ef=ef_search`` share cache entries
+        and micro-batches.
+        """
+        return int(ef) if ef is not None else int(self.config.hnsw.ef_search)
 
     def search(
         self,
@@ -114,11 +249,13 @@ class Broker:
     ) -> tuple[np.ndarray, np.ndarray]:
         """Serve a query batch end to end: ONE fan-out for the whole batch.
 
-        Each shard receives the full ``(B, d)`` batch in a single request
-        (one thread-pool task per shard under ``parallel_fanout``) and
-        returns ``(B, perShardTopK)`` arrays; the broker then runs one
-        vectorised multi-query merge.  Per-query results are identical to
-        calling :meth:`search` in a loop.
+        The request flows cache -> admission -> execution: rows with a
+        cached result are answered immediately; the remaining rows are
+        admitted as one block (coalescing with other threads' requests
+        when micro-batching is on) and executed through the lockstep
+        fan-out; fresh results then fill the cache.  Per-query results
+        are identical to calling :meth:`search` in a loop regardless of
+        caching or coalescing.
 
         Returns
         -------
@@ -127,12 +264,88 @@ class Broker:
         if top_k <= 0:
             raise ValueError(f"top_k must be positive, got {top_k}")
         queries = as_matrix(queries, name="queries")
-        if queries.shape[0] == 0:
+        num_queries = queries.shape[0]
+        if num_queries == 0:
             return (
                 np.full((0, top_k), -1, dtype=np.int64),
                 np.full((0, top_k), np.inf, dtype=np.float64),
             )
+        eff_ef = self.effective_ef(ef)
+        with self._served_lock:
+            self.queries_served += num_queries
+
+        if not self.cache.enabled:
+            return self._admit(index_name, queries, top_k, eff_ef)
+
+        keys = [
+            result_cache_key(
+                index_name,
+                queries[row],
+                top_k,
+                eff_ef,
+                self.config.num_shards,
+                self.cache_epoch,
+            )
+            for row in range(num_queries)
+        ]
+        out_ids = np.full((num_queries, top_k), -1, dtype=np.int64)
+        out_dists = np.full((num_queries, top_k), np.inf, dtype=np.float64)
+        miss_rows: list[int] = []
+        for row, key in enumerate(keys):
+            cached = self.cache.get(key)
+            if cached is None:
+                miss_rows.append(row)
+            else:
+                out_ids[row], out_dists[row] = cached
+        if not miss_rows:
+            return out_ids, out_dists
+        misses = np.asarray(miss_rows, dtype=np.int64)
+        fresh_ids, fresh_dists = self._admit(
+            index_name, queries[misses], top_k, eff_ef
+        )
+        out_ids[misses] = fresh_ids
+        out_dists[misses] = fresh_dists
+        for slot, row in enumerate(miss_rows):
+            self.cache.put(keys[row], fresh_ids[slot], fresh_dists[slot])
+        return out_ids, out_dists
+
+    # -- admission + execution ---------------------------------------------------------
+    def _admit(
+        self,
+        index_name: str,
+        queries: np.ndarray,
+        top_k: int,
+        eff_ef: int,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Run a block through micro-batching when on, else directly.
+
+        The admission key carries everything that must match for two
+        requests to share one lockstep batch: the index, the requested
+        ``top_k`` (hence the per-shard budget), the beam width, and the
+        dimensionality (so a malformed request cannot poison a
+        well-formed one it happens to coalesce with).
+        """
+        key = (index_name, int(top_k), eff_ef, int(queries.shape[1]))
+        if self._batcher is None:
+            return self._execute_keyed(key, queries)
+        return self._batcher.submit(key, queries).result()
+
+    def _execute_keyed(
+        self, key: tuple, queries: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        index_name, top_k, eff_ef, _dim = key
+        return self._execute_batch(index_name, queries, top_k, eff_ef)
+
+    def _execute_batch(
+        self,
+        index_name: str,
+        queries: np.ndarray,
+        top_k: int,
+        eff_ef: int,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """The PR-1 lockstep path: one shard fan-out + one batched merge."""
         budget = self.per_shard_budget(top_k)
+        tick = time.perf_counter()
         parts = None
         pool = self._pool  # snapshot: close() may race an in-flight call
         if pool is not None:
@@ -143,7 +356,7 @@ class Broker:
                         index_name,
                         queries,
                         budget,
-                        ef=ef,
+                        ef=eff_ef,
                     )
                     for searcher in self.searchers
                 ]
@@ -154,10 +367,15 @@ class Broker:
                 parts = [future.result() for future in futures]
         if parts is None:
             parts = [
-                searcher.search_batch(index_name, queries, budget, ef=ef)
+                searcher.search_batch(index_name, queries, budget, ef=eff_ef)
                 for searcher in self.searchers
             ]
-        return merge_shard_results_batch(parts, top_k)
+        fanned = time.perf_counter()
+        merged = merge_shard_results_batch(parts, top_k)
+        done = time.perf_counter()
+        self.timings.record("fanout", fanned - tick)
+        self.timings.record("merge", done - fanned)
+        return merged
 
     # Backwards-compatible aliases (the original serving entry points).
     def query(

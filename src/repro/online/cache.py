@@ -1,0 +1,175 @@
+"""Broker-level LRU query result cache.
+
+Real ANN query streams are highly skewed (TCAM-style LSH serving exploits
+exactly this): a small set of heavy-hitter queries repeats often enough
+that caching their *exact* merged results buys a large effective QPS at
+negligible memory cost.  The cache sits in front of the broker's
+admission layer: hits skip the whole fan-out, misses are filled after the
+final merge.
+
+Keys are exact-match tuples ``(index_name, query_bytes, top_k, ef,
+num_shards)`` over the *canonicalised* query (C-contiguous float32), so a
+hit is guaranteed to be bit-identical to the search it replaces.  Any
+parameter that changes the answer -- the index, the query vector, the
+requested ``top_k``, the beam width, or the shard layout -- changes the
+key.
+
+Entries are invalidated explicitly per index on ``deploy`` / ``undeploy``
+(the only events that change an answer without changing the key).
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+
+import numpy as np
+
+#: A cache key: (index_name, query bytes, top_k, ef, num_shards, epoch).
+CacheKey = tuple[str, bytes, int, int, int, int]
+
+
+def result_cache_key(
+    index_name: str,
+    query_row: np.ndarray,
+    top_k: int,
+    ef: int,
+    num_shards: int,
+    epoch: int = 0,
+) -> CacheKey:
+    """Build the exact-match key for one canonicalised query row.
+
+    ``query_row`` must already be the C-contiguous float32 row the
+    serving path searches with (``as_matrix`` output), so equal bytes
+    imply an identical search.
+
+    ``epoch`` is the broker's deployment generation: a client thread
+    descheduled between computing a result and ``put`` can complete its
+    insert *after* an undeploy/re-deploy invalidated the name, and
+    without the epoch that stale row would be served by the new
+    deployment.  Epoch-tagged keys make such late inserts unreachable
+    (they age out of the LRU instead).
+    """
+    return (
+        str(index_name),
+        query_row.tobytes(),
+        int(top_k),
+        int(ef),
+        int(num_shards),
+        int(epoch),
+    )
+
+
+@dataclass
+class CacheStats:
+    """Monotonic hit/miss/eviction counters (snapshot via ``as_dict``)."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    invalidations: int = 0
+
+    def as_dict(self) -> dict:
+        total = self.hits + self.misses
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "invalidations": self.invalidations,
+            "hit_rate": (self.hits / total) if total else 0.0,
+        }
+
+
+class QueryResultCache:
+    """Thread-safe LRU cache of merged ``(ids, dists)`` result rows.
+
+    Parameters
+    ----------
+    capacity:
+        Maximum number of cached result rows.  ``0`` disables the cache
+        entirely: ``get`` always misses (without counting stats) and
+        ``put`` is a no-op, so a disabled cache is free on the hot path.
+
+    Notes
+    -----
+    Values are stored as *copies* of the padded ``(top_k,)`` id/distance
+    rows and copied again on ``get``, so neither the broker's output
+    buffers nor caller-side mutation can corrupt cached entries.
+    """
+
+    def __init__(self, capacity: int) -> None:
+        capacity = int(capacity)
+        if capacity < 0:
+            raise ValueError(f"capacity must be >= 0, got {capacity}")
+        self.capacity = capacity
+        self.stats = CacheStats()
+        self._lock = threading.Lock()
+        self._entries: OrderedDict[
+            CacheKey, tuple[np.ndarray, np.ndarray]
+        ] = OrderedDict()
+
+    @property
+    def enabled(self) -> bool:
+        """Whether the cache stores anything at all."""
+        return self.capacity > 0
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def get(self, key: CacheKey) -> tuple[np.ndarray, np.ndarray] | None:
+        """Look up one result row; refreshes LRU recency on hit."""
+        if not self.enabled:
+            return None
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self.stats.misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self.stats.hits += 1
+            ids, dists = entry
+            return ids.copy(), dists.copy()
+
+    def put(self, key: CacheKey, ids: np.ndarray, dists: np.ndarray) -> None:
+        """Insert (or refresh) one result row, evicting the LRU tail."""
+        if not self.enabled:
+            return
+        ids = np.array(ids, dtype=np.int64, copy=True)
+        dists = np.array(dists, dtype=np.float64, copy=True)
+        with self._lock:
+            if key in self._entries:
+                self._entries.move_to_end(key)
+            self._entries[key] = (ids, dists)
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+                self.stats.evictions += 1
+
+    def invalidate(self, index_name: str) -> int:
+        """Drop every entry cached for ``index_name``; returns the count.
+
+        Called on ``deploy`` / ``undeploy``: re-deploying a (possibly
+        different) index under a previously used name must never serve
+        the old index's results.
+        """
+        index_name = str(index_name)
+        with self._lock:
+            stale = [
+                key for key in self._entries if key[0] == index_name
+            ]
+            for key in stale:
+                del self._entries[key]
+            self.stats.invalidations += len(stale)
+            return len(stale)
+
+    def clear(self) -> None:
+        """Drop all entries (stats are kept)."""
+        with self._lock:
+            self.stats.invalidations += len(self._entries)
+            self._entries.clear()
+
+    def keys(self) -> list[CacheKey]:
+        """Snapshot of cached keys in LRU order (oldest first)."""
+        with self._lock:
+            return list(self._entries)

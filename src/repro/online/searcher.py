@@ -5,10 +5,15 @@ happens at the machine where the shard is hosted (called a 'searcher')."
 
 A searcher can host the same shard of *several* indices ("to enable
 online A/B tests between different modeling techniques"), keyed by index
-name.
+name.  Hosting changes (deploy/undeploy) may race in-flight searches on
+the broker's fan-out pool, so the hosting table is copy-on-write: a
+search either sees an index fully attached or not at all, never a
+half-mutated dict.
 """
 
 from __future__ import annotations
+
+import threading
 
 import numpy as np
 
@@ -21,6 +26,18 @@ class SearcherNode:
     def __init__(self, shard_id: int) -> None:
         self.shard_id = int(shard_id)
         self._indices: dict[str, ShardIndex] = {}
+        self._host_lock = threading.Lock()
+        self._stats_lock = threading.Lock()
+        #: Lifetime counters: fan-out requests and query rows served.
+        self.requests_served = 0
+        self.queries_served = 0
+
+    def _count_request(self, num_queries: int) -> None:
+        # Fan-out pools may run several batches against this searcher at
+        # once; += on an attribute is not atomic, so take the lock.
+        with self._stats_lock:
+            self.requests_served += 1
+            self.queries_served += num_queries
 
     # -- hosting -----------------------------------------------------------------
     def host(self, index_name: str, shard: ShardIndex) -> None:
@@ -30,18 +47,24 @@ class SearcherNode:
                 f"searcher {self.shard_id} cannot host shard "
                 f"{shard.shard_id}"
             )
-        if index_name in self._indices:
-            raise ValueError(
-                f"searcher {self.shard_id} already hosts index "
-                f"{index_name!r}"
-            )
-        self._indices[index_name] = shard
+        with self._host_lock:
+            if index_name in self._indices:
+                raise ValueError(
+                    f"searcher {self.shard_id} already hosts index "
+                    f"{index_name!r}"
+                )
+            updated = dict(self._indices)
+            updated[index_name] = shard
+            self._indices = updated
 
     def unhost(self, index_name: str) -> None:
         """Detach a hosted index (e.g. at the end of an A/B test)."""
-        if index_name not in self._indices:
-            raise KeyError(f"index {index_name!r} is not hosted here")
-        del self._indices[index_name]
+        with self._host_lock:
+            if index_name not in self._indices:
+                raise KeyError(f"index {index_name!r} is not hosted here")
+            updated = dict(self._indices)
+            del updated[index_name]
+            self._indices = updated
 
     @property
     def hosted_indices(self) -> list[str]:
@@ -72,6 +95,7 @@ class SearcherNode:
         most ``k`` ``(distance, id)`` pairs -- the ``perShardTopK`` budget
         the broker asked for.
         """
+        self._count_request(1)
         return self._shard(index_name).search(query, k, ef=ef)
 
     def search_batch(
@@ -89,6 +113,7 @@ class SearcherNode:
         shard and returns ``(B, k)`` id/distance arrays (padded with
         ``-1`` / ``inf``).
         """
+        self._count_request(int(np.asarray(queries).shape[0]))
         return self._shard(index_name).search_batch(queries, k, ef=ef)
 
     def _shard(self, index_name: str):

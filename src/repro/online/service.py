@@ -15,6 +15,7 @@ from repro.core.config import LannsConfig
 from repro.errors import MetadataMismatchError
 from repro.eval.timing import measure_batch_qps, measure_qps
 from repro.online.broker import Broker
+from repro.online.cache import QueryResultCache
 from repro.online.searcher import SearcherNode
 from repro.storage.hdfs import LocalHdfs
 from repro.storage.manifest import load_manifest, load_segmenter, load_shard
@@ -25,13 +26,43 @@ class OnlineService:
 
     Create empty, then :meth:`deploy` one or more indices.  All deployed
     indices must agree on ``num_shards`` (they share the fleet).
+
+    Parameters
+    ----------
+    parallel_fanout:
+        Give each broker a fan-out thread pool (see
+        :class:`~repro.online.broker.Broker`).
+    fanout_workers:
+        Fan-out pool size per broker, independent of the shard count.
+    max_batch, max_wait_ms:
+        Micro-batching knobs passed to each broker; ``max_batch <= 1``
+        (default) disables opportunistic micro-batching.
+    cache_size:
+        Capacity of the service-wide query result cache, shared by all
+        deployed indices (keys carry the index name).  ``0`` disables
+        caching.  Entries for an index are invalidated when it is
+        deployed or undeployed, so an A/B swap under a reused name can
+        never serve the old index's results.
     """
 
-    def __init__(self, *, parallel_fanout: bool = False) -> None:
+    def __init__(
+        self,
+        *,
+        parallel_fanout: bool = False,
+        fanout_workers: int | None = None,
+        max_batch: int = 1,
+        max_wait_ms: float = 2.0,
+        cache_size: int = 0,
+    ) -> None:
         self.searchers: list[SearcherNode] = []
         self.brokers: dict[str, Broker] = {}
         self.configs: dict[str, LannsConfig] = {}
         self.parallel_fanout = bool(parallel_fanout)
+        self.fanout_workers = fanout_workers
+        self.max_batch = int(max_batch)
+        self.max_wait_ms = float(max_wait_ms)
+        self.cache = QueryResultCache(cache_size)
+        self._deploy_epoch = 0
 
     @property
     def deployed_indices(self) -> list[str]:
@@ -88,22 +119,56 @@ class OnlineService:
                 segmenter=segmenter,
             )
             searcher.host(index_name, shard)
+        # A previous deployment under this name may have left cached
+        # results behind (the cache outlives brokers); drop them before
+        # the new index starts answering.  The bumped epoch additionally
+        # fences off late inserts from the old deployment's in-flight
+        # requests, which can land *after* this invalidation.
+        self.cache.invalidate(index_name)
+        self._deploy_epoch += 1
         broker = Broker(
-            self.searchers, config, parallel_fanout=self.parallel_fanout
+            self.searchers,
+            config,
+            parallel_fanout=self.parallel_fanout,
+            fanout_workers=self.fanout_workers,
+            max_batch=self.max_batch,
+            max_wait_ms=self.max_wait_ms,
+            cache=self.cache,
+            cache_epoch=self._deploy_epoch,
         )
         self.brokers[index_name] = broker
         self.configs[index_name] = config
         return broker
 
     def undeploy(self, index_name: str) -> None:
-        """Remove an index from every searcher (end of an A/B test)."""
+        """Remove an index from every searcher (end of an A/B test).
+
+        The broker is closed *before* unhosting: close() drains requests
+        still pending in the admission layer, and they must drain against
+        searchers that still host the index.
+        """
         if index_name not in self.brokers:
             raise KeyError(f"index {index_name!r} is not deployed")
+        self.brokers[index_name].close()
         for searcher in self.searchers:
             searcher.unhost(index_name)
-        self.brokers[index_name].close()
+        self.cache.invalidate(index_name)
         del self.brokers[index_name]
         del self.configs[index_name]
+
+    def close(self) -> None:
+        """Close every broker (drains admission layers); idempotent."""
+        for broker in self.brokers.values():
+            broker.close()
+
+    def stats(self) -> dict:
+        """Service-wide serving stats: shared cache plus per-index brokers."""
+        return {
+            "cache": self.cache.stats.as_dict(),
+            "indices": {
+                name: broker.stats() for name, broker in self.brokers.items()
+            },
+        }
 
     # -- serving -----------------------------------------------------------------------
     def _broker(self, index_name: str) -> Broker:

@@ -131,6 +131,96 @@ class TestBroker:
         assert ids.shape == (3, 5)
 
 
+class TestBudgetAndPaddingDegenerateCases:
+    """perShardTopK and padding sentinels in the shapes micro-batch
+    coalescing can produce: top_k beyond the corpus, one shard, and
+    empty batches."""
+
+    def make_broker(self, index, config, **kwargs):
+        searchers = [SearcherNode(0), SearcherNode(1)]
+        for shard_id, searcher in enumerate(searchers):
+            searcher.host("main", index.shards[shard_id])
+        return Broker(searchers, config, **kwargs)
+
+    def test_single_shard_budget_is_exactly_topk(self, clustered_data):
+        config = LannsConfig(
+            num_shards=1, hnsw=FAST_HNSW, segmenter_sample_size=600
+        )
+        index = build_lanns_index(clustered_data[:200], config=config)
+        searcher = SearcherNode(0)
+        searcher.host("main", index.shards[0])
+        broker = Broker([searcher], config)
+        for top_k in (1, 7, 100, 1000):
+            assert broker.per_shard_budget(top_k) == top_k
+
+    def test_budget_bounds_for_many_shards(self, index, config):
+        broker = self.make_broker(index, config)
+        for top_k in (1, 2, 10, 100):
+            budget = broker.per_shard_budget(top_k)
+            assert 1 <= budget <= top_k
+            assert budget * config.num_shards >= top_k
+
+    def test_topk_beyond_corpus_pads_with_sentinels(
+        self, index, clustered_queries, config
+    ):
+        broker = self.make_broker(index, config)
+        top_k = len(index) + 17  # more than every stored vector
+        ids, dists = broker.search_batch(
+            "main", clustered_queries[:4], top_k, ef=48
+        )
+        assert ids.shape == (4, top_k)
+        for row in range(4):
+            valid = ids[row] >= 0
+            count = int(valid.sum())
+            assert 0 < count <= len(index)
+            # Valid results first, then sentinel padding -- contiguously.
+            assert valid[:count].all() and not valid[count:].any()
+            assert np.isinf(dists[row][~valid]).all()
+            assert (np.diff(dists[row][valid]) >= 0).all()
+            row_ids = ids[row][valid]
+            assert len(set(row_ids.tolist())) == count  # no duplicates
+        # The single-query wrapper strips the same padding.
+        single_ids, single_dists = broker.search(
+            "main", clustered_queries[0], top_k, ef=48
+        )
+        assert (single_ids >= 0).all()
+        assert np.isfinite(single_dists).all()
+        np.testing.assert_array_equal(single_ids, ids[0][ids[0] >= 0])
+
+    def test_topk_beyond_corpus_matches_sequential_under_microbatch(
+        self, index, clustered_queries, config
+    ):
+        plain = self.make_broker(index, config)
+        core = self.make_broker(
+            index, config, max_batch=4, max_wait_ms=5.0, cache_size=16
+        )
+        top_k = len(index) + 5
+        try:
+            for query in clustered_queries[:3]:
+                want = plain.search("main", query, top_k, ef=48)
+                got_cold = core.search("main", query, top_k, ef=48)
+                got_hot = core.search("main", query, top_k, ef=48)
+                np.testing.assert_array_equal(got_cold[0], want[0])
+                np.testing.assert_array_equal(got_hot[0], want[0])
+                np.testing.assert_array_equal(got_hot[1], want[1])
+        finally:
+            plain.close()
+            core.close()
+
+    def test_empty_batch_returns_shaped_sentinels_without_fanout(
+        self, index, config
+    ):
+        broker = self.make_broker(index, config)
+        before = sum(s.requests_served for s in broker.searchers)
+        ids, dists = broker.search_batch(
+            "main", np.empty((0, 16), dtype=np.float32), 9
+        )
+        assert ids.shape == (0, 9) and dists.shape == (0, 9)
+        assert ids.dtype == np.int64 and dists.dtype == np.float64
+        after = sum(s.requests_served for s in broker.searchers)
+        assert after == before  # no shard was bothered
+
+
 class TestOnlineService:
     def test_deploy_and_query(self, service, index, clustered_queries):
         for query in clustered_queries[:10]:
