@@ -1,0 +1,296 @@
+"""Remote serving over loopback RPC: parity, throughput, degradation.
+
+This benchmark exercises the full multi-process topology of the paper's
+Section 7: it builds and exports an index, spawns one **real searcher
+subprocess per shard** (``repro.cli serve-searcher`` over loopback TCP),
+fronts them with the broker, and
+
+1. asserts **remote parity** -- ids and distances served through the
+   RPC fleet are bit-identical to an in-process fleet serving the same
+   exported index;
+2. measures sequential and batched QPS through both fleets (the remote
+   numbers include real framing + socket round-trips);
+3. injects a **failure**: one of the (>= 3) searcher processes is
+   SIGKILLed mid-serving, and the broker's ``degrade`` partial-result
+   policy must keep answering from the survivors, annotate responses
+   with ``shards_answered``, and match the exact merge of the surviving
+   shards -- while the ``fail`` policy must raise.
+
+Run standalone::
+
+    PYTHONPATH=src python benchmarks/bench_remote_serving.py
+    PYTHONPATH=src python benchmarks/bench_remote_serving.py --smoke
+
+``--smoke`` shrinks the corpus so the whole run (including three
+interpreter launches) fits CI; every correctness assertion still runs --
+parity and failure semantics are the point, not the QPS figures.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import shutil
+import sys
+import tempfile
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.builder import build_lanns_index
+from repro.core.config import LannsConfig
+from repro.core.merge import merge_shard_results_batch
+from repro.data.synthetic import clustered_gaussians, make_queries
+from repro.errors import TransportError
+from repro.eval.harness import remote_serving_throughput
+from repro.eval.tables import format_table
+from repro.hnsw.params import HnswParams
+from repro.net.fleet import fleet_addresses, launch_fleet, shutdown_fleet
+from repro.online.service import OnlineService
+from repro.storage.hdfs import LocalHdfs
+from repro.storage.manifest import save_lanns_index
+
+RESULTS_DIR = Path(__file__).parent / "results"
+INDEX_PATH = "bench/remote"
+
+
+def export_index(args: argparse.Namespace, fs: LocalHdfs):
+    base = clustered_gaussians(args.num_base, args.dim, seed=args.seed)
+    queries = make_queries(base, args.num_queries, seed=args.seed + 1)
+    config = LannsConfig(
+        num_shards=args.shards,
+        num_segments=args.segments,
+        segmenter="rh",
+        hnsw=HnswParams(
+            M=12, ef_construction=56, ef_search=args.ef, seed=args.seed
+        ),
+        segmenter_sample_size=min(2000, args.num_base),
+        seed=args.seed,
+    )
+    index = build_lanns_index(base, config=config)
+    save_lanns_index(index, fs, INDEX_PATH)
+    return config, index, queries
+
+
+def check_degradation(
+    args: argparse.Namespace,
+    fs: LocalHdfs,
+    index,
+    fleet,
+    queries: np.ndarray,
+) -> dict:
+    """Kill one searcher; ``degrade`` keeps serving, ``fail`` raises."""
+    addresses = fleet_addresses(fleet)
+    degrade = OnlineService(
+        searchers=addresses,
+        parallel_fanout=True,
+        partial_policy="degrade",
+        request_timeout_s=args.request_timeout_s,
+        rpc_retries=0,
+    )
+    strict = OnlineService(
+        searchers=addresses,
+        parallel_fanout=True,
+        partial_policy="fail",
+        request_timeout_s=args.request_timeout_s,
+        rpc_retries=0,
+    )
+    probe = queries[: min(16, queries.shape[0])]
+    try:
+        degrade.deploy(fs, INDEX_PATH, index_name="default")
+        strict.deploy(fs, INDEX_PATH, index_name="strict")
+        ids, _, info = degrade.query_batch(
+            probe, args.top_k, ef=args.ef, with_info=True
+        )
+        assert (info["shards_answered"] == args.shards).all(), (
+            "healthy fleet must answer from every shard"
+        )
+
+        victim = fleet[1]
+        victim.kill()
+        got_ids, got_dists, info = degrade.query_batch(
+            probe, args.top_k, ef=args.ef, with_info=True
+        )
+        answered = info["shards_answered"]
+        assert (answered == args.shards - 1).all(), (
+            f"expected {args.shards - 1} surviving shards, got "
+            f"{answered.tolist()}"
+        )
+        # The degraded answer must be exactly the merge of the
+        # surviving shards (same perShardTopK budget, dead rows dropped).
+        broker = degrade.brokers["default"]
+        budget = broker.per_shard_budget(args.top_k)
+        parts = [
+            index.shards[shard_id].search_batch(
+                probe, budget, ef=args.ef
+            )
+            for shard_id in range(args.shards)
+            if shard_id != victim.shard_id
+        ]
+        want_ids, want_dists = merge_shard_results_batch(parts, args.top_k)
+        assert (got_ids == want_ids).all(), (
+            "degraded ids differ from the surviving shards' merge"
+        )
+        assert (got_dists == want_dists).all(), (
+            "degraded distances differ from the surviving shards' merge"
+        )
+
+        try:
+            strict.query_batch(
+                probe, args.top_k, index_name="strict", ef=args.ef
+            )
+        except TransportError:
+            strict_raised = True
+        else:
+            strict_raised = False
+        assert strict_raised, (
+            "the fail policy must raise when a searcher is dead"
+        )
+        stats = broker.stats()["partial"]
+        return {
+            "killed_shard": victim.shard_id,
+            "shards_answered": int(answered[0]),
+            "degraded_batches": stats["degraded_batches"],
+            "shard_failures": stats["shard_failures"],
+        }
+    finally:
+        degrade.close()
+        strict.close()
+
+
+def run(args: argparse.Namespace) -> int:
+    workdir = tempfile.mkdtemp(prefix="lanns-remote-bench-")
+    fleet = []
+    try:
+        fs = LocalHdfs(workdir)
+        config, index, queries = export_index(args, fs)
+        print(
+            f"corpus: {args.num_base} x {args.dim}, {args.shards} shard(s) "
+            f"x {args.segments} segment(s), {queries.shape[0]} queries, "
+            f"top_k={args.top_k}, ef={args.ef}"
+        )
+        fleet = launch_fleet(args.shards, root=workdir)
+        print(
+            "fleet: "
+            + ", ".join(
+                f"shard {member.shard_id} @ {member.address} "
+                f"(pid {member.process.pid})"
+                for member in fleet
+            )
+        )
+        report = remote_serving_throughput(
+            fs,
+            INDEX_PATH,
+            queries,
+            args.top_k,
+            addresses=fleet_addresses(fleet),
+            ef=args.ef,
+            batch_size=args.batch_size,
+            request_timeout_s=args.request_timeout_s,
+        )
+        print(
+            "parity: remote fleet results bit-identical to in-process ✓"
+        )
+        rows = [
+            {
+                "mode": "in-process fleet (batched)",
+                "qps": report["local"]["qps"],
+            },
+            {
+                "mode": "remote fleet (sequential RPC)",
+                "qps": report["remote_sequential"]["qps"],
+            },
+            {
+                "mode": f"remote fleet (batched x{args.batch_size})",
+                "qps": report["remote_batched"]["qps"],
+            },
+        ]
+        text = format_table(
+            rows,
+            title=(
+                "Remote serving over loopback RPC "
+                f"({args.shards} searcher subprocesses)"
+            ),
+        )
+        print("\n" + text + "\n")
+
+        degradation = check_degradation(args, fs, index, fleet, queries)
+        print(
+            f"degradation: killed shard {degradation['killed_shard']}; "
+            f"degrade policy answered from "
+            f"{degradation['shards_answered']}/{args.shards} shards "
+            "(exact merge of survivors ✓), fail policy raised ✓"
+        )
+        if args.smoke:
+            print("smoke OK (parity + degradation asserted)")
+            return 0
+        RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+        payload = {
+            "name": "remote_serving",
+            "shards": args.shards,
+            "rows": rows,
+            "remote_stats": report["remote_stats"]["stages"],
+            "degradation": degradation,
+        }
+        (RESULTS_DIR / "remote_serving.json").write_text(
+            json.dumps(payload, indent=2), encoding="utf-8"
+        )
+        (RESULTS_DIR / "remote_serving.txt").write_text(
+            text + "\n", encoding="utf-8"
+        )
+        print("OK: remote parity + degrade/fail semantics hold")
+        return 0
+    finally:
+        shutdown_fleet(fleet)
+        shutil.rmtree(workdir, ignore_errors=True)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        description=(
+            "Serve through real searcher subprocesses over loopback RPC"
+        )
+    )
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="tiny sizes for CI; all correctness assertions still run",
+    )
+    parser.add_argument("--num-base", type=int, default=6000)
+    parser.add_argument("--num-queries", type=int, default=128)
+    parser.add_argument("--dim", type=int, default=32)
+    parser.add_argument(
+        "--shards",
+        type=int,
+        default=3,
+        help="searcher subprocesses (>= 3 so the kill test has survivors)",
+    )
+    parser.add_argument("--segments", type=int, default=2)
+    parser.add_argument("--top-k", type=int, default=10)
+    parser.add_argument("--ef", type=int, default=48)
+    parser.add_argument("--batch-size", type=int, default=32)
+    parser.add_argument(
+        "--request-timeout-s",
+        type=float,
+        default=30.0,
+        help="per-request fan-out deadline",
+    )
+    parser.add_argument("--seed", type=int, default=0)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.shards < 3:
+        parser.error("--shards must be >= 3 (the kill test needs survivors)")
+    if args.num_base <= 0 or args.num_queries <= 0 or args.dim <= 0:
+        parser.error("--num-base, --num-queries and --dim must be positive")
+    if args.smoke:
+        args.num_base = min(args.num_base, 1200)
+        args.num_queries = min(args.num_queries, 32)
+    return run(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -34,4 +34,9 @@ setup(
         "numpy>=1.22",
         "scipy>=1.8",
     ],
+    entry_points={
+        "console_scripts": [
+            "repro = repro.cli:main",
+        ],
+    },
 )

@@ -1,16 +1,23 @@
 """Command-line interface for the LANNS platform.
 
-Four subcommands mirror the platform lifecycle::
+Five subcommands mirror the platform lifecycle::
 
     python -m repro.cli build  --data vectors.npy --out idx --shards 2 \
         --segments 4 --segmenter apd --root /tmp/lanns
+    python -m repro.cli serve-searcher --shard-id 0 --port 7201 \
+        --root /tmp/lanns
     python -m repro.cli query  --index idx --queries q.npy --top-k 10 \
         --root /tmp/lanns --out results.npz
+    python -m repro.cli query  --index idx --queries q.npy --top-k 10 \
+        --root /tmp/lanns --searchers 127.0.0.1:7201,127.0.0.1:7202
     python -m repro.cli info   --index idx --root /tmp/lanns
     python -m repro.cli bench  --dataset sift1m --top-k 10
 
 ``--root`` is the LocalHdfs root directory all paths are relative to.
 Vector files are ``.npy`` (float32 matrices) or ``.fvecs``.
+``serve-searcher`` turns this process into one searcher machine of the
+paper's online topology (Section 7); ``query --searchers`` fronts such a
+fleet with an in-process broker instead of running the offline pipeline.
 """
 
 from __future__ import annotations
@@ -62,7 +69,9 @@ def _cmd_build(args: argparse.Namespace) -> int:
         spill_mode=args.spill_mode,
         metric=args.metric,
         hnsw=HnswParams(
-            M=args.hnsw_m, ef_construction=args.ef_construction
+            M=args.hnsw_m,
+            ef_construction=args.ef_construction,
+            min_graph_size=args.min_graph_size,
         ),
         seed=args.seed,
     )
@@ -90,6 +99,8 @@ def _cmd_build(args: argparse.Namespace) -> int:
 def _cmd_query(args: argparse.Namespace) -> int:
     queries = _load_vectors(args.queries)
     fs = LocalHdfs(args.root)
+    if args.searchers:
+        return _query_remote(args, fs, queries)
     cluster = LocalCluster(num_executors=args.executors, fs=fs)
     begin = time.perf_counter()
     result = query_index_job(
@@ -115,6 +126,70 @@ def _cmd_query(args: argparse.Namespace) -> int:
         for row in range(preview):
             print(f"  query {row}: {result.ids[row][:10].tolist()}")
     return 0
+
+
+def _query_remote(
+    args: argparse.Namespace, fs: LocalHdfs, queries: np.ndarray
+) -> int:
+    """Front a remote searcher fleet: deploy over RPC, one broker fan-out."""
+    from repro.online.service import OnlineService
+
+    service = OnlineService(
+        searchers=args.searchers,
+        parallel_fanout=True,
+        partial_policy=args.partial_policy,
+        request_timeout_s=args.request_timeout_s,
+    )
+    deployed = False
+    try:
+        service.deploy(fs, args.index, index_name="default")
+        deployed = True
+        begin = time.perf_counter()
+        ids, dists, info = service.query_batch(
+            queries, args.top_k, ef=args.ef, with_info=True
+        )
+        elapsed = time.perf_counter() - begin
+        answered = info["shards_answered"]
+        print(
+            f"answered {queries.shape[0]} queries (top-{args.top_k}) over "
+            f"{len(service.searchers)} remote searchers in {elapsed:.2f}s "
+            f"({elapsed / queries.shape[0] * 1e3:.2f} ms/query wall)"
+        )
+        if int(answered.min(initial=info["num_shards"])) < info["num_shards"]:
+            print(
+                f"  DEGRADED: only {int(answered.min())} of "
+                f"{info['num_shards']} shards answered"
+            )
+        if args.out:
+            np.savez_compressed(args.out, ids=ids, dists=dists)
+            print(f"wrote ids/dists to {args.out}")
+        else:
+            for row in range(min(5, queries.shape[0])):
+                print(f"  query {row}: {ids[row][:10].tolist()}")
+    finally:
+        # Always leave the fleet clean: a query failure (or Ctrl-C)
+        # must not keep 'default' hosted, or the next run's deploy
+        # would refuse with "already hosts".
+        if deployed:
+            try:
+                service.undeploy("default")
+            except Exception:
+                pass
+        service.close()
+    return 0
+
+
+def _cmd_serve_searcher(args: argparse.Namespace) -> int:
+    from repro.net.server import SearcherServer
+    from repro.online.searcher import SearcherNode
+
+    server = SearcherServer(
+        SearcherNode(args.shard_id),
+        host=args.host,
+        port=args.port,
+        root=args.root,
+    )
+    return server.run()
 
 
 def _cmd_info(args: argparse.Namespace) -> int:
@@ -220,8 +295,41 @@ def build_parser() -> argparse.ArgumentParser:
     )
     build.add_argument("--hnsw-m", type=int, default=16)
     build.add_argument("--ef-construction", type=int, default=100)
+    build.add_argument(
+        "--min-graph-size",
+        type=int,
+        default=0,
+        help=(
+            "segments smaller than this answer by exact GEMM scan "
+            "instead of graph search (0 disables)"
+        ),
+    )
     build.add_argument("--seed", type=int, default=0)
     build.set_defaults(handler=_cmd_build)
+
+    serve = commands.add_parser(
+        "serve-searcher",
+        help="serve one shard position over TCP (the paper's searcher)",
+    )
+    serve.add_argument(
+        "--shard-id", type=int, required=True, help="shard this node serves"
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument(
+        "--port",
+        type=int,
+        default=0,
+        help="TCP port (0 = pick a free one; announced on stdout)",
+    )
+    serve.add_argument(
+        "--root",
+        default=None,
+        help=(
+            "LocalHdfs root to load shards from (defaults to the root "
+            "sent with each deploy request)"
+        ),
+    )
+    serve.set_defaults(handler=_cmd_serve_searcher)
 
     query = commands.add_parser("query", help="query a persisted index")
     _add_common(query)
@@ -231,6 +339,27 @@ def build_parser() -> argparse.ArgumentParser:
     query.add_argument("--ef", type=int, default=None)
     query.add_argument("--out", default=None, help="write results .npz here")
     query.add_argument("--no-checkpoint", action="store_true")
+    query.add_argument(
+        "--searchers",
+        default=None,
+        help=(
+            "comma-separated host:port list of running serve-searcher "
+            "processes, in shard order; queries then go through the "
+            "online broker instead of the offline pipeline"
+        ),
+    )
+    query.add_argument(
+        "--partial-policy",
+        choices=["fail", "degrade"],
+        default="fail",
+        help="what a dead searcher does to a request (remote mode)",
+    )
+    query.add_argument(
+        "--request-timeout-s",
+        type=float,
+        default=None,
+        help="per-request fan-out deadline in seconds (remote mode)",
+    )
     query.set_defaults(handler=_cmd_query)
 
     info = commands.add_parser("info", help="print an index's manifest")

@@ -45,6 +45,46 @@ class ClusterError(LannsError):
     """A failure inside the :mod:`repro.sparklite` execution engine."""
 
 
+class TransportError(LannsError):
+    """Base class for failures in the :mod:`repro.net` RPC layer."""
+
+
+class ProtocolError(TransportError):
+    """A malformed, truncated, oversized or wrong-version wire frame.
+
+    Raised by the framing layer on decode; a peer speaking garbage is
+    indistinguishable from a broken connection, so the broker's
+    ``degrade`` policy treats this like a connectivity failure.
+    """
+
+
+class ConnectionLostError(TransportError):
+    """A searcher connection could not be established or died mid-call.
+
+    Covers connection refused, resets, and EOF in the middle of a frame
+    -- the failure modes of a crashed or unreachable searcher process.
+    """
+
+
+class DeadlineExceededError(TransportError):
+    """A remote call (or broker fan-out) ran past its deadline."""
+
+
+class RemoteCallError(TransportError):
+    """The searcher *executed* the request and returned a structured error.
+
+    Unlike the connectivity failures above, the remote process is alive
+    and answered; this usually signals a caller bug (unknown index name,
+    bad shapes).  The broker therefore re-raises it even under the
+    ``degrade`` partial-result policy.
+    """
+
+    def __init__(self, error_type: str, message: str) -> None:
+        super().__init__(f"{error_type}: {message}")
+        self.error_type = error_type
+        self.remote_message = message
+
+
 class StageTimeoutError(ClusterError):
     """Cascading executor failures exhausted all retries for a stage.
 

@@ -288,6 +288,111 @@ def concurrent_serving_throughput(
     }
 
 
+def remote_serving_throughput(
+    fs: LocalHdfs,
+    index_path: str,
+    queries: np.ndarray,
+    top_k: int,
+    *,
+    addresses: list[str],
+    ef: int | None = None,
+    batch_size: int = 32,
+    max_batch: int = 1,
+    max_wait_ms: float = 2.0,
+    cache_size: int = 0,
+    request_timeout_s: float | None = None,
+    check_parity: bool = True,
+) -> dict:
+    """Measure serving through a *remote* searcher fleet vs in-process.
+
+    Deploys the exported index at ``index_path`` twice -- onto an
+    in-process fleet and onto the running searcher processes at
+    ``addresses`` (real multi-process serving over loopback RPC) -- and
+    serves the query set through both, sequentially and in batches of
+    ``batch_size``.  With ``check_parity`` every remote answer (ids
+    *and* distances) is asserted bit-identical to the in-process one, so
+    the reported numbers cannot come from wrong results; the returned
+    dict carries both throughput reports plus the remote broker's
+    ``stats()`` snapshot (per-stage latency, shard failures).
+    """
+    from repro.online.service import OnlineService
+
+    queries = np.asarray(queries, dtype=np.float32)
+    if queries.shape[0] == 0:
+        raise ValueError("remote_serving_throughput needs queries")
+    local = OnlineService(parallel_fanout=True)
+    remote = OnlineService(
+        searchers=addresses,
+        parallel_fanout=True,
+        max_batch=max_batch,
+        max_wait_ms=max_wait_ms,
+        cache_size=cache_size,
+        request_timeout_s=request_timeout_s,
+    )
+    try:
+        local.deploy(fs, index_path, index_name="bench")
+        remote.deploy(fs, index_path, index_name="bench")
+        want_ids, want_dists = local.query_batch(
+            queries, top_k, index_name="bench", ef=ef
+        )
+        local_stats = local.measure_qps(
+            queries, top_k, index_name="bench", ef=ef, batch_size=batch_size
+        )
+        singles: list[tuple[np.ndarray, np.ndarray]] = []
+
+        def serve_single(query: np.ndarray):
+            result = remote.query(query, top_k, index_name="bench", ef=ef)
+            singles.append(result)
+            return result
+
+        remote_sequential = measure_qps(serve_single, queries)
+        chunks: list[tuple[np.ndarray, np.ndarray]] = []
+
+        def serve_batch(batch: np.ndarray) -> None:
+            chunks.append(
+                remote.query_batch(batch, top_k, index_name="bench", ef=ef)
+            )
+
+        remote_batched = measure_batch_qps(serve_batch, queries, batch_size)
+        got_ids = np.concatenate([ids for ids, _ in chunks], axis=0)
+        got_dists = np.concatenate([dists for _, dists in chunks], axis=0)
+        if check_parity:
+            if not (got_ids == want_ids).all():
+                raise AssertionError(
+                    "remote ids differ from in-process results"
+                )
+            if not (got_dists == want_dists).all():
+                raise AssertionError(
+                    "remote distances differ from in-process results"
+                )
+            # The sequential pass must also have served right answers
+            # (single-query results are the padded rows with the -1
+            # sentinels trimmed).
+            for row, (one_ids, one_dists) in enumerate(singles):
+                valid = want_ids[row] >= 0
+                if not (
+                    (one_ids == want_ids[row][valid]).all()
+                    and (one_dists == want_dists[row][valid]).all()
+                ):
+                    raise AssertionError(
+                        f"remote single-query result differs from the "
+                        f"in-process result at query {row}"
+                    )
+        remote_stats = remote.stats()["indices"]["bench"]
+        remote.undeploy("bench")
+    finally:
+        local.close()
+        remote.close()
+    return {
+        "queries": int(queries.shape[0]),
+        "local": local_stats,
+        "remote_sequential": remote_sequential,
+        "remote_batched": remote_batched,
+        "remote_stats": remote_stats,
+        "parity_checked": bool(check_parity),
+    }
+
+
 def swap_segmenter(index: LannsIndex, segmenter: Segmenter) -> LannsIndex:
     """Rebind a built index to a segmenter with different spill boundaries.
 

@@ -239,6 +239,8 @@ class HnswIndex:
             raise ValueError(f"k must be positive, got {k}")
         if len(self._graph) == 0:
             raise IndexNotBuiltError("search on an empty HNSW index")
+        if len(self._graph) < self.params.min_graph_size:
+            return self._search_many_exact(queries, k)
         prepared = self._scorer.prepare_queries(queries)
         query_sq = self._scorer.query_sq_norms(prepared)
         beam = max(ef if ef is not None else self.params.ef_search, k)
@@ -268,6 +270,42 @@ class HnswIndex:
             output.append(
                 (external[rows], self._scorer.to_true(reduced))
             )
+        return output
+
+    def _search_many_exact(
+        self, queries: np.ndarray, k: int
+    ) -> list[tuple[np.ndarray, np.ndarray]]:
+        """Exact fallback for tiny indices: one GEMM scan, no traversal.
+
+        Used when the index holds fewer than ``params.min_graph_size``
+        vectors: ``Scorer.score_all_batch`` scores the whole segment as
+        a flat ``(1, d) @ (d, n)`` product per row, which beats beam
+        search on segments small enough that the graph buys nothing --
+        and is exact by construction.  Rows are scored one at a time on
+        purpose: BLAS accumulation order inside a multi-row GEMM varies
+        with the batch shape, and the serving stack's coalescing layers
+        rely on every row's result being bit-independent of which other
+        rows share the batch.  Results are sorted ascending by reduced
+        distance with ties broken by internal row (stable argsort), the
+        same order the blocked exact scan in
+        :func:`repro.offline.brute_force.exact_top_k` produces.
+        """
+        prepared = self._scorer.prepare_queries(queries)
+        scores = np.vstack(
+            [
+                self._scorer.score_all_batch(prepared[row : row + 1])
+                for row in range(prepared.shape[0])
+            ]
+        )
+        count = scores.shape[1]
+        keep = min(k, count)
+        order = np.argsort(scores, axis=1, kind="stable")[:, :keep]
+        external = self.external_ids
+        output: list[tuple[np.ndarray, np.ndarray]] = []
+        for row in range(queries.shape[0]):
+            rows = order[row]
+            reduced = scores[row, rows].astype(np.float64)
+            output.append((external[rows], self._scorer.to_true(reduced)))
         return output
 
     def search(

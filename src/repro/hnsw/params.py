@@ -35,6 +35,14 @@ class HnswParams:
     #: closest-M selection (False; ablation only -- hurts recall on
     #: clustered data).
     use_heuristic: bool = True
+    #: Indices holding fewer than this many vectors answer queries by an
+    #: exact ``(B, d) @ (d, n)`` GEMM scan instead of graph traversal --
+    #: on tiny segments (skewed segmenter splits, small tail shards) the
+    #: flat scan is both exact and faster than beam search.  ``0``
+    #: (default) disables the fallback; the graph is still *built*
+    #: either way, so a segment that grows past the threshold switches
+    #: to graph search transparently.
+    min_graph_size: int = 0
 
     def __post_init__(self) -> None:
         if self.M < 2:
@@ -51,6 +59,10 @@ class HnswParams:
             raise ValueError(f"max_m0 must be >= 1, got {self.max_m0}")
         if self.ml is not None and self.ml <= 0:
             raise ValueError(f"ml must be positive, got {self.ml}")
+        if self.min_graph_size < 0:
+            raise ValueError(
+                f"min_graph_size must be >= 0, got {self.min_graph_size}"
+            )
 
     @property
     def effective_max_m(self) -> int:
@@ -80,6 +92,7 @@ class HnswParams:
             "extend_candidates": self.extend_candidates,
             "keep_pruned_connections": self.keep_pruned_connections,
             "use_heuristic": self.use_heuristic,
+            "min_graph_size": self.min_graph_size,
         }
 
     @classmethod

@@ -1,0 +1,34 @@
+"""Distributed serving over the wire (Paper Section 7).
+
+LANNS's online architecture is a broker fanning queries out to *searcher
+machines*, each hosting one shard.  This package is that wire layer:
+
+- :mod:`repro.net.protocol` -- length-prefixed binary framing that ships
+  numpy query/result blocks zero-copy;
+- :mod:`repro.net.server` -- an asyncio TCP server wrapping a
+  :class:`~repro.online.searcher.SearcherNode`;
+- :mod:`repro.net.client` -- a pooled, retrying, deadline-aware RPC
+  client;
+- :mod:`repro.net.transport` -- the ``SearcherTransport`` abstraction
+  the broker drives, with in-process and remote implementations;
+- :mod:`repro.net.fleet` -- spawn/await/stop real searcher subprocesses
+  over loopback (benchmarks and failure-injection tests).
+"""
+
+from repro.net.client import RemoteSearcherClient
+from repro.net.server import SearcherServer
+from repro.net.transport import (
+    LocalSearcherTransport,
+    RemoteSearcherTransport,
+    SearcherTransport,
+    as_transport,
+)
+
+__all__ = [
+    "RemoteSearcherClient",
+    "SearcherServer",
+    "SearcherTransport",
+    "LocalSearcherTransport",
+    "RemoteSearcherTransport",
+    "as_transport",
+]

@@ -1,0 +1,359 @@
+"""``RemoteSearcherClient``: pooled, retrying RPC client for one searcher.
+
+The broker's fan-out threads call this client synchronously (one RPC per
+shard per batch); reliability is layered as:
+
+- **connection pool** -- a small stack of idle sockets per searcher, so
+  concurrent batches from the fan-out pool don't serialize on one
+  connection and repeated requests skip the TCP handshake;
+- **request timeouts** -- every send/recv honors the per-call deadline
+  (and the client-wide ``timeout_s`` fallback); an expired deadline
+  raises :class:`~repro.errors.DeadlineExceededError`;
+- **bounded retries with backoff** -- connectivity failures (refused,
+  reset, EOF, garbled frames) retry idempotent calls up to ``retries``
+  times, reconnecting with exponential backoff.  Timeouts and
+  server-side :class:`~repro.errors.RemoteCallError` s never retry: the
+  former would double tail latency, the latter would repeat a bug.
+
+A dead connection is always discarded, never returned to the pool, so
+one crash can't poison later requests.
+"""
+
+from __future__ import annotations
+
+import socket
+import threading
+import time
+
+import numpy as np
+
+from repro.errors import (
+    ConnectionLostError,
+    DeadlineExceededError,
+    ProtocolError,
+    TransportError,
+)
+from repro.net.protocol import (
+    DEFAULT_MAX_FRAME,
+    MsgType,
+    raise_if_error,
+    recv_frame,
+    send_frame,
+)
+
+#: Failures that mean "the searcher is unreachable/broken", as opposed to
+#: "the searcher answered with an error".  The broker's ``degrade``
+#: policy drops a shard on exactly these.
+CONNECTIVITY_FAILURES = (
+    ConnectionLostError,
+    ProtocolError,
+    DeadlineExceededError,
+)
+
+
+def parse_address(address: str | tuple) -> tuple[str, int]:
+    """``"host:port"`` (or an ``(host, port)`` pair) -> ``(host, port)``."""
+    if isinstance(address, tuple):
+        host, port = address
+        return str(host), int(port)
+    host, _, port = str(address).strip().rpartition(":")
+    if not host or not port:
+        raise ValueError(
+            f"searcher address {address!r} is not of the form host:port"
+        )
+    return host, int(port)
+
+
+class RemoteSearcherClient:
+    """RPC client for one remote searcher process.
+
+    Parameters
+    ----------
+    address:
+        ``"host:port"`` string or ``(host, port)`` tuple.
+    timeout_s:
+        Default per-request time budget when the caller passes no
+        deadline (connect + send + receive).
+    connect_timeout_s:
+        Budget for establishing one TCP connection.
+    pool_size:
+        Idle connections kept per searcher.  More concurrent requests
+        than this still work -- extras dial fresh connections and the
+        surplus is closed on return.
+    retries:
+        Connectivity-failure retries for idempotent calls.
+    backoff_s / backoff_max_s:
+        Reconnect backoff: first retry waits ``backoff_s``, doubling up
+        to ``backoff_max_s``.
+    """
+
+    def __init__(
+        self,
+        address: str | tuple,
+        *,
+        timeout_s: float = 30.0,
+        connect_timeout_s: float = 5.0,
+        pool_size: int = 2,
+        retries: int = 2,
+        backoff_s: float = 0.05,
+        backoff_max_s: float = 1.0,
+        max_frame: int = DEFAULT_MAX_FRAME,
+    ) -> None:
+        if timeout_s <= 0 or connect_timeout_s <= 0:
+            raise ValueError("timeouts must be positive")
+        if pool_size < 1:
+            raise ValueError(f"pool_size must be >= 1, got {pool_size}")
+        if retries < 0:
+            raise ValueError(f"retries must be >= 0, got {retries}")
+        self.host, self.port = parse_address(address)
+        self.timeout_s = float(timeout_s)
+        self.connect_timeout_s = float(connect_timeout_s)
+        self.pool_size = int(pool_size)
+        self.retries = int(retries)
+        self.backoff_s = float(backoff_s)
+        self.backoff_max_s = float(backoff_max_s)
+        self.max_frame = int(max_frame)
+        self._lock = threading.Lock()
+        self._idle: list[socket.socket] = []
+        self._closed = False
+        #: Lifetime counters: rows answered, RPCs sent, reconnects,
+        #: retries.  Bumped under ``_lock``: the fan-out pool calls one
+        #: client from several threads and ``+=`` is not atomic.
+        self.queries_served = 0
+        self.requests_sent = 0
+        self.connects = 0
+        self.retried = 0
+
+    def _count(self, counter: str, amount: int = 1) -> None:
+        with self._lock:
+            setattr(self, counter, getattr(self, counter) + amount)
+
+    @property
+    def address(self) -> str:
+        return f"{self.host}:{self.port}"
+
+    # -- connection management ---------------------------------------------------------
+    def _dial(self, deadline: float | None) -> socket.socket:
+        budget = self.connect_timeout_s
+        if deadline is not None:
+            budget = min(budget, self._remaining(deadline))
+        try:
+            sock = socket.create_connection(
+                (self.host, self.port), timeout=budget
+            )
+        except TimeoutError:
+            # A blown *caller* deadline must not retry; a plain connect
+            # timeout (SYN dropped: firewall, host mid-reboot) is a
+            # connectivity failure like refused/reset and should get the
+            # same bounded retries.
+            if deadline is not None and deadline - time.monotonic() <= 0:
+                raise DeadlineExceededError(
+                    f"connect to {self.address} timed out after "
+                    f"{budget:.3f}s"
+                ) from None
+            raise ConnectionLostError(
+                f"connect to {self.address} timed out after {budget:.3f}s"
+            ) from None
+        except OSError as exc:
+            raise ConnectionLostError(
+                f"cannot connect to searcher {self.address}: {exc}"
+            ) from None
+        sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        self._count("connects")
+        return sock
+
+    def _checkout(self, deadline: float | None) -> socket.socket:
+        with self._lock:
+            if self._closed:
+                raise ConnectionLostError(
+                    f"client for {self.address} is closed"
+                )
+            if self._idle:
+                return self._idle.pop()
+        return self._dial(deadline)
+
+    def _checkin(self, sock: socket.socket) -> None:
+        with self._lock:
+            if not self._closed and len(self._idle) < self.pool_size:
+                self._idle.append(sock)
+                return
+        _close_quietly(sock)
+
+    def close(self) -> None:
+        """Close every pooled connection; the client rejects further calls."""
+        with self._lock:
+            self._closed = True
+            idle, self._idle = self._idle, []
+        for sock in idle:
+            _close_quietly(sock)
+
+    # -- core call machinery -----------------------------------------------------------
+    @staticmethod
+    def _remaining(deadline: float) -> float:
+        remaining = deadline - time.monotonic()
+        if remaining <= 0:
+            raise DeadlineExceededError("request deadline already expired")
+        return remaining
+
+    def _once(
+        self,
+        msg_type: MsgType,
+        header: dict,
+        arrays: tuple,
+        deadline: float | None,
+    ) -> tuple[MsgType, dict, list[np.ndarray]]:
+        sock = self._checkout(deadline)
+        budget = self.timeout_s
+        if deadline is not None:
+            budget = min(budget, self._remaining(deadline))
+        # One *cumulative* budget for the whole round trip: the send
+        # gets it as a socket timeout, and recv_frame re-arms the
+        # shrinking remainder before every read, so neither a slow send
+        # nor a byte-trickling peer can stretch one RPC past `budget`.
+        attempt_deadline = time.monotonic() + budget
+        try:
+            sock.settimeout(budget)
+            send_frame(sock, msg_type, header, arrays)
+            response = recv_frame(
+                sock, max_frame=self.max_frame, deadline=attempt_deadline
+            )
+        except TimeoutError:
+            _close_quietly(sock)
+            raise DeadlineExceededError(
+                f"searcher {self.address} did not answer within "
+                f"{budget:.3f}s"
+            ) from None
+        except TransportError:
+            _close_quietly(sock)
+            raise
+        except OSError as exc:
+            _close_quietly(sock)
+            raise ConnectionLostError(
+                f"connection to searcher {self.address} failed: {exc}"
+            ) from None
+        self._checkin(sock)
+        return response
+
+    def call(
+        self,
+        msg_type: MsgType,
+        header: dict | None = None,
+        arrays: tuple = (),
+        *,
+        deadline: float | None = None,
+        idempotent: bool = True,
+    ) -> tuple[MsgType, dict, list[np.ndarray]]:
+        """One RPC round trip; returns ``(msg_type, header, arrays)``.
+
+        ``deadline`` is an absolute ``time.monotonic()`` instant shared
+        across retries.  Error frames raise
+        :class:`~repro.errors.RemoteCallError` (never retried).
+        """
+        header = header or {}
+        attempts = (self.retries + 1) if idempotent else 1
+        delay = self.backoff_s
+        last: Exception | None = None
+        for attempt in range(attempts):
+            if attempt:
+                self._count("retried")
+                pause = delay
+                if deadline is not None:
+                    pause = min(pause, self._remaining(deadline))
+                time.sleep(max(pause, 0.0))
+                delay = min(delay * 2.0, self.backoff_max_s)
+            try:
+                self._count("requests_sent")
+                resp_type, resp_header, resp_arrays = self._once(
+                    msg_type, header, arrays, deadline
+                )
+            except DeadlineExceededError:
+                raise  # retrying a blown budget only makes it later
+            except (ConnectionLostError, ProtocolError) as exc:
+                last = exc
+                continue
+            raise_if_error(resp_type, resp_header)
+            return resp_type, resp_header, resp_arrays
+        assert last is not None
+        raise last
+
+    # -- the searcher RPC surface ------------------------------------------------------
+    def search_batch(
+        self,
+        index_name: str,
+        queries: np.ndarray,
+        k: int,
+        *,
+        ef: int | None = None,
+        deadline: float | None = None,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Remote lockstep shard search; mirrors ``SearcherNode.search_batch``."""
+        queries = np.ascontiguousarray(queries, dtype=np.float32)
+        _, header, arrays = self.call(
+            MsgType.SEARCH,
+            {"index": str(index_name), "top_k": int(k), "ef": ef},
+            (queries,),
+            deadline=deadline,
+        )
+        if len(arrays) != 2:
+            raise ProtocolError(
+                f"search result carries {len(arrays)} arrays, expected 2"
+            )
+        ids = np.asarray(arrays[0], dtype=np.int64)
+        dists = np.asarray(arrays[1], dtype=np.float64)
+        want = (queries.shape[0], int(k))
+        if ids.shape != want or dists.shape != want:
+            raise ProtocolError(
+                f"search result shapes {ids.shape}/{dists.shape} do not "
+                f"match the requested {want}"
+            )
+        self._count("queries_served", queries.shape[0])
+        return ids, dists
+
+    def deploy(
+        self,
+        index_name: str,
+        index_path: str,
+        *,
+        root: str | None = None,
+        deadline: float | None = None,
+    ) -> list[str]:
+        """Host this searcher's shard of an exported index (not retried)."""
+        _, header, _ = self.call(
+            MsgType.DEPLOY,
+            {"index": str(index_name), "path": str(index_path), "root": root},
+            deadline=deadline,
+            idempotent=False,
+        )
+        return list(header.get("hosted", []))
+
+    def undeploy(
+        self, index_name: str, *, deadline: float | None = None
+    ) -> list[str]:
+        """Unhost an index (not retried)."""
+        _, header, _ = self.call(
+            MsgType.UNDEPLOY,
+            {"index": str(index_name)},
+            deadline=deadline,
+            idempotent=False,
+        )
+        return list(header.get("hosted", []))
+
+    def stats(self, *, deadline: float | None = None) -> dict:
+        """The remote node's counters (see ``SearcherNode.stats``)."""
+        _, header, _ = self.call(MsgType.STATS, deadline=deadline)
+        return dict(header.get("stats", {}))
+
+    def ping(self, *, deadline: float | None = None) -> int:
+        """Liveness probe; returns the remote node's shard id."""
+        _, header, _ = self.call(MsgType.PING, deadline=deadline)
+        return int(header["shard_id"])
+
+    def __repr__(self) -> str:
+        return f"RemoteSearcherClient({self.address!r})"
+
+
+def _close_quietly(sock: socket.socket) -> None:
+    try:
+        sock.close()
+    except OSError:
+        pass

@@ -1,0 +1,187 @@
+"""Spawn and manage real searcher *subprocesses* over loopback.
+
+The remote-serving benchmark and the failure-injection tests need actual
+OS processes (so a kill is a kill, not a mock): this module wraps
+``python -m repro.cli serve-searcher`` with readiness hand-shaking --
+each server binds port 0 and prints a ``SEARCHER-READY shard=S port=P``
+line that :func:`launch_searcher` blocks on -- and best-effort teardown.
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+import threading
+import time
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.net.server import parse_ready_line
+
+
+def _src_path() -> str:
+    """The ``src`` directory containing the ``repro`` package."""
+    import repro
+
+    return str(Path(repro.__file__).resolve().parent.parent)
+
+
+@dataclass
+class SearcherProcess:
+    """One spawned searcher: the OS process plus its serving address."""
+
+    process: subprocess.Popen
+    shard_id: int
+    host: str
+    port: int
+
+    @property
+    def address(self) -> str:
+        return f"{self.host}:{self.port}"
+
+    def alive(self) -> bool:
+        return self.process.poll() is None
+
+    def kill(self) -> None:
+        """SIGKILL the searcher (failure injection: no graceful anything)."""
+        if self.alive():
+            self.process.kill()
+        self.process.wait(timeout=30)
+
+    def terminate(self, grace_s: float = 5.0) -> None:
+        """Polite stop: SIGTERM, then SIGKILL after ``grace_s``."""
+        if not self.alive():
+            self.process.wait(timeout=30)
+            return
+        self.process.terminate()
+        try:
+            self.process.wait(timeout=grace_s)
+        except subprocess.TimeoutExpired:
+            self.process.kill()
+            self.process.wait(timeout=30)
+
+
+def launch_searcher(
+    shard_id: int,
+    *,
+    root: str | None = None,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    ready_timeout_s: float = 120.0,
+) -> SearcherProcess:
+    """Spawn one ``serve-searcher`` subprocess and wait until it listens.
+
+    The child inherits the current interpreter and gets this package's
+    ``src`` directory prepended to ``PYTHONPATH``, so it works from a
+    source checkout without installation.
+    """
+    command = [
+        sys.executable,
+        "-m",
+        "repro.cli",
+        "serve-searcher",
+        "--shard-id",
+        str(shard_id),
+        "--host",
+        host,
+        "--port",
+        str(port),
+    ]
+    if root is not None:
+        command += ["--root", str(root)]
+    env = dict(os.environ)
+    src = _src_path()
+    existing = env.get("PYTHONPATH")
+    env["PYTHONPATH"] = f"{src}{os.pathsep}{existing}" if existing else src
+    process = subprocess.Popen(
+        command,
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+        env=env,
+    )
+    deadline = time.monotonic() + ready_timeout_s
+    assert process.stdout is not None
+    while True:
+        if time.monotonic() > deadline:
+            process.kill()
+            raise TimeoutError(
+                f"searcher shard {shard_id} not ready within "
+                f"{ready_timeout_s}s"
+            )
+        line = process.stdout.readline()
+        if line == "" and process.poll() is not None:
+            raise RuntimeError(
+                f"searcher shard {shard_id} exited with code "
+                f"{process.returncode} before becoming ready"
+            )
+        parsed = parse_ready_line(line)
+        if parsed is not None:
+            ready_shard, ready_port = parsed
+            if ready_shard != shard_id:
+                process.kill()
+                raise RuntimeError(
+                    f"searcher announced shard {ready_shard}, "
+                    f"expected {shard_id}"
+                )
+            _drain_output(process)
+            return SearcherProcess(
+                process=process, shard_id=shard_id, host=host, port=ready_port
+            )
+
+
+def _drain_output(process: subprocess.Popen) -> None:
+    """Keep reading (and discarding) the child's merged stdout/stderr.
+
+    Without a reader, a long-lived searcher that logs more than the OS
+    pipe buffer (~64 KiB) would eventually block inside ``print``/
+    logging and stop answering RPCs -- looking exactly like a dead
+    shard.  A daemon thread per child keeps the pipe empty.
+    """
+
+    def drain() -> None:
+        assert process.stdout is not None
+        for _line in process.stdout:
+            pass
+
+    threading.Thread(target=drain, daemon=True).start()
+
+
+def launch_fleet(
+    num_shards: int,
+    *,
+    root: str | None = None,
+    host: str = "127.0.0.1",
+    ready_timeout_s: float = 120.0,
+) -> list[SearcherProcess]:
+    """Spawn one searcher subprocess per shard; tears down on any failure."""
+    fleet: list[SearcherProcess] = []
+    try:
+        for shard_id in range(num_shards):
+            fleet.append(
+                launch_searcher(
+                    shard_id,
+                    root=root,
+                    host=host,
+                    ready_timeout_s=ready_timeout_s,
+                )
+            )
+    except BaseException:
+        shutdown_fleet(fleet)
+        raise
+    return fleet
+
+
+def shutdown_fleet(fleet: list[SearcherProcess]) -> None:
+    """Best-effort stop of every fleet member (tolerates already-dead)."""
+    for searcher in fleet:
+        try:
+            searcher.terminate()
+        except Exception:
+            pass
+
+
+def fleet_addresses(fleet: list[SearcherProcess]) -> list[str]:
+    """``host:port`` per fleet member, in shard order."""
+    return [searcher.address for searcher in fleet]

@@ -1,0 +1,368 @@
+"""Length-prefixed binary wire protocol for broker <-> searcher RPCs.
+
+One frame per message::
+
+    +-------+---------+----------+------------+-------------+
+    | magic | version | msg_type | header_len | payload_len |
+    | 2B    | 1B      | 1B       | u32 BE     | u64 BE      |
+    +-------+---------+----------+------------+-------------+
+    | header: JSON (UTF-8), header_len bytes                |
+    +-------------------------------------------------------+
+    | payload: raw array buffers, concatenated              |
+    +-------------------------------------------------------+
+
+The JSON header carries the request metadata (index name, ``top_k``,
+``ef``, ...) plus an ``arrays`` list of ``{"dtype", "shape"}`` entries
+describing the payload layout.  Array payloads are the raw C-contiguous
+bytes of ``float32`` / ``float64`` / ``int64`` numpy buffers: encoding
+writes :class:`memoryview` s of the arrays (no serialization pass, no
+copy) and decoding reconstructs them with ``np.frombuffer`` over slices
+of the received buffer (no copy either).
+
+Robustness contract, pinned by ``tests/test_net_protocol.py``: any
+truncated, oversized, wrong-magic, wrong-version or otherwise garbled
+frame raises :class:`~repro.errors.ProtocolError` -- never a hang, a
+numpy error, or a silent wrong answer.  Server-side failures travel back
+as *structured error frames* (:data:`MsgType.ERROR`) carrying the
+exception type and message, surfaced to callers as
+:class:`~repro.errors.RemoteCallError`.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import struct
+import time
+from enum import IntEnum
+
+import numpy as np
+
+from repro.errors import ConnectionLostError, ProtocolError, RemoteCallError
+
+#: Bump on any frame-layout or semantics change; peers reject mismatches.
+PROTOCOL_VERSION = 1
+
+MAGIC = b"LN"
+
+#: Hard ceiling on one frame (prefix + header + payload): 1 GiB.
+DEFAULT_MAX_FRAME = 1 << 30
+
+#: Ceiling on the JSON header alone (it is metadata, not data).
+MAX_HEADER_BYTES = 1 << 20
+
+#: Ceiling on arrays per frame (requests carry 1, results carry 2-3).
+MAX_ARRAYS = 16
+
+_PREFIX = struct.Struct(">2sBBIQ")
+PREFIX_SIZE = _PREFIX.size
+
+#: dtypes allowed on the wire: queries, distances, ids.
+_WIRE_DTYPES = ("<f4", "<f8", "<i8")
+
+
+class MsgType(IntEnum):
+    """Message type byte.  Requests are < 16, responses >= 16."""
+
+    SEARCH = 1
+    DEPLOY = 2
+    UNDEPLOY = 3
+    STATS = 4
+    PING = 5
+    RESULT = 16
+    OK = 17
+    ERROR = 18
+
+
+# -- encoding ------------------------------------------------------------------------
+def encode_frame(
+    msg_type: int,
+    header: dict | None = None,
+    arrays: tuple | list = (),
+) -> list:
+    """Build one frame as a list of buffers (prefix, header, raw arrays).
+
+    Returned buffers are written to the socket back to back; the array
+    entries are :class:`memoryview` s over the (C-contiguous) inputs, so
+    large query/result blocks are never copied into the frame.
+    """
+    header = dict(header) if header else {}
+    metas = []
+    buffers = []
+    for array in arrays:
+        array = np.ascontiguousarray(array)
+        dtype = array.dtype.newbyteorder("<").str
+        if dtype not in _WIRE_DTYPES:
+            raise ProtocolError(
+                f"dtype {array.dtype.str!r} is not a wire dtype "
+                f"(allowed: {_WIRE_DTYPES})"
+            )
+        if array.dtype.str != dtype:  # big-endian host data: make it LE
+            array = array.astype(dtype)
+        metas.append({"dtype": dtype, "shape": list(array.shape)})
+        # memoryview.cast rejects zero-sized shapes; an empty buffer
+        # carries the same (zero) bytes.
+        buffers.append(
+            memoryview(array).cast("B") if array.size else b""
+        )
+    header["arrays"] = metas
+    header_bytes = json.dumps(header, separators=(",", ":")).encode("utf-8")
+    if len(header_bytes) > MAX_HEADER_BYTES:
+        raise ProtocolError(
+            f"header of {len(header_bytes)} bytes exceeds "
+            f"{MAX_HEADER_BYTES}"
+        )
+    payload_len = sum(len(buffer) for buffer in buffers)
+    prefix = _PREFIX.pack(
+        MAGIC, PROTOCOL_VERSION, int(msg_type), len(header_bytes), payload_len
+    )
+    return [prefix, header_bytes, *buffers]
+
+
+def frame_to_bytes(
+    msg_type: int, header: dict | None = None, arrays: tuple | list = ()
+) -> bytes:
+    """One contiguous frame (tests / tiny control messages)."""
+    return b"".join(bytes(part) for part in encode_frame(msg_type, header, arrays))
+
+
+def error_frame(exc: BaseException) -> list:
+    """A structured error response for a server-side exception."""
+    return encode_frame(
+        MsgType.ERROR,
+        {"error_type": type(exc).__name__, "message": str(exc)},
+    )
+
+
+# -- decoding ------------------------------------------------------------------------
+def parse_prefix(
+    prefix: bytes, *, max_frame: int = DEFAULT_MAX_FRAME
+) -> tuple[int, int, int]:
+    """Validate a frame prefix; returns ``(msg_type, header_len, payload_len)``."""
+    if len(prefix) < PREFIX_SIZE:
+        raise ProtocolError(
+            f"truncated frame prefix: {len(prefix)} of {PREFIX_SIZE} bytes"
+        )
+    magic, version, msg_type, header_len, payload_len = _PREFIX.unpack_from(
+        prefix
+    )
+    if magic != MAGIC:
+        raise ProtocolError(f"bad frame magic {magic!r}")
+    if version != PROTOCOL_VERSION:
+        raise ProtocolError(
+            f"unsupported protocol version {version} "
+            f"(speaking {PROTOCOL_VERSION})"
+        )
+    if header_len > MAX_HEADER_BYTES:
+        raise ProtocolError(
+            f"header length {header_len} exceeds {MAX_HEADER_BYTES}"
+        )
+    if PREFIX_SIZE + header_len + payload_len > max_frame:
+        raise ProtocolError(
+            f"frame of {PREFIX_SIZE + header_len + payload_len} bytes "
+            f"exceeds the {max_frame}-byte limit"
+        )
+    try:
+        msg_type = MsgType(msg_type)
+    except ValueError:
+        raise ProtocolError(f"unknown message type {msg_type}") from None
+    return msg_type, header_len, payload_len
+
+
+def decode_body(header_bytes, payload) -> tuple[dict, list[np.ndarray]]:
+    """Parse the header JSON and reconstruct the payload arrays (zero-copy).
+
+    ``payload`` may be ``bytes``, ``bytearray`` or ``memoryview``; the
+    returned arrays alias it via ``np.frombuffer``.
+    """
+    try:
+        header = json.loads(bytes(header_bytes).decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ProtocolError(f"unparseable frame header: {exc}") from None
+    if not isinstance(header, dict):
+        raise ProtocolError("frame header is not a JSON object")
+    metas = header.pop("arrays", [])
+    if not isinstance(metas, list) or len(metas) > MAX_ARRAYS:
+        raise ProtocolError("invalid 'arrays' header entry")
+    payload = memoryview(payload)
+    arrays: list[np.ndarray] = []
+    offset = 0
+    for meta in metas:
+        if not isinstance(meta, dict):
+            raise ProtocolError("array metadata is not an object")
+        dtype = meta.get("dtype")
+        shape = meta.get("shape")
+        if dtype not in _WIRE_DTYPES:
+            raise ProtocolError(f"dtype {dtype!r} is not a wire dtype")
+        if not isinstance(shape, list) or not all(
+            isinstance(dim, int) and dim >= 0 for dim in shape
+        ):
+            raise ProtocolError(f"invalid array shape {shape!r}")
+        count = 1
+        for dim in shape:
+            count *= dim
+        nbytes = count * np.dtype(dtype).itemsize
+        if offset + nbytes > len(payload):
+            raise ProtocolError(
+                f"array payload overruns the frame: needs {nbytes} bytes "
+                f"at offset {offset}, payload has {len(payload)}"
+            )
+        array = np.frombuffer(
+            payload[offset : offset + nbytes], dtype=dtype
+        ).reshape(shape)
+        arrays.append(array)
+        offset += nbytes
+    if offset != len(payload):
+        raise ProtocolError(
+            f"{len(payload) - offset} trailing payload bytes not described "
+            "by the header"
+        )
+    return header, arrays
+
+
+def decode_frame(
+    data, *, max_frame: int = DEFAULT_MAX_FRAME
+) -> tuple[MsgType, dict, list[np.ndarray]]:
+    """Decode one complete frame from a contiguous buffer."""
+    data = memoryview(data)
+    msg_type, header_len, payload_len = parse_prefix(
+        bytes(data[:PREFIX_SIZE]), max_frame=max_frame
+    )
+    expected = PREFIX_SIZE + header_len + payload_len
+    if len(data) < expected:
+        raise ProtocolError(
+            f"truncated frame: {len(data)} of {expected} bytes"
+        )
+    if len(data) > expected:
+        raise ProtocolError(
+            f"{len(data) - expected} trailing bytes after the frame"
+        )
+    header, arrays = decode_body(
+        data[PREFIX_SIZE : PREFIX_SIZE + header_len],
+        data[PREFIX_SIZE + header_len : expected],
+    )
+    return msg_type, header, arrays
+
+
+def raise_if_error(msg_type: MsgType, header: dict) -> None:
+    """Re-raise a peer's structured error frame as :class:`RemoteCallError`."""
+    if msg_type == MsgType.ERROR:
+        raise RemoteCallError(
+            str(header.get("error_type", "RemoteError")),
+            str(header.get("message", "")),
+        )
+
+
+# -- blocking-socket IO ----------------------------------------------------------------
+def send_frame(
+    sock: socket.socket,
+    msg_type: int,
+    header: dict | None = None,
+    arrays: tuple | list = (),
+) -> None:
+    """Write one frame to a blocking socket (honors ``sock.settimeout``)."""
+    for buffer in encode_frame(msg_type, header, arrays):
+        sock.sendall(buffer)
+
+
+def _recv_exact(
+    sock: socket.socket, nbytes: int, deadline: float | None = None
+) -> memoryview:
+    buffer = bytearray(nbytes)
+    view = memoryview(buffer)
+    received = 0
+    while received < nbytes:
+        if deadline is not None:
+            # Re-arm the timeout with the *remaining* budget before
+            # every read: a static settimeout is an idle timeout per
+            # recv, so a peer trickling bytes could stretch one frame
+            # far past the request deadline.
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                raise TimeoutError("receive deadline expired mid-frame")
+            sock.settimeout(remaining)
+        count = sock.recv_into(view[received:])
+        if count == 0:
+            raise ConnectionLostError(
+                f"connection closed mid-frame ({received} of {nbytes} bytes)"
+                if received
+                else "connection closed"
+            )
+        received += count
+    return view
+
+
+def recv_frame(
+    sock: socket.socket,
+    *,
+    max_frame: int = DEFAULT_MAX_FRAME,
+    deadline: float | None = None,
+) -> tuple[MsgType, dict, list[np.ndarray]]:
+    """Read one frame from a blocking socket.
+
+    With ``deadline`` (absolute ``time.monotonic()``), the whole frame
+    must arrive before it -- the timeout shrinks with every read.
+    Without one, ``sock.settimeout`` applies per read as usual.
+    """
+    prefix = _recv_exact(sock, PREFIX_SIZE, deadline)
+    msg_type, header_len, payload_len = parse_prefix(
+        bytes(prefix), max_frame=max_frame
+    )
+    header_bytes = (
+        _recv_exact(sock, header_len, deadline) if header_len else b""
+    )
+    payload = (
+        _recv_exact(sock, payload_len, deadline) if payload_len else b""
+    )
+    header, arrays = decode_body(header_bytes, payload)
+    return msg_type, header, arrays
+
+
+# -- asyncio-stream IO -----------------------------------------------------------------
+async def read_frame_async(
+    reader, *, max_frame: int = DEFAULT_MAX_FRAME
+) -> tuple[MsgType, dict, list[np.ndarray]]:
+    """Read one frame from an :class:`asyncio.StreamReader`.
+
+    Raises :class:`ConnectionLostError` on clean EOF *before* a frame
+    starts (peer hung up between requests) and :class:`ProtocolError`
+    when the stream dies mid-frame.
+    """
+    import asyncio
+
+    try:
+        prefix = await reader.readexactly(PREFIX_SIZE)
+    except asyncio.IncompleteReadError as exc:
+        if not exc.partial:
+            raise ConnectionLostError("connection closed") from None
+        raise ProtocolError(
+            f"truncated frame prefix: {len(exc.partial)} of "
+            f"{PREFIX_SIZE} bytes"
+        ) from None
+    msg_type, header_len, payload_len = parse_prefix(
+        prefix, max_frame=max_frame
+    )
+    try:
+        header_bytes = (
+            await reader.readexactly(header_len) if header_len else b""
+        )
+        payload = (
+            await reader.readexactly(payload_len) if payload_len else b""
+        )
+    except asyncio.IncompleteReadError as exc:
+        raise ProtocolError(
+            f"connection closed mid-frame ({len(exc.partial)} bytes short)"
+        ) from None
+    header, arrays = decode_body(header_bytes, payload)
+    return msg_type, header, arrays
+
+
+def write_frame(
+    writer,
+    msg_type: int,
+    header: dict | None = None,
+    arrays: tuple | list = (),
+) -> None:
+    """Queue one frame on an :class:`asyncio.StreamWriter` (caller drains)."""
+    for buffer in encode_frame(msg_type, header, arrays):
+        writer.write(buffer)

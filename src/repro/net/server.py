@@ -1,0 +1,273 @@
+"""``SearcherServer``: an asyncio TCP front for one searcher node.
+
+One server process hosts one :class:`~repro.online.searcher.SearcherNode`
+(= one shard position of every deployed index) and serves the broker's
+RPCs over the :mod:`repro.net.protocol` framing:
+
+- ``SEARCH``    -- lockstep ``search_batch`` over a hosted index;
+- ``DEPLOY``    -- load this node's shard of an exported index from a
+  :class:`~repro.storage.hdfs.LocalHdfs` root and host it;
+- ``UNDEPLOY``  -- unhost an index;
+- ``STATS``     -- node counters + hosted indices;
+- ``PING``      -- liveness + shard-id handshake.
+
+Searches and shard loads run on a thread-pool executor so the event loop
+keeps accepting connections (and answering pings) while numpy works.
+Request handling is per-connection sequential -- one frame in, one frame
+out -- which keeps the protocol trivially orderable; concurrency comes
+from the client's connection pool, not from pipelining.
+
+Launch standalone via ``repro.cli serve-searcher --shard-id S --port P``
+(prints a ``SEARCHER-READY`` line used by :mod:`repro.net.fleet`), or
+in-process via :meth:`SearcherServer.start_in_thread` (tests).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import threading
+from functools import partial
+
+from repro.errors import ConnectionLostError, ProtocolError
+from repro.net.protocol import (
+    DEFAULT_MAX_FRAME,
+    MsgType,
+    encode_frame,
+    error_frame,
+    read_frame_async,
+)
+from repro.online.searcher import SearcherNode
+
+#: Stdout line a launched server prints once it is accepting connections.
+READY_PREFIX = "SEARCHER-READY"
+
+
+def ready_line(shard_id: int, port: int) -> str:
+    """The machine-parseable readiness announcement."""
+    return f"{READY_PREFIX} shard={shard_id} port={port}"
+
+
+def parse_ready_line(line: str) -> tuple[int, int] | None:
+    """Inverse of :func:`ready_line`; ``None`` if the line is not one."""
+    parts = line.strip().split()
+    if len(parts) != 3 or parts[0] != READY_PREFIX:
+        return None
+    try:
+        shard = dict(part.split("=", 1) for part in parts[1:])
+        return int(shard["shard"]), int(shard["port"])
+    except (ValueError, KeyError):
+        return None
+
+
+class SearcherServer:
+    """Serve one :class:`SearcherNode` over TCP.
+
+    Parameters
+    ----------
+    node:
+        The searcher this server fronts.
+    host, port:
+        Bind address; ``port=0`` picks a free port (``self.port`` holds
+        the actual one once started).
+    root:
+        Optional :class:`LocalHdfs` root this server loads shards from.
+        When ``None``, each ``DEPLOY`` request must carry a ``root`` --
+        fine over loopback, where broker and searcher share a disk.
+    max_frame:
+        Per-frame byte ceiling (both directions).
+    """
+
+    def __init__(
+        self,
+        node: SearcherNode,
+        *,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        root: str | None = None,
+        max_frame: int = DEFAULT_MAX_FRAME,
+    ) -> None:
+        self.node = node
+        self.host = host
+        self.port = int(port)
+        self.root = root
+        self.max_frame = int(max_frame)
+        #: Lifetime counters (surfaced through the STATS RPC).
+        self.connections_accepted = 0
+        self.frames_served = 0
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._stop: asyncio.Event | None = None
+        self._thread: threading.Thread | None = None
+        self._ready = threading.Event()
+        self._failed: BaseException | None = None
+
+    # -- request handling --------------------------------------------------------------
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        self.connections_accepted += 1
+        try:
+            while True:
+                try:
+                    msg_type, header, arrays = await read_frame_async(
+                        reader, max_frame=self.max_frame
+                    )
+                except ConnectionLostError:
+                    return  # clean hang-up between requests
+                except ProtocolError as exc:
+                    # Tell the peer what broke, then drop the connection:
+                    # after a garbled frame the stream offset is unknown.
+                    with contextlib.suppress(Exception):
+                        for buffer in error_frame(exc):
+                            writer.write(buffer)
+                        await writer.drain()
+                    return
+                try:
+                    response = await self._dispatch(msg_type, header, arrays)
+                except Exception as exc:  # -> structured error frame
+                    response = error_frame(exc)
+                self.frames_served += 1
+                for buffer in response:
+                    writer.write(buffer)
+                await writer.drain()
+        except (ConnectionResetError, BrokenPipeError, asyncio.CancelledError):
+            pass
+        finally:
+            writer.close()
+            # Shutdown cancels in-flight handler tasks; swallowing the
+            # CancelledError here is fine -- the connection is closed
+            # and the task has nothing left to do.
+            with contextlib.suppress(Exception, asyncio.CancelledError):
+                await writer.wait_closed()
+
+    async def _dispatch(
+        self, msg_type: MsgType, header: dict, arrays: list
+    ) -> list:
+        loop = asyncio.get_running_loop()
+        if msg_type == MsgType.PING:
+            return self._ok({"shard_id": self.node.shard_id})
+        if msg_type == MsgType.SEARCH:
+            index_name = str(header["index"])
+            top_k = int(header["top_k"])
+            ef = header.get("ef")
+            ef = int(ef) if ef is not None else None
+            if len(arrays) != 1:
+                raise ProtocolError(
+                    f"SEARCH expects 1 query array, got {len(arrays)}"
+                )
+            ids, dists = await loop.run_in_executor(
+                None,
+                partial(
+                    self.node.search_batch,
+                    index_name,
+                    arrays[0],
+                    top_k,
+                    ef=ef,
+                ),
+            )
+            return self._result({"index": index_name}, [ids, dists])
+        if msg_type == MsgType.DEPLOY:
+            await loop.run_in_executor(None, partial(self._deploy, header))
+            return self._ok({"hosted": self.node.hosted_indices})
+        if msg_type == MsgType.UNDEPLOY:
+            self.node.unhost(str(header["index"]))
+            return self._ok({"hosted": self.node.hosted_indices})
+        if msg_type == MsgType.STATS:
+            stats = self.node.stats()
+            stats["connections_accepted"] = self.connections_accepted
+            stats["frames_served"] = self.frames_served
+            return self._ok({"stats": stats})
+        raise ProtocolError(f"unexpected message type {msg_type!r}")
+
+    def _deploy(self, header: dict) -> None:
+        # Imported here: the server must start fast and the storage stack
+        # pulls in the whole offline layer.
+        from repro.storage.hdfs import LocalHdfs
+        from repro.storage.manifest import load_shard
+
+        root = self.root if self.root is not None else header.get("root")
+        if not root:
+            raise ValueError(
+                "DEPLOY needs a filesystem root: start the server with "
+                "--root or include 'root' in the request"
+            )
+        index_path = str(header["path"])
+        fs = LocalHdfs(root)
+        shard = load_shard(fs, index_path, self.node.shard_id)
+        self.node.host(str(header["index"]), shard)
+
+    @staticmethod
+    def _ok(header: dict) -> list:
+        return encode_frame(MsgType.OK, header)
+
+    @staticmethod
+    def _result(header: dict, arrays: list) -> list:
+        return encode_frame(MsgType.RESULT, header, arrays)
+
+    # -- lifecycle ---------------------------------------------------------------------
+    async def _serve(self, on_ready=None) -> None:
+        self._loop = asyncio.get_running_loop()
+        self._stop = asyncio.Event()
+        server = await asyncio.start_server(
+            self._handle_connection, self.host, self.port
+        )
+        self.port = server.sockets[0].getsockname()[1]
+        if on_ready is not None:
+            on_ready(self)
+        self._ready.set()
+        async with server:
+            await self._stop.wait()
+
+    def run(self, *, announce: bool = True) -> int:
+        """Serve until interrupted (the ``serve-searcher`` entry point)."""
+
+        def on_ready(server: "SearcherServer") -> None:
+            if announce:
+                print(
+                    ready_line(server.node.shard_id, server.port), flush=True
+                )
+
+        try:
+            asyncio.run(self._serve(on_ready))
+        except KeyboardInterrupt:
+            pass
+        return 0
+
+    def start_in_thread(self, timeout: float = 30.0) -> "SearcherServer":
+        """Run the server on a daemon thread; returns once it is listening.
+
+        For tests and embedded fleets: the caller's thread stays free,
+        ``self.port`` holds the bound port, :meth:`stop` shuts down.
+        """
+
+        def runner() -> None:
+            try:
+                asyncio.run(self._serve())
+            except BaseException as exc:  # surfaced by the waiter below
+                self._failed = exc
+                self._ready.set()
+
+        self._thread = threading.Thread(
+            target=runner, name=f"searcher-server-{self.node.shard_id}",
+            daemon=True,
+        )
+        self._thread.start()
+        if not self._ready.wait(timeout):
+            raise TimeoutError("searcher server did not start in time")
+        if self._failed is not None:
+            raise RuntimeError("searcher server failed to start") from self._failed
+        return self
+
+    def stop(self, timeout: float = 30.0) -> None:
+        """Stop a :meth:`start_in_thread` server (idempotent)."""
+        if self._loop is not None and self._stop is not None:
+            with contextlib.suppress(RuntimeError):
+                self._loop.call_soon_threadsafe(self._stop.set)
+        if self._thread is not None:
+            self._thread.join(timeout)
+            self._thread = None
+
+    @property
+    def address(self) -> str:
+        """``host:port`` once the server is listening."""
+        return f"{self.host}:{self.port}"

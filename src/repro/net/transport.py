@@ -1,0 +1,186 @@
+"""``SearcherTransport``: one interface for in-process and remote shards.
+
+The broker fans a batch out to *transports*; whether a shard lives in
+this process (a :class:`~repro.online.searcher.SearcherNode`) or behind
+a TCP connection (a :class:`~repro.net.client.RemoteSearcherClient`) is
+invisible above this line.  That is what lets the micro-batcher, the
+result cache, the perShardTopK math and the merge run unchanged when the
+fleet moves out of process.
+
+Deadlines: ``search_batch`` takes an absolute ``time.monotonic()``
+deadline.  The remote transport enforces it on the wire; the local
+transport *ignores* it -- in-process numpy work is not cancellable, and
+the broker already bounds its own wait on the fan-out future.
+"""
+
+from __future__ import annotations
+
+import abc
+
+import numpy as np
+
+from repro.net.client import CONNECTIVITY_FAILURES, RemoteSearcherClient
+from repro.online.searcher import SearcherNode
+
+__all__ = [
+    "SearcherTransport",
+    "LocalSearcherTransport",
+    "RemoteSearcherTransport",
+    "as_transport",
+    "CONNECTIVITY_FAILURES",
+]
+
+
+class SearcherTransport(abc.ABC):
+    """What the broker needs from a shard, wherever it runs."""
+
+    shard_id: int
+
+    @abc.abstractmethod
+    def search_batch(
+        self,
+        index_name: str,
+        queries: np.ndarray,
+        k: int,
+        *,
+        ef: int | None = None,
+        deadline: float | None = None,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Lockstep shard search; ``(B, k)`` id/distance arrays."""
+
+    @property
+    @abc.abstractmethod
+    def queries_served(self) -> int:
+        """Query rows this transport answered (fleet traffic counter)."""
+
+    @abc.abstractmethod
+    def stats(self) -> dict:
+        """Counters of the underlying searcher."""
+
+    def close(self) -> None:
+        """Release transport resources (no-op for in-process shards)."""
+
+
+class LocalSearcherTransport(SearcherTransport):
+    """In-process shard: direct method calls on a :class:`SearcherNode`."""
+
+    def __init__(self, node: SearcherNode) -> None:
+        self.node = node
+        self.shard_id = node.shard_id
+
+    def search_batch(
+        self,
+        index_name: str,
+        queries: np.ndarray,
+        k: int,
+        *,
+        ef: int | None = None,
+        deadline: float | None = None,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        return self.node.search_batch(index_name, queries, k, ef=ef)
+
+    @property
+    def queries_served(self) -> int:
+        return self.node.queries_served
+
+    def stats(self) -> dict:
+        return self.node.stats()
+
+    def __repr__(self) -> str:
+        return f"LocalSearcherTransport({self.node!r})"
+
+
+class RemoteSearcherTransport(SearcherTransport):
+    """A shard behind TCP: delegates to a :class:`RemoteSearcherClient`.
+
+    ``shard_id`` is the position this transport holds in the broker's
+    fleet; :meth:`verify` confirms the process at ``address`` actually
+    serves that shard (deploy-time sanity check).
+    """
+
+    def __init__(
+        self,
+        address: str | tuple,
+        shard_id: int,
+        *,
+        client: RemoteSearcherClient | None = None,
+        **client_kwargs,
+    ) -> None:
+        self.client = (
+            client
+            if client is not None
+            else RemoteSearcherClient(address, **client_kwargs)
+        )
+        self.shard_id = int(shard_id)
+
+    @property
+    def address(self) -> str:
+        return self.client.address
+
+    def verify(self, *, deadline: float | None = None) -> None:
+        """Ping the remote process and check it serves our shard."""
+        remote_shard = self.client.ping(deadline=deadline)
+        if remote_shard != self.shard_id:
+            raise ValueError(
+                f"searcher at {self.address} serves shard {remote_shard}, "
+                f"expected shard {self.shard_id}"
+            )
+
+    def search_batch(
+        self,
+        index_name: str,
+        queries: np.ndarray,
+        k: int,
+        *,
+        ef: int | None = None,
+        deadline: float | None = None,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        return self.client.search_batch(
+            index_name, queries, k, ef=ef, deadline=deadline
+        )
+
+    def deploy(
+        self,
+        index_name: str,
+        index_path: str,
+        *,
+        root: str | None = None,
+        deadline: float | None = None,
+    ) -> None:
+        self.client.deploy(
+            index_name, index_path, root=root, deadline=deadline
+        )
+
+    def undeploy(
+        self, index_name: str, *, deadline: float | None = None
+    ) -> None:
+        self.client.undeploy(index_name, deadline=deadline)
+
+    @property
+    def queries_served(self) -> int:
+        # Client-side count of rows answered: stats() would cost an RPC
+        # (and fail for a dead searcher) on every Broker.stats() call.
+        return self.client.queries_served
+
+    def stats(self) -> dict:
+        return self.client.stats()
+
+    def close(self) -> None:
+        self.client.close()
+
+    def __repr__(self) -> str:
+        return (
+            f"RemoteSearcherTransport({self.address!r}, "
+            f"shard_id={self.shard_id})"
+        )
+
+
+def as_transport(searcher) -> SearcherTransport:
+    """Wrap a raw :class:`SearcherNode` (transports pass through)."""
+    if isinstance(searcher, SearcherTransport):
+        return searcher
+    if isinstance(searcher, SearcherNode):
+        return LocalSearcherTransport(searcher)
+    raise TypeError(
+        f"cannot drive {type(searcher).__name__} as a searcher transport"
+    )

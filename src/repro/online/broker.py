@@ -24,6 +24,32 @@ layers in front of the lockstep batch engine:
 Every result still flows through the same `_execute_batch` fan-out +
 merge path PR 1 built, so micro-batched, cached, and direct requests are
 bit-identical per query.
+
+PR 3 moves the fan-out behind the
+:class:`~repro.net.transport.SearcherTransport` interface, so the same
+broker drives in-process :class:`SearcherNode` s and remote searcher
+processes (:class:`~repro.net.transport.RemoteSearcherTransport`)
+through one code path, and adds the failure semantics real distribution
+needs:
+
+- a **per-request deadline** (``request_timeout_s``) bounding the whole
+  fan-out.  Remote transports enforce it on the wire (every send/recv,
+  in both fan-out modes); for in-process searchers it bounds the
+  broker's wait on the fan-out futures, which requires
+  ``parallel_fanout=True`` -- a *sequential* fan-out over local
+  searchers runs each shard inline and cannot abandon it, so there the
+  deadline is inert (in-process numpy work is not cancellable);
+- a **partial-result policy**: ``"fail"`` (default -- any shard failure
+  raises, the pre-distribution behavior) or ``"degrade"`` -- a dead
+  shard's rows are dropped, the merge runs over the survivors, and the
+  response is annotated with ``shards_answered`` (ask for it with
+  ``search_batch(..., with_info=True)``).  Degradeable failures are
+  *connectivity* losses (connection lost, timeout, garbled frames) and
+  a shard reporting it does not host the index (a restarted searcher);
+  any other structured error a searcher answers with (bad request)
+  re-raises under either policy, because retrying other shards cannot
+  fix a caller bug -- and a request where *every* shard fails always
+  raises.  Degraded rows are never written to the result cache.
 """
 
 from __future__ import annotations
@@ -31,17 +57,23 @@ from __future__ import annotations
 import threading
 import time
 from concurrent.futures import ThreadPoolExecutor
+from concurrent.futures import TimeoutError as FutureTimeoutError
 
 import numpy as np
 
 from repro.core.config import LannsConfig
 from repro.core.merge import merge_shard_results_batch
 from repro.core.topk import per_shard_top_k
+from repro.errors import DeadlineExceededError, RemoteCallError, TransportError
 from repro.eval.timing import StageLatencyRecorder
+from repro.net.transport import SearcherTransport, as_transport
 from repro.online.cache import QueryResultCache, result_cache_key
 from repro.online.microbatch import MicroBatcher
-from repro.online.searcher import SearcherNode
+from repro.online.searcher import SearcherNode  # noqa: F401 (re-export)
 from repro.utils.validation import as_matrix, as_vector
+
+#: Partial-result policies for shard failures during the fan-out.
+PARTIAL_POLICIES = ("fail", "degrade")
 
 
 class Broker:
@@ -50,9 +82,25 @@ class Broker:
     Parameters
     ----------
     searchers:
-        One searcher per shard, in shard order.
+        One searcher per shard, in shard order: raw
+        :class:`SearcherNode` s (wrapped into in-process transports) or
+        :class:`~repro.net.transport.SearcherTransport` s (e.g. remote
+        searchers).  ``self.searchers`` keeps the list as given;
+        ``self.transports`` is the wrapped view the fan-out drives.
     config:
         The index configuration (for perShardTopK parameters).
+    partial_policy:
+        ``"fail"`` (default): any shard failure fails the request.
+        ``"degrade"``: connectivity failures drop that shard's rows from
+        the merge and the response is annotated with ``shards_answered``
+        (see :meth:`search_batch`); requests where *every* shard failed
+        still raise.
+    request_timeout_s:
+        Per-request deadline for the whole fan-out (``None`` = wait
+        forever).  On expiry, unanswered shards count as failed under
+        the active ``partial_policy``.  Enforced on the wire for remote
+        transports; for in-process searchers only the parallel fan-out
+        can time out (see the module docs).
     parallel_fanout:
         Issue shard requests on a thread pool (as a real broker would);
         sequential when ``False`` (deterministic timing for tests).
@@ -80,11 +128,15 @@ class Broker:
         The service bumps it on every deploy so a late ``put`` racing an
         undeploy/re-deploy of the same name can never be served by the
         new deployment.  Irrelevant for a private cache.
+    cache_quantize_decimals:
+        For cosine indices only: round the normalised query to this many
+        decimals when building cache keys, so near-duplicate heavy
+        hitters share entries (``None`` = exact normalised key).
     """
 
     def __init__(
         self,
-        searchers: list[SearcherNode],
+        searchers: list,
         config: LannsConfig,
         *,
         parallel_fanout: bool = False,
@@ -94,23 +146,42 @@ class Broker:
         cache: QueryResultCache | None = None,
         cache_size: int = 0,
         cache_epoch: int = 0,
+        cache_quantize_decimals: int | None = None,
+        partial_policy: str = "fail",
+        request_timeout_s: float | None = None,
     ) -> None:
         if len(searchers) != config.num_shards:
             raise ValueError(
                 f"{len(searchers)} searchers for {config.num_shards} shards"
             )
-        for shard_id, searcher in enumerate(searchers):
-            if searcher.shard_id != shard_id:
+        transports: list[SearcherTransport] = [
+            as_transport(searcher) for searcher in searchers
+        ]
+        for shard_id, transport in enumerate(transports):
+            if transport.shard_id != shard_id:
                 raise ValueError(
                     f"searcher at position {shard_id} serves shard "
-                    f"{searcher.shard_id}; searchers must be in shard order"
+                    f"{transport.shard_id}; searchers must be in shard order"
                 )
         if fanout_workers is not None and fanout_workers < 1:
             raise ValueError(
                 f"fanout_workers must be >= 1, got {fanout_workers}"
             )
+        if partial_policy not in PARTIAL_POLICIES:
+            raise ValueError(
+                f"partial_policy must be one of {PARTIAL_POLICIES}, "
+                f"got {partial_policy!r}"
+            )
+        if request_timeout_s is not None and request_timeout_s <= 0:
+            raise ValueError(
+                f"request_timeout_s must be positive, got {request_timeout_s}"
+            )
         self.searchers = searchers
+        self.transports = transports
         self.config = config
+        self.partial_policy = partial_policy
+        self.request_timeout_s = request_timeout_s
+        self.cache_quantize_decimals = cache_quantize_decimals
         self.parallel_fanout = bool(parallel_fanout)
         self.fanout_workers = (
             int(fanout_workers)
@@ -125,6 +196,11 @@ class Broker:
         self._served_lock = threading.Lock()
         #: Query rows this broker answered (cache hits included).
         self.queries_served = 0
+        #: Batches that returned partial results under ``degrade``.
+        self.degraded_batches = 0
+        #: Connectivity failures observed per shard position.
+        self.shard_failures = [0] * len(transports)
+        self._last_failure: TransportError | None = None
         # One long-lived fan-out pool, created eagerly (lazy creation
         # would race under concurrent first requests).  Reusing it keeps
         # the worker threads -- and therefore the per-thread
@@ -175,10 +251,18 @@ class Broker:
             if self._pool is not None
             else 0,
             "queries_served": self.queries_served,
+            "partial": {
+                "policy": self.partial_policy,
+                "request_timeout_s": self.request_timeout_s,
+                "degraded_batches": self.degraded_batches,
+                "shard_failures": list(self.shard_failures),
+            },
             # The fleet is shared between brokers (A/B deployments), so
             # this counts ALL traffic the searchers saw, not just ours.
+            # (For remote transports this is the rows *this process*
+            # shipped -- a per-node view needs the STATS RPC.)
             "fleet_queries_served": sum(
-                searcher.queries_served for searcher in self.searchers
+                transport.queries_served for transport in self.transports
             ),
         }
 
@@ -246,7 +330,8 @@ class Broker:
         top_k: int,
         *,
         ef: int | None = None,
-    ) -> tuple[np.ndarray, np.ndarray]:
+        with_info: bool = False,
+    ) -> tuple:
         """Serve a query batch end to end: ONE fan-out for the whole batch.
 
         The request flows cache -> admission -> execution: rows with a
@@ -260,22 +345,39 @@ class Broker:
         Returns
         -------
         ``(B, top_k)`` id/distance arrays padded with ``-1`` / ``inf``.
+        With ``with_info=True`` a third element is returned: a dict with
+        ``shards_answered`` (``(B,)`` int array -- how many shards
+        contributed to each row; below ``num_shards`` only under the
+        ``degrade`` policy) and ``num_shards``.  Cache hits always count
+        as fully answered: degraded rows are never cached.
         """
         if top_k <= 0:
             raise ValueError(f"top_k must be positive, got {top_k}")
         queries = as_matrix(queries, name="queries")
         num_queries = queries.shape[0]
         if num_queries == 0:
-            return (
+            empty = (
                 np.full((0, top_k), -1, dtype=np.int64),
                 np.full((0, top_k), np.inf, dtype=np.float64),
+            )
+            return (
+                (*empty, self._info(np.zeros(0, dtype=np.int64)))
+                if with_info
+                else empty
             )
         eff_ef = self.effective_ef(ef)
         with self._served_lock:
             self.queries_served += num_queries
 
         if not self.cache.enabled:
-            return self._admit(index_name, queries, top_k, eff_ef)
+            ids, dists, answered = self._admit(
+                index_name, queries, top_k, eff_ef
+            )
+            return (
+                (ids, dists, self._info(answered))
+                if with_info
+                else (ids, dists)
+            )
 
         keys = [
             result_cache_key(
@@ -285,11 +387,17 @@ class Broker:
                 eff_ef,
                 self.config.num_shards,
                 self.cache_epoch,
+                metric=self.config.metric,
+                quantize_decimals=self.cache_quantize_decimals,
             )
             for row in range(num_queries)
         ]
         out_ids = np.full((num_queries, top_k), -1, dtype=np.int64)
         out_dists = np.full((num_queries, top_k), np.inf, dtype=np.float64)
+        # Cache hits were stored fully answered (puts skip degraded rows).
+        out_answered = np.full(
+            num_queries, self.config.num_shards, dtype=np.int64
+        )
         miss_rows: list[int] = []
         for row, key in enumerate(keys):
             cached = self.cache.get(key)
@@ -297,17 +405,29 @@ class Broker:
                 miss_rows.append(row)
             else:
                 out_ids[row], out_dists[row] = cached
-        if not miss_rows:
-            return out_ids, out_dists
-        misses = np.asarray(miss_rows, dtype=np.int64)
-        fresh_ids, fresh_dists = self._admit(
-            index_name, queries[misses], top_k, eff_ef
-        )
-        out_ids[misses] = fresh_ids
-        out_dists[misses] = fresh_dists
-        for slot, row in enumerate(miss_rows):
-            self.cache.put(keys[row], fresh_ids[slot], fresh_dists[slot])
+        if miss_rows:
+            misses = np.asarray(miss_rows, dtype=np.int64)
+            fresh_ids, fresh_dists, fresh_answered = self._admit(
+                index_name, queries[misses], top_k, eff_ef
+            )
+            out_ids[misses] = fresh_ids
+            out_dists[misses] = fresh_dists
+            out_answered[misses] = fresh_answered
+            full = int(self.config.num_shards)
+            for slot, row in enumerate(miss_rows):
+                if int(fresh_answered[slot]) == full:
+                    self.cache.put(
+                        keys[row], fresh_ids[slot], fresh_dists[slot]
+                    )
+        if with_info:
+            return out_ids, out_dists, self._info(out_answered)
         return out_ids, out_dists
+
+    def _info(self, answered: np.ndarray) -> dict:
+        return {
+            "shards_answered": answered,
+            "num_shards": int(self.config.num_shards),
+        }
 
     # -- admission + execution ---------------------------------------------------------
     def _admit(
@@ -316,7 +436,7 @@ class Broker:
         queries: np.ndarray,
         top_k: int,
         eff_ef: int,
-    ) -> tuple[np.ndarray, np.ndarray]:
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
         """Run a block through micro-batching when on, else directly.
 
         The admission key carries everything that must match for two
@@ -332,7 +452,7 @@ class Broker:
 
     def _execute_keyed(
         self, key: tuple, queries: np.ndarray
-    ) -> tuple[np.ndarray, np.ndarray]:
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
         index_name, top_k, eff_ef, _dim = key
         return self._execute_batch(index_name, queries, top_k, eff_ef)
 
@@ -342,40 +462,134 @@ class Broker:
         queries: np.ndarray,
         top_k: int,
         eff_ef: int,
-    ) -> tuple[np.ndarray, np.ndarray]:
-        """The PR-1 lockstep path: one shard fan-out + one batched merge."""
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """The lockstep path: one shard fan-out + one batched merge.
+
+        Returns per-row ``(ids, dists, shards_answered)``; the third
+        array is constant across the batch (all rows share one fan-out)
+        but shaped ``(B,)`` so the micro-batcher can slice it per block
+        like any other result component.
+        """
         budget = self.per_shard_budget(top_k)
+        num_shards = len(self.transports)
+        deadline = (
+            time.monotonic() + self.request_timeout_s
+            if self.request_timeout_s is not None
+            else None
+        )
         tick = time.perf_counter()
-        parts = None
+        parts: list | None = None
         pool = self._pool  # snapshot: close() may race an in-flight call
         if pool is not None:
             try:
                 futures = [
                     pool.submit(
-                        searcher.search_batch,
+                        transport.search_batch,
                         index_name,
                         queries,
                         budget,
                         ef=eff_ef,
+                        deadline=deadline,
                     )
-                    for searcher in self.searchers
+                    for transport in self.transports
                 ]
             except RuntimeError:
                 # Pool shut down mid-request: fall through to sequential.
                 parts = None
             else:
-                parts = [future.result() for future in futures]
+                parts = []
+                for shard_id, future in enumerate(futures):
+                    try:
+                        wait = None
+                        if deadline is not None:
+                            wait = max(deadline - time.monotonic(), 0.0)
+                        parts.append(future.result(timeout=wait))
+                    except (FutureTimeoutError, TimeoutError):
+                        # The shard may still answer eventually, but this
+                        # request is done waiting; the worker thread
+                        # finishes in the background and the result is
+                        # discarded.
+                        parts.append(
+                            self._shard_failure(
+                                shard_id,
+                                DeadlineExceededError(
+                                    f"shard {shard_id} missed the "
+                                    f"{self.request_timeout_s}s request "
+                                    "deadline"
+                                ),
+                            )
+                        )
+                    except TransportError as exc:
+                        parts.append(self._shard_failure(shard_id, exc))
         if parts is None:
-            parts = [
-                searcher.search_batch(index_name, queries, budget, ef=eff_ef)
-                for searcher in self.searchers
-            ]
+            parts = []
+            for shard_id, transport in enumerate(self.transports):
+                try:
+                    parts.append(
+                        transport.search_batch(
+                            index_name,
+                            queries,
+                            budget,
+                            ef=eff_ef,
+                            deadline=deadline,
+                        )
+                    )
+                except TransportError as exc:
+                    parts.append(self._shard_failure(shard_id, exc))
+        failed = [shard for shard, part in enumerate(parts) if part is None]
+        answered = num_shards - len(failed)
+        if answered == 0:
+            # Degrading to an empty answer would be indistinguishable
+            # from "no neighbors exist"; a fully dead fleet must fail.
+            raise TransportError(
+                f"all {num_shards} shards failed for this request"
+            ) from self._last_failure
+        if failed:
+            num_queries = queries.shape[0]
+            sentinel = (
+                np.full((num_queries, budget), -1, dtype=np.int64),
+                np.full((num_queries, budget), np.inf, dtype=np.float64),
+            )
+            parts = [part if part is not None else sentinel for part in parts]
+            with self._served_lock:
+                self.degraded_batches += 1
         fanned = time.perf_counter()
-        merged = merge_shard_results_batch(parts, top_k)
+        ids, dists = merge_shard_results_batch(parts, top_k)
         done = time.perf_counter()
         self.timings.record("fanout", fanned - tick)
         self.timings.record("merge", done - fanned)
-        return merged
+        return (
+            ids,
+            dists,
+            np.full(queries.shape[0], answered, dtype=np.int64),
+        )
+
+    def _shard_failure(self, shard_id: int, exc: TransportError) -> None:
+        """Handle one shard's failure per the active policy.
+
+        Returns ``None`` (the caller substitutes sentinel rows) under
+        ``degrade``; re-raises otherwise.  Degradeable failures are
+        connectivity losses (dead/unreachable/garbled/late shard) plus
+        one structured error: a remote ``KeyError`` -- "I don't host
+        this index" -- which is how a searcher that restarted (or missed
+        a degraded deploy) presents; its rows are as gone as a dead
+        shard's.  Any other :class:`RemoteCallError` re-raises under
+        either policy: the searcher executed the request and told us the
+        request itself is broken, which no amount of shard-dropping can
+        fix.  (A globally wrong index name still fails: every shard
+        KeyErrors, and an all-shards-failed request always raises.)
+        """
+        unhosted = (
+            isinstance(exc, RemoteCallError) and exc.error_type == "KeyError"
+        )
+        if self.partial_policy == "fail" or (
+            isinstance(exc, RemoteCallError) and not unhosted
+        ):
+            raise exc
+        with self._served_lock:
+            self.shard_failures[shard_id] += 1
+        self._last_failure = exc
+        return None
 
     # Backwards-compatible aliases (the original serving entry points).
     def query(

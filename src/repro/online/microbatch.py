@@ -32,8 +32,12 @@ from typing import Callable, Hashable
 
 import numpy as np
 
-#: ``execute(key, queries)`` -> per-row ``(ids, dists)`` arrays.
-ExecuteFn = Callable[[Hashable, np.ndarray], tuple[np.ndarray, np.ndarray]]
+#: ``execute(key, queries)`` -> a tuple of per-row arrays, each with one
+#: entry per query row (e.g. ``(ids, dists)`` or, with partial-result
+#: annotation, ``(ids, dists, shards_answered)``).  The batcher slices
+#: every element of the tuple back out per submitted block, so the
+#: executor can grow its result without the admission layer changing.
+ExecuteFn = Callable[[Hashable, np.ndarray], tuple[np.ndarray, ...]]
 
 
 @dataclass
@@ -222,12 +226,12 @@ class MicroBatcher:
             self.stats["largest_batch"] = max(
                 self.stats["largest_batch"], int(stacked.shape[0])
             )
-            ids, dists = self._execute(key, stacked)
+            parts = self._execute(key, stacked)
             start = 0
             for block in blocks:
                 stop = start + block.queries.shape[0]
                 block.future.set_result(
-                    (ids[start:stop], dists[start:stop])
+                    tuple(part[start:stop] for part in parts)
                 )
                 start = stop
         except BaseException as exc:

@@ -71,6 +71,18 @@ class SearcherNode:
         """Names of the indices this searcher serves."""
         return sorted(self._indices)
 
+    def stats(self) -> dict:
+        """Counters snapshot (served verbatim by the STATS RPC)."""
+        with self._stats_lock:
+            requests, queries = self.requests_served, self.queries_served
+        return {
+            "shard_id": self.shard_id,
+            "hosted_indices": self.hosted_indices,
+            "memory_vectors": self.memory_vectors(),
+            "requests_served": requests,
+            "queries_served": queries,
+        }
+
     def memory_vectors(self) -> int:
         """Total stored vectors across hosted indices.
 

@@ -5,15 +5,31 @@ serialized index to HDFS; each searcher node deserializes *its shard*
 "using the persisted metadata with minimal additional configuration"; a
 broker fronts the fleet.  Deploying a second index under another name
 onto the same fleet models the paper's online A/B test construct.
+
+The fleet can be **in-process** (the default: the service creates one
+:class:`SearcherNode` per shard and loads shards itself) or **remote**
+(pass ``searchers=["host:port", ...]``: each address is a running
+``repro.cli serve-searcher`` process, ``deploy`` becomes one RPC per
+shard, and queries travel over the :mod:`repro.net` wire protocol).
+Everything above the transport -- micro-batching, the result cache,
+perShardTopK, the merge -- is identical in both modes.
 """
 
 from __future__ import annotations
 
+from typing import Sequence
+
 import numpy as np
 
 from repro.core.config import LannsConfig
-from repro.errors import MetadataMismatchError
+from repro.errors import (
+    ConnectionLostError,
+    MetadataMismatchError,
+    RemoteCallError,
+    TransportError,
+)
 from repro.eval.timing import measure_batch_qps, measure_qps
+from repro.net.transport import RemoteSearcherTransport
 from repro.online.broker import Broker
 from repro.online.cache import QueryResultCache
 from repro.online.searcher import SearcherNode
@@ -43,6 +59,20 @@ class OnlineService:
         caching.  Entries for an index are invalidated when it is
         deployed or undeployed, so an A/B swap under a reused name can
         never serve the old index's results.
+    searchers:
+        ``None`` (default): an in-process fleet, created on first
+        deploy.  Otherwise the remote fleet's addresses -- a list of
+        ``"host:port"`` strings or one comma-separated string, in shard
+        order; each must be a running ``serve-searcher`` process.
+        Remote fleets are usually paired with ``parallel_fanout=True``
+        (shard RPCs overlap instead of serializing network waits).
+    partial_policy, request_timeout_s:
+        Fan-out failure semantics, passed to every broker (see
+        :class:`~repro.online.broker.Broker`).
+    cache_quantize_decimals:
+        Cosine cache-key quantization, passed to every broker.
+    rpc_timeout_s, rpc_retries, rpc_pool_size:
+        Per-searcher RPC client knobs (remote fleets only).
     """
 
     def __init__(
@@ -53,16 +83,46 @@ class OnlineService:
         max_batch: int = 1,
         max_wait_ms: float = 2.0,
         cache_size: int = 0,
+        searchers: str | Sequence[str] | None = None,
+        partial_policy: str = "fail",
+        request_timeout_s: float | None = None,
+        cache_quantize_decimals: int | None = None,
+        rpc_timeout_s: float = 30.0,
+        rpc_retries: int = 2,
+        rpc_pool_size: int = 2,
     ) -> None:
-        self.searchers: list[SearcherNode] = []
         self.brokers: dict[str, Broker] = {}
         self.configs: dict[str, LannsConfig] = {}
         self.parallel_fanout = bool(parallel_fanout)
         self.fanout_workers = fanout_workers
         self.max_batch = int(max_batch)
         self.max_wait_ms = float(max_wait_ms)
+        self.partial_policy = partial_policy
+        self.request_timeout_s = request_timeout_s
+        self.cache_quantize_decimals = cache_quantize_decimals
         self.cache = QueryResultCache(cache_size)
         self._deploy_epoch = 0
+        if searchers is None:
+            self.remote = False
+            self.searchers: list = []
+        else:
+            if isinstance(searchers, str):
+                searchers = [
+                    part for part in searchers.split(",") if part.strip()
+                ]
+            if not searchers:
+                raise ValueError("remote fleet needs at least one address")
+            self.remote = True
+            self.searchers = [
+                RemoteSearcherTransport(
+                    address,
+                    shard_id,
+                    timeout_s=rpc_timeout_s,
+                    retries=rpc_retries,
+                    pool_size=rpc_pool_size,
+                )
+                for shard_id, address in enumerate(searchers)
+            ]
 
     @property
     def deployed_indices(self) -> list[str]:
@@ -104,21 +164,24 @@ class OnlineService:
                 f"fleet has {len(self.searchers)} searchers but index "
                 f"{index_name!r} needs {config.num_shards}"
             )
-        if not self.searchers:
-            self.searchers = [
-                SearcherNode(shard_id)
-                for shard_id in range(config.num_shards)
-            ]
-        segmenter = load_segmenter(fs, index_path, manifest)
-        for shard_id, searcher in enumerate(self.searchers):
-            shard = load_shard(
-                fs,
-                index_path,
-                shard_id,
-                manifest=manifest,
-                segmenter=segmenter,
-            )
-            searcher.host(index_name, shard)
+        if self.remote:
+            self._deploy_remote(fs, index_path, index_name)
+        else:
+            if not self.searchers:
+                self.searchers = [
+                    SearcherNode(shard_id)
+                    for shard_id in range(config.num_shards)
+                ]
+            segmenter = load_segmenter(fs, index_path, manifest)
+            for shard_id, searcher in enumerate(self.searchers):
+                shard = load_shard(
+                    fs,
+                    index_path,
+                    shard_id,
+                    manifest=manifest,
+                    segmenter=segmenter,
+                )
+                searcher.host(index_name, shard)
         # A previous deployment under this name may have left cached
         # results behind (the cache outlives brokers); drop them before
         # the new index starts answering.  The bumped epoch additionally
@@ -135,10 +198,69 @@ class OnlineService:
             max_wait_ms=self.max_wait_ms,
             cache=self.cache,
             cache_epoch=self._deploy_epoch,
+            cache_quantize_decimals=self.cache_quantize_decimals,
+            partial_policy=self.partial_policy,
+            request_timeout_s=self.request_timeout_s,
         )
         self.brokers[index_name] = broker
         self.configs[index_name] = config
         return broker
+
+    def _deploy_remote(
+        self, fs: LocalHdfs, index_path: str, index_name: str
+    ) -> None:
+        """One DEPLOY RPC per shard, with rollback on partial failure.
+
+        Each searcher process loads its own shard from ``fs``'s root
+        (shared over loopback; a real cluster would point every server
+        at the same HDFS).  Under the ``fail`` policy any shard failure
+        -- connection refused, checksum mismatch, wrong shard id --
+        aborts the deploy and best-effort undeploys the shards already
+        hosted, so a failed deploy leaves no half-hosted index behind.
+        Under ``degrade``, *connectivity* failures are tolerated (the
+        index deploys onto whoever is up, and searches return partial
+        results annotated with ``shards_answered``); only a fully
+        unreachable fleet, or a searcher that answered with an error,
+        still aborts.
+        """
+        root = str(fs.root)
+        # `rollback` is "may be hosting": a searcher enters it the moment
+        # its DEPLOY RPC is attempted, because the server can host the
+        # shard even when the response is lost (timeout mid-load,
+        # connection dropped after host()).  Only a failure to *connect*
+        # proves the request never arrived.  `hosted` counts confirmed
+        # deploys -- what a degraded deploy needs at least one of.
+        rollback: list[RemoteSearcherTransport] = []
+        hosted = 0
+        unreachable: Exception | None = None
+        try:
+            for transport in self.searchers:
+                rollback.append(transport)
+                try:
+                    transport.verify()
+                    transport.deploy(index_name, index_path, root=root)
+                except TransportError as exc:
+                    degradeable = self.partial_policy == "degrade" and not (
+                        isinstance(exc, RemoteCallError)
+                    )
+                    if not degradeable:
+                        raise
+                    unreachable = exc
+                    if isinstance(exc, ConnectionLostError):
+                        rollback.pop()  # provably never reached the server
+                else:
+                    hosted += 1
+            if hosted == 0:
+                raise TransportError(
+                    "no searcher in the fleet confirmed the deploy"
+                ) from unreachable
+        except Exception:
+            for transport in rollback:
+                try:
+                    transport.undeploy(index_name)
+                except (TransportError, OSError):
+                    pass
+            raise
 
     def undeploy(self, index_name: str) -> None:
         """Remove an index from every searcher (end of an A/B test).
@@ -150,16 +272,34 @@ class OnlineService:
         if index_name not in self.brokers:
             raise KeyError(f"index {index_name!r} is not deployed")
         self.brokers[index_name].close()
-        for searcher in self.searchers:
-            searcher.unhost(index_name)
+        if self.remote:
+            # Best-effort against connectivity failures: a crashed
+            # searcher cannot unhost, but the undeploy must still clear
+            # the surviving fleet members and this service's tables.
+            for transport in self.searchers:
+                try:
+                    transport.undeploy(index_name)
+                except TransportError:
+                    pass
+        else:
+            for searcher in self.searchers:
+                searcher.unhost(index_name)
         self.cache.invalidate(index_name)
         del self.brokers[index_name]
         del self.configs[index_name]
 
     def close(self) -> None:
-        """Close every broker (drains admission layers); idempotent."""
+        """Close every broker (drains admission layers); idempotent.
+
+        For a remote fleet, also closes the per-searcher connection
+        pools (the searcher *processes* keep running -- they are owned
+        by whoever launched them).
+        """
         for broker in self.brokers.values():
             broker.close()
+        if self.remote:
+            for transport in self.searchers:
+                transport.close()
 
     def stats(self) -> dict:
         """Service-wide serving stats: shared cache plus per-index brokers."""
@@ -198,14 +338,18 @@ class OnlineService:
         *,
         index_name: str = "default",
         ef: int | None = None,
-    ) -> tuple[np.ndarray, np.ndarray]:
+        with_info: bool = False,
+    ) -> tuple:
         """Serve a query batch in one broker fan-out.
 
         Returns ``(B, top_k)`` id/distance arrays padded with ``-1`` /
         ``inf``; per-query results are identical to :meth:`query`.
+        ``with_info=True`` appends the broker's partial-result
+        annotation (``shards_answered`` per row) -- see
+        :meth:`Broker.search_batch`.
         """
         return self._broker(index_name).search_batch(
-            index_name, queries, top_k, ef=ef
+            index_name, queries, top_k, ef=ef, with_info=with_info
         )
 
     # The paper-facing name for the batch serving entry point.

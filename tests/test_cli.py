@@ -125,3 +125,57 @@ class TestParser:
         root, _, _ = corpus
         with pytest.raises(SystemExit):
             main(build_args(root, extra=["--segmenter", "annoy"]))
+
+
+class TestServeAndRemoteQuery:
+    def test_query_through_remote_searchers(self, corpus, capsys):
+        from repro.net.server import SearcherServer
+        from repro.online.searcher import SearcherNode
+
+        root, _, _ = corpus
+        args = build_args(root)
+        args[args.index("--out") + 1] = "idx-remote"
+        assert main(args) == 0
+        servers = [
+            SearcherServer(
+                SearcherNode(shard_id), root=str(root / "hdfs")
+            ).start_in_thread()
+            for shard_id in range(2)
+        ]
+        try:
+            capsys.readouterr()
+            code = main(
+                [
+                    "query",
+                    "--root", str(root / "hdfs"),
+                    "--index", "idx-remote",
+                    "--queries", str(root / "queries.npy"),
+                    "--top-k", "5",
+                    "--searchers",
+                    ",".join(server.address for server in servers),
+                ]
+            )
+            out = capsys.readouterr().out
+            assert code == 0
+            assert "2 remote searchers" in out
+            assert "DEGRADED" not in out
+            # The undeploy at the end must leave the fleet clean.
+            assert servers[0].node.hosted_indices == []
+        finally:
+            for server in servers:
+                server.stop()
+
+    def test_serve_searcher_requires_shard_id(self):
+        with pytest.raises(SystemExit):
+            main(["serve-searcher"])
+
+    def test_min_graph_size_flag_flows_into_build(self, corpus):
+        from repro.storage.hdfs import LocalHdfs
+        from repro.storage.manifest import load_manifest
+
+        root, _, _ = corpus
+        args = build_args(root, extra=["--min-graph-size", "64"])
+        args[args.index("--out") + 1] = "idx-scan"
+        assert main(args) == 0
+        manifest = load_manifest(LocalHdfs(root / "hdfs"), "idx-scan")
+        assert manifest.lanns_config.hnsw.min_graph_size == 64

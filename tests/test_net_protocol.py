@@ -1,0 +1,265 @@
+"""Wire-protocol tests: framing round trips and hostile-input fuzzing.
+
+The contract under test: a well-formed frame round-trips bit-identically
+(zero-copy both ways), and *any* malformed input -- truncated at every
+possible boundary, oversized, wrong magic/version, garbled header,
+lying array metadata -- raises :class:`~repro.errors.ProtocolError`
+instead of hanging, crashing inside numpy, or decoding garbage.
+"""
+
+from __future__ import annotations
+
+import socket
+import struct
+import threading
+
+import numpy as np
+import pytest
+
+from repro.errors import (
+    ConnectionLostError,
+    ProtocolError,
+    RemoteCallError,
+)
+from repro.net.protocol import (
+    MAGIC,
+    MAX_HEADER_BYTES,
+    MsgType,
+    PROTOCOL_VERSION,
+    decode_frame,
+    error_frame,
+    frame_to_bytes,
+    parse_prefix,
+    raise_if_error,
+    recv_frame,
+    send_frame,
+)
+
+
+def search_frame(num_queries: int = 3, dim: int = 8) -> bytes:
+    queries = np.arange(num_queries * dim, dtype=np.float32).reshape(
+        num_queries, dim
+    )
+    return frame_to_bytes(
+        MsgType.SEARCH, {"index": "main", "top_k": 5, "ef": 48}, (queries,)
+    )
+
+
+class TestRoundTrip:
+    def test_header_only_frame(self):
+        data = frame_to_bytes(MsgType.PING, {"shard_id": 7})
+        msg_type, header, arrays = decode_frame(data)
+        assert msg_type == MsgType.PING
+        assert header == {"shard_id": 7}
+        assert arrays == []
+
+    def test_arrays_round_trip_bit_identically(self):
+        queries = np.random.default_rng(0).normal(size=(4, 16))
+        ids = np.arange(20, dtype=np.int64).reshape(4, 5)
+        dists = np.linspace(0, 1, 20).reshape(4, 5)
+        data = frame_to_bytes(
+            MsgType.RESULT,
+            {"index": "a"},
+            (queries.astype(np.float32), ids, dists),
+        )
+        _, header, arrays = decode_frame(data)
+        np.testing.assert_array_equal(arrays[0], queries.astype(np.float32))
+        np.testing.assert_array_equal(arrays[1], ids)
+        np.testing.assert_array_equal(arrays[2], dists)
+        assert arrays[0].dtype == np.float32
+        assert arrays[1].dtype == np.int64
+        assert arrays[2].dtype == np.float64
+
+    def test_empty_and_zero_row_arrays(self):
+        empty = np.empty((0, 16), dtype=np.float32)
+        data = frame_to_bytes(MsgType.SEARCH, {"top_k": 1}, (empty,))
+        _, _, arrays = decode_frame(data)
+        assert arrays[0].shape == (0, 16)
+
+    def test_non_contiguous_input_is_canonicalised(self):
+        matrix = np.arange(64, dtype=np.float32).reshape(8, 8)
+        strided = matrix[::2, ::2]  # non-contiguous view
+        data = frame_to_bytes(MsgType.SEARCH, {}, (strided,))
+        _, _, arrays = decode_frame(data)
+        np.testing.assert_array_equal(arrays[0], strided)
+
+    def test_unsupported_dtype_rejected_at_encode(self):
+        with pytest.raises(ProtocolError, match="wire dtype"):
+            frame_to_bytes(
+                MsgType.SEARCH, {}, (np.zeros(3, dtype=np.float16),)
+            )
+
+    def test_error_frame_raises_remote_call_error(self):
+        data = b"".join(
+            bytes(part) for part in error_frame(KeyError("index 'x'"))
+        )
+        msg_type, header, _ = decode_frame(data)
+        with pytest.raises(RemoteCallError, match="KeyError") as excinfo:
+            raise_if_error(msg_type, header)
+        assert excinfo.value.error_type == "KeyError"
+
+    def test_non_error_frames_pass_raise_if_error(self):
+        raise_if_error(MsgType.OK, {})  # must not raise
+
+
+class TestHostileInput:
+    def test_truncated_at_every_boundary(self):
+        data = search_frame()
+        # Every strict prefix of a valid frame must raise ProtocolError.
+        for cut in range(len(data)):
+            with pytest.raises(ProtocolError):
+                decode_frame(data[:cut])
+
+    def test_trailing_garbage_rejected(self):
+        with pytest.raises(ProtocolError, match="trailing"):
+            decode_frame(search_frame() + b"\x00")
+
+    def test_bad_magic(self):
+        data = bytearray(search_frame())
+        data[0] = ord("X")
+        with pytest.raises(ProtocolError, match="magic"):
+            decode_frame(bytes(data))
+
+    def test_version_mismatch(self):
+        data = bytearray(search_frame())
+        data[2] = PROTOCOL_VERSION + 1
+        with pytest.raises(ProtocolError, match="version"):
+            decode_frame(bytes(data))
+
+    def test_unknown_message_type(self):
+        data = bytearray(search_frame())
+        data[3] = 250
+        with pytest.raises(ProtocolError, match="message type"):
+            decode_frame(bytes(data))
+
+    def test_oversized_frame_rejected_by_prefix(self):
+        prefix = struct.pack(
+            ">2sBBIQ", MAGIC, PROTOCOL_VERSION, int(MsgType.SEARCH),
+            16, 1 << 40,
+        )
+        with pytest.raises(ProtocolError, match="exceeds"):
+            parse_prefix(prefix, max_frame=1 << 20)
+
+    def test_oversized_header_rejected(self):
+        prefix = struct.pack(
+            ">2sBBIQ", MAGIC, PROTOCOL_VERSION, int(MsgType.SEARCH),
+            MAX_HEADER_BYTES + 1, 0,
+        )
+        with pytest.raises(ProtocolError, match="header length"):
+            parse_prefix(prefix)
+
+    def test_garbled_header_json(self):
+        header = b"{not json"
+        prefix = struct.pack(
+            ">2sBBIQ", MAGIC, PROTOCOL_VERSION, int(MsgType.PING),
+            len(header), 0,
+        )
+        with pytest.raises(ProtocolError, match="unparseable"):
+            decode_frame(prefix + header)
+
+    def test_array_meta_overrunning_payload(self):
+        # Header promises a (1000, 1000) float32 block; payload has 4 bytes.
+        import json
+
+        header = json.dumps(
+            {"arrays": [{"dtype": "<f4", "shape": [1000, 1000]}]}
+        ).encode()
+        payload = b"\x00\x00\x00\x00"
+        prefix = struct.pack(
+            ">2sBBIQ", MAGIC, PROTOCOL_VERSION, int(MsgType.SEARCH),
+            len(header), len(payload),
+        )
+        with pytest.raises(ProtocolError, match="overruns"):
+            decode_frame(prefix + header + payload)
+
+    def test_negative_and_bogus_shapes(self):
+        import json
+
+        for shape in ([-1, 4], ["x"], "nope", [[2]]):
+            header = json.dumps(
+                {"arrays": [{"dtype": "<f4", "shape": shape}]}
+            ).encode()
+            prefix = struct.pack(
+                ">2sBBIQ", MAGIC, PROTOCOL_VERSION, int(MsgType.SEARCH),
+                len(header), 0,
+            )
+            with pytest.raises(ProtocolError):
+                decode_frame(prefix + header)
+
+    def test_undeclared_payload_bytes_rejected(self):
+        import json
+
+        header = json.dumps({"arrays": []}).encode()
+        payload = b"\xff" * 8
+        prefix = struct.pack(
+            ">2sBBIQ", MAGIC, PROTOCOL_VERSION, int(MsgType.PING),
+            len(header), len(payload),
+        )
+        with pytest.raises(ProtocolError, match="trailing payload"):
+            decode_frame(prefix + header + payload)
+
+    def test_fuzz_random_mutations_never_escape_protocol_error(self):
+        """Random single-byte corruptions: decode raises cleanly or
+        returns a frame -- anything else (numpy errors, hangs, silent
+        nonsense types) is a bug."""
+        rng = np.random.default_rng(7)
+        data = bytearray(search_frame())
+        for _ in range(300):
+            mutated = bytearray(data)
+            pos = int(rng.integers(0, len(mutated)))
+            mutated[pos] = int(rng.integers(0, 256))
+            try:
+                msg_type, header, arrays = decode_frame(bytes(mutated))
+            except ProtocolError:
+                continue
+            assert isinstance(msg_type, MsgType)
+            assert isinstance(header, dict)
+
+    def test_fuzz_random_blobs(self):
+        rng = np.random.default_rng(11)
+        for _ in range(200):
+            blob = bytes(
+                rng.integers(0, 256, size=int(rng.integers(0, 64)), dtype=np.uint8)
+            )
+            with pytest.raises(ProtocolError):
+                decode_frame(blob)
+
+
+class TestSocketHelpers:
+    def test_send_recv_over_socketpair(self):
+        left, right = socket.socketpair()
+        try:
+            queries = np.ones((2, 4), dtype=np.float32)
+            sender = threading.Thread(
+                target=send_frame,
+                args=(left, MsgType.SEARCH, {"top_k": 3}, (queries,)),
+            )
+            sender.start()
+            msg_type, header, arrays = recv_frame(right)
+            sender.join(timeout=10)
+            assert msg_type == MsgType.SEARCH
+            assert header["top_k"] == 3
+            np.testing.assert_array_equal(arrays[0], queries)
+        finally:
+            left.close()
+            right.close()
+
+    def test_peer_hangup_mid_frame_raises_connection_lost(self):
+        left, right = socket.socketpair()
+        try:
+            data = search_frame()
+            left.sendall(data[: len(data) // 2])
+            left.close()
+            with pytest.raises(ConnectionLostError, match="closed"):
+                recv_frame(right)
+        finally:
+            right.close()
+
+    def test_clean_hangup_before_frame(self):
+        left, right = socket.socketpair()
+        left.close()
+        try:
+            with pytest.raises(ConnectionLostError):
+                recv_frame(right)
+        finally:
+            right.close()

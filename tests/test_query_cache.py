@@ -135,6 +135,127 @@ class TestQueryResultCacheUnit:
         assert result_cache_key("idx", query, 10, 48, 2, epoch=1) != base
 
 
+class TestCosineCacheKeys:
+    """Cosine-aware keying: scale-invariant (and optionally quantized)."""
+
+    def test_scaled_queries_share_a_cosine_key(self):
+        rng = np.random.default_rng(3)
+        query = rng.normal(size=12).astype(np.float32)
+        base = result_cache_key("idx", query, 10, 48, 2, metric="cosine")
+        scaled = result_cache_key(
+            "idx", 2.0 * query, 10, 48, 2, metric="cosine"
+        )
+        assert scaled == base
+        # Euclidean keys must keep the raw bytes: scale changes answers.
+        assert result_cache_key(
+            "idx", 2.0 * query, 10, 48, 2
+        ) != result_cache_key("idx", query, 10, 48, 2)
+
+    def test_different_directions_still_differ(self):
+        query = np.ones(8, dtype=np.float32)
+        other = np.ones(8, dtype=np.float32)
+        other[0] = -1.0
+        assert result_cache_key(
+            "idx", query, 10, 48, 2, metric="cosine"
+        ) != result_cache_key("idx", other, 10, 48, 2, metric="cosine")
+
+    def test_zero_vector_is_keyable(self):
+        zero = np.zeros(8, dtype=np.float32)
+        key = result_cache_key("idx", zero, 10, 48, 2, metric="cosine")
+        assert key == result_cache_key("idx", zero, 10, 48, 2, metric="cosine")
+
+    def test_quantization_coalesces_near_duplicates(self):
+        rng = np.random.default_rng(4)
+        query = rng.normal(size=12).astype(np.float32)
+        nearby = query + np.float32(1e-6)
+        exact = dict(metric="cosine", quantize_decimals=None)
+        fuzzy = dict(metric="cosine", quantize_decimals=3)
+        assert result_cache_key(
+            "idx", query, 10, 48, 2, **exact
+        ) != result_cache_key("idx", nearby, 10, 48, 2, **exact)
+        assert result_cache_key(
+            "idx", query, 10, 48, 2, **fuzzy
+        ) == result_cache_key("idx", nearby, 10, 48, 2, **fuzzy)
+        # Quantization buckets, it does not erase direction.
+        far = query + np.float32(0.05)
+        assert result_cache_key(
+            "idx", query, 10, 48, 2, **fuzzy
+        ) != result_cache_key("idx", far, 10, 48, 2, **fuzzy)
+
+    def test_quantization_merges_signed_zeros(self):
+        """Components straddling zero round to -0.0 vs +0.0, whose byte
+        patterns differ; the key must collapse them onto one bucket."""
+        up = np.array([1.0, 2e-4], dtype=np.float32)
+        down = np.array([1.0, -2e-4], dtype=np.float32)
+        fuzzy = dict(metric="cosine", quantize_decimals=3)
+        assert result_cache_key(
+            "idx", up, 10, 48, 2, **fuzzy
+        ) == result_cache_key("idx", down, 10, 48, 2, **fuzzy)
+
+    def test_broker_serves_scaled_heavy_hitter_from_cache(
+        self, clustered_data, clustered_queries
+    ):
+        """End to end: on a cosine index, q and 2q share a cache entry
+        and the hit is bit-identical to the cold result.
+
+        (Power-of-two scales are exact in float32, so the normalised
+        key bytes match exactly; arbitrary scales like 3q land on the
+        same key only under ``cache_quantize_decimals`` -- see the next
+        test.)"""
+        cosine_config = LannsConfig(
+            num_shards=1,
+            num_segments=1,
+            metric="cosine",
+            hnsw=FAST_HNSW,
+            seed=9,
+        )
+        index = build_lanns_index(clustered_data, config=cosine_config)
+        searcher = SearcherNode(0)
+        searcher.host("cos", index.shards[0])
+        broker = Broker([searcher], cosine_config, cache_size=64)
+        try:
+            query = clustered_queries[0]
+            cold_ids, cold_dists = broker.search("cos", query, 10, ef=48)
+            for scale in (2.0, 0.5):
+                hot_ids, hot_dists = broker.search(
+                    "cos", scale * query, 10, ef=48
+                )
+                np.testing.assert_array_equal(hot_ids, cold_ids)
+                np.testing.assert_array_equal(hot_dists, cold_dists)
+            stats = broker.stats()["cache"]
+            assert stats["hits"] == 2 and stats["misses"] == 1
+        finally:
+            broker.close()
+
+    def test_broker_quantized_keys_hit_on_near_duplicates(
+        self, clustered_data, clustered_queries
+    ):
+        cosine_config = LannsConfig(
+            num_shards=1,
+            num_segments=1,
+            metric="cosine",
+            hnsw=FAST_HNSW,
+            seed=9,
+        )
+        index = build_lanns_index(clustered_data, config=cosine_config)
+        searcher = SearcherNode(0)
+        searcher.host("cos", index.shards[0])
+        broker = Broker(
+            [searcher],
+            cosine_config,
+            cache_size=64,
+            cache_quantize_decimals=3,
+        )
+        try:
+            query = clustered_queries[1]
+            jittered = query * (1.0 + np.float32(1e-6))
+            broker.search("cos", query, 10, ef=48)
+            broker.search("cos", jittered, 10, ef=48)
+            assert broker.stats()["cache"]["hits"] == 1
+        finally:
+            broker.close()
+
+
 class TestBrokerCaching:
     def test_hit_bit_identical_to_cold_miss(
         self, searchers, config, clustered_queries
