@@ -14,7 +14,13 @@ fronts them with the broker, and
    SIGKILLed mid-serving, and the broker's ``degrade`` partial-result
    policy must keep answering from the survivors, annotate responses
    with ``shards_answered``, and match the exact merge of the surviving
-   shards -- while the ``fail`` policy must raise.
+   shards -- while the ``fail`` policy must raise;
+4. injects a **straggler**: a fresh fleet where one searcher stalls
+   every other request, served through the asyncio fan-out without and
+   with hedged requests -- hedged p99 must beat unhedged p99, results
+   must stay bit-identical to in-process serving, and the fan-out must
+   hold all in-flight shard RPCs with O(1) threads (no pool thread per
+   RPC).
 
 Run standalone::
 
@@ -33,6 +39,8 @@ import json
 import shutil
 import sys
 import tempfile
+import threading
+import time
 from pathlib import Path
 
 import numpy as np
@@ -158,6 +166,112 @@ def check_degradation(
         strict.close()
 
 
+def check_hedging(
+    args: argparse.Namespace, fs: LocalHdfs, queries: np.ndarray
+) -> dict:
+    """Slow-shard scenario: hedged tail latency must beat unhedged.
+
+    Launches a fresh 3-searcher fleet with ONE straggler (shard 1 stalls
+    every other SEARCH by ``--slow-delay-s``, modelling per-request
+    pauses rather than a uniformly slow machine), then serves the query
+    set through two asyncio fan-out services -- without and with hedging
+    -- asserting in-run that
+
+    - every answer (ids AND distances) is bit-identical to in-process
+      serving under both modes (hedging may change *when* an answer
+      arrives, never *what* it is);
+    - hedged p99 latency is strictly below unhedged p99 (the whole point
+      of re-issuing a straggling RPC);
+    - the async fan-out held N in-flight shard RPCs with O(1) threads:
+      no ``broker-fanout`` pool thread exists, just one
+      ``broker-async-loop`` thread per broker.
+    """
+    probe = queries[: min(32, queries.shape[0])]
+    fleet = launch_fleet(
+        args.shards,
+        root=str(fs.root),
+        slow_shard=1,
+        slow_every=2,
+        slow_delay_s=args.slow_delay_s,
+    )
+    local = OnlineService()
+    unhedged = OnlineService(
+        searchers=fleet_addresses(fleet),
+        async_fanout=True,
+        request_timeout_s=args.request_timeout_s,
+    )
+    hedged = OnlineService(
+        searchers=fleet_addresses(fleet),
+        async_fanout=True,
+        hedge_after_s=args.hedge_after_s,
+        request_timeout_s=args.request_timeout_s,
+    )
+    try:
+        local.deploy(fs, INDEX_PATH, index_name="default")
+        want_ids, want_dists = local.query_batch(probe, args.top_k, ef=args.ef)
+
+        def serve(service: OnlineService, label: str) -> np.ndarray:
+            latencies = np.empty(probe.shape[0], dtype=np.float64)
+            for row in range(probe.shape[0]):
+                tick = time.perf_counter()
+                ids, dists = service.query_batch(
+                    probe[row : row + 1], args.top_k, ef=args.ef
+                )
+                latencies[row] = time.perf_counter() - tick
+                if not (
+                    (ids == want_ids[row : row + 1]).all()
+                    and (dists == want_dists[row : row + 1]).all()
+                ):
+                    raise AssertionError(
+                        f"{label} remote result differs from in-process "
+                        f"serving at query {row}"
+                    )
+            return latencies
+
+        unhedged.deploy(fs, INDEX_PATH, index_name="default")
+        unhedged_lat = serve(unhedged, "unhedged")
+        unhedged.undeploy("default")
+        hedged.deploy(fs, INDEX_PATH, index_name="default")
+        hedged_lat = serve(hedged, "hedged")
+        stats = hedged.brokers["default"].stats()
+        hedged.undeploy("default")
+
+        unhedged_p99 = float(np.quantile(unhedged_lat, 0.99) * 1e3)
+        hedged_p99 = float(np.quantile(hedged_lat, 0.99) * 1e3)
+        if not hedged_p99 < unhedged_p99:
+            raise AssertionError(
+                f"hedged p99 {hedged_p99:.1f}ms is not below unhedged "
+                f"p99 {unhedged_p99:.1f}ms with an injected straggler"
+            )
+        if stats["hedges"] < 1:
+            raise AssertionError("the straggler shard never got hedged")
+        if not stats["async_fanout"] or stats["fanout_workers"] != 0:
+            raise AssertionError("async fan-out did not run loop-native")
+        pool_threads = [
+            thread.name
+            for thread in threading.enumerate()
+            if thread.name.startswith("broker-fanout")
+        ]
+        if pool_threads:
+            raise AssertionError(
+                f"async fan-out must not burn pool threads per RPC, "
+                f"found {pool_threads}"
+            )
+        return {
+            "slow_delay_ms": args.slow_delay_s * 1e3,
+            "hedge_after_ms": args.hedge_after_s * 1e3,
+            "unhedged_p99_ms": unhedged_p99,
+            "hedged_p99_ms": hedged_p99,
+            "hedges": stats["hedges"],
+            "hedge_wins": stats["hedge_wins"],
+        }
+    finally:
+        local.close()
+        unhedged.close()
+        hedged.close()
+        shutdown_fleet(fleet)
+
+
 def run(args: argparse.Namespace) -> int:
     workdir = tempfile.mkdtemp(prefix="lanns-remote-bench-")
     fleet = []
@@ -221,8 +335,18 @@ def run(args: argparse.Namespace) -> int:
             f"{degradation['shards_answered']}/{args.shards} shards "
             "(exact merge of survivors ✓), fail policy raised ✓"
         )
+
+        hedging = check_hedging(args, fs, queries)
+        print(
+            f"hedging: straggler stalls {hedging['slow_delay_ms']:.0f}ms, "
+            f"hedge after {hedging['hedge_after_ms']:.0f}ms -> p99 "
+            f"{hedging['unhedged_p99_ms']:.1f}ms unhedged vs "
+            f"{hedging['hedged_p99_ms']:.1f}ms hedged "
+            f"({hedging['hedges']} hedges, {hedging['hedge_wins']} wins; "
+            "bit-parity ✓, O(1) fan-out threads ✓)"
+        )
         if args.smoke:
-            print("smoke OK (parity + degradation asserted)")
+            print("smoke OK (parity + degradation + hedging asserted)")
             return 0
         RESULTS_DIR.mkdir(parents=True, exist_ok=True)
         payload = {
@@ -231,6 +355,7 @@ def run(args: argparse.Namespace) -> int:
             "rows": rows,
             "remote_stats": report["remote_stats"]["stages"],
             "degradation": degradation,
+            "hedging": hedging,
         }
         (RESULTS_DIR / "remote_serving.json").write_text(
             json.dumps(payload, indent=2), encoding="utf-8"
@@ -275,6 +400,18 @@ def build_parser() -> argparse.ArgumentParser:
         default=30.0,
         help="per-request fan-out deadline",
     )
+    parser.add_argument(
+        "--hedge-after-s",
+        type=float,
+        default=0.05,
+        help="hedge delay for the slow-shard scenario",
+    )
+    parser.add_argument(
+        "--slow-delay-s",
+        type=float,
+        default=0.25,
+        help="injected straggler stall for the slow-shard scenario",
+    )
     parser.add_argument("--seed", type=int, default=0)
     return parser
 
@@ -286,6 +423,13 @@ def main(argv: list[str] | None = None) -> int:
         parser.error("--shards must be >= 3 (the kill test needs survivors)")
     if args.num_base <= 0 or args.num_queries <= 0 or args.dim <= 0:
         parser.error("--num-base, --num-queries and --dim must be positive")
+    if args.hedge_after_s <= 0 or args.slow_delay_s <= 0:
+        parser.error("--hedge-after-s and --slow-delay-s must be positive")
+    if args.hedge_after_s >= args.slow_delay_s:
+        parser.error(
+            "--hedge-after-s must be below --slow-delay-s or the "
+            "straggler scenario cannot show a hedging win"
+        )
     if args.smoke:
         args.num_base = min(args.num_base, 1200)
         args.num_queries = min(args.num_queries, 32)

@@ -137,6 +137,10 @@ def _query_remote(
     service = OnlineService(
         searchers=args.searchers,
         parallel_fanout=True,
+        # --hedge-after-s implies the async fan-out: hedges are raced
+        # on the fan-out event loop.
+        async_fanout=args.async_fanout or args.hedge_after_s is not None,
+        hedge_after_s=args.hedge_after_s,
         partial_policy=args.partial_policy,
         request_timeout_s=args.request_timeout_s,
     )
@@ -188,6 +192,8 @@ def _cmd_serve_searcher(args: argparse.Namespace) -> int:
         host=args.host,
         port=args.port,
         root=args.root,
+        slow_every=args.slow_every,
+        slow_delay_s=args.slow_delay_s,
     )
     return server.run()
 
@@ -329,6 +335,21 @@ def build_parser() -> argparse.ArgumentParser:
             "sent with each deploy request)"
         ),
     )
+    serve.add_argument(
+        "--slow-every",
+        type=int,
+        default=0,
+        help=(
+            "straggler injection: stall every Nth SEARCH request "
+            "(benchmarks/tests; 0 disables)"
+        ),
+    )
+    serve.add_argument(
+        "--slow-delay-s",
+        type=float,
+        default=0.0,
+        help="stall duration in seconds for --slow-every",
+    )
     serve.set_defaults(handler=_cmd_serve_searcher)
 
     query = commands.add_parser("query", help="query a persisted index")
@@ -359,6 +380,24 @@ def build_parser() -> argparse.ArgumentParser:
         type=float,
         default=None,
         help="per-request fan-out deadline in seconds (remote mode)",
+    )
+    query.add_argument(
+        "--async-fanout",
+        action="store_true",
+        help=(
+            "multiplex all remote shard RPCs on one event loop instead "
+            "of one pool thread per in-flight RPC (remote mode)"
+        ),
+    )
+    query.add_argument(
+        "--hedge-after-s",
+        type=float,
+        default=None,
+        help=(
+            "hedge a straggling shard RPC on a second connection after "
+            "this many seconds, budget permitting; implies "
+            "--async-fanout (remote mode)"
+        ),
     )
     query.set_defaults(handler=_cmd_query)
 

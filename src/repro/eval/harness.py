@@ -301,6 +301,8 @@ def remote_serving_throughput(
     max_wait_ms: float = 2.0,
     cache_size: int = 0,
     request_timeout_s: float | None = None,
+    async_fanout: bool = False,
+    hedge_after_s: float | None = None,
     check_parity: bool = True,
 ) -> dict:
     """Measure serving through a *remote* searcher fleet vs in-process.
@@ -313,7 +315,11 @@ def remote_serving_throughput(
     *and* distances) is asserted bit-identical to the in-process one, so
     the reported numbers cannot come from wrong results; the returned
     dict carries both throughput reports plus the remote broker's
-    ``stats()`` snapshot (per-stage latency, shard failures).
+    ``stats()`` snapshot (per-stage latency, shard failures, hedges).
+
+    ``async_fanout`` / ``hedge_after_s`` select the event-loop fan-out
+    (and hedged shard requests) for the remote service -- see
+    :class:`~repro.online.broker.Broker`.
     """
     from repro.online.service import OnlineService
 
@@ -324,6 +330,8 @@ def remote_serving_throughput(
     remote = OnlineService(
         searchers=addresses,
         parallel_fanout=True,
+        async_fanout=async_fanout,
+        hedge_after_s=hedge_after_s,
         max_batch=max_batch,
         max_wait_ms=max_wait_ms,
         cache_size=cache_size,

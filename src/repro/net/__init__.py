@@ -15,9 +15,11 @@ machines*, each hosting one shard.  This package is that wire layer:
   over loopback (benchmarks and failure-injection tests).
 """
 
-from repro.net.client import RemoteSearcherClient
+from repro.net.client import AsyncRemoteSearcherClient, RemoteSearcherClient
 from repro.net.server import SearcherServer
 from repro.net.transport import (
+    AsyncRemoteSearcherTransport,
+    AsyncSearcherTransport,
     LocalSearcherTransport,
     RemoteSearcherTransport,
     SearcherTransport,
@@ -26,9 +28,12 @@ from repro.net.transport import (
 
 __all__ = [
     "RemoteSearcherClient",
+    "AsyncRemoteSearcherClient",
     "SearcherServer",
     "SearcherTransport",
+    "AsyncSearcherTransport",
     "LocalSearcherTransport",
     "RemoteSearcherTransport",
+    "AsyncRemoteSearcherTransport",
     "as_transport",
 ]

@@ -21,6 +21,7 @@ one crash can't poison later requests.
 
 from __future__ import annotations
 
+import asyncio
 import socket
 import threading
 import time
@@ -37,8 +38,10 @@ from repro.net.protocol import (
     DEFAULT_MAX_FRAME,
     MsgType,
     raise_if_error,
+    read_frame_async,
     recv_frame,
     send_frame,
+    write_frame_async,
 )
 
 #: Failures that mean "the searcher is unreachable/broken", as opposed to
@@ -258,7 +261,16 @@ class RemoteSearcherClient:
                 self._count("retried")
                 pause = delay
                 if deadline is not None:
-                    pause = min(pause, self._remaining(deadline))
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0:
+                        # The deadline died during backoff: the timeout
+                        # is a symptom.  Keep the connectivity failure
+                        # that drove the retries as the cause, or a
+                        # refused connection reads as a slow searcher.
+                        raise DeadlineExceededError(
+                            "request deadline expired during retry backoff"
+                        ) from last
+                    pause = min(pause, remaining)
                 time.sleep(max(pause, 0.0))
                 delay = min(delay * 2.0, self.backoff_max_s)
             try:
@@ -266,8 +278,14 @@ class RemoteSearcherClient:
                 resp_type, resp_header, resp_arrays = self._once(
                     msg_type, header, arrays, deadline
                 )
-            except DeadlineExceededError:
-                raise  # retrying a blown budget only makes it later
+            except DeadlineExceededError as exc:
+                # Retrying a blown budget only makes it later.  Chain
+                # the connectivity error from earlier attempts (an
+                # expired deadline discovered inside _dial/_once raises
+                # bare) so the real cause isn't masked as a timeout.
+                if last is not None and exc.__cause__ is None:
+                    raise exc from last
+                raise
             except (ConnectionLostError, ProtocolError) as exc:
                 last = exc
                 continue
@@ -357,3 +375,323 @@ def _close_quietly(sock: socket.socket) -> None:
         sock.close()
     except OSError:
         pass
+
+
+class AsyncRemoteSearcherClient:
+    """Asyncio RPC client for one remote searcher process.
+
+    The event-loop counterpart of :class:`RemoteSearcherClient`: same
+    framing (:func:`~repro.net.protocol.read_frame_async` /
+    :func:`~repro.net.protocol.write_frame_async`), same deadline and
+    retry semantics, but every RPC is a coroutine, so a broker can keep
+    N shard requests in flight on **one** event-loop thread instead of
+    burning a pool thread per RPC.
+
+    Connections are pooled *per event loop*: an asyncio stream is bound
+    to the loop that opened it, and one client instance may be driven by
+    several brokers (the service shares its transports across deployed
+    indices), each owning its own loop.  Checkout inside a coroutine
+    always hands back a connection opened on the running loop.
+
+    Cancellation safety -- what hedging leans on: an RPC cancelled
+    mid-flight (the hedge race's loser) always **discards** its
+    connection instead of pooling it, because the abandoned response is
+    still in the pipe and would poison whatever request checked the
+    connection out next.  Closing the socket also tells the searcher to
+    stop caring about the abandoned request's answer.
+    """
+
+    def __init__(
+        self,
+        address: str | tuple,
+        *,
+        timeout_s: float = 30.0,
+        connect_timeout_s: float = 5.0,
+        pool_size: int = 2,
+        retries: int = 2,
+        backoff_s: float = 0.05,
+        backoff_max_s: float = 1.0,
+        max_frame: int = DEFAULT_MAX_FRAME,
+    ) -> None:
+        if timeout_s <= 0 or connect_timeout_s <= 0:
+            raise ValueError("timeouts must be positive")
+        if pool_size < 1:
+            raise ValueError(f"pool_size must be >= 1, got {pool_size}")
+        if retries < 0:
+            raise ValueError(f"retries must be >= 0, got {retries}")
+        self.host, self.port = parse_address(address)
+        self.timeout_s = float(timeout_s)
+        self.connect_timeout_s = float(connect_timeout_s)
+        self.pool_size = int(pool_size)
+        self.retries = int(retries)
+        self.backoff_s = float(backoff_s)
+        self.backoff_max_s = float(backoff_max_s)
+        self.max_frame = int(max_frame)
+        self._lock = threading.Lock()
+        self._pools: dict[object, list[tuple]] = {}
+        self._closed = False
+        #: Lifetime counters, mirroring :class:`RemoteSearcherClient`;
+        #: ``connects - closes`` is the live-socket gauge the
+        #: no-connection-leak tests pin.
+        self.queries_served = 0
+        self.requests_sent = 0
+        self.connects = 0
+        self.closes = 0
+        self.retried = 0
+
+    def _count(self, counter: str, amount: int = 1) -> None:
+        with self._lock:
+            setattr(self, counter, getattr(self, counter) + amount)
+
+    @property
+    def address(self) -> str:
+        return f"{self.host}:{self.port}"
+
+    @property
+    def open_connections(self) -> int:
+        """Sockets this client currently holds open (pooled + in flight)."""
+        with self._lock:
+            return self.connects - self.closes
+
+    # -- connection management ---------------------------------------------------------
+    async def _dial(self, deadline: float | None) -> tuple:
+        budget = self.connect_timeout_s
+        if deadline is not None:
+            budget = min(budget, self._remaining(deadline))
+        try:
+            reader, writer = await asyncio.wait_for(
+                asyncio.open_connection(self.host, self.port), budget
+            )
+        except (asyncio.TimeoutError, TimeoutError):
+            if deadline is not None and deadline - time.monotonic() <= 0:
+                raise DeadlineExceededError(
+                    f"connect to {self.address} timed out after "
+                    f"{budget:.3f}s"
+                ) from None
+            raise ConnectionLostError(
+                f"connect to {self.address} timed out after {budget:.3f}s"
+            ) from None
+        except OSError as exc:
+            raise ConnectionLostError(
+                f"cannot connect to searcher {self.address}: {exc}"
+            ) from None
+        sock = writer.get_extra_info("socket")
+        if sock is not None:
+            sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        self._count("connects")
+        return reader, writer
+
+    async def _checkout(self, deadline: float | None) -> tuple:
+        self._reap_dead_pools()
+        loop = asyncio.get_running_loop()
+        with self._lock:
+            if self._closed:
+                raise ConnectionLostError(
+                    f"client for {self.address} is closed"
+                )
+            pool = self._pools.setdefault(loop, [])
+            if pool:
+                return pool.pop()
+        return await self._dial(deadline)
+
+    def _checkin(self, conn: tuple, loop) -> None:
+        self._reap_dead_pools()
+        with self._lock:
+            if not self._closed:
+                pool = self._pools.setdefault(loop, [])
+                if len(pool) < self.pool_size:
+                    pool.append(conn)
+                    return
+        self._discard(conn)
+
+    def _reap_dead_pools(self) -> None:
+        """Drop pools whose event loop is gone.
+
+        One client outlives any single broker (the service shares its
+        transports across deployed indices), so when a broker's fan-out
+        loop closes, the connections checked in under it would
+        otherwise linger unreachable -- every deploy/undeploy cycle
+        leaking ``pool_size`` sockets per searcher.
+        """
+        with self._lock:
+            dead = [loop for loop in self._pools if loop.is_closed()]
+            reaped = [(loop, self._pools.pop(loop)) for loop in dead]
+        for loop, pool in reaped:
+            for conn in pool:
+                self._close_stream(loop, conn[1])
+
+    def _discard(self, conn: tuple) -> None:
+        _, writer = conn
+        try:
+            writer.close()
+        except Exception:
+            pass
+        self._count("closes")
+
+    def _close_stream(self, loop, writer) -> None:
+        """Close a pooled stream from any thread, loop alive or not."""
+        try:
+            loop.call_soon_threadsafe(writer.close)
+        except RuntimeError:
+            # Loop already gone: close the underlying socket *object*
+            # (idempotent, so the transport destructor's double-close
+            # is a no-op -- unlike closing the raw fd, which could hit
+            # a reused descriptor number).
+            raw = getattr(getattr(writer, "transport", None), "_sock", None)
+            if raw is not None:
+                _close_quietly(raw)
+        self._count("closes")
+
+    def close(self) -> None:
+        """Close every pooled connection; the client rejects further calls.
+
+        Callable from any thread: pooled streams are closed via their
+        owning loop when it is still running, or at the socket level
+        when the loop is already gone (broker shut down first).
+        """
+        with self._lock:
+            self._closed = True
+            pools, self._pools = self._pools, {}
+        for loop, pool in pools.items():
+            for _, writer in pool:
+                self._close_stream(loop, writer)
+
+    # -- core call machinery -----------------------------------------------------------
+    @staticmethod
+    def _remaining(deadline: float) -> float:
+        remaining = deadline - time.monotonic()
+        if remaining <= 0:
+            raise DeadlineExceededError("request deadline already expired")
+        return remaining
+
+    async def _roundtrip(self, conn: tuple, msg_type, header, arrays):
+        reader, writer = conn
+        await write_frame_async(writer, msg_type, header, arrays)
+        return await read_frame_async(reader, max_frame=self.max_frame)
+
+    async def _once(
+        self,
+        msg_type: MsgType,
+        header: dict,
+        arrays: tuple,
+        deadline: float | None,
+    ) -> tuple[MsgType, dict, list[np.ndarray]]:
+        conn = await self._checkout(deadline)
+        loop = asyncio.get_running_loop()
+        budget = self.timeout_s
+        if deadline is not None:
+            try:
+                budget = min(budget, self._remaining(deadline))
+            except DeadlineExceededError:
+                self._checkin(conn, loop)
+                raise
+        try:
+            response = await asyncio.wait_for(
+                self._roundtrip(conn, msg_type, header, arrays), budget
+            )
+        except (asyncio.TimeoutError, TimeoutError):
+            self._discard(conn)
+            raise DeadlineExceededError(
+                f"searcher {self.address} did not answer within "
+                f"{budget:.3f}s"
+            ) from None
+        except asyncio.CancelledError:
+            # A cancelled RPC (hedge loser, torn-down fan-out) leaves
+            # its response in the pipe: never pool this connection.
+            self._discard(conn)
+            raise
+        except TransportError:
+            self._discard(conn)
+            raise
+        except OSError as exc:
+            self._discard(conn)
+            raise ConnectionLostError(
+                f"connection to searcher {self.address} failed: {exc}"
+            ) from None
+        self._checkin(conn, loop)
+        return response
+
+    async def call(
+        self,
+        msg_type: MsgType,
+        header: dict | None = None,
+        arrays: tuple = (),
+        *,
+        deadline: float | None = None,
+        idempotent: bool = True,
+    ) -> tuple[MsgType, dict, list[np.ndarray]]:
+        """One RPC round trip; same semantics as the sync client's."""
+        header = header or {}
+        attempts = (self.retries + 1) if idempotent else 1
+        delay = self.backoff_s
+        last: Exception | None = None
+        for attempt in range(attempts):
+            if attempt:
+                self._count("retried")
+                pause = delay
+                if deadline is not None:
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0:
+                        raise DeadlineExceededError(
+                            "request deadline expired during retry backoff"
+                        ) from last
+                    pause = min(pause, remaining)
+                await asyncio.sleep(max(pause, 0.0))
+                delay = min(delay * 2.0, self.backoff_max_s)
+            try:
+                self._count("requests_sent")
+                resp_type, resp_header, resp_arrays = await self._once(
+                    msg_type, header, arrays, deadline
+                )
+            except DeadlineExceededError as exc:
+                if last is not None and exc.__cause__ is None:
+                    raise exc from last
+                raise
+            except (ConnectionLostError, ProtocolError) as exc:
+                last = exc
+                continue
+            raise_if_error(resp_type, resp_header)
+            return resp_type, resp_header, resp_arrays
+        assert last is not None
+        raise last
+
+    # -- the searcher RPC surface ------------------------------------------------------
+    async def search_batch(
+        self,
+        index_name: str,
+        queries: np.ndarray,
+        k: int,
+        *,
+        ef: int | None = None,
+        deadline: float | None = None,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Remote lockstep shard search (async twin of the sync client's)."""
+        queries = np.ascontiguousarray(queries, dtype=np.float32)
+        _, header, arrays = await self.call(
+            MsgType.SEARCH,
+            {"index": str(index_name), "top_k": int(k), "ef": ef},
+            (queries,),
+            deadline=deadline,
+        )
+        if len(arrays) != 2:
+            raise ProtocolError(
+                f"search result carries {len(arrays)} arrays, expected 2"
+            )
+        ids = np.asarray(arrays[0], dtype=np.int64)
+        dists = np.asarray(arrays[1], dtype=np.float64)
+        want = (queries.shape[0], int(k))
+        if ids.shape != want or dists.shape != want:
+            raise ProtocolError(
+                f"search result shapes {ids.shape}/{dists.shape} do not "
+                f"match the requested {want}"
+            )
+        self._count("queries_served", queries.shape[0])
+        return ids, dists
+
+    async def ping(self, *, deadline: float | None = None) -> int:
+        """Liveness probe; returns the remote node's shard id."""
+        _, header, _ = await self.call(MsgType.PING, deadline=deadline)
+        return int(header["shard_id"])
+
+    def __repr__(self) -> str:
+        return f"AsyncRemoteSearcherClient({self.address!r})"

@@ -9,7 +9,9 @@ line that :func:`launch_searcher` blocks on -- and best-effort teardown.
 
 from __future__ import annotations
 
+import contextlib
 import os
+import selectors
 import subprocess
 import sys
 import threading
@@ -69,66 +71,138 @@ def launch_searcher(
     host: str = "127.0.0.1",
     port: int = 0,
     ready_timeout_s: float = 120.0,
+    slow_every: int = 0,
+    slow_delay_s: float = 0.0,
+    command: list[str] | None = None,
 ) -> SearcherProcess:
     """Spawn one ``serve-searcher`` subprocess and wait until it listens.
 
     The child inherits the current interpreter and gets this package's
     ``src`` directory prepended to ``PYTHONPATH``, so it works from a
     source checkout without installation.
+
+    The readiness wait reads the child's pipe **non-blocking** against
+    the absolute ``ready_timeout_s`` deadline (``os.set_blocking`` +
+    :mod:`selectors`).  A blocking ``readline`` here would let a child
+    that is alive but wedged -- or that simply stops printing -- stall
+    the launcher indefinitely, because the deadline was only checked
+    between lines.  On expiry the child is SIGKILLed and reaped, then
+    :class:`TimeoutError` raises.
+
+    ``slow_every`` / ``slow_delay_s`` forward straggler injection to the
+    server (see :class:`~repro.net.server.SearcherServer`); ``command``
+    overrides the spawned argv entirely (readiness-failure tests).
     """
-    command = [
-        sys.executable,
-        "-m",
-        "repro.cli",
-        "serve-searcher",
-        "--shard-id",
-        str(shard_id),
-        "--host",
-        host,
-        "--port",
-        str(port),
-    ]
-    if root is not None:
-        command += ["--root", str(root)]
+    if command is None:
+        command = [
+            sys.executable,
+            "-m",
+            "repro.cli",
+            "serve-searcher",
+            "--shard-id",
+            str(shard_id),
+            "--host",
+            host,
+            "--port",
+            str(port),
+        ]
+        if root is not None:
+            command += ["--root", str(root)]
+        if slow_every:
+            command += [
+                "--slow-every",
+                str(slow_every),
+                "--slow-delay-s",
+                str(slow_delay_s),
+            ]
     env = dict(os.environ)
     src = _src_path()
     existing = env.get("PYTHONPATH")
     env["PYTHONPATH"] = f"{src}{os.pathsep}{existing}" if existing else src
+    # Binary pipe: non-blocking reads compose badly with the text-mode
+    # buffering layer (``read`` may raise instead of returning None).
     process = subprocess.Popen(
         command,
         stdout=subprocess.PIPE,
         stderr=subprocess.STDOUT,
-        text=True,
         env=env,
     )
-    deadline = time.monotonic() + ready_timeout_s
-    assert process.stdout is not None
-    while True:
-        if time.monotonic() > deadline:
+    try:
+        port = _await_ready(process, shard_id, ready_timeout_s)
+    except BaseException:
+        if process.poll() is None:
             process.kill()
-            raise TimeoutError(
-                f"searcher shard {shard_id} not ready within "
-                f"{ready_timeout_s}s"
-            )
-        line = process.stdout.readline()
-        if line == "" and process.poll() is not None:
-            raise RuntimeError(
-                f"searcher shard {shard_id} exited with code "
-                f"{process.returncode} before becoming ready"
-            )
-        parsed = parse_ready_line(line)
-        if parsed is not None:
-            ready_shard, ready_port = parsed
-            if ready_shard != shard_id:
-                process.kill()
-                raise RuntimeError(
-                    f"searcher announced shard {ready_shard}, "
-                    f"expected {shard_id}"
+        # Always reap -- no zombie launchers -- but never let a child
+        # that survives SIGKILL (uninterruptible I/O) replace the real
+        # readiness failure with a TimeoutExpired.
+        with contextlib.suppress(subprocess.TimeoutExpired):
+            process.wait(timeout=30)
+        raise
+    _drain_output(process)
+    return SearcherProcess(
+        process=process, shard_id=shard_id, host=host, port=port
+    )
+
+
+def _await_ready(
+    process: subprocess.Popen, shard_id: int, ready_timeout_s: float
+) -> int:
+    """Wait for the ``SEARCHER-READY`` line; returns the announced port.
+
+    Raises :class:`TimeoutError` when the absolute deadline passes with
+    the child still silent (hung, or looping without announcing) and
+    :class:`RuntimeError` when the child exits or announces the wrong
+    shard.  The caller kills/reaps on any raise.
+    """
+    assert process.stdout is not None
+    deadline = time.monotonic() + ready_timeout_s
+    os.set_blocking(process.stdout.fileno(), False)
+    buffer = b""
+    eof = False
+    with selectors.DefaultSelector() as selector:
+        selector.register(process.stdout, selectors.EVENT_READ)
+        while True:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                raise TimeoutError(
+                    f"searcher shard {shard_id} not ready within "
+                    f"{ready_timeout_s}s"
                 )
-            _drain_output(process)
-            return SearcherProcess(
-                process=process, shard_id=shard_id, host=host, port=ready_port
-            )
+            # Bounded select even at EOF/exit races: poll() below makes
+            # progress, and the deadline above always terminates.
+            if not eof and not selector.select(timeout=min(remaining, 0.2)):
+                continue
+            chunk = process.stdout.read(65536) if not eof else b""
+            if chunk:
+                buffer += chunk
+                while b"\n" in buffer:
+                    raw, _, buffer = buffer.partition(b"\n")
+                    parsed = parse_ready_line(
+                        raw.decode("utf-8", errors="replace")
+                    )
+                    if parsed is None:
+                        continue
+                    ready_shard, ready_port = parsed
+                    if ready_shard != shard_id:
+                        raise RuntimeError(
+                            f"searcher announced shard {ready_shard}, "
+                            f"expected {shard_id}"
+                        )
+                    os.set_blocking(process.stdout.fileno(), True)
+                    return ready_port
+            elif chunk == b"":
+                # EOF: the child closed its end.  If it also exited,
+                # report that; if it lives on with a closed stdout it
+                # can never announce readiness, so only the deadline
+                # remains -- stop selecting on a dead pipe meanwhile.
+                eof = True
+                if process.poll() is not None:
+                    raise RuntimeError(
+                        f"searcher shard {shard_id} exited with code "
+                        f"{process.returncode} before becoming ready"
+                    )
+                time.sleep(0.05)
+            # chunk is None: spurious wakeup on a non-blocking fd.
 
 
 def _drain_output(process: subprocess.Popen) -> None:
@@ -154,17 +228,28 @@ def launch_fleet(
     root: str | None = None,
     host: str = "127.0.0.1",
     ready_timeout_s: float = 120.0,
+    slow_shard: int | None = None,
+    slow_every: int = 0,
+    slow_delay_s: float = 0.0,
 ) -> list[SearcherProcess]:
-    """Spawn one searcher subprocess per shard; tears down on any failure."""
+    """Spawn one searcher subprocess per shard; tears down on any failure.
+
+    ``slow_shard`` selects one fleet member to launch with straggler
+    injection (``slow_every`` / ``slow_delay_s``) -- the slow-shard
+    hedging benchmark's setup.
+    """
     fleet: list[SearcherProcess] = []
     try:
         for shard_id in range(num_shards):
+            slow = slow_shard is not None and shard_id == slow_shard
             fleet.append(
                 launch_searcher(
                     shard_id,
                     root=root,
                     host=host,
                     ready_timeout_s=ready_timeout_s,
+                    slow_every=slow_every if slow else 0,
+                    slow_delay_s=slow_delay_s if slow else 0.0,
                 )
             )
     except BaseException:

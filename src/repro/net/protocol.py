@@ -366,3 +366,19 @@ def write_frame(
     """Queue one frame on an :class:`asyncio.StreamWriter` (caller drains)."""
     for buffer in encode_frame(msg_type, header, arrays):
         writer.write(buffer)
+
+
+async def write_frame_async(
+    writer,
+    msg_type: int,
+    header: dict | None = None,
+    arrays: tuple | list = (),
+) -> None:
+    """Write one frame to an :class:`asyncio.StreamWriter` and drain it.
+
+    Draining applies the stream's flow control: a peer that stops
+    reading back-pressures the writer instead of buffering the frame
+    (and every retry of it) in process memory.
+    """
+    write_frame(writer, msg_type, header, arrays)
+    await writer.drain()

@@ -76,6 +76,14 @@ class SearcherServer:
         fine over loopback, where broker and searcher share a disk.
     max_frame:
         Per-frame byte ceiling (both directions).
+    slow_every, slow_delay_s:
+        Straggler injection for benchmarks and hedging tests: every
+        ``slow_every``-th SEARCH request (starting with the first)
+        sleeps ``slow_delay_s`` seconds before executing, modelling a
+        per-request stall (GC pause, queueing spike) rather than a
+        uniformly slow machine.  ``slow_every=2`` makes a hedged retry
+        of a stalled request land on a fast slot; ``slow_every=1``
+        stalls every request.  ``0`` (default) disables injection.
     """
 
     def __init__(
@@ -86,15 +94,23 @@ class SearcherServer:
         port: int = 0,
         root: str | None = None,
         max_frame: int = DEFAULT_MAX_FRAME,
+        slow_every: int = 0,
+        slow_delay_s: float = 0.0,
     ) -> None:
+        if slow_every < 0 or slow_delay_s < 0:
+            raise ValueError("slow_every / slow_delay_s must be >= 0")
         self.node = node
         self.host = host
         self.port = int(port)
         self.root = root
         self.max_frame = int(max_frame)
+        self.slow_every = int(slow_every)
+        self.slow_delay_s = float(slow_delay_s)
         #: Lifetime counters (surfaced through the STATS RPC).
         self.connections_accepted = 0
         self.frames_served = 0
+        #: SEARCH requests seen (drives the straggler injection cycle).
+        self.searches_seen = 0
         self._loop: asyncio.AbstractEventLoop | None = None
         self._stop: asyncio.Event | None = None
         self._thread: threading.Thread | None = None
@@ -155,6 +171,15 @@ class SearcherServer:
                 raise ProtocolError(
                     f"SEARCH expects 1 query array, got {len(arrays)}"
                 )
+            self.searches_seen += 1
+            if (
+                self.slow_every
+                and self.slow_delay_s > 0
+                and (self.searches_seen - 1) % self.slow_every == 0
+            ):
+                # Injected straggler: stall this request only (the event
+                # loop keeps serving other connections meanwhile).
+                await asyncio.sleep(self.slow_delay_s)
             ids, dists = await loop.run_in_executor(
                 None,
                 partial(

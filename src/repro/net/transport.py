@@ -19,13 +19,19 @@ import abc
 
 import numpy as np
 
-from repro.net.client import CONNECTIVITY_FAILURES, RemoteSearcherClient
+from repro.net.client import (
+    CONNECTIVITY_FAILURES,
+    AsyncRemoteSearcherClient,
+    RemoteSearcherClient,
+)
 from repro.online.searcher import SearcherNode
 
 __all__ = [
     "SearcherTransport",
+    "AsyncSearcherTransport",
     "LocalSearcherTransport",
     "RemoteSearcherTransport",
+    "AsyncRemoteSearcherTransport",
     "as_transport",
     "CONNECTIVITY_FAILURES",
 ]
@@ -59,6 +65,29 @@ class SearcherTransport(abc.ABC):
 
     def close(self) -> None:
         """Release transport resources (no-op for in-process shards)."""
+
+
+class AsyncSearcherTransport(abc.ABC):
+    """Marker + contract for transports with a native-async search path.
+
+    The broker's asyncio fan-out multiplexes every transport that
+    implements this on one event loop; transports without it (the
+    in-process kind) fall back to an executor call.  Implementations
+    must tolerate several concurrent :meth:`search_batch_async` calls
+    for one shard -- that is exactly what a hedged request is.
+    """
+
+    @abc.abstractmethod
+    async def search_batch_async(
+        self,
+        index_name: str,
+        queries: np.ndarray,
+        k: int,
+        *,
+        ef: int | None = None,
+        deadline: float | None = None,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Coroutine twin of :meth:`SearcherTransport.search_batch`."""
 
 
 class LocalSearcherTransport(SearcherTransport):
@@ -171,6 +200,66 @@ class RemoteSearcherTransport(SearcherTransport):
     def __repr__(self) -> str:
         return (
             f"RemoteSearcherTransport({self.address!r}, "
+            f"shard_id={self.shard_id})"
+        )
+
+
+class AsyncRemoteSearcherTransport(RemoteSearcherTransport, AsyncSearcherTransport):
+    """A remote shard with an asyncio-native search hot path.
+
+    The control plane (``verify`` / ``deploy`` / ``undeploy`` /
+    ``stats``) and the sync ``search_batch`` fallback stay on the
+    inherited blocking :class:`RemoteSearcherClient`; SEARCH RPCs issued
+    through :meth:`search_batch_async` ride the
+    :class:`AsyncRemoteSearcherClient`'s per-loop connection pool, so a
+    broker's event loop can hold every shard (and every hedge) in
+    flight without a thread per RPC.
+    """
+
+    def __init__(
+        self,
+        address: str | tuple,
+        shard_id: int,
+        *,
+        client: RemoteSearcherClient | None = None,
+        async_client: AsyncRemoteSearcherClient | None = None,
+        **client_kwargs,
+    ) -> None:
+        super().__init__(
+            address, shard_id, client=client, **client_kwargs
+        )
+        self.async_client = (
+            async_client
+            if async_client is not None
+            else AsyncRemoteSearcherClient(address, **client_kwargs)
+        )
+
+    async def search_batch_async(
+        self,
+        index_name: str,
+        queries: np.ndarray,
+        k: int,
+        *,
+        ef: int | None = None,
+        deadline: float | None = None,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        return await self.async_client.search_batch(
+            index_name, queries, k, ef=ef, deadline=deadline
+        )
+
+    @property
+    def queries_served(self) -> int:
+        # Both planes answer rows: sync for control-path / fallback
+        # searches, async for the multiplexed fan-out.
+        return self.client.queries_served + self.async_client.queries_served
+
+    def close(self) -> None:
+        super().close()
+        self.async_client.close()
+
+    def __repr__(self) -> str:
+        return (
+            f"AsyncRemoteSearcherTransport({self.address!r}, "
             f"shard_id={self.shard_id})"
         )
 

@@ -50,14 +50,32 @@ needs:
   re-raises under either policy, because retrying other shards cannot
   fix a caller bug -- and a request where *every* shard fails always
   raises.  Degraded rows are never written to the result cache.
+
+PR 4 replaces thread-per-RPC with an **asyncio-native fan-out**
+(``async_fanout=True``): all remote shard RPCs for a batch are
+multiplexed on one private event loop (a single background thread,
+:class:`_FanoutLoop`), and **hedged requests** (``hedge_after_s``)
+re-issue a straggling shard's RPC on a second connection when budget
+remains before the deadline -- first reply wins, the loser is cancelled
+and its connection discarded.  The public API is byte-for-byte
+unchanged: ``search_batch`` stays synchronous, the micro-batcher and
+cache sit in front exactly as before, and the fail/degrade policy is
+applied to the gathered outcomes on the calling thread.  Hedging can
+only change *when* an answer arrives, never *what* it is -- both RPCs
+ask the same shard the same lockstep question, so results stay
+bit-identical (pinned by ``tests/test_hedging.py``).
 """
 
 from __future__ import annotations
 
+import asyncio
+import contextlib
 import threading
 import time
+from concurrent.futures import CancelledError as FutureCancelledError
 from concurrent.futures import ThreadPoolExecutor
 from concurrent.futures import TimeoutError as FutureTimeoutError
+from functools import partial
 
 import numpy as np
 
@@ -66,7 +84,11 @@ from repro.core.merge import merge_shard_results_batch
 from repro.core.topk import per_shard_top_k
 from repro.errors import DeadlineExceededError, RemoteCallError, TransportError
 from repro.eval.timing import StageLatencyRecorder
-from repro.net.transport import SearcherTransport, as_transport
+from repro.net.transport import (
+    AsyncSearcherTransport,
+    SearcherTransport,
+    as_transport,
+)
 from repro.online.cache import QueryResultCache, result_cache_key
 from repro.online.microbatch import MicroBatcher
 from repro.online.searcher import SearcherNode  # noqa: F401 (re-export)
@@ -74,6 +96,67 @@ from repro.utils.validation import as_matrix, as_vector
 
 #: Partial-result policies for shard failures during the fan-out.
 PARTIAL_POLICIES = ("fail", "degrade")
+
+
+class _FanoutLoop:
+    """One background thread running an asyncio loop for the fan-out.
+
+    The broker's public API stays synchronous (``search_batch`` callers
+    and the micro-batch flusher are plain threads); this loop is where
+    the multiplexed shard RPCs -- and their hedges -- actually run.  One
+    thread total, regardless of how many shard RPCs are in flight.
+    """
+
+    def __init__(self) -> None:
+        self.loop = asyncio.new_event_loop()
+        self._started = threading.Event()
+        self._lock = threading.Lock()
+        self._closed = False
+        self._thread = threading.Thread(
+            target=self._run, name="broker-async-loop", daemon=True
+        )
+        self._thread.start()
+        self._started.wait()
+
+    def _run(self) -> None:
+        asyncio.set_event_loop(self.loop)
+        self.loop.call_soon(self._started.set)
+        try:
+            self.loop.run_forever()
+        finally:
+            # Cancel whatever close() interrupted, then let the
+            # cancellations unwind so client connections get discarded.
+            pending = asyncio.all_tasks(self.loop)
+            for task in pending:
+                task.cancel()
+            if pending:
+                self.loop.run_until_complete(
+                    asyncio.gather(*pending, return_exceptions=True)
+                )
+            self.loop.close()
+
+    def submit(self, coro):
+        """Schedule ``coro`` on the loop; returns a concurrent Future.
+
+        Raises ``RuntimeError`` after :meth:`close` began.  The lock
+        orders submission against shutdown: a submit that wins the lock
+        queues its task-creation callback *before* close() queues
+        ``loop.stop`` (``call_soon_threadsafe`` is FIFO), so the task
+        exists by the time the loop stops and the shutdown sweep
+        resolves its future with a cancellation -- never a silent
+        forever-pending future.
+        """
+        with self._lock:
+            if self._closed:
+                raise RuntimeError("fan-out loop is closed")
+            return asyncio.run_coroutine_threadsafe(coro, self.loop)
+
+    def close(self, timeout: float = 30.0) -> None:
+        with self._lock:
+            self._closed = True
+        with contextlib.suppress(RuntimeError):
+            self.loop.call_soon_threadsafe(self.loop.stop)
+        self._thread.join(timeout)
 
 
 class Broker:
@@ -104,12 +187,31 @@ class Broker:
     parallel_fanout:
         Issue shard requests on a thread pool (as a real broker would);
         sequential when ``False`` (deterministic timing for tests).
+        Superseded by ``async_fanout``.
+    async_fanout:
+        Multiplex the shard fan-out on a private asyncio event loop
+        (one background thread total) instead of one pool thread per
+        in-flight RPC.  Transports implementing
+        :class:`~repro.net.transport.AsyncSearcherTransport` are
+        awaited natively; others (in-process shards) run on the loop's
+        executor.  The public API is unchanged -- ``search_batch`` and
+        the micro-batcher stay synchronous.
+    hedge_after_s:
+        Tail-tolerance knob (requires ``async_fanout``): when an
+        async-capable shard has not answered within this many seconds
+        and budget remains before ``request_timeout_s``, the same RPC
+        is re-issued on a second connection; the first reply wins and
+        the loser is cancelled (its connection is discarded, never
+        pooled).  ``None`` (default) disables hedging.  Tune it from
+        ``stats()["stages"]["shard_rpc"]`` -- a little above the
+        healthy p99 hedges only genuine stragglers.
     fanout_workers:
         Size of the fan-out pool, independent of ``len(searchers)``.
         Defaults to ``2 * len(searchers)`` so two directly executed
         batches can have all their shard requests in flight at once
         (see the module docs for how this interacts with
-        micro-batching).  Ignored unless ``parallel_fanout``.
+        micro-batching).  Ignored unless ``parallel_fanout``, and
+        irrelevant under ``async_fanout`` (no pool exists).
     max_batch, max_wait_ms:
         Micro-batching knobs.  ``max_batch <= 1`` disables admission
         entirely (every request executes directly, PR-1 behavior);
@@ -140,6 +242,8 @@ class Broker:
         config: LannsConfig,
         *,
         parallel_fanout: bool = False,
+        async_fanout: bool = False,
+        hedge_after_s: float | None = None,
         fanout_workers: int | None = None,
         max_batch: int = 1,
         max_wait_ms: float = 2.0,
@@ -176,12 +280,26 @@ class Broker:
             raise ValueError(
                 f"request_timeout_s must be positive, got {request_timeout_s}"
             )
+        if hedge_after_s is not None:
+            if hedge_after_s <= 0:
+                raise ValueError(
+                    f"hedge_after_s must be positive, got {hedge_after_s}"
+                )
+            if not async_fanout:
+                raise ValueError(
+                    "hedge_after_s requires async_fanout=True (hedges are "
+                    "raced on the fan-out event loop)"
+                )
         self.searchers = searchers
         self.transports = transports
         self.config = config
         self.partial_policy = partial_policy
         self.request_timeout_s = request_timeout_s
         self.cache_quantize_decimals = cache_quantize_decimals
+        self.async_fanout = bool(async_fanout)
+        self.hedge_after_s = (
+            float(hedge_after_s) if hedge_after_s is not None else None
+        )
         self.parallel_fanout = bool(parallel_fanout)
         self.fanout_workers = (
             int(fanout_workers)
@@ -200,7 +318,16 @@ class Broker:
         self.degraded_batches = 0
         #: Connectivity failures observed per shard position.
         self.shard_failures = [0] * len(transports)
+        #: Hedged-request counters: RPCs re-issued, and races where the
+        #: hedge (not the primary) delivered the winning reply.
+        self.hedges = 0
+        self.hedge_wins = 0
         self._last_failure: TransportError | None = None
+        # The asyncio fan-out multiplexes every in-flight shard RPC on
+        # ONE loop thread, so it replaces the thread pool entirely.
+        self._fanout_loop: _FanoutLoop | None = (
+            _FanoutLoop() if self.async_fanout else None
+        )
         # One long-lived fan-out pool, created eagerly (lazy creation
         # would race under concurrent first requests).  Reusing it keeps
         # the worker threads -- and therefore the per-thread
@@ -212,7 +339,9 @@ class Broker:
                 max_workers=self.fanout_workers,
                 thread_name_prefix="broker-fanout",
             )
-            if self.parallel_fanout and len(searchers) > 1
+            if self.parallel_fanout
+            and not self.async_fanout
+            and len(searchers) > 1
             else None
         )
         self._batcher: MicroBatcher | None = (
@@ -238,6 +367,9 @@ class Broker:
         if self._pool is not None:
             self._pool.shutdown(wait=True)
             self._pool = None
+        if self._fanout_loop is not None:
+            self._fanout_loop.close()
+            self._fanout_loop = None
 
     def stats(self) -> dict:
         """Serving counters: cache, micro-batching, per-stage latency."""
@@ -250,6 +382,10 @@ class Broker:
             "fanout_workers": self.fanout_workers
             if self._pool is not None
             else 0,
+            "async_fanout": self.async_fanout,
+            "hedge_after_s": self.hedge_after_s,
+            "hedges": self.hedges,
+            "hedge_wins": self.hedge_wins,
             "queries_served": self.queries_served,
             "partial": {
                 "policy": self.partial_policy,
@@ -479,8 +615,34 @@ class Broker:
         )
         tick = time.perf_counter()
         parts: list | None = None
+        fanout_loop = self._fanout_loop  # snapshot: close() may race
+        if fanout_loop is not None:
+            coro = self._fanout_async(
+                index_name, queries, budget, eff_ef, deadline
+            )
+            try:
+                future = fanout_loop.submit(coro)
+            except RuntimeError:
+                # Loop shut down mid-request: fall through to sequential.
+                coro.close()
+            else:
+                try:
+                    outcomes = future.result()
+                except (FutureCancelledError, asyncio.CancelledError):
+                    # close() tore the loop down under us (the wrapper
+                    # future raises concurrent.futures.CancelledError, a
+                    # *different* class from asyncio's); the transports
+                    # are still alive, so serve this request sequentially.
+                    pass
+                else:
+                    parts = []
+                    for shard_id, (part, exc) in enumerate(outcomes):
+                        if exc is None:
+                            parts.append(part)
+                        else:
+                            parts.append(self._shard_failure(shard_id, exc))
         pool = self._pool  # snapshot: close() may race an in-flight call
-        if pool is not None:
+        if parts is None and pool is not None:
             try:
                 futures = [
                     pool.submit(
@@ -563,6 +725,191 @@ class Broker:
             dists,
             np.full(queries.shape[0], answered, dtype=np.int64),
         )
+
+    # -- asyncio fan-out ---------------------------------------------------------------
+    async def _fanout_async(
+        self,
+        index_name: str,
+        queries: np.ndarray,
+        k: int,
+        eff_ef: int,
+        deadline: float | None,
+    ) -> list[tuple]:
+        """Multiplex one batch's shard RPCs (and their hedges) on the loop.
+
+        Returns one ``(part, exc)`` pair per shard, in shard order --
+        exactly one of the two is ``None``.  Partial-result policy is
+        applied by the calling thread, so the counting and raise
+        behavior is identical to the thread-pool fan-out.
+        """
+        return await asyncio.gather(
+            *(
+                self._shard_call_async(
+                    transport, index_name, queries, k, eff_ef, deadline
+                )
+                for transport in self.transports
+            )
+        )
+
+    async def _shard_call_async(
+        self,
+        transport: SearcherTransport,
+        index_name: str,
+        queries: np.ndarray,
+        k: int,
+        eff_ef: int,
+        deadline: float | None,
+    ) -> tuple:
+        try:
+            part = await self._hedged_search_async(
+                transport, index_name, queries, k, eff_ef, deadline
+            )
+        except TransportError as exc:
+            return None, exc
+        return part, None
+
+    async def _search_one_async(
+        self,
+        transport: SearcherTransport,
+        index_name: str,
+        queries: np.ndarray,
+        k: int,
+        eff_ef: int,
+        deadline: float | None,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """One shard RPC on the event loop.
+
+        Async-capable transports are awaited natively (the remote
+        client enforces the deadline on the wire); everything else --
+        in-process shards -- runs on the loop's default executor with
+        the wait bounded by the remaining budget.  Per-RPC wall time
+        lands in the ``shard_rpc`` latency stage (the number to tune
+        ``hedge_after_s`` against).
+        """
+        tick = time.perf_counter()
+        try:
+            if isinstance(transport, AsyncSearcherTransport):
+                return await transport.search_batch_async(
+                    index_name, queries, k, ef=eff_ef, deadline=deadline
+                )
+            loop = asyncio.get_running_loop()
+            call = partial(
+                transport.search_batch,
+                index_name,
+                queries,
+                k,
+                ef=eff_ef,
+                deadline=deadline,
+            )
+            wait = None
+            if deadline is not None:
+                wait = max(deadline - time.monotonic(), 0.0)
+            try:
+                return await asyncio.wait_for(
+                    loop.run_in_executor(None, call), wait
+                )
+            except (asyncio.TimeoutError, TimeoutError):
+                raise DeadlineExceededError(
+                    f"shard {transport.shard_id} missed the "
+                    f"{self.request_timeout_s}s request deadline"
+                ) from None
+        finally:
+            self.timings.record("shard_rpc", time.perf_counter() - tick)
+
+    async def _hedged_search_async(
+        self,
+        transport: SearcherTransport,
+        index_name: str,
+        queries: np.ndarray,
+        k: int,
+        eff_ef: int,
+        deadline: float | None,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """One shard's answer, hedging a straggling RPC when allowed.
+
+        The hedge fires only when (a) hedging is configured, (b) the
+        transport can multiplex a second in-flight RPC, and (c) budget
+        remains before the request deadline -- a hedge can never be
+        issued after the deadline has passed.
+        """
+
+        def issue():
+            return asyncio.create_task(
+                self._search_one_async(
+                    transport, index_name, queries, k, eff_ef, deadline
+                )
+            )
+
+        delay = self.hedge_after_s
+        primary = issue()
+        can_hedge = (
+            delay is not None
+            and isinstance(transport, AsyncSearcherTransport)
+            and (deadline is None or deadline - time.monotonic() > delay)
+        )
+        if not can_hedge:
+            return await primary
+        done, _ = await asyncio.wait({primary}, timeout=delay)
+        if primary in done:
+            return primary.result()
+        if deadline is not None and deadline - time.monotonic() <= 0:
+            # Out of budget: the in-flight primary is about to raise its
+            # own DeadlineExceededError; hedging now would be a second
+            # RPC that cannot answer in time either.
+            return await primary
+        with self._served_lock:
+            self.hedges += 1
+        return await self._first_reply_async(primary, issue())
+
+    async def _first_reply_async(self, primary, hedge):
+        """Race the primary against its hedge; first *success* wins.
+
+        One task failing does not settle the race while the other still
+        runs -- a dead primary with a live hedge is exactly the save
+        hedging exists for.  When both fail, the primary's error is
+        raised.  The loser is cancelled AND awaited, so its connection
+        is discarded (never pooled) before the batch returns.
+        """
+        pending = {primary, hedge}
+        failures: dict = {}
+        winner = None
+        unexpected: BaseException | None = None
+        while pending and winner is None:
+            done, pending = await asyncio.wait(
+                pending, return_when=asyncio.FIRST_COMPLETED
+            )
+            # Settle the whole completion wave before deciding: set
+            # iteration order is arbitrary, and a success must win
+            # deterministically even when the other task failed in the
+            # same tick.
+            for task in done:
+                exc = task.exception()
+                if exc is None:
+                    winner = winner if winner is not None else task
+                elif isinstance(exc, TransportError):
+                    failures[task] = exc
+                else:
+                    unexpected = exc
+            if winner is None and unexpected is not None:
+                for straggler in pending:
+                    straggler.cancel()
+                for straggler in pending:
+                    with contextlib.suppress(
+                        asyncio.CancelledError, TransportError
+                    ):
+                        await straggler
+                raise unexpected
+        if winner is None:
+            raise failures.get(primary, failures.get(hedge))
+        for loser in pending:
+            loser.cancel()
+        for loser in pending:
+            with contextlib.suppress(asyncio.CancelledError, TransportError):
+                await loser
+        if winner is hedge:
+            with self._served_lock:
+                self.hedge_wins += 1
+        return winner.result()
 
     def _shard_failure(self, shard_id: int, exc: TransportError) -> None:
         """Handle one shard's failure per the active policy.

@@ -29,7 +29,10 @@ from repro.errors import (
     TransportError,
 )
 from repro.eval.timing import measure_batch_qps, measure_qps
-from repro.net.transport import RemoteSearcherTransport
+from repro.net.transport import (
+    AsyncRemoteSearcherTransport,
+    RemoteSearcherTransport,
+)
 from repro.online.broker import Broker
 from repro.online.cache import QueryResultCache
 from repro.online.searcher import SearcherNode
@@ -48,6 +51,16 @@ class OnlineService:
     parallel_fanout:
         Give each broker a fan-out thread pool (see
         :class:`~repro.online.broker.Broker`).
+    async_fanout:
+        Give each broker an asyncio fan-out loop instead: all remote
+        shard RPCs for a batch are multiplexed on one event-loop
+        thread (O(1) threads however many shards are in flight), and
+        remote fleets get async-native transports
+        (:class:`~repro.net.transport.AsyncRemoteSearcherTransport`).
+        Supersedes ``parallel_fanout``.
+    hedge_after_s:
+        Hedged-request delay passed to every broker (requires
+        ``async_fanout``; see :class:`~repro.online.broker.Broker`).
     fanout_workers:
         Fan-out pool size per broker, independent of the shard count.
     max_batch, max_wait_ms:
@@ -79,6 +92,8 @@ class OnlineService:
         self,
         *,
         parallel_fanout: bool = False,
+        async_fanout: bool = False,
+        hedge_after_s: float | None = None,
         fanout_workers: int | None = None,
         max_batch: int = 1,
         max_wait_ms: float = 2.0,
@@ -94,6 +109,8 @@ class OnlineService:
         self.brokers: dict[str, Broker] = {}
         self.configs: dict[str, LannsConfig] = {}
         self.parallel_fanout = bool(parallel_fanout)
+        self.async_fanout = bool(async_fanout)
+        self.hedge_after_s = hedge_after_s
         self.fanout_workers = fanout_workers
         self.max_batch = int(max_batch)
         self.max_wait_ms = float(max_wait_ms)
@@ -113,8 +130,15 @@ class OnlineService:
             if not searchers:
                 raise ValueError("remote fleet needs at least one address")
             self.remote = True
+            # Async fan-out gets async-native transports (the sync
+            # control plane -- deploy/verify/stats -- rides along).
+            transport_type = (
+                AsyncRemoteSearcherTransport
+                if self.async_fanout
+                else RemoteSearcherTransport
+            )
             self.searchers = [
-                RemoteSearcherTransport(
+                transport_type(
                     address,
                     shard_id,
                     timeout_s=rpc_timeout_s,
@@ -193,6 +217,8 @@ class OnlineService:
             self.searchers,
             config,
             parallel_fanout=self.parallel_fanout,
+            async_fanout=self.async_fanout,
+            hedge_after_s=self.hedge_after_s,
             fanout_workers=self.fanout_workers,
             max_batch=self.max_batch,
             max_wait_ms=self.max_wait_ms,

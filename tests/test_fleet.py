@@ -1,0 +1,159 @@
+"""Fleet launcher readiness: the deadline must hold against hung children.
+
+The PR-3 launcher blocked on ``process.stdout.readline()``, so a child
+that was alive but silent (wedged before printing ``SEARCHER-READY``)
+stalled the launcher *past* ``ready_timeout_s`` -- the deadline was only
+checked between lines.  These tests pin the fixed contract: readiness is
+awaited with non-blocking pipe reads against the absolute deadline, a
+hung or silent child raises :class:`TimeoutError` within the timeout
+plus a small margin, and the child is killed AND reaped before the
+raise.  Fake searcher scripts stand in for real servers so each case is
+fast and deterministic.
+"""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+import time
+
+import pytest
+
+from repro.net import fleet as fleet_mod
+
+#: Slack on top of ``ready_timeout_s``: generous enough for a loaded CI
+#: box, tiny next to the 600 s the fake children would otherwise hang.
+MARGIN_S = 5.0
+
+
+def _script(code: str) -> list[str]:
+    return [sys.executable, "-u", "-c", code]
+
+
+@pytest.fixture
+def spawned(monkeypatch):
+    """Capture every Popen the launcher creates (to assert reaping)."""
+    processes: list[subprocess.Popen] = []
+    real_popen = subprocess.Popen
+
+    def spy(*args, **kwargs):
+        process = real_popen(*args, **kwargs)
+        processes.append(process)
+        return process
+
+    monkeypatch.setattr(fleet_mod.subprocess, "Popen", spy)
+    yield processes
+    for process in processes:
+        if process.poll() is None:
+            process.kill()
+            process.wait(timeout=30)
+
+
+class TestReadinessTimeout:
+    def test_hung_child_times_out_within_deadline_and_is_reaped(
+        self, spawned
+    ):
+        """A child that prints *something* but never READY and then
+        wedges must not stall the launcher past the deadline (the
+        blocking-readline bug: output arrived, then the pipe went
+        silent forever)."""
+        begin = time.monotonic()
+        with pytest.raises(TimeoutError, match="not ready within"):
+            fleet_mod.launch_searcher(
+                0,
+                ready_timeout_s=1.0,
+                command=_script(
+                    "import time\n"
+                    "print('booting up', flush=True)\n"
+                    "time.sleep(600)\n"
+                ),
+            )
+        elapsed = time.monotonic() - begin
+        assert elapsed < 1.0 + MARGIN_S, (
+            f"launcher stalled {elapsed:.1f}s past a 1.0s ready timeout"
+        )
+        (child,) = spawned
+        assert child.poll() is not None, "timed-out child was not reaped"
+
+    def test_silent_child_times_out_within_deadline_and_is_reaped(
+        self, spawned
+    ):
+        """A child that prints nothing at all: the old code blocked on
+        the very first readline."""
+        begin = time.monotonic()
+        with pytest.raises(TimeoutError, match="not ready within"):
+            fleet_mod.launch_searcher(
+                0,
+                ready_timeout_s=1.0,
+                command=_script("import time; time.sleep(600)"),
+            )
+        elapsed = time.monotonic() - begin
+        assert elapsed < 1.0 + MARGIN_S
+        (child,) = spawned
+        assert child.poll() is not None
+
+    def test_chatty_child_without_ready_line_still_times_out(self, spawned):
+        """Output alone must not reset the deadline: a child logging in
+        a loop (but never announcing readiness) times out too."""
+        begin = time.monotonic()
+        with pytest.raises(TimeoutError, match="not ready within"):
+            fleet_mod.launch_searcher(
+                0,
+                ready_timeout_s=1.0,
+                command=_script(
+                    "import time\n"
+                    "while True:\n"
+                    "    print('still warming up', flush=True)\n"
+                    "    time.sleep(0.05)\n"
+                ),
+            )
+        assert time.monotonic() - begin < 1.0 + MARGIN_S
+        (child,) = spawned
+        assert child.poll() is not None
+
+
+class TestReadinessOutcomes:
+    def test_child_exit_before_ready_raises_runtime_error(self, spawned):
+        with pytest.raises(RuntimeError, match="exited with code 3"):
+            fleet_mod.launch_searcher(
+                0,
+                ready_timeout_s=30.0,
+                command=_script("import sys; sys.exit(3)"),
+            )
+        (child,) = spawned
+        assert child.poll() == 3
+
+    def test_wrong_shard_announcement_rejected_and_reaped(self, spawned):
+        with pytest.raises(RuntimeError, match="announced shard 7"):
+            fleet_mod.launch_searcher(
+                0,
+                ready_timeout_s=30.0,
+                command=_script(
+                    "import time\n"
+                    "print('SEARCHER-READY shard=7 port=1234', flush=True)\n"
+                    "time.sleep(600)\n"
+                ),
+            )
+        (child,) = spawned
+        assert child.poll() is not None
+
+    def test_ready_line_after_noise_is_parsed(self, spawned):
+        """Readiness may follow other output (warnings, banners) and the
+        announced port is returned."""
+        searcher = fleet_mod.launch_searcher(
+            4,
+            ready_timeout_s=30.0,
+            command=_script(
+                "import time\n"
+                "print('some banner')\n"
+                "print('SEARCHER-READY shard=4 port=43210', flush=True)\n"
+                "time.sleep(600)\n"
+            ),
+        )
+        try:
+            assert searcher.shard_id == 4
+            assert searcher.port == 43210
+            assert searcher.alive()
+        finally:
+            searcher.kill()
+        assert not searcher.alive()

@@ -1,0 +1,456 @@
+"""Asyncio fan-out + hedged shard requests: parity, budget, no leaks.
+
+The straggler model: one searcher (shard 1) stalls every other SEARCH
+request (``slow_every=2``) -- a per-request pause (GC, queueing), not a
+uniformly slow machine -- so a hedge re-issued on a second connection
+lands on a fast slot.  With strictly sequential requests the injection
+is deterministic: every *primary* RPC to the slow shard hits a slow
+slot and every hedge hits a fast one, which lets the tests pin exact
+hedge counts.
+
+Invariants under test:
+
+- hedged results are bit-identical to unhedged and to in-process
+  serving (hedging changes *when* an answer arrives, never *what*);
+- a hedge never fires once the request deadline has passed, and a
+  hedge that fires in time but cannot answer in time does not rescue
+  the shard (degrade semantics unchanged);
+- cancelled losers discard their connections -- pool occupancy stays
+  bounded and close() drains to zero open sockets;
+- ``stats()["hedges"]`` / ``["hedge_wins"]`` count correctly;
+- the async fan-out holds every in-flight shard RPC with O(1) threads
+  (one loop thread, no pool thread per RPC).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.core.builder import build_lanns_index
+from repro.core.config import LannsConfig
+from repro.core.merge import merge_shard_results_batch
+from repro.net.server import SearcherServer
+from repro.net.transport import AsyncRemoteSearcherTransport
+from repro.online.broker import Broker
+from repro.online.searcher import SearcherNode
+from repro.online.service import OnlineService
+from repro.storage.hdfs import LocalHdfs
+from repro.storage.manifest import save_lanns_index
+from tests.conftest import FAST_HNSW, make_clustered
+
+NUM_SHARDS = 3
+SLOW_SHARD = 1
+SLOW_DELAY_S = 0.4
+INDEX_PATH = "prod/hedged"
+
+
+@pytest.fixture(scope="module")
+def config():
+    return LannsConfig(
+        num_shards=NUM_SHARDS,
+        num_segments=1,
+        segmenter="rs",
+        hnsw=FAST_HNSW,
+        segmenter_sample_size=400,
+        seed=11,
+    )
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    return make_clustered(540, 16, seed=12)
+
+
+@pytest.fixture(scope="module")
+def queries(corpus):
+    rng = np.random.default_rng(13)
+    rows = rng.integers(0, corpus.shape[0], size=12)
+    noise = rng.normal(scale=0.2, size=(12, corpus.shape[1]))
+    return (corpus[rows] + noise).astype(np.float32)
+
+
+@pytest.fixture(scope="module")
+def shared_fs(tmp_path_factory):
+    return LocalHdfs(tmp_path_factory.mktemp("hedge-hdfs"))
+
+
+@pytest.fixture(scope="module")
+def index(corpus, config, shared_fs):
+    built = build_lanns_index(corpus, config=config)
+    save_lanns_index(built, shared_fs, INDEX_PATH)
+    return built
+
+
+@pytest.fixture(scope="module")
+def baseline(index, config):
+    """In-process broker: the bit-parity reference."""
+    nodes = [SearcherNode(shard_id) for shard_id in range(NUM_SHARDS)]
+    for shard_id, node in enumerate(nodes):
+        node.host("hedge", index.shards[shard_id])
+    broker = Broker(nodes, config)
+    yield broker
+    broker.close()
+
+
+@pytest.fixture
+def fleet(index):
+    """Fresh in-thread servers per test: shard 1 is the straggler.
+
+    Function-scoped on purpose -- the straggler injection counts SEARCH
+    frames, so sharing servers across tests would make slow/fast slots
+    depend on test order.
+    """
+    servers = []
+    for shard_id in range(NUM_SHARDS):
+        slow = shard_id == SLOW_SHARD
+        server = SearcherServer(
+            SearcherNode(shard_id),
+            slow_every=2 if slow else 0,
+            slow_delay_s=SLOW_DELAY_S if slow else 0.0,
+        ).start_in_thread()
+        server.node.host("hedge", index.shards[shard_id])
+        servers.append(server)
+    yield servers
+    for server in servers:
+        server.stop()
+
+
+def make_transports(servers, **kwargs):
+    return [
+        AsyncRemoteSearcherTransport(server.address, shard_id, **kwargs)
+        for shard_id, server in enumerate(servers)
+    ]
+
+
+def close_all(broker, transports):
+    broker.close()
+    for transport in transports:
+        transport.close()
+
+
+class TestHedgedParity:
+    def test_hedged_results_bit_identical_and_hedges_counted(
+        self, fleet, config, queries, baseline
+    ):
+        """Sequential batches through the straggler fleet: every primary
+        to the slow shard stalls, every hedge wins, and ids+distances
+        stay bit-identical to in-process serving."""
+        want_ids, want_dists = baseline.search_batch("hedge", queries, 10)
+        transports = make_transports(fleet)
+        broker = Broker(
+            transports,
+            config,
+            async_fanout=True,
+            hedge_after_s=0.05,
+            request_timeout_s=30.0,
+        )
+        try:
+            got_ids, got_dists = broker.search_batch("hedge", queries, 10)
+            np.testing.assert_array_equal(got_ids, want_ids)
+            np.testing.assert_array_equal(got_dists, want_dists)
+            assert broker.stats()["hedges"] == 1
+            assert broker.stats()["hedge_wins"] == 1
+
+            # Second batch: the hedge cycle repeats deterministically.
+            got_ids, got_dists = broker.search_batch("hedge", queries, 10)
+            np.testing.assert_array_equal(got_ids, want_ids)
+            assert broker.stats()["hedges"] == 2
+
+            # Single-query path through the same hedged fan-out.
+            one_ids, one_dists = broker.search("hedge", queries[0], 10)
+            valid = want_ids[0] >= 0
+            np.testing.assert_array_equal(one_ids, want_ids[0][valid])
+            np.testing.assert_array_equal(one_dists, want_dists[0][valid])
+            assert broker.stats()["hedges"] == 3
+        finally:
+            close_all(broker, transports)
+
+    def test_unhedged_async_fanout_waits_for_straggler(
+        self, fleet, config, queries, baseline
+    ):
+        """Without hedging the async fan-out still serves bit-identical
+        results -- it just eats the straggler's stall."""
+        want_ids, want_dists = baseline.search_batch("hedge", queries, 10)
+        transports = make_transports(fleet)
+        broker = Broker(transports, config, async_fanout=True)
+        try:
+            begin = time.perf_counter()
+            got_ids, got_dists = broker.search_batch("hedge", queries, 10)
+            elapsed = time.perf_counter() - begin
+            np.testing.assert_array_equal(got_ids, want_ids)
+            np.testing.assert_array_equal(got_dists, want_dists)
+            assert broker.stats()["hedges"] == 0
+            assert elapsed >= SLOW_DELAY_S * 0.8, (
+                "first request to the straggler shard must have stalled"
+            )
+        finally:
+            close_all(broker, transports)
+
+    def test_hedged_concurrent_stress_parity(
+        self, fleet, config, queries, baseline
+    ):
+        """Concurrent single-row clients through a hedged micro-batching
+        broker: every answer bit-identical, no errors, hedges observed."""
+        expected = [
+            baseline.search("hedge", query, 8) for query in queries
+        ]
+        transports = make_transports(fleet, pool_size=4)
+        broker = Broker(
+            transports,
+            config,
+            async_fanout=True,
+            hedge_after_s=0.05,
+            request_timeout_s=30.0,
+            max_batch=4,
+            max_wait_ms=5.0,
+        )
+        errors: list[BaseException] = []
+
+        def client(worker: int) -> None:
+            try:
+                for row in range(worker, queries.shape[0], 4):
+                    ids, dists = broker.search("hedge", queries[row], 8)
+                    np.testing.assert_array_equal(ids, expected[row][0])
+                    np.testing.assert_array_equal(dists, expected[row][1])
+            except BaseException as exc:
+                errors.append(exc)
+
+        try:
+            threads = [
+                threading.Thread(target=client, args=(worker,), daemon=True)
+                for worker in range(4)
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join(timeout=120)
+            assert not any(thread.is_alive() for thread in threads)
+            assert not errors, f"concurrent hedged client failed: {errors[0]}"
+            # The slow server's first SEARCH frame stalls whoever owns
+            # it, so at least one hedge must have fired.
+            assert broker.stats()["hedges"] >= 1
+        finally:
+            close_all(broker, transports)
+
+
+class TestHedgeDeadlineBudget:
+    def test_hedge_never_fires_after_request_deadline(
+        self, fleet, config, queries, index
+    ):
+        """Deadline below the hedge delay: the straggler shard times out
+        and degrades, and no hedge is ever issued."""
+        # Every request to the slow shard stalls well past the deadline.
+        fleet[SLOW_SHARD].slow_every = 1
+        fleet[SLOW_SHARD].slow_delay_s = 2.0
+        probe = queries[:4]
+        transports = make_transports(fleet, retries=0)
+        broker = Broker(
+            transports,
+            config,
+            async_fanout=True,
+            hedge_after_s=0.5,
+            request_timeout_s=0.3,
+            partial_policy="degrade",
+        )
+        try:
+            ids, dists, info = broker.search_batch(
+                "hedge", probe, 10, with_info=True
+            )
+            assert (info["shards_answered"] == NUM_SHARDS - 1).all()
+            assert broker.stats()["hedges"] == 0, (
+                "a hedge fired although the deadline precedes the delay"
+            )
+            budget = broker.per_shard_budget(10)
+            parts = [
+                index.shards[shard].search_batch(probe, budget)
+                for shard in range(NUM_SHARDS)
+                if shard != SLOW_SHARD
+            ]
+            want_ids, want_dists = merge_shard_results_batch(parts, 10)
+            np.testing.assert_array_equal(ids, want_ids)
+            np.testing.assert_array_equal(dists, want_dists)
+        finally:
+            close_all(broker, transports)
+
+    def test_in_time_hedge_cannot_rescue_past_deadline(
+        self, fleet, config, queries, index
+    ):
+        """A hedge issued in time against a shard whose every request
+        stalls: both RPCs miss the deadline, the shard degrades, and the
+        hedge is still counted (it fired before the deadline)."""
+        fleet[SLOW_SHARD].slow_every = 1
+        fleet[SLOW_SHARD].slow_delay_s = 2.0
+        probe = queries[:4]
+        transports = make_transports(fleet, retries=0)
+        broker = Broker(
+            transports,
+            config,
+            async_fanout=True,
+            hedge_after_s=0.1,
+            request_timeout_s=0.4,
+            partial_policy="degrade",
+        )
+        try:
+            _, _, info = broker.search_batch(
+                "hedge", probe, 10, with_info=True
+            )
+            assert (info["shards_answered"] == NUM_SHARDS - 1).all()
+            stats = broker.stats()
+            assert stats["hedges"] == 1
+            assert stats["hedge_wins"] == 0
+        finally:
+            close_all(broker, transports)
+
+
+class TestConnectionHygiene:
+    def test_cancelled_losers_do_not_leak_connections(
+        self, fleet, config, queries
+    ):
+        """Each batch hedges the straggler and cancels the losing
+        primary; its connection must be discarded, not pooled, and the
+        open-socket gauge must stay bounded by the pool size."""
+        transports = make_transports(fleet)
+        broker = Broker(
+            transports,
+            config,
+            async_fanout=True,
+            hedge_after_s=0.05,
+            request_timeout_s=30.0,
+        )
+        try:
+            for _ in range(5):
+                broker.search_batch("hedge", queries[:4], 10)
+            assert broker.stats()["hedges"] == 5
+            slow_client = transports[SLOW_SHARD].async_client
+            assert slow_client.open_connections <= slow_client.pool_size, (
+                f"{slow_client.open_connections} sockets open after 5 "
+                f"hedged batches (pool_size={slow_client.pool_size})"
+            )
+        finally:
+            close_all(broker, transports)
+        for transport in transports:
+            assert transport.async_client.open_connections == 0, (
+                "close() must drain every pooled connection"
+            )
+
+    def test_dead_loop_pools_reaped_across_broker_cycles(
+        self, fleet, config, queries
+    ):
+        """Transports outlive brokers (deploy/undeploy cycles): pooled
+        connections keyed by a closed broker's loop must be reaped, not
+        leak pool_size sockets per searcher per cycle."""
+        transports = make_transports(fleet)
+        try:
+            for _ in range(3):
+                broker = Broker(
+                    transports,
+                    config,
+                    async_fanout=True,
+                    request_timeout_s=30.0,
+                )
+                broker.search_batch("hedge", queries[:2], 5)
+                broker.close()
+            broker = Broker(
+                transports, config, async_fanout=True, request_timeout_s=30.0
+            )
+            broker.search_batch("hedge", queries[:2], 5)
+            try:
+                for transport in transports:
+                    client = transport.async_client
+                    assert (
+                        client.open_connections <= client.pool_size
+                    ), (
+                        f"{client.open_connections} sockets open after 4 "
+                        "broker generations over one transport"
+                    )
+            finally:
+                broker.close()
+        finally:
+            for transport in transports:
+                transport.close()
+        for transport in transports:
+            assert transport.async_client.open_connections == 0
+
+    def test_async_fanout_uses_one_loop_thread(self, fleet, config, queries):
+        """O(1) threads for N in-flight remote RPCs: the async broker
+        adds exactly one thread (the loop), never a fan-out pool."""
+        before = set(threading.enumerate())
+        transports = make_transports(fleet)
+        broker = Broker(
+            transports,
+            config,
+            async_fanout=True,
+            hedge_after_s=0.05,
+            request_timeout_s=30.0,
+        )
+        try:
+            broker.search_batch("hedge", queries[:4], 10)
+            added = [
+                thread.name
+                for thread in threading.enumerate()
+                if thread not in before and thread.name.startswith("broker-")
+            ]
+            assert added == ["broker-async-loop"], added
+            assert broker._pool is None
+            assert broker.stats()["fanout_workers"] == 0
+            assert broker.stats()["async_fanout"] is True
+        finally:
+            close_all(broker, transports)
+        alive = [
+            thread.name
+            for thread in threading.enumerate()
+            if thread not in before and thread.name.startswith("broker-")
+        ]
+        assert not [name for name in alive], (
+            f"loop thread survived close(): {alive}"
+        )
+
+
+class TestServiceIntegration:
+    def test_service_async_fanout_hedged_end_to_end(
+        self, shared_fs, fleet, queries, index
+    ):
+        """OnlineService wiring: deploy over RPC onto the straggler
+        fleet with async fan-out + hedging, parity against an in-process
+        service, stats surfaced, clean undeploy."""
+        addresses = [server.address for server in fleet]
+        local = OnlineService()
+        remote = OnlineService(
+            searchers=addresses,
+            async_fanout=True,
+            hedge_after_s=0.05,
+            request_timeout_s=30.0,
+        )
+        try:
+            local.deploy(shared_fs, INDEX_PATH, index_name="svc")
+            remote.deploy(shared_fs, INDEX_PATH, index_name="svc")
+            assert isinstance(
+                remote.searchers[0], AsyncRemoteSearcherTransport
+            )
+            want_ids, want_dists = local.query_batch(
+                queries, 10, index_name="svc"
+            )
+            got_ids, got_dists, info = remote.query_batch(
+                queries, 10, index_name="svc", with_info=True
+            )
+            np.testing.assert_array_equal(got_ids, want_ids)
+            np.testing.assert_array_equal(got_dists, want_dists)
+            assert (info["shards_answered"] == NUM_SHARDS).all()
+            stats = remote.brokers["svc"].stats()
+            assert stats["async_fanout"] is True
+            assert stats["hedge_after_s"] == 0.05
+            remote.undeploy("svc")
+        finally:
+            local.close()
+            remote.close()
+
+    def test_hedging_requires_async_fanout(self, config):
+        nodes = [SearcherNode(shard_id) for shard_id in range(NUM_SHARDS)]
+        with pytest.raises(ValueError, match="requires async_fanout"):
+            Broker(nodes, config, hedge_after_s=0.1)
+        with pytest.raises(ValueError, match="must be positive"):
+            Broker(nodes, config, async_fanout=True, hedge_after_s=0.0)

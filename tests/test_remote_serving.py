@@ -16,9 +16,11 @@ connection-reset paths.  Failure taxonomy under test:
 
 from __future__ import annotations
 
+import asyncio
 import contextlib
 import socket
 import threading
+import time
 
 import numpy as np
 import pytest
@@ -32,7 +34,8 @@ from repro.errors import (
     RemoteCallError,
     TransportError,
 )
-from repro.net.client import RemoteSearcherClient
+from repro.net.client import AsyncRemoteSearcherClient, RemoteSearcherClient
+from repro.net.protocol import MsgType
 from repro.net.server import SearcherServer
 from repro.net.transport import RemoteSearcherTransport
 from repro.online.broker import Broker
@@ -460,6 +463,44 @@ class TestTimeouts:
                     with contextlib.suppress(TransportError):
                         client.undeploy("tmo")
                     client.close()
+
+
+class TestDeadlineCauseChaining:
+    """A deadline that expires while retrying a *connectivity* failure
+    must keep that failure as ``__cause__``: a refused connection that
+    reads as a plain timeout sends the operator debugging the wrong
+    thing (slow searcher vs searcher not listening at all)."""
+
+    def test_sync_client_deadline_chains_connectivity_cause(self):
+        client = RemoteSearcherClient(
+            refused_address(), retries=3, backoff_s=0.05
+        )
+        try:
+            with pytest.raises(DeadlineExceededError) as excinfo:
+                client.call(
+                    MsgType.PING, deadline=time.monotonic() + 0.02
+                )
+            assert isinstance(excinfo.value.__cause__, ConnectionLostError)
+        finally:
+            client.close()
+
+    def test_async_client_deadline_chains_connectivity_cause(self):
+        async def scenario():
+            client = AsyncRemoteSearcherClient(
+                refused_address(), retries=3, backoff_s=0.05
+            )
+            try:
+                with pytest.raises(DeadlineExceededError) as excinfo:
+                    await client.call(
+                        MsgType.PING, deadline=time.monotonic() + 0.02
+                    )
+                assert isinstance(
+                    excinfo.value.__cause__, ConnectionLostError
+                )
+            finally:
+                client.close()
+
+        asyncio.run(scenario())
 
 
 class TestKilledSearcherProcess:
