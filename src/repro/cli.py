@@ -50,6 +50,23 @@ def _load_vectors(path: str) -> np.ndarray:
     raise SystemExit(f"unsupported vector file {path!r} (use .npy or .fvecs)")
 
 
+def _hedge_after(value: str):
+    """Parse --hedge-after-s: a positive float, or the string 'auto'."""
+    if value == "auto":
+        return "auto"
+    try:
+        parsed = float(value)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected a delay in seconds or 'auto', got {value!r}"
+        ) from None
+    if not parsed > 0:  # also rejects NaN
+        raise argparse.ArgumentTypeError(
+            f"delay must be positive, got {value!r}"
+        )
+    return parsed
+
+
 def _add_common(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--root", required=True, help="LocalHdfs root directory"
@@ -72,11 +89,14 @@ def _cmd_build(args: argparse.Namespace) -> int:
             M=args.hnsw_m,
             ef_construction=args.ef_construction,
             min_graph_size=args.min_graph_size,
+            build_batch=args.build_batch,
         ),
         seed=args.seed,
     )
     fs = LocalHdfs(args.root)
-    cluster = LocalCluster(num_executors=args.executors, fs=fs)
+    cluster = LocalCluster(
+        num_executors=args.executors, mode=args.cluster_mode, fs=fs
+    )
     begin = time.perf_counter()
     manifest, metrics = build_index_job(
         cluster, fs, vectors, config, args.out
@@ -218,7 +238,11 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         num_shards=args.shards,
         num_segments=args.segments,
         segmenter=args.segmenter,
-        hnsw=HnswParams(M=args.hnsw_m, ef_construction=args.ef_construction),
+        hnsw=HnswParams(
+            M=args.hnsw_m,
+            ef_construction=args.ef_construction,
+            build_batch=args.build_batch,
+        ),
         seed=args.seed,
     )
     print(f"dataset {dataset!r}")
@@ -310,6 +334,25 @@ def build_parser() -> argparse.ArgumentParser:
             "instead of graph search (0 disables)"
         ),
     )
+    build.add_argument(
+        "--build-batch",
+        type=int,
+        default=64,
+        help=(
+            "construction wave size for the batched lockstep insert "
+            "path (<= 1 falls back to one-row-at-a-time insertion)"
+        ),
+    )
+    build.add_argument(
+        "--cluster-mode",
+        choices=["inline", "threads", "processes"],
+        default="inline",
+        help=(
+            "how per-partition build tasks execute: 'processes' runs "
+            "them on a process pool (real parallelism for multi-"
+            "segment builds)"
+        ),
+    )
     build.add_argument("--seed", type=int, default=0)
     build.set_defaults(handler=_cmd_build)
 
@@ -391,11 +434,12 @@ def build_parser() -> argparse.ArgumentParser:
     )
     query.add_argument(
         "--hedge-after-s",
-        type=float,
+        type=_hedge_after,
         default=None,
         help=(
             "hedge a straggling shard RPC on a second connection after "
-            "this many seconds, budget permitting; implies "
+            "this many seconds ('auto' derives the delay from the live "
+            "shard_rpc latency window), budget permitting; implies "
             "--async-fanout (remote mode)"
         ),
     )
@@ -455,6 +499,12 @@ def build_parser() -> argparse.ArgumentParser:
     )
     bench.add_argument("--hnsw-m", type=int, default=12)
     bench.add_argument("--ef-construction", type=int, default=56)
+    bench.add_argument(
+        "--build-batch",
+        type=int,
+        default=64,
+        help="construction wave size (<= 1 = sequential insertion)",
+    )
     bench.add_argument("--seed", type=int, default=0)
     bench.set_defaults(handler=_cmd_bench)
     return parser

@@ -14,6 +14,8 @@ The HDFS-integrated version of the same flow lives in
 
 from __future__ import annotations
 
+from functools import partial
+
 import numpy as np
 
 from repro.core.config import LannsConfig
@@ -144,19 +146,18 @@ class LannsBuilder:
         partitions = self.partition(vectors, ids, segmenter)
         seeds = spawn_seeds(config.seed, config.total_partitions)
 
-        def make_build_task(key: tuple[int, int], seed: int):
-            part_ids, part_vectors = partitions[key]
-
-            def task() -> tuple[tuple[int, int], HnswIndex]:
-                return key, _build_segment_index(
-                    part_vectors, part_ids, config, seed
-                )
-
-            return task
-
         keys = sorted(partitions)
+        # functools.partial of a module-level function, not a closure:
+        # cluster mode "processes" has to pickle each task.
         tasks = [
-            make_build_task(key, seeds[position])
+            partial(
+                _build_partition_task,
+                key,
+                partitions[key][1],
+                partitions[key][0],
+                config,
+                seeds[position],
+            )
             for position, key in enumerate(keys)
         ]
         if cluster is not None:
@@ -172,6 +173,17 @@ class LannsBuilder:
             ]
             shards.append(ShardIndex(shard, segments, segmenter))
         return LannsIndex(config, shards, segmenter)
+
+
+def _build_partition_task(
+    key: tuple[int, int],
+    part_vectors: np.ndarray,
+    part_ids: np.ndarray,
+    config: LannsConfig,
+    seed: int,
+) -> tuple[tuple[int, int], HnswIndex]:
+    """Build one (shard, segment) partition; picklable for any cluster mode."""
+    return key, _build_segment_index(part_vectors, part_ids, config, seed)
 
 
 def _build_segment_index(

@@ -247,6 +247,30 @@ class Scorer:
             return 1.0 - gram
         return -gram
 
+    def pairwise_ids_batch(self, ids: np.ndarray) -> np.ndarray:
+        """All-pairs reduced distances for a ``(P, C)`` stack of id rows.
+
+        Row ``p`` of the result is ``pairwise_ids(ids[p])`` -- one batched
+        GEMM (``np.matmul`` over the stacked axis) replaces P separate
+        calls, which is what lets the construction wave score every
+        pending neighbor-selection problem in one vectorised round.  Each
+        stack slice is an independent ``(C, d) @ (d, C)`` product, so a
+        stack of one is bit-identical to any larger stack (the heuristic
+        relies on this: the sequential insert path is a batch of one).
+        Padding slots may repeat any valid id; callers mask them out.
+        """
+        rows = self._data[ids]
+        gram = np.matmul(rows, rows.transpose(0, 2, 1))
+        if self._is_euclidean:
+            norms = self._sq_norms[ids]
+            squared = norms[:, :, np.newaxis] + norms[:, np.newaxis, :]
+            squared -= 2.0 * gram
+            np.maximum(squared, 0.0, out=squared)
+            return squared
+        if self._is_cosine:
+            return 1.0 - gram
+        return -gram
+
     def to_true(self, reduced: np.ndarray) -> np.ndarray:
         """Convert reduced scores to true metric distances."""
         return self.metric.to_true(np.asarray(reduced))

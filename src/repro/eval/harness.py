@@ -302,7 +302,7 @@ def remote_serving_throughput(
     cache_size: int = 0,
     request_timeout_s: float | None = None,
     async_fanout: bool = False,
-    hedge_after_s: float | None = None,
+    hedge_after_s: float | str | None = None,
     check_parity: bool = True,
 ) -> dict:
     """Measure serving through a *remote* searcher fleet vs in-process.

@@ -79,6 +79,21 @@ class StageLatencyRecorder:
             self._count.clear()
             self._total.clear()
 
+    def quantile(self, stage: str, q: float) -> tuple[int, float] | None:
+        """``(window_count, value)`` of ``stage``'s recent-window quantile.
+
+        Returns ``None`` when the stage has no samples yet.  This is the
+        live read the broker's adaptive hedging uses: the sliding window
+        keeps it current, the exact-forever counters are irrelevant to
+        it.
+        """
+        with self._lock:
+            recent = self._recent.get(stage)
+            if not recent:
+                return None
+            values = np.asarray(recent, dtype=np.float64)
+        return len(values), float(np.quantile(values, q))
+
     def summary(self) -> dict[str, dict]:
         """Per-stage stats: count, total_ms, mean_ms, p50_ms, p99_ms.
 

@@ -43,9 +43,45 @@ class HnswGraph:
         self._neighbors.append([[] for _ in range(level + 1)])
         return node
 
+    def add_nodes(self, levels: list[int]) -> int:
+        """Bulk :meth:`add_node`: create one node per level, in order.
+
+        Returns the id of the first created node; ids are consecutive.
+        Used by the batched insert path (a whole construction wave joins
+        the graph before any of it is linked) and by the bulk loader.
+        """
+        if any(level < 0 for level in levels):
+            raise ValueError("levels must be non-negative")
+        first = len(self.levels)
+        self.levels.extend(int(level) for level in levels)
+        self._neighbors.extend(
+            [[] for _ in range(level + 1)] for level in levels
+        )
+        return first
+
     def neighbors(self, node: int, level: int) -> list[int]:
         """The (mutable) neighbor list of ``node`` at ``level``."""
         return self._neighbors[node][level]
+
+    def set_level_csr(
+        self,
+        level: int,
+        nodes: list[int],
+        indptr: list[int],
+        indices: list[int],
+    ) -> None:
+        """Bulk-load one layer's adjacency from a CSR (indptr, indices) pair.
+
+        ``indptr`` is indexed by node id (``len(self) + 1`` entries,
+        absent nodes spanning empty ranges); ``nodes`` lists the nodes
+        that participate at ``level``.  Both are flat Python lists so each
+        neighbor list is one list slice -- no per-node array slicing or
+        ``tolist()`` calls, which keeps bulk index loads O(edges) instead
+        of O(nodes) numpy round-trips.
+        """
+        neighbors = self._neighbors
+        for node in nodes:
+            neighbors[node][level] = indices[indptr[node] : indptr[node + 1]]
 
     def set_neighbors(self, node: int, level: int, neighbor_ids: list[int]) -> None:
         """Replace the neighbor list of ``node`` at ``level``."""
@@ -132,6 +168,15 @@ class VisitedPool:
     """
 
     def __init__(self) -> None:
+        self._local = threading.local()
+
+    def __getstate__(self) -> dict:
+        # Thread-local table caches are scratch space bound to threads of
+        # the originating process; a pickled pool (an index crossing a
+        # processes-mode cluster boundary) restarts empty.
+        return {}
+
+    def __setstate__(self, state: dict) -> None:
         self._local = threading.local()
 
     def get(self, capacity: int) -> VisitedTable:

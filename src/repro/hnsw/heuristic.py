@@ -31,7 +31,7 @@ def select_neighbors_heuristic(
     *,
     keep_pruned: bool = True,
 ) -> list[tuple[float, int]]:
-    """Diversity-aware neighbor selection.
+    """Diversity-aware neighbor selection (a batch of one problem).
 
     Parameters
     ----------
@@ -49,33 +49,81 @@ def select_neighbors_heuristic(
     -------
     Selected ``(reduced_distance, node)`` pairs, at most ``m``.
     """
+    return select_neighbors_heuristic_batch(
+        scorer, [candidates], m, keep_pruned=keep_pruned
+    )[0]
+
+
+def select_neighbors_heuristic_batch(
+    scorer: Scorer,
+    problems: list[list[tuple[float, int]]],
+    m: int,
+    *,
+    keep_pruned: bool = True,
+) -> list[list[tuple[float, int]]]:
+    """Run many independent neighbor selections in one vectorised round.
+
+    Problem ``p`` gets exactly the result of
+    :func:`select_neighbors_heuristic` on ``problems[p]``: the candidate
+    ids of every problem that actually needs pruning are padded into one
+    ``(P, C)`` stack and all candidate-to-candidate distances come from a
+    single :meth:`~repro.distance.scorer.Scorer.pairwise_ids_batch` call
+    (each stack slice is an independent GEMM, so grouping problems never
+    changes any problem's distances).  The selection loop then runs on
+    plain Python floats.  This is what the batched construction wave uses
+    to select every (row, layer) neighbor list of a wave at once.
+    """
     if m <= 0:
-        return []
-    ordered = sorted(candidates)
-    if len(ordered) <= m:
-        return ordered
-
-    # One GEMM gives all candidate-to-candidate distances; the selection
-    # loop then runs on plain Python floats (no per-pair numpy calls).
-    ids = np.asarray([node for _, node in ordered], dtype=_IDS_DTYPE)
-    cross = scorer.pairwise_ids(ids).tolist()
-
-    selected: list[tuple[float, int]] = []
-    selected_positions: list[int] = []
-    discarded: list[tuple[float, int]] = []
-    for position, (dist, node) in enumerate(ordered):
-        if len(selected) >= m:
-            discarded.append((dist, node))
-            continue
-        # Keep `node` only if it is closer to the query than to every
-        # already-selected neighbor.
-        row = cross[position]
-        if any(row[other] < dist for other in selected_positions):
-            discarded.append((dist, node))
+        return [[] for _ in problems]
+    output: list[list[tuple[float, int]] | None] = [None] * len(problems)
+    pending: list[tuple[int, list[tuple[float, int]]]] = []
+    for position, candidates in enumerate(problems):
+        ordered = sorted(candidates)
+        if len(ordered) <= m:
+            output[position] = ordered
         else:
-            selected.append((dist, node))
-            selected_positions.append(position)
-    if keep_pruned and len(selected) < m:
-        selected.extend(discarded[: m - len(selected)])
-        selected.sort()
-    return selected
+            pending.append((position, ordered))
+    if not pending:
+        return output  # type: ignore[return-value]
+
+    # One batched GEMM gives every pending problem's cross distances.
+    # Padding repeats the problem's own first id; the selection loop
+    # below never looks past each problem's true candidate count.
+    width = max(len(ordered) for _, ordered in pending)
+    ids = np.empty((len(pending), width), dtype=_IDS_DTYPE)
+    for row, (_, ordered) in enumerate(pending):
+        ids[row, : len(ordered)] = [node for _, node in ordered]
+        ids[row, len(ordered) :] = ordered[0][1]
+    cross_stack = scorer.pairwise_ids_batch(ids)
+
+    for row, (position, ordered) in enumerate(pending):
+        count = len(ordered)
+        cross = cross_stack[row]
+        query_dists = np.asarray([dist for dist, _ in ordered])
+        # Column-wise formulation of the selection loop: a candidate is
+        # discarded iff it is closer to some already-selected neighbor
+        # than to the query, so *selecting* index ``s`` dominates every
+        # later candidate ``t`` with ``cross[t, s] < dist_to_query[t]``.
+        # One boolean vector op per selected neighbor (<= m of them)
+        # replaces the per-pair Python scan over the full cross matrix.
+        dominated = np.zeros(count, dtype=bool)
+        selected_idx: list[int] = []
+        for index in range(count):
+            if dominated[index]:
+                continue
+            selected_idx.append(index)
+            if len(selected_idx) >= m:
+                break
+            closer = cross[:count, index] < query_dists
+            closer[: index + 1] = False
+            dominated |= closer
+        selected = [ordered[index] for index in selected_idx]
+        if keep_pruned and len(selected) < m:
+            keep = np.ones(count, dtype=bool)
+            keep[selected_idx] = False
+            # Discard order is candidate order, exactly as the scan.
+            for index in np.flatnonzero(keep)[: m - len(selected)]:
+                selected.append(ordered[index])
+            selected.sort()
+        output[position] = selected
+    return output  # type: ignore[return-value]

@@ -7,6 +7,7 @@ Malkov & Yashunin on top of the primitives in :mod:`repro.hnsw.search` and
 
 from __future__ import annotations
 
+import itertools
 import math
 
 import numpy as np
@@ -14,11 +15,16 @@ import numpy as np
 from repro.distance.scorer import Scorer
 from repro.errors import IndexNotBuiltError
 from repro.hnsw.graph import HnswGraph, VisitedPool
-from repro.hnsw.heuristic import select_neighbors_heuristic, select_neighbors_simple
+from repro.hnsw.heuristic import (
+    select_neighbors_heuristic,
+    select_neighbors_heuristic_batch,
+    select_neighbors_simple,
+)
 from repro.hnsw.params import HnswParams
 from repro.hnsw.search import (
     descend_to_level,
     descend_to_level_batch,
+    descend_to_levels_batch,
     search_layer,
     search_layer_batch,
 )
@@ -115,6 +121,11 @@ class HnswIndex:
     def add(self, vectors: np.ndarray, ids: np.ndarray | None = None) -> None:
         """Insert vectors (Algorithm 1 of Malkov & Yashunin).
 
+        With ``params.build_batch > 1`` (the default) rows are inserted
+        in lockstep construction waves (:meth:`_insert_wave`); ``<= 1``
+        keeps the one-row-at-a-time sequential path.  Both paths draw one
+        level per row from the same RNG stream, in row order.
+
         Parameters
         ----------
         vectors:
@@ -137,21 +148,55 @@ class HnswIndex:
                 # -1 is the batch-result padding sentinel; negative
                 # external ids would be indistinguishable from it.
                 raise ValueError("external ids must be non-negative")
-            if len(set(ids.tolist())) != n:
+            if np.unique(ids).size != n:
                 raise ValueError("duplicate ids within one add() call")
-        for external_id in ids.tolist():
-            if external_id in self._id_to_row:
-                raise ValueError(f"id {external_id} already present")
+        if self._id_to_row and n >= 1024:
+            # Bulk insert: one vectorised membership check.  The
+            # existing-id array costs O(len(index)) to materialise, so
+            # this only pays off when the batch is large enough to
+            # amortise it.
+            clashes = np.isin(ids, self.external_ids)
+            if clashes.any():
+                clash = int(ids[np.flatnonzero(clashes)[0]])
+                raise ValueError(f"id {clash} already present")
+        elif self._id_to_row:
+            # Small incremental add: the dict probe is O(n) regardless
+            # of index size, where the vectorised check would be
+            # O(len(index)) per call -- quadratic across many calls.
+            for external_id in ids.tolist():
+                if external_id in self._id_to_row:
+                    raise ValueError(f"id {external_id} already present")
         rows = self._scorer.add(vectors)
-        for row, external_id in zip(rows.tolist(), ids.tolist()):
-            self._external_ids.append(external_id)
+        row_list = rows.tolist()
+        self._external_ids.extend(ids.tolist())
+        for row, external_id in zip(row_list, ids.tolist()):
             self._id_to_row[external_id] = row
-            self._insert_row(row)
 
-    def _insert_row(self, row: int) -> None:
+        wave = self.params.build_batch
+        if wave <= 1 or n <= 1:
+            for row in row_list:
+                self._insert_row(row)
+            return
+        # Levels are drawn up-front in row order: the batched path
+        # consumes the RNG stream exactly like the sequential one.
+        levels = [self._draw_level() for _ in range(n)]
+        start = 0
+        if len(self._graph) == 0:
+            # Bootstrap an empty graph: the first row becomes the entry
+            # point the first wave descends from.
+            self._insert_row(row_list[0], level=levels[0])
+            start = 1
+        for begin in range(start, n, wave):
+            self._insert_wave(
+                row_list[begin : begin + wave],
+                levels[begin : begin + wave],
+            )
+
+    def _insert_row(self, row: int, level: int | None = None) -> None:
         params = self.params
         graph = self._graph
-        level = self._draw_level()
+        if level is None:
+            level = self._draw_level()
         query = self._scorer.data[row]
 
         if len(graph) == 0:
@@ -195,6 +240,205 @@ class HnswIndex:
         if level > previous_max:
             graph.entry_point = row
             graph.max_level = level
+
+    def _insert_wave(self, rows: list[int], levels: list[int]) -> None:
+        """Insert one construction wave through the lockstep batch kernels.
+
+        The whole wave descends and beam-searches against a *snapshot* of
+        the graph (wave members are unreachable until the apply phase, so
+        every row sees the same pre-wave links), pooling each round's
+        distance evaluations into one vectorised call exactly like the
+        batched query path.  Because wave members cannot find each other
+        by traversal, every row's candidate lists are augmented with its
+        *earlier* wave-mates -- the neighbors sequential insertion would
+        have been able to reach -- scored by one wave-wide GEMM.  Neighbor
+        selection for all (row, layer) problems runs as one
+        :func:`select_neighbors_heuristic_batch` round, and links (forward
+        lists plus reverse-link shrinking) are applied in ascending row
+        order, so the same seed and wave size always produce the same
+        graph.  The graph must be non-empty.
+        """
+        params = self.params
+        graph = self._graph
+        scorer = self._scorer
+        count = len(rows)
+        previous_max = graph.max_level
+        graph.add_nodes(levels)
+
+        queries = scorer.data[rows]  # fancy indexing: a true snapshot copy
+        query_sq = scorer.query_sq_norms(queries)
+        wave_ids = np.asarray(rows, dtype=_IDS_DTYPE)
+        # Intra-wave candidate distances: earlier rows of the wave are
+        # legitimate neighbors for later ones even though no traversal
+        # can reach them yet.  Each row only offers its nearest earlier
+        # wave-mates to the selection heuristic -- selection keeps at
+        # most M links, so a 2x pool preserves the diversity choice while
+        # keeping the padded selection problems small.
+        wave_cross_np = scorer.pairwise_ids(wave_ids)
+        wave_cross = wave_cross_np.tolist()
+        mate_cap = 2 * params.M
+        nearest_mates: list[list[int]] = [[]]
+        for i in range(1, count):
+            order = np.argsort(wave_cross_np[i, :i], kind="stable")
+            nearest_mates.append(order[:mate_cap].tolist())
+
+        join = [min(level, previous_max) for level in levels]
+        entries, entry_dists = descend_to_levels_batch(
+            graph, scorer, queries, join, query_sq
+        )
+        beams: list[list[tuple[float, int]]] = [
+            [(entry_dists[i], entries[i])] for i in range(count)
+        ]
+        ef = max(params.ef_construction, 1)
+        layer_candidates: dict[tuple[int, int], list[tuple[float, int]]] = {}
+        for layer in range(max(join), -1, -1):
+            active = [i for i in range(count) if join[i] >= layer]
+            sub_queries = queries[active]
+            tables = self._visited_pool.get_many(len(graph), len(active))
+            found = search_layer_batch(
+                graph,
+                scorer,
+                sub_queries,
+                [beams[i] for i in active],
+                ef,
+                layer,
+                tables,
+                query_sq[active],
+            )
+            for i, candidates in zip(active, found):
+                layer_candidates[(i, layer)] = candidates
+                beams[i] = candidates
+
+        # One vectorised selection round for every (row, layer) problem,
+        # in apply order: row ascending, layer descending.
+        problem_keys: list[tuple[int, int]] = []
+        problems: list[list[tuple[float, int]]] = []
+        for i in range(count):
+            for layer in range(join[i], -1, -1):
+                candidates = list(layer_candidates[(i, layer)])
+                cross_row = wave_cross[i]
+                for j in nearest_mates[i]:
+                    if levels[j] >= layer:
+                        candidates.append((cross_row[j], rows[j]))
+                problem_keys.append((i, layer))
+                problems.append(candidates)
+        if params.use_heuristic:
+            selections = select_neighbors_heuristic_batch(
+                scorer,
+                problems,
+                params.M,
+                keep_pruned=params.keep_pruned_connections,
+            )
+        else:
+            selections = [
+                select_neighbors_simple(problem, params.M)
+                for problem in problems
+            ]
+
+        # Apply phase: deterministic row order.  Reverse links are
+        # appended without per-edge shrinking; (node, layer) pairs pushed
+        # over their degree bound are re-selected afterwards in one
+        # vectorised round (one shrink per wave instead of one per edge,
+        # and the re-selection sees every wave row that linked in).
+        max_m = params.effective_max_m
+        max_m0 = params.effective_max_m0
+        overfull: dict[tuple[int, int], None] = {}
+        for (i, layer), selected in zip(problem_keys, selections):
+            row = rows[i]
+            graph.set_neighbors(row, layer, [node for _, node in selected])
+            max_degree = max_m0 if layer == 0 else max_m
+            for _, neighbor in selected:
+                graph.add_link(neighbor, layer, row)
+                if graph.degree(neighbor, layer) > max_degree:
+                    overfull[(neighbor, layer)] = None
+        if overfull:
+            self._shrink_links_wave(list(overfull))
+
+        # Entry-point evolution mirrors sequential insertion: the first
+        # row to exceed the running maximum takes over.
+        running_max = previous_max
+        for i in range(count):
+            if levels[i] > running_max:
+                graph.entry_point = rows[i]
+                running_max = levels[i]
+        graph.max_level = running_max
+
+    def _shrink_links_wave(self, targets: list[tuple[int, int]]) -> None:
+        """Re-select the out-links of over-full ``(node, layer)`` pairs.
+
+        The wave counterpart of the shrink inside :meth:`_link_back`: all
+        node-to-neighbor distances come from one
+        :meth:`~repro.distance.scorer.Scorer.score_pairs` call and the
+        re-selections run as (at most) two
+        :func:`select_neighbors_heuristic_batch` rounds -- one per degree
+        bound -- instead of one small GEMM per over-full edge.  Unlike the
+        sequential path, each node is shrunk once per wave with *every*
+        wave row that linked to it in the candidate set, which can only
+        widen the pool the diversity heuristic picks from.
+
+        Also unlike the sequential shrink, pruned candidates are never
+        kept: an over-full list is being *pruned*, and padding it
+        straight back to the degree bound densifies the graph far beyond
+        the sequential path's degree profile -- which measurably slows
+        every later wave's beam search.  hnswlib's reverse-link shrink
+        makes the same call.
+        """
+        graph = self._graph
+        scorer = self._scorer
+        params = self.params
+        neighbor_lists = [
+            graph.neighbors(node, layer) for node, layer in targets
+        ]
+        flat_rows: list[int] = []
+        flat_ids: list[int] = []
+        for position, nbrs in enumerate(neighbor_lists):
+            flat_rows.extend([position] * len(nbrs))
+            flat_ids.extend(nbrs)
+        node_ids = np.asarray(
+            [node for node, _ in targets], dtype=_IDS_DTYPE
+        )
+        queries = scorer.data[node_ids]
+        dists = scorer.score_pairs(
+            queries,
+            np.asarray(flat_rows),
+            np.asarray(flat_ids, dtype=_IDS_DTYPE),
+            scorer.query_sq_norms(queries),
+        ).tolist()
+        # Two batch rounds at most: the degree bound differs between the
+        # base layer and the upper layers.
+        by_bound: dict[int, tuple[list[int], list[list[tuple[float, int]]]]]
+        by_bound = {}
+        offset = 0
+        for position, (node, layer) in enumerate(targets):
+            nbrs = neighbor_lists[position]
+            problem = list(zip(dists[offset : offset + len(nbrs)], nbrs))
+            offset += len(nbrs)
+            bound = (
+                params.effective_max_m0
+                if layer == 0
+                else params.effective_max_m
+            )
+            positions, problems = by_bound.setdefault(bound, ([], []))
+            positions.append(position)
+            problems.append(problem)
+        for bound, (positions, problems) in by_bound.items():
+            if params.use_heuristic:
+                reselected = select_neighbors_heuristic_batch(
+                    scorer,
+                    problems,
+                    bound,
+                    keep_pruned=False,
+                )
+            else:
+                reselected = [
+                    select_neighbors_simple(problem, bound)
+                    for problem in problems
+                ]
+            for position, selected in zip(positions, reselected):
+                node, layer = targets[position]
+                graph.set_neighbors(
+                    node, layer, [nbr for _, nbr in selected]
+                )
 
     def _link_back(
         self, node: int, new_row: int, dist: float, layer: int, max_degree: int
@@ -382,18 +626,23 @@ class HnswIndex:
             "vectors": np.array(self._scorer.data),
             "params_json": np.asarray(_params_to_json(self.params)),
         }
+        levels = np.asarray(self._graph.levels, dtype=np.int64)
         for level in range(self._graph.max_level + 1):
-            indptr = np.zeros(n + 1, dtype=np.int64)
+            # indptr/indices are assembled with numpy (counts -> cumsum,
+            # one chained fromiter) instead of a per-node Python
+            # accumulation; absent nodes contribute empty ranges.
+            counts = np.zeros(n, dtype=np.int64)
             chunks: list[list[int]] = []
-            total = 0
-            for node in range(n):
-                if self._graph.levels[node] >= level:
-                    nbrs = self._graph.neighbors(node, level)
-                    chunks.append(nbrs)
-                    total += len(nbrs)
-                indptr[node + 1] = total
-            indices = np.asarray(
-                [nbr for chunk in chunks for nbr in chunk], dtype=np.int64
+            for node in np.flatnonzero(levels >= level).tolist():
+                nbrs = self._graph.neighbors(node, level)
+                counts[node] = len(nbrs)
+                chunks.append(nbrs)
+            indptr = np.zeros(n + 1, dtype=np.int64)
+            np.cumsum(counts, out=indptr[1:])
+            indices = np.fromiter(
+                itertools.chain.from_iterable(chunks),
+                dtype=np.int64,
+                count=int(indptr[-1]),
             )
             payload[f"indptr_{level}"] = indptr
             payload[f"indices_{level}"] = indices
@@ -420,17 +669,22 @@ class HnswIndex:
         index._scorer._data[:n] = vectors
         index._scorer._sq_norms[:n] = np.einsum("ij,ij->i", vectors, vectors)
         index._scorer._count = n
-        for node in range(n):
-            graph.add_node(int(levels[node]))
+        graph.add_nodes(levels.tolist())
         graph.entry_point = int(payload["entry_point"])
         graph.max_level = int(payload["max_level"])
         for level in range(graph.max_level + 1):
-            indptr = np.asarray(payload[f"indptr_{level}"], dtype=np.int64)
-            indices = np.asarray(payload[f"indices_{level}"], dtype=np.int64)
-            for node in range(n):
-                if levels[node] >= level:
-                    start, stop = indptr[node], indptr[node + 1]
-                    graph.set_neighbors(node, level, indices[start:stop].tolist())
+            indptr = np.asarray(
+                payload[f"indptr_{level}"], dtype=np.int64
+            ).tolist()
+            indices = np.asarray(
+                payload[f"indices_{level}"], dtype=np.int64
+            ).tolist()
+            graph.set_level_csr(
+                level,
+                np.flatnonzero(levels >= level).tolist(),
+                indptr,
+                indices,
+            )
         external = np.asarray(payload["external_ids"], dtype=np.int64)
         if (external < 0).any():
             # Same invariant add() enforces: -1 is the batch padding

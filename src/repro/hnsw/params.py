@@ -43,6 +43,15 @@ class HnswParams:
     #: either way, so a segment that grows past the threshold switches
     #: to graph search transparently.
     min_graph_size: int = 0
+    #: Construction wave size for the batched lockstep insert path:
+    #: :meth:`~repro.hnsw.HnswIndex.add` groups incoming rows into waves
+    #: of this many, descends and beam-searches each wave against a
+    #: snapshot of the graph through the lockstep batch kernels, then
+    #: links in deterministic row order.  ``<= 1`` falls back to the
+    #: one-row-at-a-time sequential insert.  Larger waves amortise more
+    #: numpy dispatch but search a slightly staler snapshot; the default
+    #: matches the serving path's lockstep group size.
+    build_batch: int = 64
 
     def __post_init__(self) -> None:
         if self.M < 2:
@@ -62,6 +71,10 @@ class HnswParams:
         if self.min_graph_size < 0:
             raise ValueError(
                 f"min_graph_size must be >= 0, got {self.min_graph_size}"
+            )
+        if self.build_batch < 0:
+            raise ValueError(
+                f"build_batch must be >= 0, got {self.build_batch}"
             )
 
     @property
@@ -93,6 +106,7 @@ class HnswParams:
             "keep_pruned_connections": self.keep_pruned_connections,
             "use_heuristic": self.use_heuristic,
             "min_graph_size": self.min_graph_size,
+            "build_batch": self.build_batch,
         }
 
     @classmethod

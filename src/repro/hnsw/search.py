@@ -160,6 +160,30 @@ def descend_to_level_batch(
     Returns per-query entry nodes and reduced entry distances for
     ``target_level``.  The graph must be non-empty.
     """
+    return descend_to_levels_batch(
+        graph,
+        scorer,
+        queries,
+        [target_level] * queries.shape[0],
+        query_sq,
+    )
+
+
+def descend_to_levels_batch(
+    graph: HnswGraph,
+    scorer: Scorer,
+    queries: np.ndarray,
+    target_levels: list[int],
+    query_sq: np.ndarray | None = None,
+) -> tuple[list[int], list[float]]:
+    """Batched greedy descent with a *per-query* target level.
+
+    Query ``i`` walks from the global entry point down through layers
+    ``max_level .. target_levels[i] + 1`` and settles where
+    :func:`descend_to_level` would.  The construction wave needs the
+    per-query targets: each new row stops descending at its own drawn
+    level, yet all rows of a wave share every round's scoring call.
+    """
     num_queries = queries.shape[0]
     entry = graph.entry_point
     entry_dists = scorer.score_pairs(
@@ -170,30 +194,30 @@ def descend_to_level_batch(
     )
     current = [entry] * num_queries
     current_dist = [float(dist) for dist in entry_dists]
-    for level in range(graph.max_level, target_level, -1):
-        active = list(range(num_queries))
+    for level in range(graph.max_level, min(target_levels, default=0), -1):
+        active = [i for i in range(num_queries) if target_levels[i] < level]
         while active:
             flat_ids: list[int] = []
-            flat_rows: list[int] = []
-            spans: list[tuple[int, int]] = []
+            span_rows: list[int] = []
+            span_counts: list[int] = []
             for i in active:
                 neighbors = graph.neighbors(current[i], level)
                 if not neighbors:
                     continue  # local minimum: settled at this level
-                spans.append((i, len(neighbors)))
+                span_rows.append(i)
+                span_counts.append(len(neighbors))
                 flat_ids.extend(neighbors)
-                flat_rows.extend([i] * len(neighbors))
             if not flat_ids:
                 break
             dists = scorer.score_pairs(
                 queries,
-                np.asarray(flat_rows),
+                np.repeat(span_rows, span_counts),
                 np.asarray(flat_ids, dtype=_IDS_DTYPE),
                 query_sq,
             )
             moved: list[int] = []
             offset = 0
-            for i, count in spans:
+            for i, count in zip(span_rows, span_counts):
                 segment = dists[offset : offset + count]
                 best = int(np.argmin(segment))
                 best_dist = float(segment[best])
@@ -233,6 +257,7 @@ def search_layer_batch(
     ``ef`` long -- identical to running :func:`search_layer` per query.
     """
     num_queries = queries.shape[0]
+    adjacency = graph._neighbors  # direct slot access: hot loop
     candidates: list[list[tuple[float, int]]] = []
     results: list[list[tuple[float, int]]] = []
     for i in range(num_queries):
@@ -253,8 +278,8 @@ def search_layer_batch(
     while active:
         # Phase 1: advance each query to its next scoring point (or done).
         flat_ids: list[int] = []
-        flat_rows: list[int] = []
-        spans: list[tuple[int, int]] = []
+        span_rows: list[int] = []
+        span_counts: list[int] = []
         for i in active:
             cand = candidates[i]
             res = results[i]
@@ -268,7 +293,7 @@ def search_layer_batch(
                     break
                 fresh = [
                     neighbor
-                    for neighbor in graph.neighbors(node, level)
+                    for neighbor in adjacency[node][level]
                     if tags[neighbor] != epoch
                 ]
                 if fresh:
@@ -276,32 +301,32 @@ def search_layer_batch(
                         tags[neighbor] = epoch
                     break
             if fresh:
-                spans.append((i, len(fresh)))
+                span_rows.append(i)
+                span_counts.append(len(fresh))
                 flat_ids.extend(fresh)
-                flat_rows.extend([i] * len(fresh))
         if not flat_ids:
             break
 
         # Phase 2: one vectorised scoring call for the whole round.
         dists = scorer.score_pairs(
             queries,
-            np.asarray(flat_rows),
+            np.repeat(span_rows, span_counts),
             np.asarray(flat_ids, dtype=_IDS_DTYPE),
             query_sq,
         )
+        flat_dists = dists.tolist()
 
         # Phase 3: per-query heap updates (same inner loop as search_layer).
         still_active: list[int] = []
         offset = 0
-        for i, count in spans:
+        for i, count in zip(span_rows, span_counts):
             cand = candidates[i]
             res = results[i]
-            segment = dists[offset : offset + count].tolist()
             worst = -res[0][0]
             full = len(res) >= ef
-            for position in range(count):
-                neighbor_dist = segment[position]
-                neighbor = flat_ids[offset + position]
+            for position in range(offset, offset + count):
+                neighbor_dist = flat_dists[position]
+                neighbor = flat_ids[position]
                 if not full:
                     heapq.heappush(res, (-neighbor_dist, neighbor))
                     heapq.heappush(cand, (neighbor_dist, neighbor))

@@ -30,6 +30,30 @@ from repro.version import __version__
 
 import json
 
+from functools import partial
+
+
+def _build_and_persist_partition(
+    key: tuple[int, int],
+    part_vectors: np.ndarray,
+    part_ids: np.ndarray,
+    config: LannsConfig,
+    seed: int,
+    fs: LocalHdfs,
+    output_path: str,
+) -> tuple[tuple[int, int], str, int]:
+    """Build one partition and write it from "the executor".
+
+    Module-level and picklable, so the build stage can run under any
+    cluster execution mode (inline / threads / processes).
+    """
+    index = _build_segment_index(part_vectors, part_ids, config, seed)
+    data = hnsw_to_bytes(index)
+    shard, segment = key
+    relative = segment_file(shard, segment)
+    fs.write_bytes(f"{output_path}/{relative}", data)
+    return key, _checksum(data), len(index)
+
 
 def build_index_job(
     cluster: LocalCluster,
@@ -71,22 +95,20 @@ def build_index_job(
     seeds = spawn_seeds(config.seed, config.total_partitions)
     keys = sorted(partitions)
 
-    def make_build_task(key: tuple[int, int], seed: int):
-        part_ids, part_vectors = partitions[key]
-
-        def task() -> tuple[tuple[int, int], str, int]:
-            """Build one partition and write it from "the executor"."""
-            index = _build_segment_index(part_vectors, part_ids, config, seed)
-            data = hnsw_to_bytes(index)
-            shard, segment = key
-            relative = segment_file(shard, segment)
-            fs.write_bytes(f"{output_path}/{relative}", data)
-            return key, _checksum(data), len(index)
-
-        return task
-
+    # functools.partial of a module-level function, not a closure: the
+    # cluster's "processes" mode pickles each task into a worker process
+    # (which is what lets multi-partition builds escape the GIL).
     tasks = [
-        make_build_task(key, seeds[position])
+        partial(
+            _build_and_persist_partition,
+            key,
+            partitions[key][1],
+            partitions[key][0],
+            config,
+            seeds[position],
+            fs,
+            output_path,
+        )
         for position, key in enumerate(keys)
     ]
     outcome = cluster.run_tasks(

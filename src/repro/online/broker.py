@@ -97,6 +97,22 @@ from repro.utils.validation import as_matrix, as_vector
 #: Partial-result policies for shard failures during the fan-out.
 PARTIAL_POLICIES = ("fail", "degrade")
 
+#: Adaptive hedging (``hedge_after_s="auto"``): the delay is derived per
+#: batch from the live ``shard_rpc`` latency window as
+#: ``median * AUTO_HEDGE_MULTIPLIER``.  The *median* anchors the healthy
+#: RPC latency -- unlike a high quantile, it stays honest even when up to
+#: half the recent samples come from the very stragglers hedging exists
+#: to cut -- and the multiplier lifts the trigger above normal jitter.
+#: No hedges are issued until the window holds
+#: ``AUTO_HEDGE_MIN_SAMPLES`` samples (cold caches and first connects
+#: would otherwise look like stragglers), and the delay never drops
+#: below ``AUTO_HEDGE_MIN_DELAY_S`` (hedging every RPC on a
+#: microsecond-fast fleet is pure connection churn).
+AUTO_HEDGE_QUANTILE = 0.5
+AUTO_HEDGE_MULTIPLIER = 3.0
+AUTO_HEDGE_MIN_SAMPLES = 32
+AUTO_HEDGE_MIN_DELAY_S = 0.001
+
 
 class _FanoutLoop:
     """One background thread running an asyncio loop for the fan-out.
@@ -204,7 +220,11 @@ class Broker:
         the loser is cancelled (its connection is discarded, never
         pooled).  ``None`` (default) disables hedging.  Tune it from
         ``stats()["stages"]["shard_rpc"]`` -- a little above the
-        healthy p99 hedges only genuine stragglers.
+        healthy p99 hedges only genuine stragglers.  Or pass ``"auto"``
+        to derive the delay per batch from the live ``shard_rpc``
+        window (median x ``AUTO_HEDGE_MULTIPLIER``; no hedging until
+        ``AUTO_HEDGE_MIN_SAMPLES`` samples exist), so the knob tracks
+        the fleet instead of a point-in-time measurement.
     fanout_workers:
         Size of the fan-out pool, independent of ``len(searchers)``.
         Defaults to ``2 * len(searchers)`` so two directly executed
@@ -243,7 +263,7 @@ class Broker:
         *,
         parallel_fanout: bool = False,
         async_fanout: bool = False,
-        hedge_after_s: float | None = None,
+        hedge_after_s: float | str | None = None,
         fanout_workers: int | None = None,
         max_batch: int = 1,
         max_wait_ms: float = 2.0,
@@ -281,7 +301,13 @@ class Broker:
                 f"request_timeout_s must be positive, got {request_timeout_s}"
             )
         if hedge_after_s is not None:
-            if hedge_after_s <= 0:
+            if isinstance(hedge_after_s, str):
+                if hedge_after_s != "auto":
+                    raise ValueError(
+                        "hedge_after_s must be a positive delay in seconds "
+                        f"or 'auto', got {hedge_after_s!r}"
+                    )
+            elif hedge_after_s <= 0:
                 raise ValueError(
                     f"hedge_after_s must be positive, got {hedge_after_s}"
                 )
@@ -298,7 +324,9 @@ class Broker:
         self.cache_quantize_decimals = cache_quantize_decimals
         self.async_fanout = bool(async_fanout)
         self.hedge_after_s = (
-            float(hedge_after_s) if hedge_after_s is not None else None
+            hedge_after_s
+            if hedge_after_s is None or isinstance(hedge_after_s, str)
+            else float(hedge_after_s)
         )
         self.parallel_fanout = bool(parallel_fanout)
         self.fanout_workers = (
@@ -617,8 +645,12 @@ class Broker:
         parts: list | None = None
         fanout_loop = self._fanout_loop  # snapshot: close() may race
         if fanout_loop is not None:
+            # Resolved once per batch: every shard of a fan-out hedges
+            # against the same delay, and an "auto" knob re-reads the
+            # live shard_rpc window between batches, not mid-batch.
+            hedge_delay = self._resolve_hedge_delay()
             coro = self._fanout_async(
-                index_name, queries, budget, eff_ef, deadline
+                index_name, queries, budget, eff_ef, deadline, hedge_delay
             )
             try:
                 future = fanout_loop.submit(coro)
@@ -727,6 +759,25 @@ class Broker:
         )
 
     # -- asyncio fan-out ---------------------------------------------------------------
+    def _resolve_hedge_delay(self) -> float | None:
+        """This batch's hedge delay: the static knob, or the live one.
+
+        ``"auto"`` derives the delay from the ``shard_rpc`` stage's
+        sliding window: ``median * AUTO_HEDGE_MULTIPLIER`` (see the
+        module constants for why the median and not a tail quantile).
+        Until the window holds ``AUTO_HEDGE_MIN_SAMPLES`` samples there
+        is no hedging at all -- the first requests of a fresh broker are
+        establishing connections and warming caches, which must not be
+        mistaken for straggling.
+        """
+        delay = self.hedge_after_s
+        if delay != "auto":
+            return delay
+        sample = self.timings.quantile("shard_rpc", AUTO_HEDGE_QUANTILE)
+        if sample is None or sample[0] < AUTO_HEDGE_MIN_SAMPLES:
+            return None
+        return max(sample[1] * AUTO_HEDGE_MULTIPLIER, AUTO_HEDGE_MIN_DELAY_S)
+
     async def _fanout_async(
         self,
         index_name: str,
@@ -734,6 +785,7 @@ class Broker:
         k: int,
         eff_ef: int,
         deadline: float | None,
+        hedge_delay: float | None,
     ) -> list[tuple]:
         """Multiplex one batch's shard RPCs (and their hedges) on the loop.
 
@@ -745,7 +797,13 @@ class Broker:
         return await asyncio.gather(
             *(
                 self._shard_call_async(
-                    transport, index_name, queries, k, eff_ef, deadline
+                    transport,
+                    index_name,
+                    queries,
+                    k,
+                    eff_ef,
+                    deadline,
+                    hedge_delay,
                 )
                 for transport in self.transports
             )
@@ -759,10 +817,11 @@ class Broker:
         k: int,
         eff_ef: int,
         deadline: float | None,
+        hedge_delay: float | None,
     ) -> tuple:
         try:
             part = await self._hedged_search_async(
-                transport, index_name, queries, k, eff_ef, deadline
+                transport, index_name, queries, k, eff_ef, deadline, hedge_delay
             )
         except TransportError as exc:
             return None, exc
@@ -824,13 +883,15 @@ class Broker:
         k: int,
         eff_ef: int,
         deadline: float | None,
+        hedge_delay: float | None,
     ) -> tuple[np.ndarray, np.ndarray]:
         """One shard's answer, hedging a straggling RPC when allowed.
 
-        The hedge fires only when (a) hedging is configured, (b) the
-        transport can multiplex a second in-flight RPC, and (c) budget
-        remains before the request deadline -- a hedge can never be
-        issued after the deadline has passed.
+        The hedge fires only when (a) hedging is configured (a resolved
+        delay exists for this batch), (b) the transport can multiplex a
+        second in-flight RPC, and (c) budget remains before the request
+        deadline -- a hedge can never be issued after the deadline has
+        passed.
         """
 
         def issue():
@@ -840,7 +901,7 @@ class Broker:
                 )
             )
 
-        delay = self.hedge_after_s
+        delay = hedge_delay
         primary = issue()
         can_hedge = (
             delay is not None

@@ -59,8 +59,10 @@ class OnlineService:
         (:class:`~repro.net.transport.AsyncRemoteSearcherTransport`).
         Supersedes ``parallel_fanout``.
     hedge_after_s:
-        Hedged-request delay passed to every broker (requires
-        ``async_fanout``; see :class:`~repro.online.broker.Broker`).
+        Hedged-request delay passed to every broker: a delay in
+        seconds, or ``"auto"`` to track the live ``shard_rpc`` latency
+        window (requires ``async_fanout``; see
+        :class:`~repro.online.broker.Broker`).
     fanout_workers:
         Fan-out pool size per broker, independent of the shard count.
     max_batch, max_wait_ms:
@@ -93,7 +95,7 @@ class OnlineService:
         *,
         parallel_fanout: bool = False,
         async_fanout: bool = False,
-        hedge_after_s: float | None = None,
+        hedge_after_s: float | str | None = None,
         fanout_workers: int | None = None,
         max_batch: int = 1,
         max_wait_ms: float = 2.0,

@@ -4,7 +4,10 @@ Execution model
 ---------------
 A *stage* is a list of zero-argument task callables run together.  Tasks
 are distributed round-robin over ``num_executors`` virtual executors and
-executed either inline (deterministic, default) or on a thread pool.
+executed inline (deterministic, default), on a thread pool, or on a
+process pool (``mode="processes"`` -- real GIL-free parallelism for
+Python-heavy tasks such as per-partition HNSW builds; tasks and results
+must be picklable).
 
 Failure injection (Section 5.3.1)
 ---------------------------------
@@ -27,7 +30,7 @@ from __future__ import annotations
 
 import pickle
 import time
-from concurrent.futures import ThreadPoolExecutor
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass
 from typing import Callable, Sequence
 
@@ -37,8 +40,26 @@ from repro.errors import ClusterError, StageTimeoutError
 from repro.sparklite.metrics import StageMetrics, TaskRecord
 from repro.storage.hdfs import LocalHdfs
 
-#: Execution modes for real (not simulated) parallelism.
-EXECUTION_MODES = ("inline", "threads")
+#: Execution modes for real (not simulated) parallelism.  ``"processes"``
+#: escapes the GIL entirely (one OS process per worker) and is what makes
+#: multi-partition HNSW builds actually run in parallel -- the build hot
+#: loop is Python-heavy, so ``"threads"`` only overlaps the numpy
+#: fraction.  Tasks and their results must be picklable under
+#: ``"processes"`` (module-level callables / ``functools.partial``, not
+#: closures).
+EXECUTION_MODES = ("inline", "threads", "processes")
+
+
+def _timed_call(fn: Callable[[], object]) -> tuple[object, float]:
+    """Run one task in a worker process, timing it there.
+
+    Module-level so the process pool can pickle it; the in-worker
+    duration keeps per-task timings comparable with the other modes
+    (parent-side timing would fold in queueing and IPC).
+    """
+    begin = time.perf_counter()
+    result = fn()
+    return result, time.perf_counter() - begin
 
 
 class ExecutorDeathError(ClusterError):
@@ -74,8 +95,14 @@ class LocalCluster:
         Virtual executor count; tasks are assigned round-robin.  Also the
         default executor count for simulated makespans.
     mode:
-        ``"inline"`` (sequential, deterministic timing -- default) or
-        ``"threads"`` (real thread pool; numpy kernels release the GIL).
+        ``"inline"`` (sequential, deterministic timing -- default),
+        ``"threads"`` (real thread pool; numpy kernels release the GIL)
+        or ``"processes"`` (process pool; escapes the GIL -- tasks and
+        results must be picklable).  Failure injection draws the same
+        deterministic fate stream in every mode, and ``"processes"``
+        applies it with ``"inline"``'s in-order semantics, so results
+        (including retry/checkpoint behavior) are mode-independent for
+        deterministic tasks.
     failure_rate:
         Probability that a task attempt kills its executor.
     max_rounds:
@@ -147,41 +174,60 @@ class LocalCluster:
             checkpoint_path = self.fs.make_temp_path(f"checkpoint-{stage}")
         started = time.perf_counter()
 
-        rounds = 0
-        while any(not state.done for state in states):
-            rounds += 1
-            if rounds > self.max_rounds:
-                raise StageTimeoutError(
-                    f"stage {stage!r} did not finish within "
-                    f"{self.max_rounds} rounds ({metrics.failures} executor "
-                    "failures); enable checkpointing or lower failure_rate"
-                )
-            pending = [state for state in states if not state.done]
-            dead_executors = self._run_round(pending, metrics)
-            if checkpoint_path is not None:
-                # "As soon as an executor finishes processing its task ...
-                # it can write to the HDFS": persist before any
-                # invalidation can touch the result.
-                for state in states:
-                    if state.done and not state.checkpointed:
-                        self.fs.write_bytes(
-                            f"{checkpoint_path}/task-{state.index:05d}.pkl",
-                            pickle.dumps(state.result, protocol=4),
-                        )
-                        state.checkpointed = True
-            if dead_executors:
-                # Spark semantics: results held only by a dead executor are
-                # lost and must be recomputed.  Checkpointed results are
-                # durable on the filesystem and survive.
-                for state in states:
-                    if (
-                        state.done
-                        and not state.checkpointed
-                        and state.executor in dead_executors
-                    ):
-                        state.done = False
-                        state.result = None
-                        metrics.failures += 1
+        # One process pool per stage (not per retry round): worker
+        # startup is paid once however many failure-injection rounds
+        # the stage takes.  Created lazily by the first round that has
+        # more than one runnable task.
+        pool: ProcessPoolExecutor | None = None
+        try:
+            rounds = 0
+            while any(not state.done for state in states):
+                rounds += 1
+                if rounds > self.max_rounds:
+                    raise StageTimeoutError(
+                        f"stage {stage!r} did not finish within "
+                        f"{self.max_rounds} rounds ({metrics.failures} "
+                        "executor failures); enable checkpointing or lower "
+                        "failure_rate"
+                    )
+                pending = [state for state in states if not state.done]
+                if (
+                    self.mode == "processes"
+                    and pool is None
+                    and len(pending) > 1
+                ):
+                    pool = ProcessPoolExecutor(
+                        max_workers=min(self.num_executors, len(pending))
+                    )
+                dead_executors = self._run_round(pending, metrics, pool)
+                if checkpoint_path is not None:
+                    # "As soon as an executor finishes processing its task
+                    # ... it can write to the HDFS": persist before any
+                    # invalidation can touch the result.
+                    for state in states:
+                        if state.done and not state.checkpointed:
+                            self.fs.write_bytes(
+                                f"{checkpoint_path}/"
+                                f"task-{state.index:05d}.pkl",
+                                pickle.dumps(state.result, protocol=4),
+                            )
+                            state.checkpointed = True
+                if dead_executors:
+                    # Spark semantics: results held only by a dead executor
+                    # are lost and must be recomputed.  Checkpointed results
+                    # are durable on the filesystem and survive.
+                    for state in states:
+                        if (
+                            state.done
+                            and not state.checkpointed
+                            and state.executor in dead_executors
+                        ):
+                            state.done = False
+                            state.result = None
+                            metrics.failures += 1
+        finally:
+            if pool is not None:
+                pool.shutdown(wait=True)
 
         metrics.wall_time = time.perf_counter() - started
         metrics.rounds = rounds
@@ -205,9 +251,16 @@ class LocalCluster:
 
     # -- internals ---------------------------------------------------------------------
     def _run_round(
-        self, pending: list[_TaskState], metrics: StageMetrics
+        self,
+        pending: list[_TaskState],
+        metrics: StageMetrics,
+        pool: ProcessPoolExecutor | None = None,
     ) -> set[int]:
-        """Attempt every pending task once; returns executors that died."""
+        """Attempt every pending task once; returns executors that died.
+
+        ``pool`` is the stage's shared process pool (``"processes"``
+        mode with more than one pending task; ``None`` otherwise).
+        """
         # Draw failure fates up-front so inline and threaded execution see
         # the same deterministic stream.
         fates = (
@@ -230,11 +283,32 @@ class LocalCluster:
             state.executor = executor
             state.done = True
 
-        if self.mode == "threads" and len(pending) > 1:
+        if pool is not None:
+            # Fates are settled in the parent, in task order (identical
+            # to inline semantics: a task whose executor was killed
+            # earlier this round fails too); only surviving attempts
+            # ship to worker processes.
+            runnable: list[_TaskState] = []
+            for position, state in enumerate(pending):
+                executor = state.index % self.num_executors
+                state.attempts += 1
+                if executor in dead or fates[position]:
+                    dead.add(executor)
+                    metrics.failures += 1
+                    continue
+                runnable.append(state)
+            futures = [
+                pool.submit(_timed_call, state.fn) for state in runnable
+            ]
+            for state, future in zip(runnable, futures):
+                state.result, state.duration = future.result()
+                state.executor = state.index % self.num_executors
+                state.done = True
+        elif self.mode == "threads" and len(pending) > 1:
             workers = min(self.num_executors, len(pending))
-            with ThreadPoolExecutor(max_workers=workers) as pool:
+            with ThreadPoolExecutor(max_workers=workers) as thread_pool:
                 futures = [
-                    pool.submit(attempt, position, state)
+                    thread_pool.submit(attempt, position, state)
                     for position, state in enumerate(pending)
                 ]
                 for future in futures:

@@ -454,3 +454,148 @@ class TestServiceIntegration:
             Broker(nodes, config, hedge_after_s=0.1)
         with pytest.raises(ValueError, match="must be positive"):
             Broker(nodes, config, async_fanout=True, hedge_after_s=0.0)
+
+
+class TestAdaptiveHedging:
+    """hedge_after_s="auto": delay derived from the live shard_rpc window."""
+
+    def make_auto_broker(self, index, config):
+        nodes = [SearcherNode(shard_id) for shard_id in range(NUM_SHARDS)]
+        for shard_id, node in enumerate(nodes):
+            node.host("hedge", index.shards[shard_id])
+        return Broker(nodes, config, async_fanout=True, hedge_after_s="auto")
+
+    def test_no_hedging_before_min_samples(self, index, config):
+        from repro.online.broker import AUTO_HEDGE_MIN_SAMPLES
+
+        broker = self.make_auto_broker(index, config)
+        try:
+            for _ in range(AUTO_HEDGE_MIN_SAMPLES - 1):
+                broker.timings.record("shard_rpc", 0.01)
+            assert broker._resolve_hedge_delay() is None
+            broker.timings.record("shard_rpc", 0.01)
+            assert broker._resolve_hedge_delay() is not None
+        finally:
+            broker.close()
+
+    def test_delay_tracks_injected_distribution(self, index, config):
+        """The delay follows the *median* of an injected slow-shard mix:
+        half the samples straggler-slow must not drag the trigger up."""
+        from repro.online.broker import (
+            AUTO_HEDGE_MIN_DELAY_S,
+            AUTO_HEDGE_MULTIPLIER,
+        )
+
+        broker = self.make_auto_broker(index, config)
+        try:
+            # Healthy shard: tight 5 ms RPCs.
+            for _ in range(100):
+                broker.timings.record("shard_rpc", 0.005)
+            healthy = broker._resolve_hedge_delay()
+            assert healthy == pytest.approx(0.005 * AUTO_HEDGE_MULTIPLIER)
+
+            # Inject a straggling shard: just under half the recent
+            # window at 250 ms.  The median stays healthy, so the delay
+            # must not balloon to straggler scale.
+            for _ in range(90):
+                broker.timings.record("shard_rpc", 0.25)
+            mixed = broker._resolve_hedge_delay()
+            assert mixed == pytest.approx(0.005 * AUTO_HEDGE_MULTIPLIER)
+
+            # The fleet genuinely slows down (every sample slow): the
+            # delay tracks the new median instead of hedging constantly.
+            for _ in range(8192):
+                broker.timings.record("shard_rpc", 0.05)
+            slowed = broker._resolve_hedge_delay()
+            assert slowed == pytest.approx(0.05 * AUTO_HEDGE_MULTIPLIER)
+            assert slowed >= AUTO_HEDGE_MIN_DELAY_S
+        finally:
+            broker.close()
+
+    def test_delay_floor(self, index, config):
+        from repro.online.broker import AUTO_HEDGE_MIN_DELAY_S
+
+        broker = self.make_auto_broker(index, config)
+        try:
+            for _ in range(64):
+                broker.timings.record("shard_rpc", 1e-7)
+            assert broker._resolve_hedge_delay() == AUTO_HEDGE_MIN_DELAY_S
+        finally:
+            broker.close()
+
+    def test_static_knob_unchanged(self, index, config):
+        nodes = [SearcherNode(shard_id) for shard_id in range(NUM_SHARDS)]
+        for shard_id, node in enumerate(nodes):
+            node.host("hedge", index.shards[shard_id])
+        broker = Broker(nodes, config, async_fanout=True, hedge_after_s=0.07)
+        try:
+            broker.timings.record("shard_rpc", 5.0)
+            assert broker._resolve_hedge_delay() == 0.07
+        finally:
+            broker.close()
+
+    def test_validation(self, index, config):
+        nodes = [SearcherNode(shard_id) for shard_id in range(NUM_SHARDS)]
+        for shard_id, node in enumerate(nodes):
+            node.host("hedge", index.shards[shard_id])
+        with pytest.raises(ValueError, match="auto"):
+            Broker(nodes, config, async_fanout=True, hedge_after_s="fast")
+        with pytest.raises(ValueError, match="async_fanout"):
+            Broker(nodes, config, hedge_after_s="auto")
+
+    def test_auto_end_to_end_with_straggler(self, index, config, queries):
+        """Warm the window on an in-process fleet, then verify hedges
+        actually fire under "auto" once samples exist, with results
+        identical to an unhedged broker."""
+        from repro.online.broker import AUTO_HEDGE_MIN_SAMPLES
+
+        class StragglerNode(SearcherNode):
+            def __init__(self, shard_id):
+                super().__init__(shard_id)
+                self.calls = 0
+
+            def search_batch(self, *args, **kwargs):
+                self.calls += 1
+                if self.shard_id == SLOW_SHARD and self.calls % 2 == 0:
+                    time.sleep(0.08)
+                return super().search_batch(*args, **kwargs)
+
+        nodes = [StragglerNode(shard_id) for shard_id in range(NUM_SHARDS)]
+        for shard_id, node in enumerate(nodes):
+            node.host("hedge", index.shards[shard_id])
+        broker = Broker(nodes, config, async_fanout=True, hedge_after_s="auto")
+        reference = Broker(
+            [SearcherNode(s) for s in range(NUM_SHARDS)], config
+        )
+        for shard_id, transport in enumerate(reference.searchers):
+            transport.host("hedge", index.shards[shard_id])
+        try:
+            # Warm-up: fill the shard_rpc window (no hedging yet).
+            warm = queries[:2]
+            while (
+                (broker.timings.quantile("shard_rpc", 0.5) or (0, 0.0))[0]
+                < AUTO_HEDGE_MIN_SAMPLES
+            ):
+                broker.search_batch("hedge", warm, 5)
+            assert broker.hedges == 0  # in-process shards cannot hedge...
+            delay = broker._resolve_hedge_delay()
+            assert delay is not None and delay < 0.08
+            ids, dists = broker.search_batch("hedge", queries, 5)
+            want_ids, want_dists = reference.search_batch(
+                "hedge", queries, 5
+            )
+            assert np.array_equal(ids, want_ids)
+            assert np.array_equal(dists, want_dists)
+        finally:
+            broker.close()
+            reference.close()
+
+    def test_service_accepts_auto(self, index, config, shared_fs):
+        service = OnlineService(async_fanout=True, hedge_after_s="auto")
+        try:
+            service.deploy(shared_fs, INDEX_PATH, index_name="auto-svc")
+            stats = service.stats()
+            broker_stats = stats["indices"]["auto-svc"]
+            assert broker_stats["hedge_after_s"] == "auto"
+        finally:
+            service.close()

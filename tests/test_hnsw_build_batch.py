@@ -1,0 +1,320 @@
+"""Tests for the batched lockstep construction path (PR 5).
+
+Covers the wave kernels (per-target batched descent, multi-problem
+neighbor selection), the wave insert's determinism and graph invariants,
+recall parity against the sequential builder, and the vectorised
+serialization / id-validation paths.
+"""
+
+import numpy as np
+import pytest
+
+from repro.data.synthetic import clustered_gaussians
+from repro.hnsw.graph import HnswGraph
+from repro.hnsw.heuristic import (
+    select_neighbors_heuristic,
+    select_neighbors_heuristic_batch,
+)
+from repro.hnsw.index import HnswIndex, build_hnsw
+from repro.hnsw.params import HnswParams
+from repro.hnsw.search import descend_to_level, descend_to_levels_batch
+from repro.offline.brute_force import exact_top_k
+from repro.offline.recall import recall_at_k
+from tests.conftest import make_clustered
+
+
+def fast_params(**overrides) -> HnswParams:
+    defaults = dict(M=8, ef_construction=48, ef_search=48, seed=0)
+    defaults.update(overrides)
+    return HnswParams(**defaults)
+
+
+def payloads_equal(a: dict, b: dict) -> bool:
+    return a.keys() == b.keys() and all(
+        np.array_equal(a[key], b[key]) for key in a
+    )
+
+
+class TestDescendToLevelsBatch:
+    def test_matches_per_query_descent(self, clustered_data):
+        index = build_hnsw(clustered_data, params=fast_params())
+        graph, scorer = index.graph, index._scorer
+        rng = np.random.default_rng(7)
+        queries = scorer.prepare_queries(
+            clustered_data[rng.integers(0, len(clustered_data), 24)]
+        )
+        targets = rng.integers(0, max(graph.max_level, 1), 24).tolist()
+        entries, dists = descend_to_levels_batch(
+            graph, scorer, queries, targets, scorer.query_sq_norms(queries)
+        )
+        for row in range(queries.shape[0]):
+            entry, dist = descend_to_level(
+                graph, scorer, queries[row], targets[row]
+            )
+            assert entries[row] == entry
+            # score_pairs (einsum) and score_ids (matvec) accumulate
+            # float32 in different orders; equality is structural.
+            assert dists[row] == pytest.approx(dist, rel=1e-4)
+
+    def test_empty_batch(self, clustered_data):
+        index = build_hnsw(clustered_data[:50], params=fast_params())
+        entries, dists = descend_to_levels_batch(
+            index.graph,
+            index._scorer,
+            np.empty((0, clustered_data.shape[1]), dtype=np.float32),
+            [],
+        )
+        assert entries == [] and dists == []
+
+
+class TestHeuristicBatch:
+    @pytest.mark.parametrize("metric", ["euclidean", "cosine", "inner_product"])
+    @pytest.mark.parametrize("keep_pruned", [True, False])
+    def test_batch_matches_single(self, metric, keep_pruned):
+        rng = np.random.default_rng(3)
+        from repro.distance.scorer import Scorer
+
+        scorer = Scorer(metric, 12)
+        scorer.add(rng.standard_normal((200, 12)).astype(np.float32))
+        problems = []
+        for size in (1, 3, 8, 20, 40):
+            ids = rng.choice(200, size=size, replace=False)
+            dists = rng.random(size).tolist()
+            problems.append(list(zip(dists, ids.tolist())))
+        for m in (1, 4, 10):
+            batched = select_neighbors_heuristic_batch(
+                scorer, problems, m, keep_pruned=keep_pruned
+            )
+            for problem, result in zip(problems, batched):
+                single = select_neighbors_heuristic(
+                    scorer, problem, m, keep_pruned=keep_pruned
+                )
+                assert result == single
+
+    def test_grouping_invariance(self):
+        """A problem's result must not depend on its batch-mates."""
+        rng = np.random.default_rng(5)
+        from repro.distance.scorer import Scorer
+
+        scorer = Scorer("euclidean", 8)
+        scorer.add(rng.standard_normal((100, 8)).astype(np.float32))
+        problems = [
+            list(
+                zip(
+                    rng.random(size).tolist(),
+                    rng.choice(100, size=size, replace=False).tolist(),
+                )
+            )
+            for size in (30, 7, 18)
+        ]
+        together = select_neighbors_heuristic_batch(scorer, problems, 5)
+        for position, problem in enumerate(problems):
+            alone = select_neighbors_heuristic_batch(scorer, [problem], 5)[0]
+            assert together[position] == alone
+
+    def test_zero_m(self):
+        from repro.distance.scorer import Scorer
+
+        scorer = Scorer("euclidean", 4)
+        scorer.add(np.eye(4, dtype=np.float32))
+        assert select_neighbors_heuristic_batch(
+            scorer, [[(0.5, 0)], [(0.1, 1)]], 0
+        ) == [[], []]
+
+
+class TestBatchedBuildDeterminism:
+    @pytest.mark.parametrize("wave", [4, 16, 64])
+    def test_same_seed_same_graph(self, wave):
+        base = make_clustered(300, 12, seed=3)
+        params = fast_params(build_batch=wave)
+        first = build_hnsw(base, params=params).to_arrays()
+        second = build_hnsw(base, params=params).to_arrays()
+        assert payloads_equal(first, second)
+
+    def test_seed_changes_graph(self):
+        base = make_clustered(300, 12, seed=3)
+        a = build_hnsw(base, params=fast_params(build_batch=16)).to_arrays()
+        b = build_hnsw(
+            base, params=fast_params(build_batch=16, seed=9)
+        ).to_arrays()
+        assert not payloads_equal(a, b)
+
+    def test_incremental_adds_deterministic(self):
+        base = make_clustered(240, 10, seed=4)
+
+        def build():
+            index = HnswIndex(dim=10, params=fast_params(build_batch=32))
+            for start in range(0, 240, 80):
+                index.add(base[start : start + 80])
+            return index.to_arrays()
+
+        assert payloads_equal(build(), build())
+
+    def test_level_stream_matches_sequential(self):
+        """Both paths draw one level per row from the same RNG stream."""
+        base = make_clustered(200, 10, seed=6)
+        sequential = build_hnsw(base, params=fast_params(build_batch=1))
+        batched = build_hnsw(base, params=fast_params(build_batch=32))
+        assert sequential.graph.levels == batched.graph.levels
+
+
+class TestBatchedBuildStructure:
+    @pytest.mark.parametrize(
+        "metric", ["euclidean", "cosine", "inner_product"]
+    )
+    def test_invariants_hold(self, metric):
+        base = make_clustered(400, 12, seed=5)
+        index = build_hnsw(
+            base, metric=metric, params=fast_params(build_batch=32)
+        )
+        index.graph.check_invariants(
+            index.params.effective_max_m, index.params.effective_max_m0
+        )
+
+    def test_simple_selection_ablation(self):
+        """use_heuristic=False flows through the wave path too."""
+        base = make_clustered(300, 10, seed=7)
+        params = fast_params(build_batch=32, use_heuristic=False)
+        index = build_hnsw(base, params=params)
+        index.graph.check_invariants(
+            index.params.effective_max_m, index.params.effective_max_m0
+        )
+        repeat = build_hnsw(base, params=params)
+        assert payloads_equal(index.to_arrays(), repeat.to_arrays())
+
+    def test_small_adds_and_bootstrap(self):
+        index = HnswIndex(dim=6, params=fast_params(build_batch=64))
+        rng = np.random.default_rng(0)
+        index.add(rng.standard_normal(6).astype(np.float32))  # single row
+        index.add(rng.standard_normal((3, 6)).astype(np.float32))
+        index.add(rng.standard_normal((70, 6)).astype(np.float32))
+        assert len(index) == 74
+        index.graph.check_invariants(
+            index.params.effective_max_m, index.params.effective_max_m0
+        )
+        ids, dists = index.search_batch(
+            rng.standard_normal((5, 6)).astype(np.float32), 3
+        )
+        assert (ids >= 0).all()
+
+    def test_every_node_reachable(self):
+        """Wave members must end up linked into the graph, not orphaned."""
+        base = make_clustered(500, 8, seed=8)
+        index = build_hnsw(base, params=fast_params(build_batch=64))
+        ids, _ = index.search_batch(base, 1, ef=64)
+        assert recall_at_k(ids, np.arange(500)[:, None], 1) > 0.95
+
+    def test_serialization_roundtrip(self, tmp_path):
+        base = make_clustered(300, 12, seed=9)
+        index = build_hnsw(base, params=fast_params(build_batch=32))
+        path = str(tmp_path / "index.npz")
+        index.save(path)
+        loaded = HnswIndex.load(path)
+        assert payloads_equal(index.to_arrays(), loaded.to_arrays())
+        queries = base[:10]
+        a = index.search_batch(queries, 5)
+        b = loaded.search_batch(queries, 5)
+        assert np.array_equal(a[0], b[0])
+        assert np.array_equal(a[1], b[1])
+
+
+class TestBatchedBuildRecall:
+    def test_recall_within_tolerance_of_sequential(self):
+        base = clustered_gaussians(2000, 16, seed=0)
+        queries = clustered_gaussians(100, 16, seed=1)
+        truth, _ = exact_top_k(base, queries, 10)
+        recalls = {}
+        for wave in (1, 64):
+            index = build_hnsw(base, params=fast_params(build_batch=wave))
+            ids, _ = index.search_batch(queries, 10, ef=64)
+            recalls[wave] = recall_at_k(ids, truth, 10)
+        assert recalls[64] >= recalls[1] - 0.05
+        assert recalls[64] > 0.8
+
+    def test_cosine_recall(self):
+        base = clustered_gaussians(1000, 16, seed=2)
+        queries = clustered_gaussians(50, 16, seed=3)
+        truth, _ = exact_top_k(base, queries, 10, metric="cosine")
+        index = build_hnsw(
+            base, metric="cosine", params=fast_params(build_batch=32)
+        )
+        ids, _ = index.search_batch(queries, 10, ef=64)
+        assert recall_at_k(ids, truth, 10) > 0.8
+
+
+class TestVectorisedValidation:
+    def test_duplicate_within_call(self):
+        index = HnswIndex(dim=4, params=fast_params())
+        with pytest.raises(ValueError, match="duplicate ids"):
+            index.add(np.eye(4, dtype=np.float32), ids=np.array([0, 1, 1, 2]))
+
+    def test_clash_with_existing_reports_first(self):
+        index = HnswIndex(dim=4, params=fast_params())
+        index.add(np.eye(4, dtype=np.float32), ids=np.array([5, 6, 7, 8]))
+        with pytest.raises(ValueError, match="id 7 already present"):
+            index.add(
+                np.eye(4, dtype=np.float32), ids=np.array([9, 7, 6, 10])
+            )
+
+    def test_clash_detected_in_bulk_adds(self):
+        """The vectorised (large-batch) membership path reports clashes."""
+        rng = np.random.default_rng(1)
+        index = HnswIndex(dim=4, params=fast_params())
+        index.add(
+            rng.standard_normal((8, 4)).astype(np.float32),
+            ids=np.arange(2000, 2008),
+        )
+        bulk_ids = np.arange(1024)
+        bulk_ids[700] = 2003  # collides with an existing id
+        with pytest.raises(ValueError, match="id 2003 already present"):
+            index.add(
+                rng.standard_normal((1024, 4)).astype(np.float32),
+                ids=bulk_ids,
+            )
+        # And a clean bulk add of the same size goes through.
+        index.add(
+            rng.standard_normal((1024, 4)).astype(np.float32),
+            ids=np.arange(1024),
+        )
+        assert len(index) == 8 + 1024
+
+    def test_negative_ids_rejected(self):
+        index = HnswIndex(dim=4, params=fast_params())
+        with pytest.raises(ValueError, match="non-negative"):
+            index.add(np.eye(4, dtype=np.float32), ids=np.array([0, 1, -2, 3]))
+
+    def test_build_batch_validation(self):
+        with pytest.raises(ValueError, match="build_batch"):
+            HnswParams(build_batch=-1)
+        # 0 and 1 are valid (sequential path).
+        assert HnswParams(build_batch=0).build_batch == 0
+
+    def test_params_roundtrip_includes_build_batch(self):
+        params = fast_params(build_batch=17)
+        assert HnswParams.from_dict(params.to_dict()).build_batch == 17
+
+
+class TestBulkGraphOps:
+    def test_add_nodes_matches_add_node(self):
+        a, b = HnswGraph(), HnswGraph()
+        levels = [0, 2, 1, 0, 3]
+        for level in levels:
+            a.add_node(level)
+        assert b.add_nodes(levels) == 0
+        assert a.levels == b.levels
+        assert all(
+            a.neighbors(node, 0) == b.neighbors(node, 0)
+            for node in range(len(levels))
+        )
+
+    def test_add_nodes_rejects_negative(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            HnswGraph().add_nodes([0, -1])
+
+    def test_set_level_csr(self):
+        graph = HnswGraph()
+        graph.add_nodes([1, 0, 1])
+        # Level-1 adjacency: node 0 -> [2], node 2 -> [0]; node 1 absent.
+        graph.set_level_csr(1, [0, 2], [0, 1, 1, 2], [2, 0])
+        assert graph.neighbors(0, 1) == [2]
+        assert graph.neighbors(2, 1) == [0]

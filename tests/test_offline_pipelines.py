@@ -73,6 +73,56 @@ class TestBuildJob:
             segmenter.route_data_batch(clustered_data[:10])
         )
 
+    @pytest.mark.parametrize("mode", ["threads", "processes"])
+    def test_execution_mode_parity(
+        self, fs, clustered_data, config, mode, tmp_path
+    ):
+        """Every execution mode writes byte-identical segment files."""
+        from repro.storage.hdfs import LocalHdfs
+
+        inline_fs = LocalHdfs(tmp_path / "inline")
+        inline_cluster = LocalCluster(num_executors=4, fs=inline_fs)
+        inline_manifest, _ = build_index_job(
+            inline_cluster, inline_fs, clustered_data, config, "idx"
+        )
+        other_cluster = LocalCluster(num_executors=4, mode=mode, fs=fs)
+        other_manifest, _ = build_index_job(
+            other_cluster, fs, clustered_data, config, "idx"
+        )
+        assert other_manifest.checksums == inline_manifest.checksums
+
+    def test_processes_parity_with_failures_and_checkpoint(
+        self, clustered_data, config, tmp_path
+    ):
+        """Identical output under injected executor deaths + checkpointing."""
+        from repro.storage.hdfs import LocalHdfs
+
+        manifests = {}
+        for mode in ("inline", "processes"):
+            mode_fs = LocalHdfs(tmp_path / mode)
+            cluster = LocalCluster(
+                num_executors=4,
+                mode=mode,
+                failure_rate=0.3,
+                max_rounds=30,
+                seed=7,
+                fs=mode_fs,
+            )
+            manifest, metrics = build_index_job(
+                cluster,
+                mode_fs,
+                clustered_data,
+                config,
+                "idx",
+                checkpoint=True,
+            )
+            manifests[mode] = (manifest, metrics.failures)
+        inline_manifest, inline_failures = manifests["inline"]
+        procs_manifest, procs_failures = manifests["processes"]
+        assert procs_manifest.checksums == inline_manifest.checksums
+        assert procs_failures == inline_failures
+        assert inline_failures > 0  # the stream actually injected deaths
+
 
 class TestQueryJob:
     @pytest.fixture()

@@ -65,7 +65,7 @@ class TestValidation:
         "kwargs",
         [
             {"num_executors": 0},
-            {"mode": "processes"},
+            {"mode": "spark"},
             {"failure_rate": 1.0},
             {"failure_rate": -0.1},
             {"max_rounds": 0},
@@ -142,3 +142,83 @@ class TestFailureInjection:
         )
         outcome = cluster.run_tasks(make_tasks(10), stage="attempts")
         assert max(task.attempts for task in outcome.metrics.tasks) > 1
+
+
+def square_task(value):
+    """Module-level (picklable) task body for processes-mode tests."""
+    return value * value
+
+
+def make_picklable_tasks(n):
+    from functools import partial
+
+    return [partial(square_task, i) for i in range(n)]
+
+
+class TestProcessesMode:
+    def test_results_match_inline(self):
+        inline = LocalCluster(num_executors=3, mode="inline")
+        procs = LocalCluster(num_executors=3, mode="processes")
+        tasks = make_picklable_tasks(9)
+        assert (
+            procs.run_tasks(tasks, stage="p").results
+            == inline.run_tasks(tasks, stage="i").results
+        )
+
+    def test_failure_injection_parity_with_inline(self):
+        """Same seed => same fates, retries, failure counts and results."""
+        outcomes = {}
+        for mode in ("inline", "processes"):
+            cluster = LocalCluster(
+                num_executors=4,
+                mode=mode,
+                failure_rate=0.3,
+                max_rounds=40,
+                seed=11,
+            )
+            outcomes[mode] = cluster.run_tasks(
+                make_picklable_tasks(12), stage=mode
+            )
+        inline, procs = outcomes["inline"], outcomes["processes"]
+        assert procs.results == inline.results
+        assert procs.metrics.failures == inline.metrics.failures
+        assert procs.metrics.rounds == inline.metrics.rounds
+        assert [t.attempts for t in procs.metrics.tasks] == [
+            t.attempts for t in inline.metrics.tasks
+        ]
+
+    def test_checkpointing_under_processes(self, tmp_path):
+        fs = LocalHdfs(tmp_path / "hdfs")
+        cluster = LocalCluster(
+            num_executors=4,
+            mode="processes",
+            failure_rate=0.6,
+            max_rounds=30,
+            seed=11,
+            fs=fs,
+        )
+        outcome = cluster.run_tasks(
+            make_picklable_tasks(16), stage="saved", checkpoint=True
+        )
+        assert outcome.results == [i * i for i in range(16)]
+        assert outcome.metrics.failures > 0
+        assert fs.ls_recursive("_tmp") == []
+
+    def test_cascade_times_out_like_inline(self):
+        for mode in ("inline", "processes"):
+            cluster = LocalCluster(
+                num_executors=2,
+                mode=mode,
+                failure_rate=0.9,
+                max_rounds=3,
+                seed=0,
+            )
+            with pytest.raises(StageTimeoutError):
+                cluster.run_tasks(make_picklable_tasks(8), stage="doomed")
+
+    def test_single_task_runs_inline(self):
+        # The pool is only spun up for len(pending) > 1; a single task
+        # (even an unpicklable closure) executes in-process.
+        cluster = LocalCluster(num_executors=2, mode="processes")
+        outcome = cluster.run_tasks([lambda: 42], stage="one")
+        assert outcome.results == [42]
