@@ -50,6 +50,23 @@ def _load_vectors(path: str) -> np.ndarray:
     raise SystemExit(f"unsupported vector file {path!r} (use .npy or .fvecs)")
 
 
+def _spill(value: str):
+    """Parse --spill: a positive int, or the string 'all'."""
+    if value == "all":
+        return "all"
+    try:
+        parsed = int(value)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected a segment count or 'all', got {value!r}"
+        ) from None
+    if parsed < 1:
+        raise argparse.ArgumentTypeError(
+            f"spill must be >= 1, got {value!r}"
+        )
+    return parsed
+
+
 def _hedge_after(value: str):
     """Parse --hedge-after-s: a positive float, or the string 'auto'."""
     if value == "auto":
@@ -81,6 +98,7 @@ def _cmd_build(args: argparse.Namespace) -> int:
     config = LannsConfig(
         num_shards=args.shards,
         num_segments=args.segments,
+        sharding=args.sharding,
         segmenter=args.segmenter,
         alpha=args.alpha,
         spill_mode=args.spill_mode,
@@ -151,15 +169,18 @@ def _cmd_query(args: argparse.Namespace) -> int:
 def _query_remote(
     args: argparse.Namespace, fs: LocalHdfs, queries: np.ndarray
 ) -> int:
-    """Front a remote searcher fleet: deploy over RPC, one broker fan-out."""
+    """Front a remote searcher fleet: deploy over RPC, one broker fan-out.
+
+    Remote queries always use the asyncio fan-out (the sync RPC client
+    is retired from the search hot path -- it still runs the deploy /
+    verify control plane underneath).
+    """
     from repro.online.service import OnlineService
+    from repro.online.types import SearchRequest
 
     service = OnlineService(
         searchers=args.searchers,
-        parallel_fanout=True,
-        # --hedge-after-s implies the async fan-out: hedges are raced
-        # on the fan-out event loop.
-        async_fanout=args.async_fanout or args.hedge_after_s is not None,
+        async_fanout=True,
         hedge_after_s=args.hedge_after_s,
         partial_policy=args.partial_policy,
         request_timeout_s=args.request_timeout_s,
@@ -169,20 +190,34 @@ def _query_remote(
         service.deploy(fs, args.index, index_name="default")
         deployed = True
         begin = time.perf_counter()
-        ids, dists, info = service.query_batch(
-            queries, args.top_k, ef=args.ef, with_info=True
+        response = service.execute(
+            SearchRequest(
+                queries=queries,
+                top_k=args.top_k,
+                index_name="default",
+                ef=args.ef,
+                spill=args.spill,
+            )
         )
         elapsed = time.perf_counter() - begin
-        answered = info["shards_answered"]
+        ids, dists = response.ids, response.dists
         print(
             f"answered {queries.shape[0]} queries (top-{args.top_k}) over "
             f"{len(service.searchers)} remote searchers in {elapsed:.2f}s "
             f"({elapsed / queries.shape[0] * 1e3:.2f} ms/query wall)"
         )
-        if int(answered.min(initial=info["num_shards"])) < info["num_shards"]:
+        if args.spill is not None and args.spill != "all":
+            routed = response.shards_routed
             print(
-                f"  DEGRADED: only {int(answered.min())} of "
-                f"{info['num_shards']} shards answered"
+                f"  routed (spill={args.spill}): mean "
+                f"{routed.mean():.2f} of {response.num_shards} "
+                "shard groups queried per row"
+            )
+        if response.degraded_rows:
+            print(
+                f"  DEGRADED: {response.degraded_rows} of "
+                f"{queries.shape[0]} rows missing at least one "
+                "routed shard"
             )
         if args.out:
             np.savez_compressed(args.out, ids=ids, dists=dists)
@@ -312,6 +347,17 @@ def build_parser() -> argparse.ArgumentParser:
     build.add_argument("--shards", type=int, default=1)
     build.add_argument("--segments", type=int, default=1)
     build.add_argument(
+        "--sharding",
+        choices=["hash", "segment"],
+        default="hash",
+        help=(
+            "'segment' aligns shards with segments (requires shards == "
+            "segments): each shard hosts exactly one segment, which "
+            "lets the online router prune fan-out to the top-spill "
+            "shard groups"
+        ),
+    )
+    build.add_argument(
         "--segmenter", choices=["rs", "rh", "apd"], default="rs"
     )
     build.add_argument("--alpha", type=float, default=0.15)
@@ -407,9 +453,23 @@ def build_parser() -> argparse.ArgumentParser:
         "--searchers",
         default=None,
         help=(
-            "comma-separated host:port list of running serve-searcher "
-            "processes, in shard order; queries then go through the "
-            "online broker instead of the offline pipeline"
+            "running serve-searcher processes, in shard order; queries "
+            "then go through the online broker instead of the offline "
+            "pipeline.  Comma-separated host:port per shard "
+            "('h:1,h:2'), or ';'-separated replica groups with ','-"
+            "separated interchangeable replicas inside each "
+            "('h:1,h:2;h:3,h:4' = two shards, two replicas each)"
+        ),
+    )
+    query.add_argument(
+        "--spill",
+        type=_spill,
+        default=None,
+        help=(
+            "route each query to its top-SPILL segments and fan out "
+            "only to the shard groups hosting them ('all' or omitted = "
+            "query every shard group; requires a segment-aligned index "
+            "for real fan-out savings)"
         ),
     )
     query.add_argument(
@@ -428,8 +488,9 @@ def build_parser() -> argparse.ArgumentParser:
         "--async-fanout",
         action="store_true",
         help=(
-            "multiplex all remote shard RPCs on one event loop instead "
-            "of one pool thread per in-flight RPC (remote mode)"
+            "multiplex all remote shard RPCs on one event loop "
+            "(now always on in remote mode; flag kept for "
+            "compatibility)"
         ),
     )
     query.add_argument(

@@ -69,26 +69,40 @@ class LannsBuilder:
         Mapping ``(shard_id, segment_id) -> (ids, vectors)``.  Every pair
         is present, possibly with empty arrays.  Under physical spill a
         document can appear in several segments of its shard.
+
+        With ``sharding="segment"`` the shard id *is* the segment id:
+        each (document, segment) assignment lands on the shard aligned
+        with that segment, so shard ``s`` hosts segment ``s`` and every
+        other segment of shard ``s`` stays empty.  That placement is what
+        lets the online router prune fan-out per query.
         """
         config = self.config
-        sharder = HashSharder(config.num_shards)
-        shard_rows = sharder.partition(ids.tolist())
         partitions: dict[tuple[int, int], tuple[list, list]] = {
             (shard, segment): ([], [])
             for shard in range(config.num_shards)
             for segment in range(config.num_segments)
         }
-        for shard, rows in enumerate(shard_rows):
-            if rows.size == 0:
-                continue
-            shard_vectors = vectors[rows]
-            shard_ids = ids[rows]
-            routes = segmenter.route_data_batch(shard_vectors)
+        if config.sharding == "segment":
+            routes = segmenter.route_data_batch(vectors)
             for position, segments in enumerate(routes):
                 for segment in segments:
-                    id_list, vec_list = partitions[(shard, segment)]
-                    id_list.append(int(shard_ids[position]))
-                    vec_list.append(rows[position])
+                    id_list, vec_list = partitions[(segment, segment)]
+                    id_list.append(int(ids[position]))
+                    vec_list.append(position)
+        else:
+            sharder = HashSharder(config.num_shards)
+            shard_rows = sharder.partition(ids.tolist())
+            for shard, rows in enumerate(shard_rows):
+                if rows.size == 0:
+                    continue
+                shard_vectors = vectors[rows]
+                shard_ids = ids[rows]
+                routes = segmenter.route_data_batch(shard_vectors)
+                for position, segments in enumerate(routes):
+                    for segment in segments:
+                        id_list, vec_list = partitions[(shard, segment)]
+                        id_list.append(int(shard_ids[position]))
+                        vec_list.append(rows[position])
         dim = vectors.shape[1]
         result: dict[tuple[int, int], tuple[np.ndarray, np.ndarray]] = {}
         for key, (id_list, row_list) in partitions.items():

@@ -24,6 +24,8 @@ SEGMENTER_KINDS = ("rs", "rh", "apd")
 SPILL_MODES = ("virtual", "physical")
 #: Metrics supported end-to-end.
 METRICS = ("euclidean", "cosine", "inner_product")
+#: First-level placement strategies.
+SHARDING_MODES = ("hash", "segment")
 
 
 @dataclass(frozen=True)
@@ -35,6 +37,13 @@ class LannsConfig:
     num_shards:
         First-level partitions; each shard is hosted on its own (simulated)
         server node and every query visits every shard.
+    sharding:
+        First-level placement.  ``"hash"`` (default) spreads documents by
+        stable key hash, so every shard hosts every segment and queries
+        must visit every shard.  ``"segment"`` aligns shards with
+        segments (requires ``num_shards == num_segments``): shard ``s``
+        hosts exactly segment ``s``, which lets the online router prune
+        fan-out to the top-``spill`` segments' shards.
     num_segments:
         Second-level partitions per shard.  Must be a power of two for the
         hyperplane segmenters (the tree is binary).
@@ -66,6 +75,7 @@ class LannsConfig:
 
     num_shards: int = 1
     num_segments: int = 1
+    sharding: str = "hash"
     segmenter: str = "rs"
     alpha: float = 0.15
     spill_mode: str = "virtual"
@@ -83,6 +93,17 @@ class LannsConfig:
         if self.num_segments < 1:
             raise ConfigError(
                 f"num_segments must be >= 1, got {self.num_segments}"
+            )
+        if self.sharding not in SHARDING_MODES:
+            raise ConfigError(
+                f"sharding must be one of {SHARDING_MODES}, "
+                f"got {self.sharding!r}"
+            )
+        if self.sharding == "segment" and self.num_shards != self.num_segments:
+            raise ConfigError(
+                "segment-aligned sharding requires num_shards == "
+                f"num_segments, got {self.num_shards} shards for "
+                f"{self.num_segments} segments"
             )
         if self.segmenter not in SEGMENTER_KINDS:
             raise ConfigError(
@@ -136,6 +157,7 @@ class LannsConfig:
         return {
             "num_shards": self.num_shards,
             "num_segments": self.num_segments,
+            "sharding": self.sharding,
             "segmenter": self.segmenter,
             "alpha": self.alpha,
             "spill_mode": self.spill_mode,

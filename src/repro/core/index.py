@@ -92,12 +92,18 @@ class ShardIndex:
         k: int,
         *,
         ef: int | None = None,
+        probes: list[tuple[int, ...]] | None = None,
     ) -> tuple[np.ndarray, np.ndarray]:
         """Batched shard search: route, lockstep-search, merge (level 1).
 
         Query routing is one vectorised ``route_query_batch`` call; each
         probed segment searches its sub-batch in lockstep; the segment
         candidates merge per query through the vectorised batch merge.
+
+        ``probes`` (one segment-id tuple per row) overrides the
+        segmenter's routing -- the broker's router pushes its spilled
+        segment choice down here, since under the segment-aligned layout
+        a query's *natural* segment may be empty on this shard.
 
         Returns
         -------
@@ -111,7 +117,23 @@ class ShardIndex:
         empty_dists = np.full((num_queries, k), np.inf, dtype=np.float64)
         if num_queries == 0:
             return empty_ids, empty_dists
-        routes = self.segmenter.route_query_batch(queries)
+        if probes is not None:
+            if len(probes) != num_queries:
+                raise ValueError(
+                    f"probes has {len(probes)} rows for "
+                    f"{num_queries} queries"
+                )
+            num_segments = self.segmenter.num_segments
+            for row, probed in enumerate(probes):
+                for segment_id in probed:
+                    if not 0 <= segment_id < num_segments:
+                        raise ValueError(
+                            f"probe segment {segment_id} of row {row} out "
+                            f"of range for {num_segments} segments"
+                        )
+            routes = probes
+        else:
+            routes = self.segmenter.route_query_batch(queries)
         segment_rows: dict[int, list[int]] = {}
         for row, probed in enumerate(routes):
             for segment_id in probed:

@@ -236,6 +236,7 @@ class Scorer:
         Used by the HNSW neighbor-selection heuristic: one GEMM replaces
         O(candidates * M) small distance calls.
         """
+        self.ops += len(ids) * len(ids)
         rows = self._data[ids]
         gram = rows @ rows.T
         if self._is_euclidean:
@@ -258,7 +259,10 @@ class Scorer:
         stack of one is bit-identical to any larger stack (the heuristic
         relies on this: the sequential insert path is a batch of one).
         Padding slots may repeat any valid id; callers mask them out.
+        (Padding pairs are counted as work too: they ride the same GEMM.)
         """
+        ids = np.asarray(ids)
+        self.ops += int(ids.shape[0]) * int(ids.shape[1]) * int(ids.shape[1])
         rows = self._data[ids]
         gram = np.matmul(rows, rows.transpose(0, 2, 1))
         if self._is_euclidean:

@@ -54,6 +54,23 @@ CONNECTIVITY_FAILURES = (
 )
 
 
+def _search_header(
+    index_name: str,
+    k: int,
+    ef: int | None,
+    probes: list[tuple[int, ...]] | None,
+) -> dict:
+    """SEARCH frame header; ``probes`` is the router's per-row segment
+    push-down and is omitted entirely when absent (old servers ignore
+    unknown keys, so the field is wire-compatible both ways)."""
+    header = {"index": str(index_name), "top_k": int(k), "ef": ef}
+    if probes is not None:
+        header["probes"] = [
+            [int(segment) for segment in row] for row in probes
+        ]
+    return header
+
+
 def parse_address(address: str | tuple) -> tuple[str, int]:
     """``"host:port"`` (or an ``(host, port)`` pair) -> ``(host, port)``."""
     if isinstance(address, tuple):
@@ -303,12 +320,13 @@ class RemoteSearcherClient:
         *,
         ef: int | None = None,
         deadline: float | None = None,
+        probes: list[tuple[int, ...]] | None = None,
     ) -> tuple[np.ndarray, np.ndarray]:
         """Remote lockstep shard search; mirrors ``SearcherNode.search_batch``."""
         queries = np.ascontiguousarray(queries, dtype=np.float32)
         _, header, arrays = self.call(
             MsgType.SEARCH,
-            {"index": str(index_name), "top_k": int(k), "ef": ef},
+            _search_header(index_name, k, ef, probes),
             (queries,),
             deadline=deadline,
         )
@@ -664,12 +682,13 @@ class AsyncRemoteSearcherClient:
         *,
         ef: int | None = None,
         deadline: float | None = None,
+        probes: list[tuple[int, ...]] | None = None,
     ) -> tuple[np.ndarray, np.ndarray]:
         """Remote lockstep shard search (async twin of the sync client's)."""
         queries = np.ascontiguousarray(queries, dtype=np.float32)
         _, header, arrays = await self.call(
             MsgType.SEARCH,
-            {"index": str(index_name), "top_k": int(k), "ef": ef},
+            _search_header(index_name, k, ef, probes),
             (queries,),
             deadline=deadline,
         )

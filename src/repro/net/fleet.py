@@ -19,8 +19,6 @@ import time
 from dataclasses import dataclass
 from pathlib import Path
 
-from repro.net.server import parse_ready_line
-
 
 def _src_path() -> str:
     """The ``src`` directory containing the ``repro`` package."""
@@ -154,6 +152,11 @@ def _await_ready(
     :class:`RuntimeError` when the child exits or announces the wrong
     shard.  The caller kills/reaps on any raise.
     """
+    # Imported here, not at module level: the server module pulls in the
+    # online package, which imports the service, which imports this
+    # module's parse_fleet_spec -- a cycle at import time.
+    from repro.net.server import parse_ready_line
+
     assert process.stdout is not None
     deadline = time.monotonic() + ready_timeout_s
     os.set_blocking(process.stdout.fileno(), False)
@@ -270,3 +273,110 @@ def shutdown_fleet(fleet: list[SearcherProcess]) -> None:
 def fleet_addresses(fleet: list[SearcherProcess]) -> list[str]:
     """``host:port`` per fleet member, in shard order."""
     return [searcher.address for searcher in fleet]
+
+
+def parse_fleet_spec(spec) -> list[list[str]]:
+    """Normalise a searcher fleet spec into per-shard replica groups.
+
+    Accepted shapes (shard order throughout):
+
+    - ``"a:1,b:2"`` -- the legacy flat form: one searcher per shard;
+    - ``"a:1,a:2;b:1,b:2"`` -- ``;`` separates shard groups, ``,``
+      separates the interchangeable replicas inside one group;
+    - ``["a:1", "b:2"]`` -- one searcher per shard;
+    - ``[["a:1", "a:2"], ["b:1"]]`` -- explicit replica groups.
+
+    Empty chunks (stray separators) are dropped; an explicitly empty
+    group raises -- a shard served by nobody is a wiring bug, not a
+    degraded fleet.
+    """
+    if isinstance(spec, str):
+        if ";" in spec:
+            groups = [
+                [part.strip() for part in chunk.split(",") if part.strip()]
+                for chunk in spec.split(";")
+            ]
+            return [group for group in groups if group]
+        return [[part.strip()] for part in spec.split(",") if part.strip()]
+    groups = []
+    for entry in spec:
+        if isinstance(entry, str):
+            groups.append([entry])
+        else:
+            group = [str(address) for address in entry]
+            if not group:
+                raise ValueError("empty replica group in fleet spec")
+            groups.append(group)
+    return groups
+
+
+def launch_replicated_fleet(
+    num_shards: int,
+    replicas: int,
+    *,
+    root: str | None = None,
+    host: str = "127.0.0.1",
+    ready_timeout_s: float = 120.0,
+) -> list[list[SearcherProcess]]:
+    """Spawn ``replicas`` searcher subprocesses per shard position.
+
+    Every member of group ``s`` announces shard ``s`` -- they are
+    interchangeable servers of the same shard, which is what the
+    broker's replica groups expect.  Tears the whole fleet down on any
+    launch failure.
+    """
+    if replicas < 1:
+        raise ValueError(f"replicas must be >= 1, got {replicas}")
+    groups: list[list[SearcherProcess]] = []
+    try:
+        for shard_id in range(num_shards):
+            group = [
+                launch_searcher(
+                    shard_id,
+                    root=root,
+                    host=host,
+                    ready_timeout_s=ready_timeout_s,
+                )
+                for _replica in range(replicas)
+            ]
+            groups.append(group)
+    except BaseException:
+        shutdown_replicated_fleet(groups)
+        raise
+    return groups
+
+
+def shutdown_replicated_fleet(groups: list[list[SearcherProcess]]) -> None:
+    """Best-effort stop of every replica of every group."""
+    for group in groups:
+        shutdown_fleet(group)
+
+
+def replicated_fleet_addresses(
+    groups: list[list[SearcherProcess]],
+) -> list[list[str]]:
+    """Per-group ``host:port`` lists, in shard order (a fleet spec)."""
+    return [[member.address for member in group] for group in groups]
+
+
+def relaunch_searcher(
+    member: SearcherProcess,
+    *,
+    root: str | None = None,
+    ready_timeout_s: float = 120.0,
+) -> SearcherProcess:
+    """Start a fresh searcher process at ``member``'s exact address.
+
+    The rolling-restart primitive: the old process must already be dead
+    (or about to be -- the listener sets ``SO_REUSEADDR``, but two live
+    servers on one port would split traffic).  Returns the replacement
+    ``SearcherProcess`` announcing the same shard on the same port; the
+    broker's pooled transports reconnect to it transparently.
+    """
+    return launch_searcher(
+        member.shard_id,
+        root=root,
+        host=member.host,
+        port=member.port,
+        ready_timeout_s=ready_timeout_s,
+    )

@@ -167,6 +167,11 @@ class SearcherServer:
             top_k = int(header["top_k"])
             ef = header.get("ef")
             ef = int(ef) if ef is not None else None
+            probes = header.get("probes")
+            if probes is not None:
+                probes = [
+                    tuple(int(segment) for segment in row) for row in probes
+                ]
             if len(arrays) != 1:
                 raise ProtocolError(
                     f"SEARCH expects 1 query array, got {len(arrays)}"
@@ -188,6 +193,7 @@ class SearcherServer:
                     arrays[0],
                     top_k,
                     ef=ef,
+                    probes=probes,
                 ),
             )
             return self._result({"index": index_name}, [ids, dists])

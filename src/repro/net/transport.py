@@ -51,6 +51,7 @@ class SearcherTransport(abc.ABC):
         *,
         ef: int | None = None,
         deadline: float | None = None,
+        probes: list[tuple[int, ...]] | None = None,
     ) -> tuple[np.ndarray, np.ndarray]:
         """Lockstep shard search; ``(B, k)`` id/distance arrays."""
 
@@ -86,6 +87,7 @@ class AsyncSearcherTransport(abc.ABC):
         *,
         ef: int | None = None,
         deadline: float | None = None,
+        probes: list[tuple[int, ...]] | None = None,
     ) -> tuple[np.ndarray, np.ndarray]:
         """Coroutine twin of :meth:`SearcherTransport.search_batch`."""
 
@@ -105,8 +107,11 @@ class LocalSearcherTransport(SearcherTransport):
         *,
         ef: int | None = None,
         deadline: float | None = None,
+        probes: list[tuple[int, ...]] | None = None,
     ) -> tuple[np.ndarray, np.ndarray]:
-        return self.node.search_batch(index_name, queries, k, ef=ef)
+        return self.node.search_batch(
+            index_name, queries, k, ef=ef, probes=probes
+        )
 
     @property
     def queries_served(self) -> int:
@@ -163,9 +168,10 @@ class RemoteSearcherTransport(SearcherTransport):
         *,
         ef: int | None = None,
         deadline: float | None = None,
+        probes: list[tuple[int, ...]] | None = None,
     ) -> tuple[np.ndarray, np.ndarray]:
         return self.client.search_batch(
-            index_name, queries, k, ef=ef, deadline=deadline
+            index_name, queries, k, ef=ef, deadline=deadline, probes=probes
         )
 
     def deploy(
@@ -242,9 +248,10 @@ class AsyncRemoteSearcherTransport(RemoteSearcherTransport, AsyncSearcherTranspo
         *,
         ef: int | None = None,
         deadline: float | None = None,
+        probes: list[tuple[int, ...]] | None = None,
     ) -> tuple[np.ndarray, np.ndarray]:
         return await self.async_client.search_batch(
-            index_name, queries, k, ef=ef, deadline=deadline
+            index_name, queries, k, ef=ef, deadline=deadline, probes=probes
         )
 
     @property

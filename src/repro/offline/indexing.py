@@ -118,10 +118,14 @@ def build_index_job(
     # Driver side: couple metadata + segmenter with the written indices.
     checksums: dict[str, str] = {}
     shard_sizes = [0] * config.num_shards
+    segment_sizes = [
+        [0] * config.num_segments for _ in range(config.num_shards)
+    ]
     for key, checksum, count in outcome.results:
         shard, segment = key
         checksums[segment_file(shard, segment)] = checksum
         shard_sizes[shard] += count
+        segment_sizes[shard][segment] = count
     segmenter_raw = json.dumps(segmenter.to_dict()).encode("utf-8")
     fs.write_bytes(f"{output_path}/segmenter.json", segmenter_raw)
     checksums["segmenter.json"] = _checksum(segmenter_raw)
@@ -131,6 +135,7 @@ def build_index_job(
         total_vectors=sum(shard_sizes),
         shard_sizes=shard_sizes,
         checksums=checksums,
+        segment_sizes=segment_sizes,
         created_by=f"repro-lanns/{__version__}",
     )
     fs.write_json(f"{output_path}/metadata.json", manifest.to_dict())

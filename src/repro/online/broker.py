@@ -1,4 +1,4 @@
-"""The broker: admission, query fan-out, perShardTopK, and the final merge.
+"""The broker: admission, routing, query fan-out, perShardTopK, final merge.
 
 "The final merge happens at the broker or the client. The broker is also
 responsible for calculating and passing the perShardTopK to each shard."
@@ -15,55 +15,41 @@ layers in front of the lockstep batch engine:
 3. a **fan-out executor** sized independently of the searcher count
    (``fanout_workers``), so in-flight batches can overlap their shard
    requests instead of queueing behind one another on exactly
-   ``len(searchers)`` workers.  Note the overlap applies to *direct*
-   execution (micro-batching off, or concurrent ``search_batch`` callers
-   on an admission-disabled broker): with admission on, the single
-   flusher thread executes coalesced batches one at a time -- batching,
-   not pool width, is what buys throughput there.
-
-Every result still flows through the same `_execute_batch` fan-out +
-merge path PR 1 built, so micro-batched, cached, and direct requests are
-bit-identical per query.
+   ``len(searchers)`` workers.
 
 PR 3 moves the fan-out behind the
-:class:`~repro.net.transport.SearcherTransport` interface, so the same
-broker drives in-process :class:`SearcherNode` s and remote searcher
-processes (:class:`~repro.net.transport.RemoteSearcherTransport`)
-through one code path, and adds the failure semantics real distribution
-needs:
+:class:`~repro.net.transport.SearcherTransport` interface (one code path
+for in-process and remote searchers) and adds per-request deadlines plus
+the fail/degrade partial-result policy.  PR 4 replaces thread-per-RPC
+with an **asyncio-native fan-out** (``async_fanout=True``) and **hedged
+requests** (``hedge_after_s``).
 
-- a **per-request deadline** (``request_timeout_s``) bounding the whole
-  fan-out.  Remote transports enforce it on the wire (every send/recv,
-  in both fan-out modes); for in-process searchers it bounds the
-  broker's wait on the fan-out futures, which requires
-  ``parallel_fanout=True`` -- a *sequential* fan-out over local
-  searchers runs each shard inline and cannot abandon it, so there the
-  deadline is inert (in-process numpy work is not cancellable);
-- a **partial-result policy**: ``"fail"`` (default -- any shard failure
-  raises, the pre-distribution behavior) or ``"degrade"`` -- a dead
-  shard's rows are dropped, the merge runs over the survivors, and the
-  response is annotated with ``shards_answered`` (ask for it with
-  ``search_batch(..., with_info=True)``).  Degradeable failures are
-  *connectivity* losses (connection lost, timeout, garbled frames) and
-  a shard reporting it does not host the index (a restarted searcher);
-  any other structured error a searcher answers with (bad request)
-  re-raises under either policy, because retrying other shards cannot
-  fix a caller bug -- and a request where *every* shard fails always
-  raises.  Degraded rows are never written to the result cache.
+PR 6 makes the broker replica-aware and route-aware, carried by a
+structured request/response API:
 
-PR 4 replaces thread-per-RPC with an **asyncio-native fan-out**
-(``async_fanout=True``): all remote shard RPCs for a batch are
-multiplexed on one private event loop (a single background thread,
-:class:`_FanoutLoop`), and **hedged requests** (``hedge_after_s``)
-re-issue a straggling shard's RPC on a second connection when budget
-remains before the deadline -- first reply wins, the loser is cancelled
-and its connection discarded.  The public API is byte-for-byte
-unchanged: ``search_batch`` stays synchronous, the micro-batcher and
-cache sit in front exactly as before, and the fail/degrade policy is
-applied to the gathered outcomes on the calling thread.  Hedging can
-only change *when* an answer arrives, never *what* it is -- both RPCs
-ask the same shard the same lockstep question, so results stay
-bit-identical (pinned by ``tests/test_hedging.py``).
+- :meth:`Broker.execute` takes a frozen
+  :class:`~repro.online.types.SearchRequest` and returns a
+  :class:`~repro.online.types.SearchResponse`; the legacy
+  ``search``/``search_batch`` signatures are thin shims over it (and the
+  ``with_info=True`` tuple-shape switch is deprecated).
+- Each shard position may be served by a **replica group** (N
+  interchangeable searchers).  The broker keeps a per-replica health/load
+  ledger (:mod:`repro.online.replicas`), picks the least-loaded healthy
+  replica per request, **fails over** to a sibling on connectivity
+  failures, and **hedges across replicas** -- the straggler's retry goes
+  to a *different* process (single-replica groups keep the PR-4
+  second-connection behavior).
+- A **router** (:mod:`repro.online.router`) embeds the trained segmenter
+  and maps each query to its top-``spill`` segments, so a routed request
+  fans out only to the shard groups hosting those segments (the
+  segment-aligned build layout) and pushes the chosen segments down to
+  the searchers as explicit probes.  ``spill=None``/``"all"`` preserves
+  the pre-router fan-out bit-exactly.
+
+Routed requests and requests overriding broker policy (per-request
+deadline/hedging) bypass the result cache and the micro-batcher: cache
+keys and admission keys do not carry the spill/policy knobs, and
+coalescing rows with different fan-out shapes would change answers.
 """
 
 from __future__ import annotations
@@ -72,6 +58,7 @@ import asyncio
 import contextlib
 import threading
 import time
+import warnings
 from concurrent.futures import CancelledError as FutureCancelledError
 from concurrent.futures import ThreadPoolExecutor
 from concurrent.futures import TimeoutError as FutureTimeoutError
@@ -82,17 +69,26 @@ import numpy as np
 from repro.core.config import LannsConfig
 from repro.core.merge import merge_shard_results_batch
 from repro.core.topk import per_shard_top_k
-from repro.errors import DeadlineExceededError, RemoteCallError, TransportError
+from repro.errors import (
+    ConnectionLostError,
+    DeadlineExceededError,
+    ProtocolError,
+    RemoteCallError,
+    TransportError,
+)
 from repro.eval.timing import StageLatencyRecorder
 from repro.net.transport import (
     AsyncSearcherTransport,
     SearcherTransport,
-    as_transport,
 )
 from repro.online.cache import QueryResultCache, result_cache_key
 from repro.online.microbatch import MicroBatcher
+from repro.online.replicas import ReplicaGroup, ReplicaState
+from repro.online.router import Router, RoutingPlan
 from repro.online.searcher import SearcherNode  # noqa: F401 (re-export)
-from repro.utils.validation import as_matrix, as_vector
+from repro.online.types import INHERIT, SearchRequest, SearchResponse
+from repro.segmenters.base import Segmenter
+from repro.utils.validation import as_vector
 
 #: Partial-result policies for shard failures during the fan-out.
 PARTIAL_POLICIES = ("fail", "degrade")
@@ -181,25 +177,36 @@ class Broker:
     Parameters
     ----------
     searchers:
-        One searcher per shard, in shard order: raw
-        :class:`SearcherNode` s (wrapped into in-process transports) or
-        :class:`~repro.net.transport.SearcherTransport` s (e.g. remote
-        searchers).  ``self.searchers`` keeps the list as given;
-        ``self.transports`` is the wrapped view the fan-out drives.
+        One entry per shard, in shard order.  Each entry is either a
+        single searcher (a raw :class:`SearcherNode` or a
+        :class:`~repro.net.transport.SearcherTransport`) or a
+        list/tuple of interchangeable replicas serving that shard.
+        ``self.searchers`` keeps the argument as given; ``self.groups``
+        holds one :class:`~repro.online.replicas.ReplicaGroup` per
+        shard; ``self.transports`` is the flat wrapped view (groups
+        concatenated in shard order).
     config:
         The index configuration (for perShardTopK parameters).
+    segmenter:
+        The index's trained segmenter.  When given, the broker builds a
+        :class:`~repro.online.router.Router` and accepts routed requests
+        (``SearchRequest.spill``); without it, only ``spill=None/"all"``
+        requests are served.
+    segment_sizes:
+        Per-shard per-segment occupancy (the manifest's
+        ``segment_sizes``), letting the router prune fan-out to the
+        shards actually hosting a segment.  ``None`` assumes full
+        occupancy (probes are restricted, fan-out is not).
     partial_policy:
         ``"fail"`` (default): any shard failure fails the request.
         ``"degrade"``: connectivity failures drop that shard's rows from
-        the merge and the response is annotated with ``shards_answered``
-        (see :meth:`search_batch`); requests where *every* shard failed
-        still raise.
+        the merge and the response is annotated with ``shards_answered``;
+        requests where *every* shard failed still raise.  With replica
+        groups, a shard only counts as failed after every eligible
+        replica was tried.
     request_timeout_s:
         Per-request deadline for the whole fan-out (``None`` = wait
-        forever).  On expiry, unanswered shards count as failed under
-        the active ``partial_policy``.  Enforced on the wire for remote
-        transports; for in-process searchers only the parallel fan-out
-        can time out (see the module docs).
+        forever).  ``SearchRequest.deadline_s`` overrides it per request.
     parallel_fanout:
         Issue shard requests on a thread pool (as a real broker would);
         sequential when ``False`` (deterministic timing for tests).
@@ -207,53 +214,24 @@ class Broker:
     async_fanout:
         Multiplex the shard fan-out on a private asyncio event loop
         (one background thread total) instead of one pool thread per
-        in-flight RPC.  Transports implementing
-        :class:`~repro.net.transport.AsyncSearcherTransport` are
-        awaited natively; others (in-process shards) run on the loop's
-        executor.  The public API is unchanged -- ``search_batch`` and
-        the micro-batcher stay synchronous.
+        in-flight RPC.
     hedge_after_s:
         Tail-tolerance knob (requires ``async_fanout``): when an
         async-capable shard has not answered within this many seconds
-        and budget remains before ``request_timeout_s``, the same RPC
-        is re-issued on a second connection; the first reply wins and
-        the loser is cancelled (its connection is discarded, never
-        pooled).  ``None`` (default) disables hedging.  Tune it from
-        ``stats()["stages"]["shard_rpc"]`` -- a little above the
-        healthy p99 hedges only genuine stragglers.  Or pass ``"auto"``
-        to derive the delay per batch from the live ``shard_rpc``
-        window (median x ``AUTO_HEDGE_MULTIPLIER``; no hedging until
-        ``AUTO_HEDGE_MIN_SAMPLES`` samples exist), so the knob tracks
-        the fleet instead of a point-in-time measurement.
+        and budget remains before the deadline, the same RPC is
+        re-issued -- on a *different replica* of the group when one is
+        available, else on a second connection to the same process.
+        First reply wins, the loser is cancelled.  ``None`` disables
+        hedging; ``"auto"`` derives the delay per batch from the live
+        ``shard_rpc`` window (median x ``AUTO_HEDGE_MULTIPLIER``).
     fanout_workers:
-        Size of the fan-out pool, independent of ``len(searchers)``.
-        Defaults to ``2 * len(searchers)`` so two directly executed
-        batches can have all their shard requests in flight at once
-        (see the module docs for how this interacts with
-        micro-batching).  Ignored unless ``parallel_fanout``, and
-        irrelevant under ``async_fanout`` (no pool exists).
+        Size of the fan-out pool; defaults to ``2 * num_shards``.
+        Ignored unless ``parallel_fanout``, irrelevant under
+        ``async_fanout``.
     max_batch, max_wait_ms:
-        Micro-batching knobs.  ``max_batch <= 1`` disables admission
-        entirely (every request executes directly, PR-1 behavior);
-        otherwise concurrent requests coalesce until a group holds
-        ``max_batch`` rows or its oldest request has waited
-        ``max_wait_ms``.
-    cache:
-        A shared :class:`~repro.online.cache.QueryResultCache` (e.g. the
-        service-level cache spanning deployed indices).  When ``None``,
-        ``cache_size > 0`` creates a private cache of that capacity.
-    cache_size:
-        Capacity of the private cache when ``cache`` is not given;
-        ``0`` (default) serves every request from the index.
-    cache_epoch:
-        Deployment generation tag baked into this broker's cache keys.
-        The service bumps it on every deploy so a late ``put`` racing an
-        undeploy/re-deploy of the same name can never be served by the
-        new deployment.  Irrelevant for a private cache.
-    cache_quantize_decimals:
-        For cosine indices only: round the normalised query to this many
-        decimals when building cache keys, so near-duplicate heavy
-        hitters share entries (``None`` = exact normalised key).
+        Micro-batching knobs.  ``max_batch <= 1`` disables admission.
+    cache / cache_size / cache_epoch / cache_quantize_decimals:
+        Result-cache wiring; see :mod:`repro.online.cache`.
     """
 
     def __init__(
@@ -273,20 +251,25 @@ class Broker:
         cache_quantize_decimals: int | None = None,
         partial_policy: str = "fail",
         request_timeout_s: float | None = None,
+        segmenter: Segmenter | None = None,
+        segment_sizes: list[list[int]] | None = None,
     ) -> None:
         if len(searchers) != config.num_shards:
             raise ValueError(
                 f"{len(searchers)} searchers for {config.num_shards} shards"
             )
-        transports: list[SearcherTransport] = [
-            as_transport(searcher) for searcher in searchers
+        self.groups: list[ReplicaGroup] = [
+            ReplicaGroup(
+                shard_id,
+                entry if isinstance(entry, (list, tuple)) else [entry],
+            )
+            for shard_id, entry in enumerate(searchers)
         ]
-        for shard_id, transport in enumerate(transports):
-            if transport.shard_id != shard_id:
-                raise ValueError(
-                    f"searcher at position {shard_id} serves shard "
-                    f"{transport.shard_id}; searchers must be in shard order"
-                )
+        transports: list[SearcherTransport] = [
+            transport
+            for group in self.groups
+            for transport in group.transports
+        ]
         if fanout_workers is not None and fanout_workers < 1:
             raise ValueError(
                 f"fanout_workers must be >= 1, got {fanout_workers}"
@@ -334,6 +317,15 @@ class Broker:
             if fanout_workers is not None
             else 2 * len(searchers)
         )
+        self.router: Router | None = (
+            Router(
+                segmenter,
+                config.num_shards,
+                segment_sizes=segment_sizes,
+            )
+            if segmenter is not None
+            else None
+        )
         self.timings = StageLatencyRecorder()
         self.cache = (
             cache if cache is not None else QueryResultCache(cache_size)
@@ -344,12 +336,16 @@ class Broker:
         self.queries_served = 0
         #: Batches that returned partial results under ``degrade``.
         self.degraded_batches = 0
-        #: Connectivity failures observed per shard position.
-        self.shard_failures = [0] * len(transports)
+        #: Connectivity failures observed per shard position (a shard
+        #: counts once per request, after replica failover is exhausted).
+        self.shard_failures = [0] * len(self.groups)
         #: Hedged-request counters: RPCs re-issued, and races where the
         #: hedge (not the primary) delivered the winning reply.
         self.hedges = 0
         self.hedge_wins = 0
+        #: Requests re-issued on a sibling replica after a connectivity
+        #: failure (successful or not).
+        self.failovers = 0
         self._last_failure: TransportError | None = None
         # The asyncio fan-out multiplexes every in-flight shard RPC on
         # ONE loop thread, so it replaces the thread pool entirely.
@@ -414,7 +410,9 @@ class Broker:
             "hedge_after_s": self.hedge_after_s,
             "hedges": self.hedges,
             "hedge_wins": self.hedge_wins,
+            "failovers": self.failovers,
             "queries_served": self.queries_served,
+            "replicas": [group.stats() for group in self.groups],
             "partial": {
                 "policy": self.partial_policy,
                 "request_timeout_s": self.request_timeout_s,
@@ -466,6 +464,89 @@ class Broker:
         """
         return int(ef) if ef is not None else int(self.config.hnsw.ef_search)
 
+    # -- the structured entry point ----------------------------------------------------
+    def execute(self, request: SearchRequest) -> SearchResponse:
+        """Serve one :class:`SearchRequest` end to end.
+
+        The one true serving path: every legacy signature is a shim over
+        this.  Unrouted requests without policy overrides flow through
+        the result cache and the micro-batching admission layer exactly
+        as before (their responses carry ``replicas_used=None`` --
+        coalescing makes per-request replica attribution ambiguous);
+        routed requests and per-request overrides execute directly
+        through the fan-out with full metadata.
+        """
+        queries = request.queries
+        top_k = request.top_k
+        num_queries = queries.shape[0]
+        num_shards = len(self.groups)
+        if num_queries == 0:
+            return SearchResponse(
+                ids=np.full((0, top_k), -1, dtype=np.int64),
+                dists=np.full((0, top_k), np.inf, dtype=np.float64),
+                shards_answered=np.zeros(0, dtype=np.int64),
+                shards_routed=np.zeros(0, dtype=np.int64),
+                num_shards=num_shards,
+            )
+        eff_ef = self.effective_ef(request.ef)
+        with self._served_lock:
+            self.queries_served += num_queries
+
+        plan: RoutingPlan | None = None
+        route_s = 0.0
+        if request.routed:
+            if self.router is None:
+                raise ValueError(
+                    "routed request (spill set) on a broker without a "
+                    "router: construct the Broker with the index's "
+                    "segmenter (OnlineService does this automatically)"
+                )
+            tick = time.perf_counter()
+            plan = self.router.plan(
+                queries,
+                request.spill
+                if isinstance(request.spill, int)
+                else self.config.num_segments,
+                hints=request.routing_hints,
+            )
+            route_s = time.perf_counter() - tick
+            self.timings.record("route", route_s)
+
+        if plan is None and not request.overrides_policy:
+            ids, dists, answered = self._serve_cached(
+                request.index_name, queries, top_k, eff_ef
+            )
+            return SearchResponse(
+                ids=ids,
+                dists=dists,
+                shards_answered=answered,
+                shards_routed=np.full(num_queries, num_shards, dtype=np.int64),
+                num_shards=num_shards,
+            )
+
+        ids, dists, answered, routed, replicas_used, timings = (
+            self._execute_fanout(
+                request.index_name,
+                queries,
+                top_k,
+                eff_ef,
+                plan=plan,
+                timeout_s=request.deadline_s,
+                hedging=request.hedging,
+            )
+        )
+        timings["route_ms"] = route_s * 1000.0
+        return SearchResponse(
+            ids=ids,
+            dists=dists,
+            shards_answered=answered,
+            shards_routed=routed,
+            num_shards=num_shards,
+            replicas_used=tuple(replicas_used),
+            timings=timings,
+        )
+
+    # -- legacy entry points (thin shims) ----------------------------------------------
     def search(
         self,
         index_name: str,
@@ -495,53 +576,57 @@ class Broker:
         *,
         ef: int | None = None,
         with_info: bool = False,
+        spill: int | str | None = None,
     ) -> tuple:
-        """Serve a query batch end to end: ONE fan-out for the whole batch.
+        """Serve a query batch: a thin shim over :meth:`execute`.
 
-        The request flows cache -> admission -> execution: rows with a
-        cached result are answered immediately; the remaining rows are
-        admitted as one block (coalescing with other threads' requests
-        when micro-batching is on) and executed through the lockstep
-        fan-out; fresh results then fill the cache.  Per-query results
-        are identical to calling :meth:`search` in a loop regardless of
-        caching or coalescing.
-
-        Returns
-        -------
-        ``(B, top_k)`` id/distance arrays padded with ``-1`` / ``inf``.
-        With ``with_info=True`` a third element is returned: a dict with
-        ``shards_answered`` (``(B,)`` int array -- how many shards
-        contributed to each row; below ``num_shards`` only under the
-        ``degrade`` policy) and ``num_shards``.  Cache hits always count
-        as fully answered: degraded rows are never cached.
+        Returns ``(B, top_k)`` id/distance arrays padded with ``-1`` /
+        ``inf``.  ``with_info=True`` (deprecated -- use :meth:`execute`
+        and read the :class:`SearchResponse`) appends the legacy info
+        dict as a third element.
         """
-        if top_k <= 0:
-            raise ValueError(f"top_k must be positive, got {top_k}")
-        queries = as_matrix(queries, name="queries")
-        num_queries = queries.shape[0]
-        if num_queries == 0:
-            empty = (
-                np.full((0, top_k), -1, dtype=np.int64),
-                np.full((0, top_k), np.inf, dtype=np.float64),
+        if with_info:
+            warnings.warn(
+                "search_batch(..., with_info=True) is deprecated; call "
+                "Broker.execute(SearchRequest(...)) and read the "
+                "SearchResponse fields instead",
+                DeprecationWarning,
+                stacklevel=2,
             )
-            return (
-                (*empty, self._info(np.zeros(0, dtype=np.int64)))
-                if with_info
-                else empty
+        response = self.execute(
+            SearchRequest(
+                queries=queries,
+                top_k=top_k,
+                index_name=index_name,
+                ef=ef,
+                spill=spill,
             )
-        eff_ef = self.effective_ef(ef)
-        with self._served_lock:
-            self.queries_served += num_queries
+        )
+        if with_info:
+            return response.ids, response.dists, response.info()
+        return response.ids, response.dists
 
+    # -- cached/admitted serving (unrouted requests) -----------------------------------
+    def _serve_cached(
+        self,
+        index_name: str,
+        queries: np.ndarray,
+        top_k: int,
+        eff_ef: int,
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Cache -> admission -> execution for the default fan-out.
+
+        Rows with a cached result are answered immediately; the
+        remaining rows are admitted as one block (coalescing with other
+        threads' requests when micro-batching is on) and executed
+        through the lockstep fan-out; fresh results then fill the cache.
+        Per-query results are identical to a batch of one regardless of
+        caching or coalescing.  Cache hits always count as fully
+        answered: degraded rows are never cached.
+        """
+        num_queries = queries.shape[0]
         if not self.cache.enabled:
-            ids, dists, answered = self._admit(
-                index_name, queries, top_k, eff_ef
-            )
-            return (
-                (ids, dists, self._info(answered))
-                if with_info
-                else (ids, dists)
-            )
+            return self._admit(index_name, queries, top_k, eff_ef)
 
         keys = [
             result_cache_key(
@@ -583,15 +668,7 @@ class Broker:
                     self.cache.put(
                         keys[row], fresh_ids[slot], fresh_dists[slot]
                     )
-        if with_info:
-            return out_ids, out_dists, self._info(out_answered)
-        return out_ids, out_dists
-
-    def _info(self, answered: np.ndarray) -> dict:
-        return {
-            "shards_answered": answered,
-            "num_shards": int(self.config.num_shards),
-        }
+        return out_ids, out_dists, out_answered
 
     # -- admission + execution ---------------------------------------------------------
     def _admit(
@@ -627,30 +704,96 @@ class Broker:
         top_k: int,
         eff_ef: int,
     ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
-        """The lockstep path: one shard fan-out + one batched merge.
+        """Micro-batcher callback: full fan-out, per-row result tuple.
 
-        Returns per-row ``(ids, dists, shards_answered)``; the third
-        array is constant across the batch (all rows share one fan-out)
-        but shaped ``(B,)`` so the micro-batcher can slice it per block
-        like any other result component.
+        Returns per-row ``(ids, dists, shards_answered)`` only -- every
+        element must be sliceable per row because the micro-batcher
+        splits the result tuple back across the coalesced requests.
+        """
+        ids, dists, answered, _routed, _replicas, _timings = (
+            self._execute_fanout(index_name, queries, top_k, eff_ef)
+        )
+        return ids, dists, answered
+
+    def _execute_fanout(
+        self,
+        index_name: str,
+        queries: np.ndarray,
+        top_k: int,
+        eff_ef: int,
+        *,
+        plan: RoutingPlan | None = None,
+        timeout_s: float | str | None = INHERIT,
+        hedging: bool | float | str | None = INHERIT,
+    ) -> tuple:
+        """The lockstep path: one shard-group fan-out + one batched merge.
+
+        ``plan=None`` fans the full batch out to every shard group (the
+        pre-router behavior, bit-exact); a routing plan sends each group
+        only its routed rows with their segment probes pushed down, and
+        scatters the sub-batch results back into full-width parts before
+        the merge (unrouted rows hold the ``-1``/``inf`` sentinels the
+        merge already treats as absent).
+
+        Returns ``(ids, dists, answered, routed, replicas_used,
+        timings)``; ``answered``/``routed`` are per-row ``(B,)`` arrays,
+        ``replicas_used`` one winning replica id per shard group (``-1``
+        for failed or unqueried groups).
         """
         budget = self.per_shard_budget(top_k)
-        num_shards = len(self.transports)
+        num_queries = queries.shape[0]
+        num_shards = len(self.groups)
+        # One work item per shard group that has rows to serve:
+        # (group_id, sub-batch, rows or None for "all", probes or None).
+        if plan is None:
+            work = [
+                (group_id, queries, None, None)
+                for group_id in range(num_shards)
+            ]
+            routed = np.full(num_queries, num_shards, dtype=np.int64)
+        else:
+            work = [
+                (
+                    group_id,
+                    queries[plan.shard_rows[group_id]],
+                    plan.shard_rows[group_id],
+                    plan.shard_probes[group_id],
+                )
+                for group_id in plan.shard_rows
+            ]
+            routed = plan.routed_counts.copy()
+        replicas_used = [-1] * num_shards
+        timings: dict[str, float] = {}
+        if not work:
+            # Every row routed nowhere (empty hints): nothing to ask.
+            return (
+                np.full((num_queries, top_k), -1, dtype=np.int64),
+                np.full((num_queries, top_k), np.inf, dtype=np.float64),
+                np.zeros(num_queries, dtype=np.int64),
+                routed,
+                replicas_used,
+                timings,
+            )
+        if timeout_s == INHERIT:
+            timeout_s = self.request_timeout_s
         deadline = (
-            time.monotonic() + self.request_timeout_s
-            if self.request_timeout_s is not None
-            else None
+            time.monotonic() + timeout_s if timeout_s is not None else None
+        )
+        hedge_knob = (
+            self.hedge_after_s
+            if hedging == INHERIT
+            else (None if hedging is False else hedging)
         )
         tick = time.perf_counter()
-        parts: list | None = None
+        outcomes: list[tuple] | None = None
         fanout_loop = self._fanout_loop  # snapshot: close() may race
         if fanout_loop is not None:
             # Resolved once per batch: every shard of a fan-out hedges
             # against the same delay, and an "auto" knob re-reads the
             # live shard_rpc window between batches, not mid-batch.
-            hedge_delay = self._resolve_hedge_delay()
+            hedge_delay = self._resolve_hedge_delay(hedge_knob)
             coro = self._fanout_async(
-                index_name, queries, budget, eff_ef, deadline, hedge_delay
+                index_name, work, budget, eff_ef, deadline, hedge_delay
             )
             try:
                 future = fanout_loop.submit(coro)
@@ -666,85 +809,118 @@ class Broker:
                     # *different* class from asyncio's); the transports
                     # are still alive, so serve this request sequentially.
                     pass
-                else:
-                    parts = []
-                    for shard_id, (part, exc) in enumerate(outcomes):
-                        if exc is None:
-                            parts.append(part)
-                        else:
-                            parts.append(self._shard_failure(shard_id, exc))
         pool = self._pool  # snapshot: close() may race an in-flight call
-        if parts is None and pool is not None:
+        if outcomes is None and pool is not None:
             try:
                 futures = [
                     pool.submit(
-                        transport.search_batch,
+                        self._group_search_sync,
+                        self.groups[group_id],
                         index_name,
-                        queries,
+                        sub_queries,
                         budget,
-                        ef=eff_ef,
-                        deadline=deadline,
+                        eff_ef,
+                        deadline,
+                        probes,
                     )
-                    for transport in self.transports
+                    for group_id, sub_queries, _rows, probes in work
                 ]
             except RuntimeError:
                 # Pool shut down mid-request: fall through to sequential.
-                parts = None
+                outcomes = None
             else:
-                parts = []
-                for shard_id, future in enumerate(futures):
+                outcomes = []
+                for (group_id, *_), future in zip(work, futures):
                     try:
                         wait = None
                         if deadline is not None:
                             wait = max(deadline - time.monotonic(), 0.0)
-                        parts.append(future.result(timeout=wait))
+                        part, replica_id = future.result(timeout=wait)
                     except (FutureTimeoutError, TimeoutError):
                         # The shard may still answer eventually, but this
                         # request is done waiting; the worker thread
                         # finishes in the background and the result is
                         # discarded.
-                        parts.append(
-                            self._shard_failure(
-                                shard_id,
+                        outcomes.append(
+                            (
+                                None,
                                 DeadlineExceededError(
-                                    f"shard {shard_id} missed the "
-                                    f"{self.request_timeout_s}s request "
-                                    "deadline"
+                                    f"shard {group_id} missed the "
+                                    f"{timeout_s}s request deadline"
                                 ),
+                                -1,
                             )
                         )
                     except TransportError as exc:
-                        parts.append(self._shard_failure(shard_id, exc))
-        if parts is None:
-            parts = []
-            for shard_id, transport in enumerate(self.transports):
+                        outcomes.append((None, exc, -1))
+                    else:
+                        outcomes.append((part, None, replica_id))
+        if outcomes is None:
+            outcomes = []
+            for group_id, sub_queries, _rows, probes in work:
                 try:
-                    parts.append(
-                        transport.search_batch(
-                            index_name,
-                            queries,
-                            budget,
-                            ef=eff_ef,
-                            deadline=deadline,
-                        )
+                    part, replica_id = self._group_search_sync(
+                        self.groups[group_id],
+                        index_name,
+                        sub_queries,
+                        budget,
+                        eff_ef,
+                        deadline,
+                        probes,
                     )
                 except TransportError as exc:
-                    parts.append(self._shard_failure(shard_id, exc))
-        failed = [shard for shard, part in enumerate(parts) if part is None]
-        answered = num_shards - len(failed)
-        if answered == 0:
+                    outcomes.append((None, exc, -1))
+                else:
+                    outcomes.append((part, None, replica_id))
+
+        parts: list[tuple[np.ndarray, np.ndarray]] = []
+        answered = routed.copy()
+        succeeded = 0
+        failed_any = False
+        for (group_id, sub_queries, rows, _probes), outcome in zip(
+            work, outcomes
+        ):
+            part, exc, replica_id = outcome
+            if exc is not None:
+                part = self._shard_failure(group_id, exc)
+            if part is None:
+                failed_any = True
+                if rows is None:
+                    answered -= 1
+                else:
+                    answered[rows] -= 1
+                part = (
+                    np.full(
+                        (sub_queries.shape[0], budget), -1, dtype=np.int64
+                    ),
+                    np.full(
+                        (sub_queries.shape[0], budget),
+                        np.inf,
+                        dtype=np.float64,
+                    ),
+                )
+            else:
+                succeeded += 1
+                replicas_used[group_id] = replica_id
+            if rows is None:
+                parts.append(part)
+            else:
+                full_ids = np.full(
+                    (num_queries, budget), -1, dtype=np.int64
+                )
+                full_dists = np.full(
+                    (num_queries, budget), np.inf, dtype=np.float64
+                )
+                full_ids[rows] = part[0]
+                full_dists[rows] = part[1]
+                parts.append((full_ids, full_dists))
+        if succeeded == 0:
             # Degrading to an empty answer would be indistinguishable
             # from "no neighbors exist"; a fully dead fleet must fail.
             raise TransportError(
-                f"all {num_shards} shards failed for this request"
+                f"all {len(work)} shards failed for this request"
             ) from self._last_failure
-        if failed:
-            num_queries = queries.shape[0]
-            sentinel = (
-                np.full((num_queries, budget), -1, dtype=np.int64),
-                np.full((num_queries, budget), np.inf, dtype=np.float64),
-            )
-            parts = [part if part is not None else sentinel for part in parts]
+        if failed_any:
             with self._served_lock:
                 self.degraded_batches += 1
         fanned = time.perf_counter()
@@ -752,17 +928,88 @@ class Broker:
         done = time.perf_counter()
         self.timings.record("fanout", fanned - tick)
         self.timings.record("merge", done - fanned)
+        timings["fanout_ms"] = (fanned - tick) * 1000.0
+        timings["merge_ms"] = (done - fanned) * 1000.0
+        return ids, dists, answered, routed, replicas_used, timings
+
+    # -- replica selection + failover --------------------------------------------------
+    @staticmethod
+    def _failover_eligible(exc: TransportError) -> bool:
+        """Whether a sibling replica may retry after this failure.
+
+        Dead/unreachable/garbled connections and a replica that does not
+        host the index (restarted process) fail over; timeouts do not
+        (retrying a blown budget only makes it later), and structured
+        remote errors do not (the request itself is broken).
+        """
+        if isinstance(exc, (ConnectionLostError, ProtocolError)):
+            return True
         return (
-            ids,
-            dists,
-            np.full(queries.shape[0], answered, dtype=np.int64),
+            isinstance(exc, RemoteCallError) and exc.error_type == "KeyError"
         )
 
+    def _group_search_sync(
+        self,
+        group: ReplicaGroup,
+        index_name: str,
+        queries: np.ndarray,
+        budget: int,
+        eff_ef: int,
+        deadline: float | None,
+        probes: list[tuple[int, ...]] | None,
+    ) -> tuple[tuple[np.ndarray, np.ndarray], int]:
+        """One group's answer on the calling thread, with failover.
+
+        Picks the least-loaded replica, retries eligible failures on
+        untried siblings while deadline budget remains, and maintains
+        the group's in-flight/EWMA ledger.  Raises the last failure when
+        every eligible replica was tried.
+        """
+        tried: list[int] = []
+        last: TransportError | None = None
+        while True:
+            replica = group.pick(exclude=tried)
+            if replica is None:
+                assert last is not None
+                raise last
+            if tried:
+                # A sibling is actually taking over, not just a dead end.
+                with self._served_lock:
+                    self.failovers += 1
+            tried.append(replica.replica_id)
+            group.begin(replica)
+            tick = time.perf_counter()
+            try:
+                part = replica.transport.search_batch(
+                    index_name,
+                    queries,
+                    budget,
+                    ef=eff_ef,
+                    deadline=deadline,
+                    probes=probes,
+                )
+            except TransportError as exc:
+                group.finish(replica, outcome="error")
+                expired = (
+                    deadline is not None
+                    and deadline - time.monotonic() <= 0
+                )
+                if not self._failover_eligible(exc) or expired:
+                    raise
+                last = exc
+                continue
+            group.finish(replica, time.perf_counter() - tick)
+            return part, replica.replica_id
+
     # -- asyncio fan-out ---------------------------------------------------------------
-    def _resolve_hedge_delay(self) -> float | None:
+    def _resolve_hedge_delay(
+        self, knob: float | str | None = INHERIT
+    ) -> float | None:
         """This batch's hedge delay: the static knob, or the live one.
 
-        ``"auto"`` derives the delay from the ``shard_rpc`` stage's
+        ``knob`` is a per-request override of the broker's
+        ``hedge_after_s`` (omitted = the broker's own knob).  ``"auto"``
+        derives the delay from the ``shard_rpc`` stage's
         sliding window: ``median * AUTO_HEDGE_MULTIPLIER`` (see the
         module constants for why the median and not a tail quantile).
         Until the window holds ``AUTO_HEDGE_MIN_SAMPLES`` samples there
@@ -770,9 +1017,10 @@ class Broker:
         establishing connections and warming caches, which must not be
         mistaken for straggling.
         """
-        delay = self.hedge_after_s
-        if delay != "auto":
-            return delay
+        if knob == INHERIT:
+            knob = self.hedge_after_s
+        if knob != "auto":
+            return knob
         sample = self.timings.quantile("shard_rpc", AUTO_HEDGE_QUANTILE)
         if sample is None or sample[0] < AUTO_HEDGE_MIN_SAMPLES:
             return None
@@ -781,51 +1029,81 @@ class Broker:
     async def _fanout_async(
         self,
         index_name: str,
-        queries: np.ndarray,
-        k: int,
+        work: list[tuple],
+        budget: int,
         eff_ef: int,
         deadline: float | None,
         hedge_delay: float | None,
     ) -> list[tuple]:
-        """Multiplex one batch's shard RPCs (and their hedges) on the loop.
+        """Multiplex one batch's group RPCs (and their hedges) on the loop.
 
-        Returns one ``(part, exc)`` pair per shard, in shard order --
-        exactly one of the two is ``None``.  Partial-result policy is
-        applied by the calling thread, so the counting and raise
-        behavior is identical to the thread-pool fan-out.
+        Returns one ``(part, exc, replica_id)`` triple per work item, in
+        work order.  Partial-result policy is applied by the calling
+        thread, so the counting and raise behavior is identical to the
+        thread-pool fan-out.
         """
         return await asyncio.gather(
             *(
-                self._shard_call_async(
-                    transport,
+                self._group_call_async(
+                    self.groups[group_id],
                     index_name,
-                    queries,
-                    k,
+                    sub_queries,
+                    budget,
                     eff_ef,
                     deadline,
                     hedge_delay,
+                    probes,
                 )
-                for transport in self.transports
+                for group_id, sub_queries, _rows, probes in work
             )
         )
 
-    async def _shard_call_async(
+    async def _group_call_async(
         self,
-        transport: SearcherTransport,
+        group: ReplicaGroup,
         index_name: str,
         queries: np.ndarray,
-        k: int,
+        budget: int,
         eff_ef: int,
         deadline: float | None,
         hedge_delay: float | None,
+        probes: list[tuple[int, ...]] | None,
     ) -> tuple:
-        try:
-            part = await self._hedged_search_async(
-                transport, index_name, queries, k, eff_ef, deadline, hedge_delay
-            )
-        except TransportError as exc:
-            return None, exc
-        return part, None
+        """One group's outcome on the loop: hedged search + failover."""
+        tried: list[int] = []
+        last: TransportError | None = None
+        while True:
+            replica = group.pick(exclude=tried)
+            if replica is None:
+                return None, last, -1
+            if tried:
+                # A sibling is actually taking over, not just a dead end.
+                with self._served_lock:
+                    self.failovers += 1
+            tried.append(replica.replica_id)
+            try:
+                part, replica_id = await self._hedged_search_async(
+                    group,
+                    replica,
+                    tried,
+                    index_name,
+                    queries,
+                    budget,
+                    eff_ef,
+                    deadline,
+                    hedge_delay,
+                    probes,
+                )
+            except TransportError as exc:
+                expired = (
+                    deadline is not None
+                    and deadline - time.monotonic() <= 0
+                )
+                if not self._failover_eligible(exc) or expired:
+                    return None, exc, -1
+                last = exc
+                continue
+            return part, None, replica_id
 
     async def _search_one_async(
         self,
@@ -835,6 +1113,7 @@ class Broker:
         k: int,
         eff_ef: int,
         deadline: float | None,
+        probes: list[tuple[int, ...]] | None,
     ) -> tuple[np.ndarray, np.ndarray]:
         """One shard RPC on the event loop.
 
@@ -849,7 +1128,12 @@ class Broker:
         try:
             if isinstance(transport, AsyncSearcherTransport):
                 return await transport.search_batch_async(
-                    index_name, queries, k, ef=eff_ef, deadline=deadline
+                    index_name,
+                    queries,
+                    k,
+                    ef=eff_ef,
+                    deadline=deadline,
+                    probes=probes,
                 )
             loop = asyncio.get_running_loop()
             call = partial(
@@ -859,6 +1143,7 @@ class Broker:
                 k,
                 ef=eff_ef,
                 deadline=deadline,
+                probes=probes,
             )
             wait = None
             if deadline is not None:
@@ -869,43 +1154,69 @@ class Broker:
                 )
             except (asyncio.TimeoutError, TimeoutError):
                 raise DeadlineExceededError(
-                    f"shard {transport.shard_id} missed the "
-                    f"{self.request_timeout_s}s request deadline"
+                    f"shard {transport.shard_id} missed the request deadline"
                 ) from None
         finally:
             self.timings.record("shard_rpc", time.perf_counter() - tick)
 
     async def _hedged_search_async(
         self,
-        transport: SearcherTransport,
+        group: ReplicaGroup,
+        replica: ReplicaState,
+        tried: list[int],
         index_name: str,
         queries: np.ndarray,
         k: int,
         eff_ef: int,
         deadline: float | None,
         hedge_delay: float | None,
-    ) -> tuple[np.ndarray, np.ndarray]:
-        """One shard's answer, hedging a straggling RPC when allowed.
+        probes: list[tuple[int, ...]] | None,
+    ) -> tuple[tuple[np.ndarray, np.ndarray], int]:
+        """One replica's answer, hedging a straggling RPC when allowed.
 
         The hedge fires only when (a) hedging is configured (a resolved
         delay exists for this batch), (b) the transport can multiplex a
         second in-flight RPC, and (c) budget remains before the request
-        deadline -- a hedge can never be issued after the deadline has
-        passed.
+        deadline.  The hedge lands on a *different* replica when the
+        group has an untried, non-draining, async-capable sibling --
+        that is what lets it dodge a slow process, not just a slow
+        connection -- and on a second connection to the same process
+        otherwise (the single-replica behavior of PR 4).  Tasks resolve
+        to ``(part, replica_id)``; the ledger is maintained per task,
+        with cancelled hedge losers releasing their in-flight slot
+        without polluting the latency EWMA.
         """
 
-        def issue():
-            return asyncio.create_task(
-                self._search_one_async(
-                    transport, index_name, queries, k, eff_ef, deadline
-                )
-            )
+        def issue(target: ReplicaState):
+            async def run():
+                group.begin(target)
+                tick = time.perf_counter()
+                try:
+                    part = await self._search_one_async(
+                        target.transport,
+                        index_name,
+                        queries,
+                        k,
+                        eff_ef,
+                        deadline,
+                        probes,
+                    )
+                except asyncio.CancelledError:
+                    group.finish(target, outcome="cancelled")
+                    raise
+                except BaseException:
+                    group.finish(target, outcome="error")
+                    raise
+                group.finish(target, time.perf_counter() - tick)
+                return part, target.replica_id
+
+            return asyncio.create_task(run())
 
         delay = hedge_delay
-        primary = issue()
+        primary = issue(replica)
         can_hedge = (
             delay is not None
-            and isinstance(transport, AsyncSearcherTransport)
+            and isinstance(replica.transport, AsyncSearcherTransport)
             and (deadline is None or deadline - time.monotonic() > delay)
         )
         if not can_hedge:
@@ -918,9 +1229,18 @@ class Broker:
             # own DeadlineExceededError; hedging now would be a second
             # RPC that cannot answer in time either.
             return await primary
+        alternate = group.pick(exclude=tried)
+        if alternate is not None and (
+            alternate.draining
+            or not isinstance(alternate.transport, AsyncSearcherTransport)
+        ):
+            alternate = None
+        hedge_target = alternate if alternate is not None else replica
+        if alternate is not None:
+            tried.append(alternate.replica_id)
         with self._served_lock:
             self.hedges += 1
-        return await self._first_reply_async(primary, issue())
+        return await self._first_reply_async(primary, issue(hedge_target))
 
     async def _first_reply_async(self, primary, hedge):
         """Race the primary against its hedge; first *success* wins.
@@ -973,19 +1293,21 @@ class Broker:
         return winner.result()
 
     def _shard_failure(self, shard_id: int, exc: TransportError) -> None:
-        """Handle one shard's failure per the active policy.
+        """Handle one shard group's failure per the active policy.
 
-        Returns ``None`` (the caller substitutes sentinel rows) under
-        ``degrade``; re-raises otherwise.  Degradeable failures are
-        connectivity losses (dead/unreachable/garbled/late shard) plus
-        one structured error: a remote ``KeyError`` -- "I don't host
-        this index" -- which is how a searcher that restarted (or missed
-        a degraded deploy) presents; its rows are as gone as a dead
-        shard's.  Any other :class:`RemoteCallError` re-raises under
-        either policy: the searcher executed the request and told us the
-        request itself is broken, which no amount of shard-dropping can
-        fix.  (A globally wrong index name still fails: every shard
-        KeyErrors, and an all-shards-failed request always raises.)
+        Reached only after replica failover is exhausted (or the failure
+        was not failover-eligible).  Returns ``None`` (the caller
+        substitutes sentinel rows) under ``degrade``; re-raises
+        otherwise.  Degradeable failures are connectivity losses
+        (dead/unreachable/garbled/late shard) plus one structured error:
+        a remote ``KeyError`` -- "I don't host this index" -- which is
+        how a searcher that restarted (or missed a degraded deploy)
+        presents; its rows are as gone as a dead shard's.  Any other
+        :class:`RemoteCallError` re-raises under either policy: the
+        searcher executed the request and told us the request itself is
+        broken, which no amount of shard-dropping can fix.  (A globally
+        wrong index name still fails: every shard KeyErrors, and an
+        all-shards-failed request always raises.)
         """
         unhosted = (
             isinstance(exc, RemoteCallError) and exc.error_type == "KeyError"
@@ -999,7 +1321,7 @@ class Broker:
         self._last_failure = exc
         return None
 
-    # Backwards-compatible aliases (the original serving entry points).
+    # -- deprecated aliases (the original serving entry points) ------------------------
     def query(
         self,
         index_name: str,
@@ -1008,7 +1330,13 @@ class Broker:
         *,
         ef: int | None = None,
     ) -> tuple[np.ndarray, np.ndarray]:
-        """Alias of :meth:`search`."""
+        """Deprecated alias of :meth:`search`."""
+        warnings.warn(
+            "Broker.query is deprecated; use Broker.search or "
+            "Broker.execute(SearchRequest(...))",
+            DeprecationWarning,
+            stacklevel=2,
+        )
         return self.search(index_name, query, top_k, ef=ef)
 
     def query_batch(
@@ -1019,5 +1347,11 @@ class Broker:
         *,
         ef: int | None = None,
     ) -> tuple[np.ndarray, np.ndarray]:
-        """Alias of :meth:`search_batch`."""
+        """Deprecated alias of :meth:`search_batch`."""
+        warnings.warn(
+            "Broker.query_batch is deprecated; use Broker.search_batch or "
+            "Broker.execute(SearchRequest(...))",
+            DeprecationWarning,
+            stacklevel=2,
+        )
         return self.search_batch(index_name, queries, top_k, ef=ef)

@@ -1,0 +1,187 @@
+"""Replica groups: N interchangeable searchers serving one shard.
+
+The broker used to hold exactly one transport per shard; this module
+generalizes that to a :class:`ReplicaGroup` per shard with a per-replica
+health/load ledger:
+
+- ``in_flight``    -- requests currently outstanding on the replica,
+- ``ewma_latency`` -- exponentially weighted moving average of observed
+  RPC latency (the same signal the ``shard_rpc`` stage records),
+- ``consecutive_failures`` -- transport failures since the last success,
+- ``draining``     -- administratively removed from the pick rotation
+  (rolling restarts drain a replica, wait for in-flight to reach zero,
+  restart it, then restore it).
+
+:meth:`ReplicaGroup.pick` implements the load-aware choice: healthy
+non-draining replicas first, least in-flight, EWMA latency as the
+tie-break.  Failover and cross-replica hedging are built on ``pick``'s
+``exclude`` parameter: callers accumulate the replicas they already
+tried and ask for a different one.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Iterable, Sequence
+
+from repro.net.transport import SearcherTransport, as_transport
+
+#: Smoothing factor for the per-replica latency EWMA.
+EWMA_ALPHA = 0.2
+
+
+class ReplicaState:
+    """Ledger entry for one replica (mutated only under the group lock)."""
+
+    __slots__ = (
+        "transport",
+        "replica_id",
+        "in_flight",
+        "ewma_latency_s",
+        "picks",
+        "failures",
+        "consecutive_failures",
+        "draining",
+    )
+
+    def __init__(self, transport: SearcherTransport, replica_id: int) -> None:
+        self.transport = transport
+        self.replica_id = replica_id
+        self.in_flight = 0
+        self.ewma_latency_s: float | None = None
+        self.picks = 0
+        self.failures = 0
+        self.consecutive_failures = 0
+        self.draining = False
+
+    def snapshot(self) -> dict:
+        return {
+            "replica_id": self.replica_id,
+            "in_flight": self.in_flight,
+            "ewma_latency_s": self.ewma_latency_s,
+            "picks": self.picks,
+            "failures": self.failures,
+            "consecutive_failures": self.consecutive_failures,
+            "draining": self.draining,
+        }
+
+
+class ReplicaGroup:
+    """The replicas serving one shard, with load-aware selection."""
+
+    def __init__(self, shard_id: int, searchers: Sequence) -> None:
+        if not searchers:
+            raise ValueError(f"shard {shard_id} has an empty replica group")
+        self.shard_id = int(shard_id)
+        self.replicas = [
+            ReplicaState(as_transport(searcher), replica_id)
+            for replica_id, searcher in enumerate(searchers)
+        ]
+        for replica in self.replicas:
+            if replica.transport.shard_id != self.shard_id:
+                raise ValueError(
+                    "searchers must be passed in shard order: replica "
+                    f"{replica.replica_id} of group {self.shard_id} serves "
+                    f"shard {replica.transport.shard_id}"
+                )
+        self._lock = threading.Lock()
+
+    def __len__(self) -> int:
+        return len(self.replicas)
+
+    @property
+    def transports(self) -> list[SearcherTransport]:
+        return [replica.transport for replica in self.replicas]
+
+    # -- selection ---------------------------------------------------------------
+    def pick(
+        self, exclude: Iterable[int] = ()
+    ) -> ReplicaState | None:
+        """Choose the least-loaded replica not in ``exclude``.
+
+        Draining replicas are skipped while an alternative exists (that
+        is the zero-drop guarantee of rolling restarts); among the rest,
+        replicas with consecutive failures are deprioritized, then least
+        in-flight wins with EWMA latency as tie-break.  Returns ``None``
+        when every replica is excluded.
+        """
+        excluded = set(exclude)
+        with self._lock:
+            candidates = [
+                replica
+                for replica in self.replicas
+                if replica.replica_id not in excluded
+            ]
+            if not candidates:
+                return None
+            live = [r for r in candidates if not r.draining]
+            pool = live or candidates
+            chosen = min(
+                pool,
+                key=lambda r: (
+                    r.consecutive_failures > 0,
+                    r.in_flight,
+                    r.ewma_latency_s if r.ewma_latency_s is not None else 0.0,
+                    r.replica_id,
+                ),
+            )
+            chosen.picks += 1
+            return chosen
+
+    # -- accounting --------------------------------------------------------------
+    def begin(self, replica: ReplicaState) -> None:
+        """Record that a request was issued to ``replica``."""
+        with self._lock:
+            replica.in_flight += 1
+
+    def finish(
+        self,
+        replica: ReplicaState,
+        latency_s: float | None = None,
+        *,
+        outcome: str = "ok",
+    ) -> None:
+        """Record completion.  ``outcome`` is ``ok``/``error``/``cancelled``;
+        cancelled calls (hedge losers) only release the in-flight slot."""
+        with self._lock:
+            replica.in_flight = max(0, replica.in_flight - 1)
+            if outcome == "cancelled":
+                return
+            if outcome == "error":
+                replica.failures += 1
+                replica.consecutive_failures += 1
+                return
+            replica.consecutive_failures = 0
+            if latency_s is not None:
+                if replica.ewma_latency_s is None:
+                    replica.ewma_latency_s = latency_s
+                else:
+                    replica.ewma_latency_s = (
+                        EWMA_ALPHA * latency_s
+                        + (1.0 - EWMA_ALPHA) * replica.ewma_latency_s
+                    )
+
+    # -- administration ----------------------------------------------------------
+    def drain(self, replica_id: int) -> None:
+        """Remove a replica from the pick rotation (rolling restart)."""
+        with self._lock:
+            self.replicas[replica_id].draining = True
+
+    def restore(self, replica_id: int) -> None:
+        """Return a drained replica to the rotation with a clean slate."""
+        with self._lock:
+            replica = self.replicas[replica_id]
+            replica.draining = False
+            replica.consecutive_failures = 0
+            replica.ewma_latency_s = None
+
+    def in_flight(self, replica_id: int) -> int:
+        with self._lock:
+            return self.replicas[replica_id].in_flight
+
+    def stats(self) -> dict:
+        with self._lock:
+            return {
+                "shard_id": self.shard_id,
+                "replicas": [replica.snapshot() for replica in self.replicas],
+            }

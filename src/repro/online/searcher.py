@@ -117,16 +117,20 @@ class SearcherNode:
         k: int,
         *,
         ef: int | None = None,
+        probes: list[tuple[int, ...]] | None = None,
     ) -> tuple[np.ndarray, np.ndarray]:
         """Serve a query batch against the hosted shard of ``index_name``.
 
         One network round-trip's worth of work in the real system: the
         broker ships the whole batch, the searcher lockstep-searches its
         shard and returns ``(B, k)`` id/distance arrays (padded with
-        ``-1`` / ``inf``).
+        ``-1`` / ``inf``).  ``probes`` carries the broker router's
+        segment choice (see :meth:`ShardIndex.search_batch`).
         """
         self._count_request(int(np.asarray(queries).shape[0]))
-        return self._shard(index_name).search_batch(queries, k, ef=ef)
+        return self._shard(index_name).search_batch(
+            queries, k, ef=ef, probes=probes
+        )
 
     def _shard(self, index_name: str):
         try:

@@ -8,16 +8,24 @@ onto the same fleet models the paper's online A/B test construct.
 
 The fleet can be **in-process** (the default: the service creates one
 :class:`SearcherNode` per shard and loads shards itself) or **remote**
-(pass ``searchers=["host:port", ...]``: each address is a running
+(pass ``searchers=...``: each address is a running
 ``repro.cli serve-searcher`` process, ``deploy`` becomes one RPC per
-shard, and queries travel over the :mod:`repro.net` wire protocol).
-Everything above the transport -- micro-batching, the result cache,
-perShardTopK, the merge -- is identical in both modes.
+searcher, and queries travel over the :mod:`repro.net` wire protocol).
+Remote shard positions may be **replica groups** -- several
+interchangeable processes serving the same shard
+(``"a:1,a:2;b:1,b:2"``): the broker load-balances across them, fails
+over on connectivity losses, hedges stragglers onto siblings, and
+:meth:`rolling_restart` cycles one group through a restart with zero
+dropped queries.  Everything above the transport -- micro-batching, the
+result cache, the router, perShardTopK, the merge -- is identical in
+all modes.
 """
 
 from __future__ import annotations
 
-from typing import Sequence
+import time
+import warnings
+from typing import Callable, Sequence
 
 import numpy as np
 
@@ -29,6 +37,7 @@ from repro.errors import (
     TransportError,
 )
 from repro.eval.timing import measure_batch_qps, measure_qps
+from repro.net.fleet import parse_fleet_spec
 from repro.net.transport import (
     AsyncRemoteSearcherTransport,
     RemoteSearcherTransport,
@@ -36,6 +45,7 @@ from repro.net.transport import (
 from repro.online.broker import Broker
 from repro.online.cache import QueryResultCache
 from repro.online.searcher import SearcherNode
+from repro.online.types import SearchRequest, SearchResponse
 from repro.storage.hdfs import LocalHdfs
 from repro.storage.manifest import load_manifest, load_segmenter, load_shard
 
@@ -50,7 +60,10 @@ class OnlineService:
     ----------
     parallel_fanout:
         Give each broker a fan-out thread pool (see
-        :class:`~repro.online.broker.Broker`).
+        :class:`~repro.online.broker.Broker`).  **Deprecated for remote
+        fleets**: thread-per-RPC over the sync client is the PR-3 hot
+        path; remote fleets should use ``async_fanout`` (the sync client
+        stays for control-plane RPCs -- deploy, verify, stats).
     async_fanout:
         Give each broker an asyncio fan-out loop instead: all remote
         shard RPCs for a batch are multiplexed on one event-loop
@@ -76,11 +89,12 @@ class OnlineService:
         never serve the old index's results.
     searchers:
         ``None`` (default): an in-process fleet, created on first
-        deploy.  Otherwise the remote fleet's addresses -- a list of
-        ``"host:port"`` strings or one comma-separated string, in shard
-        order; each must be a running ``serve-searcher`` process.
-        Remote fleets are usually paired with ``parallel_fanout=True``
-        (shard RPCs overlap instead of serializing network waits).
+        deploy.  Otherwise the remote fleet spec, in shard order --
+        any shape :func:`~repro.net.fleet.parse_fleet_spec` accepts,
+        including per-shard replica groups
+        (``"h1:9000,h2:9000;h1:9001,h2:9001"`` or
+        ``[["h1:9000", "h2:9000"], ...]``); each address must be a
+        running ``serve-searcher`` process.
     partial_policy, request_timeout_s:
         Fan-out failure semantics, passed to every broker (see
         :class:`~repro.online.broker.Broker`).
@@ -100,7 +114,7 @@ class OnlineService:
         max_batch: int = 1,
         max_wait_ms: float = 2.0,
         cache_size: int = 0,
-        searchers: str | Sequence[str] | None = None,
+        searchers: str | Sequence | None = None,
         partial_policy: str = "fail",
         request_timeout_s: float | None = None,
         cache_quantize_decimals: int | None = None,
@@ -110,6 +124,9 @@ class OnlineService:
     ) -> None:
         self.brokers: dict[str, Broker] = {}
         self.configs: dict[str, LannsConfig] = {}
+        #: ``index_name -> (fs, index_path)`` for every live deploy
+        #: (what :meth:`rolling_restart` re-hosts onto fresh replicas).
+        self.deployments: dict[str, tuple[LocalHdfs, str]] = {}
         self.parallel_fanout = bool(parallel_fanout)
         self.async_fanout = bool(async_fanout)
         self.hedge_after_s = hedge_after_s
@@ -125,13 +142,19 @@ class OnlineService:
             self.remote = False
             self.searchers: list = []
         else:
-            if isinstance(searchers, str):
-                searchers = [
-                    part for part in searchers.split(",") if part.strip()
-                ]
-            if not searchers:
+            groups = parse_fleet_spec(searchers)
+            if not groups:
                 raise ValueError("remote fleet needs at least one address")
             self.remote = True
+            if self.parallel_fanout and not self.async_fanout:
+                warnings.warn(
+                    "parallel_fanout with a remote fleet runs the sync "
+                    "RPC client on the search hot path, which is "
+                    "deprecated; use async_fanout=True (the sync client "
+                    "remains for control-plane RPCs)",
+                    DeprecationWarning,
+                    stacklevel=2,
+                )
             # Async fan-out gets async-native transports (the sync
             # control plane -- deploy/verify/stats -- rides along).
             transport_type = (
@@ -139,16 +162,34 @@ class OnlineService:
                 if self.async_fanout
                 else RemoteSearcherTransport
             )
-            self.searchers = [
-                transport_type(
+
+            def connect(address: str, shard_id: int):
+                return transport_type(
                     address,
                     shard_id,
                     timeout_s=rpc_timeout_s,
                     retries=rpc_retries,
                     pool_size=rpc_pool_size,
                 )
-                for shard_id, address in enumerate(searchers)
+
+            # Single-replica groups stay bare transports so the legacy
+            # flat view (service.searchers[s].stats()) keeps working.
+            self.searchers = [
+                connect(group[0], shard_id)
+                if len(group) == 1
+                else [connect(address, shard_id) for address in group]
+                for shard_id, group in enumerate(groups)
             ]
+
+    def _all_transports(self) -> list:
+        """Every searcher/transport of every group, group-major."""
+        flat: list = []
+        for entry in self.searchers:
+            if isinstance(entry, list):
+                flat.extend(entry)
+            else:
+                flat.append(entry)
+        return flat
 
     @property
     def deployed_indices(self) -> list[str]:
@@ -190,6 +231,10 @@ class OnlineService:
                 f"fleet has {len(self.searchers)} searchers but index "
                 f"{index_name!r} needs {config.num_shards}"
             )
+        # The broker embeds the trained segmenter (the router maps each
+        # query to its top-spill segments) -- the persisted-metadata
+        # coupling the paper insists on, now reaching the serving tier.
+        segmenter = load_segmenter(fs, index_path, manifest)
         if self.remote:
             self._deploy_remote(fs, index_path, index_name)
         else:
@@ -198,7 +243,6 @@ class OnlineService:
                     SearcherNode(shard_id)
                     for shard_id in range(config.num_shards)
                 ]
-            segmenter = load_segmenter(fs, index_path, manifest)
             for shard_id, searcher in enumerate(self.searchers):
                 shard = load_shard(
                     fs,
@@ -229,27 +273,30 @@ class OnlineService:
             cache_quantize_decimals=self.cache_quantize_decimals,
             partial_policy=self.partial_policy,
             request_timeout_s=self.request_timeout_s,
+            segmenter=segmenter,
+            segment_sizes=manifest.segment_sizes,
         )
         self.brokers[index_name] = broker
         self.configs[index_name] = config
+        self.deployments[index_name] = (fs, index_path)
         return broker
 
     def _deploy_remote(
         self, fs: LocalHdfs, index_path: str, index_name: str
     ) -> None:
-        """One DEPLOY RPC per shard, with rollback on partial failure.
+        """One DEPLOY RPC per searcher, with rollback on partial failure.
 
         Each searcher process loads its own shard from ``fs``'s root
         (shared over loopback; a real cluster would point every server
-        at the same HDFS).  Under the ``fail`` policy any shard failure
-        -- connection refused, checksum mismatch, wrong shard id --
-        aborts the deploy and best-effort undeploys the shards already
-        hosted, so a failed deploy leaves no half-hosted index behind.
-        Under ``degrade``, *connectivity* failures are tolerated (the
-        index deploys onto whoever is up, and searches return partial
-        results annotated with ``shards_answered``); only a fully
-        unreachable fleet, or a searcher that answered with an error,
-        still aborts.
+        at the same HDFS).  Replica groups deploy onto every member.
+        Under the ``fail`` policy any failure -- connection refused,
+        checksum mismatch, wrong shard id -- aborts the deploy and
+        best-effort undeploys the searchers already hosting, so a
+        failed deploy leaves no half-hosted index behind.  Under
+        ``degrade``, *connectivity* failures are tolerated (the index
+        deploys onto whoever is up, and searches return partial results
+        annotated with ``shards_answered``); only a fully unreachable
+        fleet, or a searcher that answered with an error, still aborts.
         """
         root = str(fs.root)
         # `rollback` is "may be hosting": a searcher enters it the moment
@@ -262,7 +309,7 @@ class OnlineService:
         hosted = 0
         unreachable: Exception | None = None
         try:
-            for transport in self.searchers:
+            for transport in self._all_transports():
                 rollback.append(transport)
                 try:
                     transport.verify()
@@ -304,7 +351,7 @@ class OnlineService:
             # Best-effort against connectivity failures: a crashed
             # searcher cannot unhost, but the undeploy must still clear
             # the surviving fleet members and this service's tables.
-            for transport in self.searchers:
+            for transport in self._all_transports():
                 try:
                     transport.undeploy(index_name)
                 except TransportError:
@@ -315,6 +362,89 @@ class OnlineService:
         self.cache.invalidate(index_name)
         del self.brokers[index_name]
         del self.configs[index_name]
+        del self.deployments[index_name]
+
+    def rolling_restart(
+        self,
+        shard_id: int,
+        restart: Callable[[int, int], None],
+        *,
+        drain_timeout_s: float = 30.0,
+        verify_timeout_s: float = 30.0,
+    ) -> None:
+        """Restart shard ``shard_id``'s replica group with zero drops.
+
+        One replica at a time: (1) the replica is fenced off in every
+        broker (``drain`` -- no new picks, no hedges land on it), (2)
+        its in-flight requests are waited out, (3) the caller's
+        ``restart(shard_id, replica_id)`` hook replaces the process at
+        the same address, (4) a ping handshake confirms the replacement
+        is up and announces the right shard, (5) every deployed index is
+        re-hosted onto it, and (6) the fence lifts.  Sibling replicas
+        serve the group's full traffic throughout, so no query is
+        dropped or degraded.
+
+        Requires a remote fleet and a group of at least two replicas --
+        restarting a group's only member necessarily drops its shard.
+        """
+        if not self.remote:
+            raise ValueError(
+                "rolling restart requires a remote fleet (in-process "
+                "searchers have no process to restart)"
+            )
+        if not 0 <= shard_id < len(self.searchers):
+            raise ValueError(
+                f"shard {shard_id} out of range for "
+                f"{len(self.searchers)} shards"
+            )
+        entry = self.searchers[shard_id]
+        group = entry if isinstance(entry, list) else [entry]
+        if len(group) < 2:
+            raise ValueError(
+                f"rolling restart of shard {shard_id} needs a replica "
+                f"group of >= 2 (got {len(group)}): restarting the only "
+                "replica would drop the shard"
+            )
+        for replica_id, transport in enumerate(group):
+            for broker in self.brokers.values():
+                broker.groups[shard_id].drain(replica_id)
+            try:
+                deadline = time.monotonic() + drain_timeout_s
+                while any(
+                    broker.groups[shard_id].in_flight(replica_id) > 0
+                    for broker in self.brokers.values()
+                ):
+                    if time.monotonic() > deadline:
+                        raise TimeoutError(
+                            f"shard {shard_id} replica {replica_id} still "
+                            f"has in-flight requests after "
+                            f"{drain_timeout_s}s"
+                        )
+                    time.sleep(0.002)
+                restart(shard_id, replica_id)
+                deadline = time.monotonic() + verify_timeout_s
+                while True:
+                    try:
+                        transport.verify()
+                        break
+                    except TransportError:
+                        if time.monotonic() > deadline:
+                            raise
+                        time.sleep(0.05)
+                for index_name, (fs, index_path) in self.deployments.items():
+                    try:
+                        transport.deploy(
+                            index_name, index_path, root=str(fs.root)
+                        )
+                    except RemoteCallError as exc:
+                        # "already hosts": the hook restarted in place
+                        # without wiping state (or never killed the
+                        # process) -- the replica is serviceable.
+                        if exc.error_type != "ValueError":
+                            raise
+            finally:
+                for broker in self.brokers.values():
+                    broker.groups[shard_id].restore(replica_id)
 
     def close(self) -> None:
         """Close every broker (drains admission layers); idempotent.
@@ -326,7 +456,7 @@ class OnlineService:
         for broker in self.brokers.values():
             broker.close()
         if self.remote:
-            for transport in self.searchers:
+            for transport in self._all_transports():
                 transport.close()
 
     def stats(self) -> dict:
@@ -348,6 +478,10 @@ class OnlineService:
                 f"(deployed: {self.deployed_indices})"
             ) from None
 
+    def execute(self, request: SearchRequest) -> SearchResponse:
+        """Serve one structured request against its deployed index."""
+        return self._broker(request.index_name).execute(request)
+
     def query(
         self,
         query: np.ndarray,
@@ -367,17 +501,20 @@ class OnlineService:
         index_name: str = "default",
         ef: int | None = None,
         with_info: bool = False,
+        spill: int | str | None = None,
     ) -> tuple:
         """Serve a query batch in one broker fan-out.
 
         Returns ``(B, top_k)`` id/distance arrays padded with ``-1`` /
         ``inf``; per-query results are identical to :meth:`query`.
-        ``with_info=True`` appends the broker's partial-result
-        annotation (``shards_answered`` per row) -- see
-        :meth:`Broker.search_batch`.
+        ``spill`` routes the batch through the broker's router (see
+        :class:`~repro.online.types.SearchRequest`).  ``with_info=True``
+        (deprecated -- use :meth:`execute`) appends the broker's
+        partial-result annotation (``shards_answered`` per row).
         """
         return self._broker(index_name).search_batch(
-            index_name, queries, top_k, ef=ef, with_info=with_info
+            index_name, queries, top_k, ef=ef, with_info=with_info,
+            spill=spill,
         )
 
     # The paper-facing name for the batch serving entry point.
@@ -391,13 +528,16 @@ class OnlineService:
         index_name: str = "default",
         ef: int | None = None,
         batch_size: int | None = None,
+        spill: int | str | None = None,
     ) -> dict:
         """Serve a query set and report throughput / latency stats.
 
         With ``batch_size=None`` every query is served individually (the
         sequential baseline); otherwise queries are served in batches of
         ``batch_size`` through :meth:`query_batch` and each batch counts
-        as one request for latency purposes.  Timing comes from
+        as one request for latency purposes.  ``spill`` applies spilled
+        segment routing to the batched mode (the routed-serving
+        benchmark's QPS comparison).  Timing comes from
         :mod:`repro.eval.timing` so both modes share one qps definition.
 
         Returns a dict with ``qps``, ``mean_latency_ms``,
@@ -418,7 +558,7 @@ class OnlineService:
         else:
             stats = measure_batch_qps(
                 lambda batch: self.query_batch(
-                    batch, top_k, index_name=index_name, ef=ef
+                    batch, top_k, index_name=index_name, ef=ef, spill=spill
                 ),
                 queries,
                 batch_size,

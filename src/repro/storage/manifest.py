@@ -71,11 +71,16 @@ class IndexManifest:
     total_vectors: int
     shard_sizes: list[int]
     checksums: dict[str, str] = field(default_factory=dict)
+    #: Per-shard per-segment vector counts (``[shard][segment]``), the
+    #: occupancy table the online router prunes fan-out with.  Optional:
+    #: indices exported before it existed load fine and simply fan out
+    #: to every shard.
+    segment_sizes: list[list[int]] | None = None
     format_version: int = _FORMAT_VERSION
     created_by: str = f"repro-lanns/{__version__}"
 
     def to_dict(self) -> dict:
-        return {
+        payload = {
             "format_version": self.format_version,
             "created_by": self.created_by,
             "config": self.config,
@@ -84,6 +89,9 @@ class IndexManifest:
             "shard_sizes": self.shard_sizes,
             "checksums": self.checksums,
         }
+        if self.segment_sizes is not None:
+            payload["segment_sizes"] = self.segment_sizes
+        return payload
 
     @classmethod
     def from_dict(cls, payload: dict) -> "IndexManifest":
@@ -92,12 +100,16 @@ class IndexManifest:
                 f"unsupported index format version "
                 f"{payload.get('format_version')!r}"
             )
+        segment_sizes = payload.get("segment_sizes")
         return cls(
             config=payload["config"],
             dim=int(payload["dim"]),
             total_vectors=int(payload["total_vectors"]),
             shard_sizes=[int(size) for size in payload["shard_sizes"]],
             checksums=dict(payload["checksums"]),
+            segment_sizes=None
+            if segment_sizes is None
+            else [[int(size) for size in row] for row in segment_sizes],
             format_version=int(payload["format_version"]),
             created_by=str(payload.get("created_by", "unknown")),
         )
@@ -131,6 +143,10 @@ def save_lanns_index(
         total_vectors=len(index),
         shard_sizes=[len(shard) for shard in index.shards],
         checksums=checksums,
+        segment_sizes=[
+            [len(segment) for segment in shard.segments]
+            for shard in index.shards
+        ],
     )
     fs.write_json(f"{path}/metadata.json", manifest.to_dict())
     return manifest
