@@ -291,10 +291,11 @@ def check_replica_failover(
 
         # Kill the replica the ledger will pick NEXT: replica 0 of each
         # group served the healthy round (id tie-break among fresh
-        # replicas), so replica 1's unset EWMA makes it the next choice
-        # -- the first post-kill request MUST hit the corpse and fail
-        # over to its sibling.
-        victim = groups[0][1]
+        # replicas) and keeps winning ties -- its cold sibling ranks at
+        # the group's median EWMA, not ahead of it -- so the first
+        # post-kill request MUST hit the corpse and fail over to the
+        # sibling.
+        victim = groups[0][0]
         victim.kill()
         degraded_rows = 0
         for _round in range(args.kill_rounds):
@@ -322,7 +323,7 @@ def check_replica_failover(
                 "a replicated group must not degrade on a single kill"
             )
         return {
-            "killed": f"shard {victim.shard_id} replica 1",
+            "killed": f"shard {victim.shard_id} replica 0",
             "rounds": args.kill_rounds,
             "degraded_rows": degraded_rows,
             "failovers": stats["failovers"],

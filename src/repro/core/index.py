@@ -220,8 +220,16 @@ class LannsIndex:
 
     # -- querying ----------------------------------------------------------------
     def per_shard_budget(self, top_k: int) -> int:
-        """The perShardTopK each shard is asked for (Eq. 5-6)."""
+        """The perShardTopK each shard is asked for (Eq. 5-6).
+
+        Eq. 5-6 model a query's neighbors as uniformly hashed across
+        shards; the segment-aligned layout concentrates them in a few
+        nearby segments instead, so there the only budget that cannot
+        truncate answers below ``top_k`` is ``top_k`` itself.
+        """
         if not self.config.use_per_shard_topk:
+            return int(top_k)
+        if self.config.sharding == "segment":
             return int(top_k)
         return per_shard_top_k(
             top_k,

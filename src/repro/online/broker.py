@@ -428,14 +428,26 @@ class Broker:
             ),
         }
 
-    def per_shard_budget(self, top_k: int) -> int:
+    def per_shard_budget(
+        self, top_k: int, num_groups: int | None = None
+    ) -> int:
         """The perShardTopK this broker passes to each searcher.
+
+        ``num_groups`` is the fan-out width the budget must cover:
+        routed requests pass the widest per-row group count of their
+        plan, because Eq. 5-6 size the budget for answers spread over
+        *every* shard queried -- sizing from the full deployment while
+        querying ``spill`` groups would cap each answer below ``top_k``.
 
         Degenerate cases (all reachable through micro-batch coalescing,
         pinned by ``tests/test_online_serving.py``):
 
         - **single shard**: the budget is exactly ``top_k`` -- Eq. 5-6
           degrade to the identity, so one-shard serving never truncates.
+        - **segment-aligned sharding**: Eq. 5-6 model neighbors as
+          uniformly hashed across shards; ``sharding="segment"``
+          concentrates a query's neighbors in its few nearby segments,
+          so the only budget that cannot truncate is the full ``top_k``.
         - **top_k larger than a segment/shard**: the budget is a
           *request* size, not a guarantee; shards with fewer points
           return short rows padded with the ``-1`` id / ``inf`` distance
@@ -446,9 +458,11 @@ class Broker:
         """
         if not self.config.use_per_shard_topk:
             return int(top_k)
+        if self.config.sharding == "segment":
+            return int(top_k)
         return per_shard_top_k(
             top_k,
-            self.config.num_shards,
+            self.config.num_shards if num_groups is None else num_groups,
             self.config.topk_confidence,
             paper_literal=self.config.paper_literal_probit,
         )
@@ -480,6 +494,19 @@ class Broker:
         top_k = request.top_k
         num_queries = queries.shape[0]
         num_shards = len(self.groups)
+        if (
+            not self.async_fanout
+            and request.hedging != INHERIT
+            and request.hedging is not False
+            and request.hedging is not None
+        ):
+            # Mirrors the constructor's hedge_after_s validation: without
+            # the fan-out loop the override would be silently ignored.
+            raise ValueError(
+                "per-request hedging override requires a broker with "
+                "async_fanout=True (hedges are raced on the fan-out "
+                "event loop)"
+            )
         if num_queries == 0:
             return SearchResponse(
                 ids=np.full((0, top_k), -1, dtype=np.int64),
@@ -740,18 +767,27 @@ class Broker:
         ``replicas_used`` one winning replica id per shard group (``-1``
         for failed or unqueried groups).
         """
-        budget = self.per_shard_budget(top_k)
         num_queries = queries.shape[0]
         num_shards = len(self.groups)
         # One work item per shard group that has rows to serve:
         # (group_id, sub-batch, rows or None for "all", probes or None).
         if plan is None:
+            budget = self.per_shard_budget(top_k)
             work = [
                 (group_id, queries, None, None)
                 for group_id in range(num_shards)
             ]
             routed = np.full(num_queries, num_shards, dtype=np.int64)
         else:
+            # Routed rows are answered by their plan's groups only, so
+            # the per-shard budget must cover that width, not the full
+            # deployment's.
+            width = (
+                int(plan.routed_counts.max())
+                if plan.routed_counts.size
+                else 0
+            )
+            budget = self.per_shard_budget(top_k, num_groups=max(width, 1))
             work = [
                 (
                     group_id,

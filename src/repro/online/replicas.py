@@ -22,6 +22,7 @@ tried and ask for a different one.
 from __future__ import annotations
 
 import threading
+from statistics import median
 from typing import Iterable, Sequence
 
 from repro.net.transport import SearcherTransport, as_transport
@@ -102,8 +103,13 @@ class ReplicaGroup:
         Draining replicas are skipped while an alternative exists (that
         is the zero-drop guarantee of rolling restarts); among the rest,
         replicas with consecutive failures are deprioritized, then least
-        in-flight wins with EWMA latency as tie-break.  Returns ``None``
-        when every replica is excluded.
+        in-flight wins with EWMA latency as tie-break.  A replica with
+        no latency sample yet (fresh, or just restored from a rolling
+        restart) ranks at the pool's median EWMA: neither preferred over
+        measured siblings (an implicit ``0.0`` would send every tie to
+        the coldest replica) nor starved behind them (``+inf`` would
+        keep it unmeasured forever).  Returns ``None`` when every
+        replica is excluded.
         """
         excluded = set(exclude)
         with self._lock:
@@ -116,12 +122,20 @@ class ReplicaGroup:
                 return None
             live = [r for r in candidates if not r.draining]
             pool = live or candidates
+            known = [
+                r.ewma_latency_s
+                for r in pool
+                if r.ewma_latency_s is not None
+            ]
+            neutral = median(known) if known else 0.0
             chosen = min(
                 pool,
                 key=lambda r: (
                     r.consecutive_failures > 0,
                     r.in_flight,
-                    r.ewma_latency_s if r.ewma_latency_s is not None else 0.0,
+                    r.ewma_latency_s
+                    if r.ewma_latency_s is not None
+                    else neutral,
                     r.replica_id,
                 ),
             )

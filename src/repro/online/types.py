@@ -64,7 +64,8 @@ class SearchRequest:
         ``"auto"`` overrides the delay for this request.
     routing_hints:
         Optional per-row segment ids (one tuple per query) that bypass
-        the router's segment scoring; requires ``spill`` to be set.
+        the router's segment scoring; requires ``spill`` to be a
+        positive int (hints on an unrouted request are rejected).
     """
 
     queries: np.ndarray
@@ -102,6 +103,11 @@ class SearchRequest:
                 f"delay, got {self.hedging!r}"
             )
         if self.routing_hints is not None:
+            if not self.routed:
+                raise ValueError(
+                    "routing_hints requires routed execution: set spill "
+                    f"to a positive int, got spill={self.spill!r}"
+                )
             hints = tuple(
                 tuple(int(segment) for segment in row)
                 for row in self.routing_hints

@@ -455,6 +455,39 @@ class TestServiceIntegration:
         with pytest.raises(ValueError, match="must be positive"):
             Broker(nodes, config, async_fanout=True, hedge_after_s=0.0)
 
+    def test_per_request_hedging_requires_async_fanout(self, index, config):
+        """A hedging override on a loop-less broker raises instead of
+        being silently ignored (mirrors the constructor validation);
+        ``inherit``/``False`` stay valid -- they ask for no hedge."""
+        from repro.online.types import SearchRequest
+
+        nodes = [SearcherNode(shard_id) for shard_id in range(NUM_SHARDS)]
+        for shard_id, node in enumerate(nodes):
+            node.host("hedge", index.shards[shard_id])
+        broker = Broker(nodes, config)
+        try:
+            for override in (0.05, "auto"):
+                with pytest.raises(ValueError, match="requires.*async_fanout"):
+                    broker.execute(
+                        SearchRequest(
+                            queries=np.zeros((1, 16), np.float32),
+                            top_k=5,
+                            index_name="hedge",
+                            hedging=override,
+                        )
+                    )
+            response = broker.execute(
+                SearchRequest(
+                    queries=np.zeros((1, 16), np.float32),
+                    top_k=5,
+                    index_name="hedge",
+                    hedging=False,
+                )
+            )
+            assert response.fully_answered
+        finally:
+            broker.close()
+
 
 class TestAdaptiveHedging:
     """hedge_after_s="auto": delay derived from the live shard_rpc window."""

@@ -124,6 +124,37 @@ class TestReplicaGroupLedger:
             group.finish(fast, 0.001)
         assert group.pick().replica_id == fast.replica_id
 
+    def test_cold_replica_not_preferred_on_ties(self):
+        group = self.make_group(2)
+        measured = group.replicas[0]
+        group.begin(measured)
+        group.finish(measured, 0.05)
+        # The cold sibling (no EWMA sample yet) ranks at the pool
+        # median, so the measured replica keeps winning the id
+        # tie-break instead of the cold one jumping the queue with an
+        # implicit 0.0 latency.
+        assert group.pick().replica_id == 0
+
+    def test_cold_replica_still_wins_on_load(self):
+        group = self.make_group(2)
+        measured = group.replicas[0]
+        group.begin(measured)
+        group.finish(measured, 0.05)
+        group.begin(measured)  # one request in flight on the measured one
+        assert group.pick().replica_id == 1
+
+    def test_restored_replica_not_preferred_over_measured_sibling(self):
+        group = self.make_group(2)
+        for replica in group.replicas:
+            group.begin(replica)
+            group.finish(replica, 0.05)
+        # A rolling restart clears replica 1's EWMA; the fresh replica
+        # must not win every tie against its equally-loaded sibling.
+        group.drain(1)
+        group.restore(1)
+        assert group.replicas[1].ewma_latency_s is None
+        assert group.pick().replica_id == 0
+
     def test_pick_deprioritizes_failing_replicas(self):
         group = self.make_group(2)
         flaky = group.replicas[0]

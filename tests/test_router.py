@@ -193,6 +193,38 @@ class TestSpillRouting:
         )
         assert recalls[-1] >= recall_of(unrouted.ids)
 
+    def test_routed_rows_receive_full_top_k(self, broker, queries):
+        # Every diagonal segment holds far more than TOP_K points, so a
+        # spill=1 answer must fill all TOP_K slots.  Regression: the
+        # per-shard budget used to be sized from the full deployment
+        # width (4 groups -> budget 6 for top_k=10) even though the plan
+        # queried a single group, truncating every routed answer.
+        for spill in (1, 2):
+            response = broker.execute(
+                SearchRequest(
+                    queries=queries, top_k=TOP_K, index_name="r", spill=spill
+                )
+            )
+            assert (response.ids >= 0).all()
+            assert np.isfinite(response.dists).all()
+
+    def test_routing_hints_require_spill(self, queries):
+        with pytest.raises(ValueError, match="routing_hints"):
+            SearchRequest(
+                queries=queries[:1],
+                top_k=TOP_K,
+                index_name="r",
+                routing_hints=[(0,)],
+            )
+        with pytest.raises(ValueError, match="routing_hints"):
+            SearchRequest(
+                queries=queries[:1],
+                top_k=TOP_K,
+                index_name="r",
+                spill="all",
+                routing_hints=[(0,)],
+            )
+
     def test_routed_fanout_prunes_shard_groups(self, broker, queries):
         response = broker.execute(
             SearchRequest(
