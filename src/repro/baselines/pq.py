@@ -17,6 +17,7 @@ import numpy as np
 
 from repro.baselines.base import AnnIndex
 from repro.baselines.kmeans import kmeans
+from repro.errors import CodecNotFittedError
 from repro.utils.validation import as_matrix, as_vector
 
 
@@ -58,6 +59,13 @@ class ProductQuantizer:
         """Whether codebooks have been trained."""
         return self.codebooks is not None
 
+    def _require_fitted(self) -> None:
+        if self.codebooks is None:
+            raise CodecNotFittedError(
+                "ProductQuantizer has no codebooks; call fit() before "
+                "encode/decode/adc_table"
+            )
+
     def _chunks(self, vectors: np.ndarray) -> list[np.ndarray]:
         width = self.dim // self.num_subspaces
         return [
@@ -74,6 +82,9 @@ class ProductQuantizer:
                 f"num_subspaces={self.num_subspaces}"
             )
         self.dim = data.shape[1]
+        # Fewer rows than requested codewords: clamp, and keep the
+        # attribute in sync so a persisted config never disagrees with
+        # codebooks.shape[1].
         num_codes = min(self.num_codes, data.shape[0])
         codebooks = []
         for chunk_index, chunk in enumerate(self._chunks(data)):
@@ -85,10 +96,12 @@ class ProductQuantizer:
             )
             codebooks.append(centers)
         self.codebooks = np.stack(codebooks)  # (m, ks', dim/m)
+        self.num_codes = num_codes
         return self
 
     def encode(self, vectors: np.ndarray) -> np.ndarray:
         """Compress vectors to ``(n, m)`` uint16 code matrices."""
+        self._require_fitted()
         vectors = as_matrix(vectors, dim=self.dim, name="vectors")
         codes = np.empty(
             (vectors.shape[0], self.num_subspaces), dtype=np.uint16
@@ -104,6 +117,7 @@ class ProductQuantizer:
 
     def decode(self, codes: np.ndarray) -> np.ndarray:
         """Reconstruct (approximate) vectors from codes."""
+        self._require_fitted()
         codes = np.asarray(codes)
         parts = [
             self.codebooks[chunk_index][codes[:, chunk_index]]
@@ -113,6 +127,7 @@ class ProductQuantizer:
 
     def adc_table(self, query: np.ndarray) -> np.ndarray:
         """Per-subspace squared distances from ``query`` to each codeword."""
+        self._require_fitted()
         query = as_vector(query, dim=self.dim, name="query")
         width = self.dim // self.num_subspaces
         table = np.empty(
@@ -131,6 +146,39 @@ class ProductQuantizer:
         for chunk_index in range(self.num_subspaces):
             total += table[chunk_index][codes[:, chunk_index]]
         return total
+
+    # -- persistence ----------------------------------------------------------
+    def to_dict(self) -> dict:
+        """Plain-dict form (codebooks as nested lists; json-friendly)."""
+        self._require_fitted()
+        return {
+            "num_subspaces": self.num_subspaces,
+            "num_codes": self.num_codes,
+            "seed": self.seed,
+            "kmeans_iters": self.kmeans_iters,
+            "dim": self.dim,
+            "codebooks": self.codebooks.tolist(),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "ProductQuantizer":
+        """Inverse of :meth:`to_dict`."""
+        quantizer = cls(
+            int(payload["num_subspaces"]),
+            int(payload["num_codes"]),
+            seed=int(payload["seed"]),
+            kmeans_iters=int(payload["kmeans_iters"]),
+        )
+        quantizer.dim = int(payload["dim"])
+        quantizer.codebooks = np.asarray(
+            payload["codebooks"], dtype=np.float64
+        )
+        if quantizer.codebooks.shape[1] != quantizer.num_codes:
+            raise ValueError(
+                f"codebooks have {quantizer.codebooks.shape[1]} codewords "
+                f"but num_codes says {quantizer.num_codes}"
+            )
+        return quantizer
 
 
 class PqIndex(AnnIndex):
@@ -178,4 +226,8 @@ class PqIndex(AnnIndex):
         exact = np.sqrt(
             ((self.data[order].astype(np.float64) - query64) ** 2).sum(axis=1)
         )
-        return order.astype(np.int64), exact
+        # The shortlist is chosen by approximate ADC score, but the
+        # distances returned are exact -- re-sort so the returned pairs
+        # are ascending in what the caller actually sees.
+        resort = np.argsort(exact, kind="stable")
+        return order[resort].astype(np.int64), exact[resort]

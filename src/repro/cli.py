@@ -108,6 +108,9 @@ def _cmd_build(args: argparse.Namespace) -> int:
             ef_construction=args.ef_construction,
             min_graph_size=args.min_graph_size,
             build_batch=args.build_batch,
+            quantize=args.quantize,
+            rescore_k=args.rescore_k,
+            pq_subspaces=args.pq_subspaces,
         ),
         seed=args.seed,
     )
@@ -277,6 +280,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
             M=args.hnsw_m,
             ef_construction=args.ef_construction,
             build_batch=args.build_batch,
+            quantize=args.quantize,
         ),
         seed=args.seed,
     )
@@ -387,6 +391,36 @@ def build_parser() -> argparse.ArgumentParser:
         help=(
             "construction wave size for the batched lockstep insert "
             "path (<= 1 falls back to one-row-at-a-time insertion)"
+        ),
+    )
+    build.add_argument(
+        "--quantize",
+        choices=["none", "int8", "pq"],
+        default="none",
+        help=(
+            "compressed-domain scoring: beam search runs on int8 or "
+            "PQ codes and the final candidates are rescored exactly "
+            "against the retained float32 vectors ('none' keeps the "
+            "all-float path)"
+        ),
+    )
+    build.add_argument(
+        "--rescore-k",
+        type=int,
+        default=0,
+        help=(
+            "rescore depth for quantized search: the beam keeps "
+            "max(ef, k, rescore_k) candidates on codes before the "
+            "exact rescore (0 = just the beam)"
+        ),
+    )
+    build.add_argument(
+        "--pq-subspaces",
+        type=int,
+        default=8,
+        help=(
+            "subspace count for --quantize pq (clamped to the largest "
+            "divisor of the dimensionality)"
         ),
     )
     build.add_argument(
@@ -565,6 +599,12 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=64,
         help="construction wave size (<= 1 = sequential insertion)",
+    )
+    bench.add_argument(
+        "--quantize",
+        choices=["none", "int8", "pq"],
+        default="none",
+        help="compressed-domain scoring backend for the built segments",
     )
     bench.add_argument("--seed", type=int, default=0)
     bench.set_defaults(handler=_cmd_bench)

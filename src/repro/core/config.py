@@ -144,6 +144,16 @@ class LannsConfig:
         return (self.num_shards, self.num_segments)
 
     @property
+    def quantize(self) -> str:
+        """Compressed-domain scoring backend (``hnsw.quantize``).
+
+        ``"none"``, ``"int8"`` or ``"pq"``; surfaced here because the
+        manifest, serving stats and CLI all report it at deployment
+        granularity even though it lives on the per-segment HNSW params.
+        """
+        return self.hnsw.quantize
+
+    @property
     def total_partitions(self) -> int:
         """Number of (shard, segment) HNSW indices built."""
         return self.num_shards * self.num_segments

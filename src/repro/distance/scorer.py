@@ -139,17 +139,29 @@ class Scorer:
         return np.einsum("bd,bd->b", prepared, prepared)
 
     # -- scoring ------------------------------------------------------------------
-    def score_ids(self, query: np.ndarray, ids: np.ndarray) -> np.ndarray:
+    def score_ids(
+        self,
+        query: np.ndarray,
+        ids: np.ndarray,
+        query_sq: float | None = None,
+    ) -> np.ndarray:
         """Reduced distances from a *prepared* query to rows ``ids``.
 
-        This is the hot path: one gather + one matvec.
+        This is the hot path: one gather + one matvec.  ``query_sq`` is
+        the precomputed ``float(query @ query)``; the sequential beam
+        search calls this thousands of times per query with the same
+        query, so callers should compute the norm once and thread it
+        through (mirrors the ``query_sq`` parameter of
+        :meth:`score_pairs`).
         """
         self.ops += len(ids)
         rows = self._data[ids]
         if self._is_euclidean:
             dots = rows @ query
             scores = self._sq_norms[ids] - 2.0 * dots
-            scores += float(query @ query)
+            scores += (
+                float(query @ query) if query_sq is None else query_sq
+            )
             np.maximum(scores, 0.0, out=scores)
             return scores
         if self._is_cosine:
@@ -278,3 +290,458 @@ class Scorer:
     def to_true(self, reduced: np.ndarray) -> np.ndarray:
         """Convert reduced scores to true metric distances."""
         return self.metric.to_true(np.asarray(reduced))
+
+
+# -- compressed-domain scoring --------------------------------------------------------
+#
+# The quantized tier lets the HNSW beam search run on compressed codes
+# instead of float32 rows: the traversal's distance evaluations gather
+# int8 codes (4x less memory traffic per beam round) or PQ codes (one
+# table lookup per subspace), and only the final candidate set is
+# rescored exactly against the retained float32 vectors.  Approximate
+# scores only *rank* -- every distance a caller sees comes from the
+# exact float32 kernels above, so the wire contract (exact distances,
+# bit-parity tests) survives quantization unchanged.
+
+#: Quantization backends accepted end to end (``--quantize``).
+QUANTIZE_KINDS = ("none", "int8", "pq")
+
+#: Rows used to train the PQ codebooks.  32 training points per
+#: centroid (256 codes) -- past that, k-means cost grows linearly with
+#: segment size for no measurable recall gain.
+_PQ_TRAIN_SAMPLE = 8192
+
+
+class Int8Codec:
+    """Per-dimension affine scalar quantizer: ``x ~ scale * c + offset``.
+
+    One ``scale``/``offset`` pair per dimension, trained on the stored
+    (possibly normalised) rows at build time.  Codes are ``int8`` in
+    ``[-128, 127]``, so a row costs ``d`` bytes instead of ``4d``.
+    """
+
+    kind = "int8"
+
+    def __init__(self) -> None:
+        self.scale: np.ndarray | None = None  # (d,) float32
+        self.offset: np.ndarray | None = None  # (d,) float32
+
+    @property
+    def is_fitted(self) -> bool:
+        """Whether the affine parameters have been trained."""
+        return self.scale is not None
+
+    def _require_fitted(self) -> None:
+        if self.scale is None:
+            from repro.errors import CodecNotFittedError
+
+            raise CodecNotFittedError(
+                "Int8Codec has no scale/offset; call fit() before "
+                "encode/decode"
+            )
+
+    def fit(self, data: np.ndarray) -> "Int8Codec":
+        """Train the per-dimension affine range on ``data``."""
+        data = np.asarray(data, dtype=np.float32)
+        if data.ndim != 2 or data.shape[0] == 0:
+            raise ValueError(
+                f"Int8Codec.fit needs a non-empty (n, d) matrix, got "
+                f"shape {data.shape}"
+            )
+        lo = data.min(axis=0)
+        hi = data.max(axis=0)
+        scale = (hi - lo) / 255.0
+        # Constant dimensions quantize to one exact level.
+        scale = np.where(scale > 0.0, scale, 1.0).astype(np.float32)
+        self.scale = scale
+        self.offset = (lo + 128.0 * scale).astype(np.float32)
+        return self
+
+    def encode(self, data: np.ndarray) -> np.ndarray:
+        """Quantize rows to ``(n, d)`` int8 codes."""
+        self._require_fitted()
+        data = np.asarray(data, dtype=np.float32)
+        codes = np.rint((data - self.offset) / self.scale)
+        return np.clip(codes, -128, 127).astype(np.int8)
+
+    def decode(self, codes: np.ndarray) -> np.ndarray:
+        """Reconstruct (approximate) float32 rows from codes."""
+        self._require_fitted()
+        codes = np.asarray(codes)
+        return codes.astype(np.float32) * self.scale + self.offset
+
+    def to_arrays(self) -> dict:
+        """Npz-friendly dict form."""
+        self._require_fitted()
+        return {"codec_scale": self.scale, "codec_offset": self.offset}
+
+    @classmethod
+    def from_arrays(cls, payload: dict) -> "Int8Codec":
+        """Inverse of :meth:`to_arrays`."""
+        codec = cls()
+        codec.scale = np.asarray(payload["codec_scale"], dtype=np.float32)
+        codec.offset = np.asarray(payload["codec_offset"], dtype=np.float32)
+        return codec
+
+
+def pq_subspaces_for(dim: int, requested: int) -> int:
+    """Largest divisor of ``dim`` that is ``<= requested``.
+
+    PQ needs the dimensionality split into equal chunks; rather than
+    reject awkward dims, the codec degrades to the nearest workable
+    subspace count (worst case 1 -- plain vector quantization).
+    """
+    for m in range(min(int(requested), int(dim)), 0, -1):
+        if dim % m == 0:
+            return m
+    return 1
+
+
+class PqAdcCodec:
+    """Product-quantization codec scored via ADC lookup tables.
+
+    Wraps the (fixed) :class:`~repro.baselines.pq.ProductQuantizer`:
+    codebooks are trained per segment at build time, each row compresses
+    to one ``uint16`` code per subspace, and a query builds one
+    ``(num_subspaces, num_codes)`` table whose lookups replace the
+    full-dimension dot product.
+    """
+
+    kind = "pq"
+
+    def __init__(self, num_subspaces: int = 8, *, seed: int = 0) -> None:
+        if num_subspaces < 1:
+            raise ValueError(
+                f"num_subspaces must be positive, got {num_subspaces}"
+            )
+        self.requested_subspaces = int(num_subspaces)
+        self.seed = int(seed)
+        self._pq = None  # fitted ProductQuantizer
+        #: float32 codebooks (m, ks, d/m) used by the scoring hot path.
+        self.codebooks32: np.ndarray | None = None
+        self.center_sq: np.ndarray | None = None  # (m, ks) float32
+
+    @property
+    def is_fitted(self) -> bool:
+        """Whether codebooks have been trained."""
+        return self.codebooks32 is not None
+
+    @property
+    def num_subspaces(self) -> int:
+        """Effective subspace count (after divisor adjustment)."""
+        if self.codebooks32 is None:
+            return self.requested_subspaces
+        return int(self.codebooks32.shape[0])
+
+    def _require_fitted(self) -> None:
+        if self.codebooks32 is None:
+            from repro.errors import CodecNotFittedError
+
+            raise CodecNotFittedError(
+                "PqAdcCodec has no codebooks; call fit() before "
+                "encode/decode"
+            )
+
+    def fit(self, data: np.ndarray) -> "PqAdcCodec":
+        """Train one k-means codebook per subspace on ``data``."""
+        from repro.baselines.pq import ProductQuantizer
+
+        data = np.asarray(data, dtype=np.float32)
+        if data.ndim != 2 or data.shape[0] == 0:
+            raise ValueError(
+                f"PqAdcCodec.fit needs a non-empty (n, d) matrix, got "
+                f"shape {data.shape}"
+            )
+        subspaces = pq_subspaces_for(
+            data.shape[1], self.requested_subspaces
+        )
+        train = data
+        if data.shape[0] > _PQ_TRAIN_SAMPLE:
+            # k-means cost scales with the training set but codebook
+            # quality saturates well below segment size; train on a
+            # seeded subsample, encode everything.
+            rng = np.random.default_rng(self.seed)
+            rows = rng.choice(
+                data.shape[0], size=_PQ_TRAIN_SAMPLE, replace=False
+            )
+            train = data[np.sort(rows)]
+        self._pq = ProductQuantizer(
+            subspaces, max(2, min(256, train.shape[0])), seed=self.seed
+        ).fit(train)
+        self._finish()
+        return self
+
+    def _finish(self) -> None:
+        self.codebooks32 = self._pq.codebooks.astype(np.float32)
+        self.center_sq = np.einsum(
+            "mkd,mkd->mk", self.codebooks32, self.codebooks32
+        )
+
+    def encode(self, data: np.ndarray) -> np.ndarray:
+        """Compress rows to ``(n, m)`` uint16 codes."""
+        self._require_fitted()
+        return self._pq.encode(data)
+
+    def decode(self, codes: np.ndarray) -> np.ndarray:
+        """Reconstruct (approximate) float32 rows from codes."""
+        self._require_fitted()
+        return self._pq.decode(codes)
+
+    def to_arrays(self) -> dict:
+        """Npz-friendly dict form (full-precision codebooks)."""
+        self._require_fitted()
+        return {
+            "codec_codebooks": self._pq.codebooks,
+            "codec_pq_seed": np.asarray(self.seed),
+        }
+
+    @classmethod
+    def from_arrays(cls, payload: dict) -> "PqAdcCodec":
+        """Inverse of :meth:`to_arrays`."""
+        from repro.baselines.pq import ProductQuantizer
+
+        codebooks = np.asarray(payload["codec_codebooks"], dtype=np.float64)
+        subspaces, num_codes, width = codebooks.shape
+        codec = cls(subspaces, seed=int(payload["codec_pq_seed"]))
+        pq = ProductQuantizer(subspaces, max(2, num_codes), seed=codec.seed)
+        pq.codebooks = codebooks
+        pq.num_codes = num_codes
+        pq.dim = subspaces * width
+        codec._pq = pq
+        codec._finish()
+        return codec
+
+
+class QuantizedStore:
+    """Compressed codes for one :class:`Scorer`'s rows plus their codec.
+
+    The store owns everything the beam search needs to run on codes:
+    the trained codec, the encoded rows, and (for Euclidean) the decoded
+    squared norms.  :meth:`view` binds a prepared query batch and returns
+    a scoring adapter with the same ``score_pairs`` signature the
+    lockstep kernels already use, so traversal code is unchanged --
+    quantization is purely a different scorer implementation.
+    """
+
+    def __init__(
+        self,
+        scorer: Scorer,
+        kind: str,
+        *,
+        pq_subspaces: int = 8,
+        seed: int = 0,
+    ) -> None:
+        if kind not in ("int8", "pq"):
+            raise ValueError(
+                f"quantize kind must be 'int8' or 'pq', got {kind!r}"
+            )
+        self.scorer = scorer
+        self.kind = kind
+        self.pq_subspaces = int(pq_subspaces)
+        self.seed = int(seed)
+        self.codec = None
+        self.codes: np.ndarray | None = None
+        self.code_sq: np.ndarray | None = None
+        #: Stored-row count the codes were trained on; a mismatch with
+        #: ``len(scorer)`` means the store is stale and must refresh.
+        self.count = 0
+
+    @property
+    def is_trained(self) -> bool:
+        """Whether codes exist for every stored row."""
+        return self.codes is not None and self.count == len(self.scorer)
+
+    @property
+    def nbytes(self) -> int:
+        """Bytes held by the compressed codes (the RAM the beam touches)."""
+        total = self.codes.nbytes if self.codes is not None else 0
+        if self.code_sq is not None:
+            total += self.code_sq.nbytes
+        return total
+
+    def refresh(self) -> None:
+        """(Re)train the codec and encode every stored row.
+
+        Deterministic for a given data matrix and seed; called after
+        every ``add()`` so the codes always cover the stored rows.
+        """
+        data = self.scorer.data
+        if data.shape[0] == 0:
+            self.codec = None
+            self.codes = None
+            self.code_sq = None
+            self.count = 0
+            return
+        if self.kind == "int8":
+            self.codec = Int8Codec().fit(data)
+        else:
+            self.codec = PqAdcCodec(
+                self.pq_subspaces, seed=self.seed
+            ).fit(data)
+        self.codes = self.codec.encode(data)
+        self._finish_refresh()
+
+    def _finish_refresh(self) -> None:
+        if self.scorer._is_euclidean and self.kind == "int8":
+            decoded = self.codec.decode(self.codes)
+            self.code_sq = np.einsum("nd,nd->n", decoded, decoded)
+        else:
+            self.code_sq = None
+        self.count = int(self.codes.shape[0])
+
+    def view(self, prepared: np.ndarray):
+        """Bind a *prepared* ``(B, d)`` query batch for compressed scoring."""
+        if not self.is_trained:
+            self.refresh()
+        if self.kind == "int8":
+            return _Int8View(self, prepared)
+        return _PqAdcView(self, prepared)
+
+    # -- persistence ----------------------------------------------------------
+    def to_arrays(self) -> dict:
+        """Npz-friendly payload (codes + codec; keys are prefixed)."""
+        payload: dict = {"codec_kind": np.asarray(self.kind)}
+        if self.codes is None:
+            return payload
+        payload.update(self.codec.to_arrays())
+        payload["codec_codes"] = self.codes
+        return payload
+
+    @classmethod
+    def from_arrays(
+        cls,
+        scorer: Scorer,
+        payload: dict,
+        *,
+        pq_subspaces: int = 8,
+        seed: int = 0,
+    ) -> "QuantizedStore":
+        """Rebuild a store (codes are restored, not retrained)."""
+        kind = str(payload["codec_kind"])
+        store = cls(scorer, kind, pq_subspaces=pq_subspaces, seed=seed)
+        if "codec_codes" not in payload:
+            return store
+        if kind == "int8":
+            store.codec = Int8Codec.from_arrays(payload)
+            store.codes = np.asarray(payload["codec_codes"], dtype=np.int8)
+        else:
+            store.codec = PqAdcCodec.from_arrays(payload)
+            store.codes = np.asarray(
+                payload["codec_codes"], dtype=np.uint16
+            )
+        store._finish_refresh()
+        return store
+
+
+class _Int8View:
+    """Per-batch int8 scoring adapter for the lockstep kernels.
+
+    The affine dequantization folds into the query side: with
+    ``x ~ scale * c + offset``, the dot ``x . q`` becomes
+    ``c . (scale * q) + offset . q`` -- so scoring gathers raw int8
+    codes and runs one widening ``einsum`` against the pre-scaled
+    query, never materialising dequantized rows.
+    """
+
+    def __init__(self, store: QuantizedStore, prepared: np.ndarray) -> None:
+        scorer = store.scorer
+        self._scorer = scorer
+        self._codes = store.codes
+        self._code_sq = store.code_sq
+        codec = store.codec
+        self._qs = prepared * codec.scale
+        bias = prepared @ codec.offset
+        # Everything that depends only on the query folds into one
+        # per-query constant, so the hot loop is one code gather, one
+        # widening einsum and one constant gather:
+        #   euclid: |x|^2 - 2(c.qs + bias) + |q|^2
+        #           = code_sq[ids] - 2 c.qs + (|q|^2 - 2 bias)
+        #   cosine: 1 - (c.qs + bias);  ip: -(c.qs + bias)
+        if scorer._is_euclidean:
+            q_sq = np.einsum("bd,bd->b", prepared, prepared)
+            self._q_const = q_sq - 2.0 * bias
+        elif scorer._is_cosine:
+            self._q_const = 1.0 - bias
+        else:
+            self._q_const = -bias
+
+    def score_pairs(
+        self,
+        queries: np.ndarray,
+        query_rows: np.ndarray,
+        ids: np.ndarray,
+        query_sq: np.ndarray | None = None,
+    ) -> np.ndarray:
+        """Approximate reduced distances for (query, candidate) pairs.
+
+        Same signature and batch-composition invariance as
+        :meth:`Scorer.score_pairs`; ``queries``/``query_sq`` are accepted
+        for interface compatibility but the view's precomputed transforms
+        are what actually score.
+        """
+        scorer = self._scorer
+        scorer.ops += len(ids)
+        rows = self._codes[ids]
+        dots = np.einsum("nd,nd->n", rows, self._qs[query_rows])
+        if scorer._is_euclidean:
+            scores = self._code_sq[ids] - 2.0 * dots
+            scores += self._q_const[query_rows]
+            np.maximum(scores, 0.0, out=scores)
+            return scores
+        # cosine and inner product share the shape const - dot.
+        return self._q_const[query_rows] - dots
+
+
+class _PqAdcView:
+    """Per-batch PQ/ADC scoring adapter for the lockstep kernels.
+
+    Each query of the batch owns one flat ``(m * ks)`` lookup table;
+    scoring a pair is ``m`` table gathers summed -- independent of the
+    stored dimensionality.
+    """
+
+    def __init__(self, store: QuantizedStore, prepared: np.ndarray) -> None:
+        scorer = store.scorer
+        self._scorer = scorer
+        self._codes = store.codes
+        codec = store.codec
+        books = codec.codebooks32  # (m, ks, d/m)
+        subspaces, num_codes, width = books.shape
+        chunks = prepared.reshape(prepared.shape[0], subspaces, width)
+        dot_tables = np.einsum("mkd,bmd->bmk", books, chunks)
+        if scorer._is_euclidean:
+            # ADC: per-subspace squared distance, summed by lookup.
+            sub_sq = np.einsum("bmd,bmd->bm", chunks, chunks)
+            tables = (
+                codec.center_sq[np.newaxis]
+                - 2.0 * dot_tables
+                + sub_sq[:, :, np.newaxis]
+            )
+        else:
+            tables = dot_tables
+        self._tables = np.ascontiguousarray(
+            tables.reshape(prepared.shape[0], subspaces * num_codes),
+            dtype=np.float32,
+        )
+        self._flat_offsets = (
+            np.arange(subspaces, dtype=np.int64) * num_codes
+        )
+
+    def score_pairs(
+        self,
+        queries: np.ndarray,
+        query_rows: np.ndarray,
+        ids: np.ndarray,
+        query_sq: np.ndarray | None = None,
+    ) -> np.ndarray:
+        """Approximate reduced distances for (query, candidate) pairs."""
+        scorer = self._scorer
+        scorer.ops += len(ids)
+        flat = self._codes[ids] + self._flat_offsets
+        sums = self._tables[query_rows[:, np.newaxis], flat].sum(axis=1)
+        if scorer._is_euclidean:
+            np.maximum(sums, 0.0, out=sums)
+            return sums
+        if scorer._is_cosine:
+            return 1.0 - sums
+        return -sums

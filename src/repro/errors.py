@@ -23,6 +23,15 @@ class SegmenterNotFittedError(LannsError):
     """A data-dependent segmenter was used before ``fit`` was called."""
 
 
+class CodecNotFittedError(LannsError):
+    """A vector codec (PQ / scalar quantizer) was used before ``fit``.
+
+    Encoding, decoding or table construction on an untrained codec is a
+    caller bug; this replaces the bare ``TypeError`` that indexing into
+    ``None`` codebooks used to raise.
+    """
+
+
 class SerializationError(LannsError):
     """An index or segmenter payload could not be (de)serialized."""
 

@@ -12,7 +12,7 @@ import math
 
 import numpy as np
 
-from repro.distance.scorer import Scorer
+from repro.distance.scorer import QuantizedStore, Scorer
 from repro.errors import IndexNotBuiltError
 from repro.hnsw.graph import HnswGraph, VisitedPool
 from repro.hnsw.heuristic import (
@@ -73,6 +73,17 @@ class HnswIndex:
         self._id_to_row: dict[int, int] = {}
         self._rng = np.random.default_rng(self.params.seed)
         self._visited_pool = VisitedPool()
+        # Compressed-domain scoring tier: the beam search traverses on
+        # codes, the final candidates are rescored exactly (see
+        # _search_many_quantized).  Construction always runs on float32.
+        self._quantized: QuantizedStore | None = None
+        if self.params.quantize != "none":
+            self._quantized = QuantizedStore(
+                self._scorer,
+                self.params.quantize,
+                pq_subspaces=self.params.pq_subspaces,
+                seed=self.params.seed,
+            )
 
     # -- introspection -------------------------------------------------------------
     def __len__(self) -> int:
@@ -176,21 +187,26 @@ class HnswIndex:
         if wave <= 1 or n <= 1:
             for row in row_list:
                 self._insert_row(row)
-            return
-        # Levels are drawn up-front in row order: the batched path
-        # consumes the RNG stream exactly like the sequential one.
-        levels = [self._draw_level() for _ in range(n)]
-        start = 0
-        if len(self._graph) == 0:
-            # Bootstrap an empty graph: the first row becomes the entry
-            # point the first wave descends from.
-            self._insert_row(row_list[0], level=levels[0])
-            start = 1
-        for begin in range(start, n, wave):
-            self._insert_wave(
-                row_list[begin : begin + wave],
-                levels[begin : begin + wave],
-            )
+        else:
+            # Levels are drawn up-front in row order: the batched path
+            # consumes the RNG stream exactly like the sequential one.
+            levels = [self._draw_level() for _ in range(n)]
+            start = 0
+            if len(self._graph) == 0:
+                # Bootstrap an empty graph: the first row becomes the
+                # entry point the first wave descends from.
+                self._insert_row(row_list[0], level=levels[0])
+                start = 1
+            for begin in range(start, n, wave):
+                self._insert_wave(
+                    row_list[begin : begin + wave],
+                    levels[begin : begin + wave],
+                )
+        if self._quantized is not None:
+            # Retrain the codec over the full stored matrix: codes must
+            # cover every row before the next search, and refitting on
+            # the same data + seed is deterministic.
+            self._quantized.refresh()
 
     def _insert_row(self, row: int, level: int | None = None) -> None:
         params = self.params
@@ -208,9 +224,14 @@ class HnswIndex:
         previous_max = graph.max_level
         graph.add_node(level)
         visited = self._visited_pool.get(len(graph))
+        # The squared query norm is constant across the whole insert;
+        # hoist it out of the thousands of score_ids calls below.
+        query_sq = float(query @ query)
 
         # Phase 1: greedy descent through layers above `level`.
-        entry, entry_dist = descend_to_level(graph, self._scorer, query, level)
+        entry, entry_dist = descend_to_level(
+            graph, self._scorer, query, level, query_sq
+        )
 
         # Phase 2: beam search and linking from min(level, previous_max) to 0.
         ef = max(params.ef_construction, 1)
@@ -218,7 +239,14 @@ class HnswIndex:
         for layer in range(min(level, previous_max), -1, -1):
             visited.reset(len(graph))
             candidates = search_layer(
-                graph, self._scorer, query, entries, ef, layer, visited
+                graph,
+                self._scorer,
+                query,
+                entries,
+                ef,
+                layer,
+                visited,
+                query_sq,
             )
             m = params.M
             if params.use_heuristic:
@@ -488,6 +516,8 @@ class HnswIndex:
         prepared = self._scorer.prepare_queries(queries)
         query_sq = self._scorer.query_sq_norms(prepared)
         beam = max(ef if ef is not None else self.params.ef_search, k)
+        if self._quantized is not None:
+            return self._search_many_quantized(prepared, query_sq, k, beam)
 
         entries, entry_dists = descend_to_level_batch(
             self._graph, self._scorer, prepared, 0, query_sq
@@ -514,6 +544,71 @@ class HnswIndex:
             output.append(
                 (external[rows], self._scorer.to_true(reduced))
             )
+        return output
+
+    def _search_many_quantized(
+        self,
+        prepared: np.ndarray,
+        query_sq: np.ndarray,
+        k: int,
+        beam: int,
+    ) -> list[tuple[np.ndarray, np.ndarray]]:
+        """Quantized beam search + exact rescore over a prepared batch.
+
+        The descent and beam traversal run entirely on compressed codes:
+        a per-batch :meth:`QuantizedStore.view` slots into the unchanged
+        lockstep kernels in place of the float scorer, so each scoring
+        round gathers int8 rows (or PQ lookup tables) instead of float32
+        vectors.  Approximate scores only decide *which* candidates
+        survive -- the beam keeps ``max(beam, rescore_k)`` of them, every
+        survivor is then rescored by the same batch-composition-invariant
+        float32 :meth:`Scorer.score_pairs` kernel the float path scores
+        with, and the top ``k`` after the exact re-sort are returned.
+        Returned distances are therefore bit-identical to the float path
+        for any candidate both paths return.
+        """
+        num_queries = prepared.shape[0]
+        depth = max(beam, self.params.rescore_k)
+        view = self._quantized.view(prepared)
+        entries, entry_dists = descend_to_level_batch(
+            self._graph, view, prepared, 0, query_sq
+        )
+        tables = self._visited_pool.get_many(len(self._graph), num_queries)
+        per_query = search_layer_batch(
+            self._graph,
+            view,
+            prepared,
+            [[(entry_dists[i], entries[i])] for i in range(num_queries)],
+            depth,
+            0,
+            tables,
+            query_sq,
+        )
+        # Exact rescore: one flat float32 scoring call for every beam
+        # survivor of the whole batch.
+        flat_ids: list[int] = []
+        span_counts: list[int] = []
+        for candidates in per_query:
+            span_counts.append(len(candidates))
+            flat_ids.extend(node for _, node in candidates)
+        exact = self._scorer.score_pairs(
+            prepared,
+            np.repeat(np.arange(num_queries), span_counts),
+            np.asarray(flat_ids, dtype=_IDS_DTYPE),
+            query_sq,
+        ).tolist()
+        external = self.external_ids
+        output: list[tuple[np.ndarray, np.ndarray]] = []
+        offset = 0
+        for count in span_counts:
+            nodes = flat_ids[offset : offset + count]
+            # Same (distance, node) tie-break the float path's sorted
+            # beam produces.
+            top = sorted(zip(exact[offset : offset + count], nodes))[:k]
+            offset += count
+            rows = np.asarray([node for _, node in top], dtype=_IDS_DTYPE)
+            reduced = np.asarray([dist for dist, _ in top], dtype=np.float64)
+            output.append((external[rows], self._scorer.to_true(reduced)))
         return output
 
     def _search_many_exact(
@@ -646,6 +741,10 @@ class HnswIndex:
             )
             payload[f"indptr_{level}"] = indptr
             payload[f"indices_{level}"] = indices
+        if self._quantized is not None:
+            if not self._quantized.is_trained and n:
+                self._quantized.refresh()
+            payload.update(self._quantized.to_arrays())
         return payload
 
     @classmethod
@@ -694,6 +793,15 @@ class HnswIndex:
             )
         index._external_ids = external.tolist()
         index._id_to_row = {ext: row for row, ext in enumerate(index._external_ids)}
+        if index._quantized is not None and "codec_kind" in payload:
+            # Codes are restored, not retrained: the persisted codec is
+            # the one the offline build fitted on this segment.
+            index._quantized = QuantizedStore.from_arrays(
+                index._scorer,
+                payload,
+                pq_subspaces=params.pq_subspaces,
+                seed=params.seed,
+            )
         return index
 
     def save(self, path: str) -> None:

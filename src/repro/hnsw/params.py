@@ -52,6 +52,24 @@ class HnswParams:
     #: numpy dispatch but search a slightly staler snapshot; the default
     #: matches the serving path's lockstep group size.
     build_batch: int = 64
+    #: Compressed-domain scoring backend for the beam search: ``"none"``
+    #: (float32 rows, today's path), ``"int8"`` (per-dimension scalar
+    #: quantization, ~4x less memory traffic per beam round) or ``"pq"``
+    #: (product quantization scored via ADC lookup tables).  With either
+    #: quantized backend the traversal runs entirely on codes and the
+    #: final candidate set is rescored exactly against the retained
+    #: float32 rows, so returned distances are bit-identical to the
+    #: float path for the candidates both would return.
+    quantize: str = "none"
+    #: Rescore depth for quantized search: the beam keeps
+    #: ``max(ef, k, rescore_k)`` candidates on codes and all of them are
+    #: rescored exactly before the top ``k`` are returned.  ``0`` means
+    #: "just the beam" (``max(ef, k)``).  Ignored when ``quantize`` is
+    #: ``"none"``.
+    rescore_k: int = 0
+    #: Subspace count for the ``"pq"`` backend (clamped to the largest
+    #: divisor of the dimensionality that does not exceed it).
+    pq_subspaces: int = 8
 
     def __post_init__(self) -> None:
         if self.M < 2:
@@ -75,6 +93,19 @@ class HnswParams:
         if self.build_batch < 0:
             raise ValueError(
                 f"build_batch must be >= 0, got {self.build_batch}"
+            )
+        if self.quantize not in ("none", "int8", "pq"):
+            raise ValueError(
+                f"quantize must be one of 'none', 'int8', 'pq', got "
+                f"{self.quantize!r}"
+            )
+        if self.rescore_k < 0:
+            raise ValueError(
+                f"rescore_k must be >= 0, got {self.rescore_k}"
+            )
+        if self.pq_subspaces < 1:
+            raise ValueError(
+                f"pq_subspaces must be >= 1, got {self.pq_subspaces}"
             )
 
     @property
@@ -107,6 +138,9 @@ class HnswParams:
             "use_heuristic": self.use_heuristic,
             "min_graph_size": self.min_graph_size,
             "build_batch": self.build_batch,
+            "quantize": self.quantize,
+            "rescore_k": self.rescore_k,
+            "pq_subspaces": self.pq_subspaces,
         }
 
     @classmethod

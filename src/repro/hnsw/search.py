@@ -27,11 +27,14 @@ def greedy_descent(
     entry_point: int,
     entry_dist: float,
     level: int,
+    query_sq: float | None = None,
 ) -> tuple[int, float]:
     """Greedily walk to the local minimum of ``query`` at ``level``.
 
     Equivalent to ``SEARCH-LAYER`` with ``ef=1`` but cheaper: it keeps a
     single current node and moves to any strictly closer neighbor.
+    ``query_sq`` optionally carries the precomputed squared query norm so
+    the caller hoists it out of the descent loop.
 
     Returns
     -------
@@ -43,7 +46,7 @@ def greedy_descent(
         if not neighbors:
             return current, current_dist
         ids = np.asarray(neighbors, dtype=_IDS_DTYPE)
-        dists = scorer.score_ids(query, ids)
+        dists = scorer.score_ids(query, ids, query_sq)
         best = int(np.argmin(dists))
         best_dist = float(dists[best])
         if best_dist >= current_dist:
@@ -59,6 +62,7 @@ def search_layer(
     ef: int,
     level: int,
     visited: VisitedTable,
+    query_sq: float | None = None,
 ) -> list[tuple[float, int]]:
     """Beam search at one layer (``SEARCH-LAYER``, Algorithm 2).
 
@@ -68,6 +72,9 @@ def search_layer(
         ``(reduced_distance, node)`` seeds; all are marked visited.
     ef:
         Beam width: the size of the dynamic result list.
+    query_sq:
+        Optional precomputed squared query norm, hoisted out of the
+        per-round :meth:`Scorer.score_ids` calls.
 
     Returns
     -------
@@ -98,7 +105,9 @@ def search_layer(
             continue
         for neighbor in fresh:
             tags[neighbor] = epoch
-        dists = scorer.score_ids(query, np.asarray(fresh, dtype=_IDS_DTYPE))
+        dists = scorer.score_ids(
+            query, np.asarray(fresh, dtype=_IDS_DTYPE), query_sq
+        )
         worst = -results[0][0]
         full = len(results) >= ef
         for neighbor_dist, neighbor in zip(dists.tolist(), fresh):
@@ -119,6 +128,7 @@ def descend_to_level(
     scorer: Scorer,
     query: np.ndarray,
     target_level: int,
+    query_sq: float | None = None,
 ) -> tuple[int, float]:
     """Greedy-descend from the global entry point down to ``target_level + 1``.
 
@@ -127,11 +137,13 @@ def descend_to_level(
     """
     entry = graph.entry_point
     entry_dist = float(
-        scorer.score_ids(query, np.asarray([entry], dtype=_IDS_DTYPE))[0]
+        scorer.score_ids(
+            query, np.asarray([entry], dtype=_IDS_DTYPE), query_sq
+        )[0]
     )
     for level in range(graph.max_level, target_level, -1):
         entry, entry_dist = greedy_descent(
-            graph, scorer, query, entry, entry_dist, level
+            graph, scorer, query, entry, entry_dist, level, query_sq
         )
     return entry, entry_dist
 

@@ -460,12 +460,20 @@ class OnlineService:
                 transport.close()
 
     def stats(self) -> dict:
-        """Service-wide serving stats: shared cache plus per-index brokers."""
+        """Service-wide serving stats: shared cache plus per-index brokers.
+
+        Each index entry also reports its ``quantize`` backend so
+        operators can see which deployments serve compressed-domain
+        beam searches.
+        """
+        indices: dict[str, dict] = {}
+        for name, broker in self.brokers.items():
+            entry = broker.stats()
+            entry["quantize"] = self.configs[name].quantize
+            indices[name] = entry
         return {
             "cache": self.cache.stats.as_dict(),
-            "indices": {
-                name: broker.stats() for name, broker in self.brokers.items()
-            },
+            "indices": indices,
         }
 
     # -- serving -----------------------------------------------------------------------

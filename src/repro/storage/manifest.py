@@ -76,6 +76,14 @@ class IndexManifest:
     #: indices exported before it existed load fine and simply fan out
     #: to every shard.
     segment_sizes: list[list[int]] | None = None
+    #: Compressed-domain scoring backend the segments were built with
+    #: (``"none"``, ``"int8"`` or ``"pq"``).  A summary of
+    #: ``config["hnsw"]["quantize"]``: the codec itself (scale/offset or
+    #: codebooks plus the per-row codes) is persisted inside each
+    #: segment ``.npz`` and covered by the per-file checksums, exactly
+    #: like the segmenter rides in ``segmenter.json``.  Optional so
+    #: manifests written before the field existed still load.
+    quantize: str | None = None
     format_version: int = _FORMAT_VERSION
     created_by: str = f"repro-lanns/{__version__}"
 
@@ -91,6 +99,8 @@ class IndexManifest:
         }
         if self.segment_sizes is not None:
             payload["segment_sizes"] = self.segment_sizes
+        if self.quantize is not None:
+            payload["quantize"] = self.quantize
         return payload
 
     @classmethod
@@ -110,6 +120,7 @@ class IndexManifest:
             segment_sizes=None
             if segment_sizes is None
             else [[int(size) for size in row] for row in segment_sizes],
+            quantize=payload.get("quantize"),
             format_version=int(payload["format_version"]),
             created_by=str(payload.get("created_by", "unknown")),
         )
@@ -147,6 +158,7 @@ def save_lanns_index(
             [len(segment) for segment in shard.segments]
             for shard in index.shards
         ],
+        quantize=index.config.quantize,
     )
     fs.write_json(f"{path}/metadata.json", manifest.to_dict())
     return manifest
