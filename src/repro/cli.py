@@ -1,6 +1,6 @@
 """Command-line interface for the LANNS platform.
 
-Five subcommands mirror the platform lifecycle::
+The subcommands mirror the platform lifecycle::
 
     python -m repro.cli build  --data vectors.npy --out idx --shards 2 \
         --segments 4 --segmenter apd --root /tmp/lanns
@@ -12,12 +12,17 @@ Five subcommands mirror the platform lifecycle::
         --root /tmp/lanns --searchers 127.0.0.1:7201,127.0.0.1:7202
     python -m repro.cli info   --index idx --root /tmp/lanns
     python -m repro.cli bench  --dataset sift1m --top-k 10
+    python -m repro.cli stats  --searchers 127.0.0.1:7201,127.0.0.1:7202
+    python -m repro.cli trace  --file trace.json
 
 ``--root`` is the LocalHdfs root directory all paths are relative to.
 Vector files are ``.npy`` (float32 matrices) or ``.fvecs``.
 ``serve-searcher`` turns this process into one searcher machine of the
 paper's online topology (Section 7); ``query --searchers`` fronts such a
 fleet with an in-process broker instead of running the offline pipeline.
+``stats`` merges a fleet's metric registries into one Prometheus-style
+text dump; ``trace`` pretty-prints trace JSON (``query --trace-out``)
+as an indented span tree.
 """
 
 from __future__ import annotations
@@ -181,12 +186,16 @@ def _query_remote(
     from repro.online.service import OnlineService
     from repro.online.types import SearchRequest
 
+    trace_out = getattr(args, "trace_out", None)
     service = OnlineService(
         searchers=args.searchers,
         async_fanout=True,
         hedge_after_s=args.hedge_after_s,
         partial_policy=args.partial_policy,
         request_timeout_s=args.request_timeout_s,
+        # --trace-out force-samples this one request so the exported
+        # trace is guaranteed to exist.
+        trace_sample_rate=1.0 if trace_out else 0.0,
     )
     deployed = False
     try:
@@ -222,6 +231,24 @@ def _query_remote(
                 f"{queries.shape[0]} rows missing at least one "
                 "routed shard"
             )
+        if response.cost is not None:
+            cost = response.cost
+            print(
+                f"  cost: {cost.get('distance_comps', 0)} distance comps, "
+                f"{cost.get('hops', 0)} hops, "
+                f"{cost.get('segments_probed', 0)} segments probed"
+            )
+        if trace_out:
+            if response.trace is None:
+                print("  no trace captured (request served from cache?)")
+            else:
+                with open(trace_out, "w") as handle:
+                    json.dump(response.trace, handle, indent=2)
+                print(
+                    f"wrote trace to {trace_out} "
+                    f"(pretty-print: python -m repro.cli trace "
+                    f"--file {trace_out})"
+                )
         if args.out:
             np.savez_compressed(args.out, ids=ids, dists=dists)
             print(f"wrote ids/dists to {args.out}")
@@ -262,6 +289,70 @@ def _cmd_info(args: argparse.Namespace) -> int:
     payload = manifest.to_dict()
     payload.pop("checksums", None)
     print(json.dumps(payload, indent=2, sort_keys=True))
+    return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    """Pretty-print exported trace JSON as indented span trees.
+
+    Accepts a single trace dict (``query --trace-out``), a list of them
+    (``Tracer.export_json``), or ``-`` for stdin.
+    """
+    from repro.obs.tracing import format_trace
+
+    if args.file == "-":
+        payload = json.load(sys.stdin)
+    else:
+        with open(args.file) as handle:
+            payload = json.load(handle)
+    traces = [payload] if isinstance(payload, dict) else list(payload)
+    for position, trace in enumerate(traces):
+        if position:
+            print()
+        print(format_trace(trace))
+    return 0
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    """Fan STATS out to a searcher fleet; merge and render its metrics.
+
+    Every searcher ships its process-wide metrics snapshot inside the
+    STATS reply; merging them into one fresh registry yields a single
+    fleet-level Prometheus text dump (counters add, gauges last-write,
+    histogram buckets add).  ``--json`` prints the raw per-node stats
+    instead.
+    """
+    from repro.net.client import RemoteSearcherClient
+    from repro.net.fleet import parse_fleet_spec
+    from repro.obs.metrics import MetricsRegistry
+
+    addresses = [
+        address
+        for group in parse_fleet_spec(args.searchers)
+        for address in group
+    ]
+    merged = MetricsRegistry()
+    nodes: list[tuple[str, dict]] = []
+    for address in addresses:
+        client = RemoteSearcherClient(address, timeout_s=args.timeout_s)
+        try:
+            stats = client.stats(
+                deadline=time.monotonic() + args.timeout_s
+            )
+        finally:
+            client.close()
+        merged.merge_snapshot(stats.pop("metrics", {}))
+        nodes.append((address, stats))
+    if args.json:
+        print(json.dumps(dict(nodes), indent=2, sort_keys=True, default=str))
+        return 0
+    for address, stats in nodes:
+        print(
+            f"# searcher {address}: shard {stats.get('shard_id')}, "
+            f"{stats.get('requests_served', 0)} requests, "
+            f"{stats.get('queries_served', 0)} queries"
+        )
+    print(merged.render_text(), end="")
     return 0
 
 
@@ -538,12 +629,57 @@ def build_parser() -> argparse.ArgumentParser:
             "--async-fanout (remote mode)"
         ),
     )
+    query.add_argument(
+        "--trace-out",
+        default=None,
+        help=(
+            "force-sample this request and write its trace (broker + "
+            "searcher spans) as JSON here (remote mode; pretty-print "
+            "with 'repro.cli trace')"
+        ),
+    )
     query.set_defaults(handler=_cmd_query)
 
     info = commands.add_parser("info", help="print an index's manifest")
     _add_common(info)
     info.add_argument("--index", required=True)
     info.set_defaults(handler=_cmd_info)
+
+    stats = commands.add_parser(
+        "stats",
+        help="merge a searcher fleet's metrics into one text dump",
+    )
+    stats.add_argument(
+        "--searchers",
+        required=True,
+        help=(
+            "running serve-searcher processes (same spec as "
+            "'query --searchers')"
+        ),
+    )
+    stats.add_argument(
+        "--timeout-s",
+        type=float,
+        default=10.0,
+        help="per-node STATS deadline in seconds",
+    )
+    stats.add_argument(
+        "--json",
+        action="store_true",
+        help="print raw per-node stats JSON instead of merged metrics",
+    )
+    stats.set_defaults(handler=_cmd_stats)
+
+    trace = commands.add_parser(
+        "trace",
+        help="pretty-print exported trace JSON as a span tree",
+    )
+    trace.add_argument(
+        "--file",
+        required=True,
+        help="trace JSON ('query --trace-out' output; '-' reads stdin)",
+    )
+    trace.set_defaults(handler=_cmd_trace)
 
     bench = commands.add_parser(
         "bench", help="build + evaluate a registry dataset in one shot"

@@ -93,6 +93,7 @@ class ShardIndex:
         *,
         ef: int | None = None,
         probes: list[tuple[int, ...]] | None = None,
+        cost=None,
     ) -> tuple[np.ndarray, np.ndarray]:
         """Batched shard search: route, lockstep-search, merge (level 1).
 
@@ -104,6 +105,12 @@ class ShardIndex:
         segmenter's routing -- the broker's router pushes its spilled
         segment choice down here, since under the segment-aligned layout
         a query's *natural* segment may be empty on this shard.
+
+        ``cost`` optionally accumulates this batch's search work (see
+        :class:`~repro.obs.cost.SearchCost`); every executed
+        ``(query row, segment)`` probe adds one to ``segments_probed``
+        and the segment kernels fill in the rest.  Results are identical
+        with or without it.
 
         Returns
         -------
@@ -158,8 +165,10 @@ class ShardIndex:
                 continue
             rows = np.asarray(segment_rows[segment_id], dtype=np.int64)
             budget = min(k, len(segment))
+            if cost is not None:
+                cost.segments_probed += len(rows)
             found_ids, found_dists = segment.search_batch(
-                queries[rows], budget, ef=ef
+                queries[rows], budget, ef=ef, cost=cost
             )
             columns = next_slot[rows, np.newaxis] * k + np.arange(budget)
             cand_ids[rows[:, np.newaxis], columns] = found_ids

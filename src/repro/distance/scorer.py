@@ -49,12 +49,25 @@ class Scorer:
         self._data = np.empty((capacity, self.dim), dtype=np.float32)
         self._sq_norms = np.empty(capacity, dtype=np.float32)
         self._count = 0
-        #: Running count of full-vector distance evaluations (the work
-        #: metric reported by the Figure 1 benchmark).
+        #: Running count of distance evaluations (the work metric
+        #: reported by the Figure 1 benchmark).  Compressed-domain
+        #: scoring counts too: the quantized views below bump the owning
+        #: scorer's counter, so ``ops`` is the total scoring work --
+        #: exact, int8 and PQ alike.  Search-cost accounting reads this
+        #: via :meth:`ops_since` deltas.
         self.ops = 0
         self._is_euclidean = isinstance(self.metric, EuclideanDistance)
         self._is_cosine = isinstance(self.metric, CosineDistance)
         self._is_ip = isinstance(self.metric, InnerProductDistance)
+
+    def ops_since(self, baseline: int) -> int:
+        """Distance evaluations since a captured ``self.ops`` baseline.
+
+        The cost-accounting idiom: grab ``ops`` before a search, call
+        this after.  With concurrent batches on one scorer the delta may
+        misattribute work between them, but the totals stay exact.
+        """
+        return self.ops - baseline
 
     # -- storage ----------------------------------------------------------------
     def __len__(self) -> int:

@@ -30,6 +30,31 @@ class Timer:
         self.elapsed = time.perf_counter() - self._start
 
 
+def quantile_summary(
+    latencies_s: np.ndarray, *, infix: str = ""
+) -> dict[str, float]:
+    """The shared latency-quantile block: p50/p90/p99/max in milliseconds.
+
+    Every throughput helper in this module (and the broker's per-stage
+    summary) reports the same four quantile keys, so they are computed
+    in exactly one place.  ``infix`` is inserted before the ``_ms``
+    suffix (``infix="_batch"`` yields ``p99_batch_ms``), letting the
+    batch-granular helpers keep their historical key names.  An empty
+    sample set reports zeros.
+    """
+    values = np.asarray(latencies_s, dtype=np.float64)
+    if values.size == 0:
+        stats = {"p50": 0.0, "p90": 0.0, "p99": 0.0, "max": 0.0}
+    else:
+        stats = {
+            "p50": float(np.quantile(values, 0.50) * 1e3),
+            "p90": float(np.quantile(values, 0.90) * 1e3),
+            "p99": float(np.quantile(values, 0.99) * 1e3),
+            "max": float(values.max() * 1e3),
+        }
+    return {f"{name}{infix}_ms": value for name, value in stats.items()}
+
+
 class StageLatencyRecorder:
     """Thread-safe accumulator of per-stage serving latencies.
 
@@ -95,10 +120,11 @@ class StageLatencyRecorder:
         return len(values), float(np.quantile(values, q))
 
     def summary(self) -> dict[str, dict]:
-        """Per-stage stats: count, total_ms, mean_ms, p50_ms, p99_ms.
+        """Per-stage stats: count, total_ms, mean_ms plus the quantiles.
 
         ``count``/``total_ms``/``mean_ms`` cover every sample ever
-        recorded; the percentiles cover the recent window.
+        recorded; the :func:`quantile_summary` block (p50/p90/p99/max)
+        covers the recent window.
         """
         with self._lock:
             snapshot = {
@@ -115,8 +141,7 @@ class StageLatencyRecorder:
                 "count": int(count),
                 "total_ms": float(total * 1e3),
                 "mean_ms": float(total / count * 1e3),
-                "p50_ms": float(np.quantile(recent, 0.50) * 1e3),
-                "p99_ms": float(np.quantile(recent, 0.99) * 1e3),
+                **quantile_summary(recent),
             }
             for stage, (count, total, recent) in snapshot.items()
         }
@@ -142,15 +167,16 @@ def measure_qps(
 ) -> dict:
     """Serve ``queries`` one by one; report throughput/latency stats.
 
-    Returns a dict with ``qps``, ``mean_ms``, ``p50_ms``, ``p99_ms``.
+    Returns a dict with ``qps``, ``mean_ms`` and the
+    :func:`quantile_summary` block (``p50_ms``/``p90_ms``/``p99_ms``/
+    ``max_ms``).
     """
     latencies = measure_latency(query_fn, queries)
     total = float(latencies.sum())
     return {
         "qps": (len(latencies) / total) if total > 0 else float("inf"),
         "mean_ms": float(latencies.mean() * 1e3),
-        "p50_ms": float(np.quantile(latencies, 0.50) * 1e3),
-        "p99_ms": float(np.quantile(latencies, 0.99) * 1e3),
+        **quantile_summary(latencies),
     }
 
 
@@ -169,9 +195,9 @@ def measure_concurrent_qps(
     every per-call sample.
 
     Returns a dict with ``qps``, ``wall_s``, ``clients``, ``mean_ms``,
-    ``p50_ms``, ``p99_ms`` and ``results`` -- the per-query return values
-    of ``query_fn`` in query order, so callers can assert parity against
-    a sequential run without a second serving pass.
+    the :func:`quantile_summary` block and ``results`` -- the per-query
+    return values of ``query_fn`` in query order, so callers can assert
+    parity against a sequential run without a second serving pass.
     """
     if num_clients <= 0:
         raise ValueError(f"num_clients must be positive, got {num_clients}")
@@ -211,12 +237,7 @@ def measure_concurrent_qps(
         "wall_s": wall,
         "clients": int(num_clients),
         "mean_ms": float(latencies.mean() * 1e3) if num_queries else 0.0,
-        "p50_ms": float(np.quantile(latencies, 0.50) * 1e3)
-        if num_queries
-        else 0.0,
-        "p99_ms": float(np.quantile(latencies, 0.99) * 1e3)
-        if num_queries
-        else 0.0,
+        **quantile_summary(latencies),
         "results": results,
     }
 
@@ -230,7 +251,9 @@ def measure_batch_qps(
 
     ``batch_fn`` receives a ``(b, d)`` slice per request.  Returns a dict
     with ``qps`` (queries, not batches, per second), ``batch_size``,
-    ``batches``, ``mean_batch_ms`` and ``p99_batch_ms``.
+    ``batches``, ``mean_batch_ms`` and the per-batch
+    :func:`quantile_summary` block (``p50_batch_ms`` ...
+    ``max_batch_ms``).
     """
     if batch_size <= 0:
         raise ValueError(f"batch_size must be positive, got {batch_size}")
@@ -248,5 +271,5 @@ def measure_batch_qps(
         "batch_size": int(batch_size),
         "batches": len(starts),
         "mean_batch_ms": float(latencies.mean() * 1e3),
-        "p99_batch_ms": float(np.quantile(latencies, 0.99) * 1e3),
+        **quantile_summary(latencies, infix="_batch"),
     }

@@ -28,6 +28,7 @@ from repro.hnsw.search import (
     search_layer,
     search_layer_batch,
 )
+from repro.obs.tracing import current_recorder, maybe_span
 from repro.utils.validation import as_matrix, as_vector
 
 _IDS_DTYPE = np.int64
@@ -498,7 +499,7 @@ class HnswIndex:
 
     # -- search ------------------------------------------------------------------------
     def _search_many(
-        self, queries: np.ndarray, k: int, ef: int | None
+        self, queries: np.ndarray, k: int, ef: int | None, cost=None
     ) -> list[tuple[np.ndarray, np.ndarray]]:
         """Lockstep-search a prepared batch; per-query (ids, true_dists).
 
@@ -506,35 +507,59 @@ class HnswIndex:
         batch of one.  All distance evaluations go through the
         batch-composition-invariant :meth:`Scorer.score_pairs` kernel, so
         results do not depend on how queries are grouped into batches.
+
+        ``cost`` (an optional :class:`~repro.obs.cost.SearchCost`)
+        accumulates hops / candidates from the kernels plus this batch's
+        ``Scorer.ops`` delta as ``distance_comps`` -- under concurrent
+        searches of one segment the delta can misattribute work between
+        batches, but the totals stay exact.  When a tracing recorder is
+        active (:func:`~repro.obs.tracing.current_recorder`), descend /
+        beam / rescore stages are recorded as spans; with no recorder
+        and ``cost=None`` this path is bit-for-bit the pre-accounting
+        hot path.
         """
         if k <= 0:
             raise ValueError(f"k must be positive, got {k}")
         if len(self._graph) == 0:
             raise IndexNotBuiltError("search on an empty HNSW index")
         if len(self._graph) < self.params.min_graph_size:
-            return self._search_many_exact(queries, k)
+            return self._search_many_exact(queries, k, cost)
         prepared = self._scorer.prepare_queries(queries)
         query_sq = self._scorer.query_sq_norms(prepared)
         beam = max(ef if ef is not None else self.params.ef_search, k)
         if self._quantized is not None:
-            return self._search_many_quantized(prepared, query_sq, k, beam)
+            return self._search_many_quantized(
+                prepared, query_sq, k, beam, cost
+            )
 
-        entries, entry_dists = descend_to_level_batch(
-            self._graph, self._scorer, prepared, 0, query_sq
-        )
+        ops_before = self._scorer.ops if cost is not None else 0
+        recorder = current_recorder()
+        with maybe_span(recorder, "descend"):
+            entries, entry_dists = descend_to_level_batch(
+                self._graph, self._scorer, prepared, 0, query_sq, cost
+            )
         tables = self._visited_pool.get_many(
             len(self._graph), queries.shape[0]
         )
-        per_query = search_layer_batch(
-            self._graph,
-            self._scorer,
-            prepared,
-            [[(entry_dists[i], entries[i])] for i in range(queries.shape[0])],
-            beam,
-            0,
-            tables,
-            query_sq,
-        )
+        with maybe_span(
+            recorder, "beam", ef=beam, num_queries=queries.shape[0]
+        ):
+            per_query = search_layer_batch(
+                self._graph,
+                self._scorer,
+                prepared,
+                [
+                    [(entry_dists[i], entries[i])]
+                    for i in range(queries.shape[0])
+                ],
+                beam,
+                0,
+                tables,
+                query_sq,
+                cost,
+            )
+        if cost is not None:
+            cost.distance_comps += self._scorer.ops - ops_before
         external = self.external_ids  # one O(n) list->array conversion
         output: list[tuple[np.ndarray, np.ndarray]] = []
         for candidates in per_query:
@@ -552,6 +577,7 @@ class HnswIndex:
         query_sq: np.ndarray,
         k: int,
         beam: int,
+        cost=None,
     ) -> list[tuple[np.ndarray, np.ndarray]]:
         """Quantized beam search + exact rescore over a prepared batch.
 
@@ -570,20 +596,28 @@ class HnswIndex:
         num_queries = prepared.shape[0]
         depth = max(beam, self.params.rescore_k)
         view = self._quantized.view(prepared)
-        entries, entry_dists = descend_to_level_batch(
-            self._graph, view, prepared, 0, query_sq
-        )
+        ops_before = self._scorer.ops if cost is not None else 0
+        recorder = current_recorder()
+        with maybe_span(recorder, "descend", quantized=True):
+            entries, entry_dists = descend_to_level_batch(
+                self._graph, view, prepared, 0, query_sq, cost
+            )
         tables = self._visited_pool.get_many(len(self._graph), num_queries)
-        per_query = search_layer_batch(
-            self._graph,
-            view,
-            prepared,
-            [[(entry_dists[i], entries[i])] for i in range(num_queries)],
-            depth,
-            0,
-            tables,
-            query_sq,
-        )
+        with maybe_span(
+            recorder, "beam", ef=depth, num_queries=num_queries,
+            quantized=True,
+        ):
+            per_query = search_layer_batch(
+                self._graph,
+                view,
+                prepared,
+                [[(entry_dists[i], entries[i])] for i in range(num_queries)],
+                depth,
+                0,
+                tables,
+                query_sq,
+                cost,
+            )
         # Exact rescore: one flat float32 scoring call for every beam
         # survivor of the whole batch.
         flat_ids: list[int] = []
@@ -591,12 +625,16 @@ class HnswIndex:
         for candidates in per_query:
             span_counts.append(len(candidates))
             flat_ids.extend(node for _, node in candidates)
-        exact = self._scorer.score_pairs(
-            prepared,
-            np.repeat(np.arange(num_queries), span_counts),
-            np.asarray(flat_ids, dtype=_IDS_DTYPE),
-            query_sq,
-        ).tolist()
+        with maybe_span(recorder, "rescore", rows=len(flat_ids)):
+            exact = self._scorer.score_pairs(
+                prepared,
+                np.repeat(np.arange(num_queries), span_counts),
+                np.asarray(flat_ids, dtype=_IDS_DTYPE),
+                query_sq,
+            ).tolist()
+        if cost is not None:
+            cost.rescore_rows += len(flat_ids)
+            cost.distance_comps += self._scorer.ops - ops_before
         external = self.external_ids
         output: list[tuple[np.ndarray, np.ndarray]] = []
         offset = 0
@@ -612,7 +650,7 @@ class HnswIndex:
         return output
 
     def _search_many_exact(
-        self, queries: np.ndarray, k: int
+        self, queries: np.ndarray, k: int, cost=None
     ) -> list[tuple[np.ndarray, np.ndarray]]:
         """Exact fallback for tiny indices: one GEMM scan, no traversal.
 
@@ -629,6 +667,7 @@ class HnswIndex:
         same order the blocked exact scan in
         :func:`repro.offline.brute_force.exact_top_k` produces.
         """
+        ops_before = self._scorer.ops if cost is not None else 0
         prepared = self._scorer.prepare_queries(queries)
         scores = np.vstack(
             [
@@ -636,6 +675,8 @@ class HnswIndex:
                 for row in range(prepared.shape[0])
             ]
         )
+        if cost is not None:
+            cost.distance_comps += self._scorer.ops - ops_before
         count = scores.shape[1]
         keep = min(k, count)
         order = np.argsort(scores, axis=1, kind="stable")[:, :keep]
@@ -673,7 +714,12 @@ class HnswIndex:
         return self._search_many(query[np.newaxis, :], k, ef)[0]
 
     def search_batch(
-        self, queries: np.ndarray, k: int, ef: int | None = None
+        self,
+        queries: np.ndarray,
+        k: int,
+        ef: int | None = None,
+        *,
+        cost=None,
     ) -> tuple[np.ndarray, np.ndarray]:
         """Search many queries in lockstep; ``(B, k)`` id/distance arrays.
 
@@ -681,7 +727,10 @@ class HnswIndex:
         loop; the batch amortises query preparation, entry-point descent
         setup and pools every round's distance evaluations into one
         vectorised call.  Rows are padded with id ``-1`` / distance
-        ``inf`` when the index holds fewer than ``k`` points.
+        ``inf`` when the index holds fewer than ``k`` points.  ``cost``
+        optionally accumulates this batch's search work (see
+        :class:`~repro.obs.cost.SearchCost`); results are identical
+        either way.
         """
         if k <= 0:
             raise ValueError(f"k must be positive, got {k}")
@@ -694,7 +743,7 @@ class HnswIndex:
         for start in range(0, n, _MAX_LOCKSTEP):
             group = queries[start : start + _MAX_LOCKSTEP]
             for i, (found_ids, found_dists) in enumerate(
-                self._search_many(group, k, ef), start=start
+                self._search_many(group, k, ef, cost), start=start
             ):
                 count = len(found_ids)
                 ids[i, :count] = found_ids

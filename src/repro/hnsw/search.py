@@ -166,6 +166,7 @@ def descend_to_level_batch(
     queries: np.ndarray,
     target_level: int,
     query_sq: np.ndarray | None = None,
+    cost=None,
 ) -> tuple[list[int], list[float]]:
     """Batched :func:`descend_to_level` over a *prepared* ``(B, d)`` batch.
 
@@ -178,6 +179,7 @@ def descend_to_level_batch(
         queries,
         [target_level] * queries.shape[0],
         query_sq,
+        cost,
     )
 
 
@@ -187,6 +189,7 @@ def descend_to_levels_batch(
     queries: np.ndarray,
     target_levels: list[int],
     query_sq: np.ndarray | None = None,
+    cost=None,
 ) -> tuple[list[int], list[float]]:
     """Batched greedy descent with a *per-query* target level.
 
@@ -195,6 +198,11 @@ def descend_to_levels_batch(
     :func:`descend_to_level` would.  The construction wave needs the
     per-query targets: each new row stops descending at its own drawn
     level, yet all rows of a wave share every round's scoring call.
+
+    ``cost`` is an optional :class:`~repro.obs.cost.SearchCost`: when
+    given, each round adds the queries that moved to ``hops`` -- one
+    bounded increment per round, so ``cost=None`` leaves the hot path
+    untouched.
     """
     num_queries = queries.shape[0]
     entry = graph.entry_point
@@ -238,6 +246,8 @@ def descend_to_levels_batch(
                     current_dist[i] = best_dist
                     moved.append(i)
                 offset += count
+            if cost is not None:
+                cost.hops += len(moved)
             active = moved
     return current, current_dist
 
@@ -251,6 +261,7 @@ def search_layer_batch(
     level: int,
     visited_tables: list[VisitedTable],
     query_sq: np.ndarray | None = None,
+    cost=None,
 ) -> list[list[tuple[float, int]]]:
     """Batched :func:`search_layer`: one beam search per query, in lockstep.
 
@@ -262,6 +273,11 @@ def search_layer_batch(
         Per-query ``(reduced_distance, node)`` seeds.
     visited_tables:
         One reset :class:`VisitedTable` per query.
+    cost:
+        Optional :class:`~repro.obs.cost.SearchCost`: each round adds
+        the queries that advanced to ``hops`` and the fresh neighbors
+        scored to ``candidates_visited`` (two bounded increments per
+        round; ``None`` leaves the hot path untouched).
 
     Returns
     -------
@@ -318,6 +334,9 @@ def search_layer_batch(
                 flat_ids.extend(fresh)
         if not flat_ids:
             break
+        if cost is not None:
+            cost.hops += len(span_rows)
+            cost.candidates_visited += len(flat_ids)
 
         # Phase 2: one vectorised scoring call for the whole round.
         dists = scorer.score_pairs(

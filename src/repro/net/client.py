@@ -59,16 +59,34 @@ def _search_header(
     k: int,
     ef: int | None,
     probes: list[tuple[int, ...]] | None,
+    trace_ctx: dict | None = None,
+    collect_cost: bool = False,
 ) -> dict:
     """SEARCH frame header; ``probes`` is the router's per-row segment
-    push-down and is omitted entirely when absent (old servers ignore
-    unknown keys, so the field is wire-compatible both ways)."""
+    push-down, ``trace_ctx`` the broker's trace context (the searcher
+    then returns its span tree in the RESULT header) and ``collect_cost``
+    asks for per-batch search-cost counters.  All three are omitted
+    entirely when absent (old servers ignore unknown keys, so the fields
+    are wire-compatible both ways)."""
     header = {"index": str(index_name), "top_k": int(k), "ef": ef}
     if probes is not None:
         header["probes"] = [
             [int(segment) for segment in row] for row in probes
         ]
+    if trace_ctx is not None:
+        header["trace"] = dict(trace_ctx)
+    if collect_cost:
+        header["cost"] = True
     return header
+
+
+def _fill_info_out(info_out: dict | None, header: dict) -> None:
+    """Copy a RESULT header's observability extras into the out-param."""
+    if info_out is None:
+        return
+    for key in ("cost", "trace"):
+        if key in header:
+            info_out[key] = header[key]
 
 
 def parse_address(address: str | tuple) -> tuple[str, int]:
@@ -321,15 +339,25 @@ class RemoteSearcherClient:
         ef: int | None = None,
         deadline: float | None = None,
         probes: list[tuple[int, ...]] | None = None,
+        trace_ctx: dict | None = None,
+        collect_cost: bool = False,
+        info_out: dict | None = None,
     ) -> tuple[np.ndarray, np.ndarray]:
-        """Remote lockstep shard search; mirrors ``SearcherNode.search_batch``."""
+        """Remote lockstep shard search; mirrors ``SearcherNode.search_batch``.
+
+        ``info_out``, when given, receives the RESULT header's ``cost``
+        (search-cost counters) and ``trace`` (searcher span tree)
+        entries -- present only when the request asked for them *and*
+        the server speaks protocol v2.
+        """
         queries = np.ascontiguousarray(queries, dtype=np.float32)
         _, header, arrays = self.call(
             MsgType.SEARCH,
-            _search_header(index_name, k, ef, probes),
+            _search_header(index_name, k, ef, probes, trace_ctx, collect_cost),
             (queries,),
             deadline=deadline,
         )
+        _fill_info_out(info_out, header)
         if len(arrays) != 2:
             raise ProtocolError(
                 f"search result carries {len(arrays)} arrays, expected 2"
@@ -683,15 +711,19 @@ class AsyncRemoteSearcherClient:
         ef: int | None = None,
         deadline: float | None = None,
         probes: list[tuple[int, ...]] | None = None,
+        trace_ctx: dict | None = None,
+        collect_cost: bool = False,
+        info_out: dict | None = None,
     ) -> tuple[np.ndarray, np.ndarray]:
         """Remote lockstep shard search (async twin of the sync client's)."""
         queries = np.ascontiguousarray(queries, dtype=np.float32)
         _, header, arrays = await self.call(
             MsgType.SEARCH,
-            _search_header(index_name, k, ef, probes),
+            _search_header(index_name, k, ef, probes, trace_ctx, collect_cost),
             (queries,),
             deadline=deadline,
         )
+        _fill_info_out(info_out, header)
         if len(arrays) != 2:
             raise ProtocolError(
                 f"search result carries {len(arrays)} arrays, expected 2"

@@ -5,6 +5,12 @@ OS processes (so a kill is a kill, not a mock): this module wraps
 ``python -m repro.cli serve-searcher`` with readiness hand-shaking --
 each server binds port 0 and prints a ``SEARCHER-READY shard=S port=P``
 line that :func:`launch_searcher` blocks on -- and best-effort teardown.
+
+Everything a child writes (stdout and stderr, merged) is persisted to a
+per-searcher log file -- by default under ``$TMPDIR/repro-searcher-logs``
+-- so a shard that dies mid-benchmark leaves its traceback somewhere
+findable, and launch failures can point at the log instead of discarding
+the child's last words.
 """
 
 from __future__ import annotations
@@ -14,6 +20,7 @@ import os
 import selectors
 import subprocess
 import sys
+import tempfile
 import threading
 import time
 from dataclasses import dataclass
@@ -27,6 +34,11 @@ def _src_path() -> str:
     return str(Path(repro.__file__).resolve().parent.parent)
 
 
+def _default_log_dir() -> Path:
+    """Where searcher logs land when the caller does not pick a spot."""
+    return Path(tempfile.gettempdir()) / "repro-searcher-logs"
+
+
 @dataclass
 class SearcherProcess:
     """One spawned searcher: the OS process plus its serving address."""
@@ -35,6 +47,7 @@ class SearcherProcess:
     shard_id: int
     host: str
     port: int
+    log_path: Path | None = None
 
     @property
     def address(self) -> str:
@@ -72,12 +85,19 @@ def launch_searcher(
     slow_every: int = 0,
     slow_delay_s: float = 0.0,
     command: list[str] | None = None,
+    log_dir: str | Path | None = None,
 ) -> SearcherProcess:
     """Spawn one ``serve-searcher`` subprocess and wait until it listens.
 
     The child inherits the current interpreter and gets this package's
     ``src`` directory prepended to ``PYTHONPATH``, so it works from a
     source checkout without installation.
+
+    The child's merged stdout/stderr is persisted to
+    ``<log_dir>/searcher-shard<S>-pid<P>.log`` (``log_dir`` defaults to
+    ``repro-searcher-logs`` under the system temp directory; the pid
+    suffix keeps replicas of one shard apart).  Launch failures name the
+    log file, which holds whatever the child printed before dying.
 
     The readiness wait reads the child's pipe **non-blocking** against
     the absolute ``ready_timeout_s`` deadline (``os.set_blocking`` +
@@ -125,8 +145,14 @@ def launch_searcher(
         stderr=subprocess.STDOUT,
         env=env,
     )
+    log_root = Path(log_dir) if log_dir is not None else _default_log_dir()
+    log_root.mkdir(parents=True, exist_ok=True)
+    log_path = log_root / f"searcher-shard{shard_id}-pid{process.pid}.log"
+    log_file = open(log_path, "wb")
     try:
-        port = _await_ready(process, shard_id, ready_timeout_s)
+        port = _await_ready(
+            process, shard_id, ready_timeout_s, log_path, log_file
+        )
     except BaseException:
         if process.poll() is None:
             process.kill()
@@ -135,22 +161,43 @@ def launch_searcher(
         # readiness failure with a TimeoutExpired.
         with contextlib.suppress(subprocess.TimeoutExpired):
             process.wait(timeout=30)
+        # The child is dead: salvage whatever it printed after the last
+        # readiness read (the traceback, usually) into the log.
+        with contextlib.suppress(Exception):
+            while True:
+                tail = process.stdout.read(65536)
+                if not tail:
+                    break
+                log_file.write(tail)
+        with contextlib.suppress(Exception):
+            log_file.close()
         raise
-    _drain_output(process)
+    _drain_output(process, log_file)
     return SearcherProcess(
-        process=process, shard_id=shard_id, host=host, port=port
+        process=process,
+        shard_id=shard_id,
+        host=host,
+        port=port,
+        log_path=log_path,
     )
 
 
 def _await_ready(
-    process: subprocess.Popen, shard_id: int, ready_timeout_s: float
+    process: subprocess.Popen,
+    shard_id: int,
+    ready_timeout_s: float,
+    log_path: Path,
+    log_file,
 ) -> int:
     """Wait for the ``SEARCHER-READY`` line; returns the announced port.
 
-    Raises :class:`TimeoutError` when the absolute deadline passes with
-    the child still silent (hung, or looping without announcing) and
+    Every chunk read while waiting is teed into ``log_file``, so the
+    child's boot output survives a failed launch.  Raises
+    :class:`TimeoutError` when the absolute deadline passes with the
+    child still silent (hung, or looping without announcing) and
     :class:`RuntimeError` when the child exits or announces the wrong
-    shard.  The caller kills/reaps on any raise.
+    shard -- both name ``log_path``.  The caller kills/reaps on any
+    raise.
     """
     # Imported here, not at module level: the server module pulls in the
     # online package, which imports the service, which imports this
@@ -169,7 +216,7 @@ def _await_ready(
             if remaining <= 0:
                 raise TimeoutError(
                     f"searcher shard {shard_id} not ready within "
-                    f"{ready_timeout_s}s"
+                    f"{ready_timeout_s}s (searcher log: {log_path})"
                 )
             # Bounded select even at EOF/exit races: poll() below makes
             # progress, and the deadline above always terminates.
@@ -177,6 +224,8 @@ def _await_ready(
                 continue
             chunk = process.stdout.read(65536) if not eof else b""
             if chunk:
+                log_file.write(chunk)
+                log_file.flush()
                 buffer += chunk
                 while b"\n" in buffer:
                     raw, _, buffer = buffer.partition(b"\n")
@@ -189,7 +238,8 @@ def _await_ready(
                     if ready_shard != shard_id:
                         raise RuntimeError(
                             f"searcher announced shard {ready_shard}, "
-                            f"expected {shard_id}"
+                            f"expected {shard_id} "
+                            f"(searcher log: {log_path})"
                         )
                     os.set_blocking(process.stdout.fileno(), True)
                     return ready_port
@@ -202,25 +252,33 @@ def _await_ready(
                 if process.poll() is not None:
                     raise RuntimeError(
                         f"searcher shard {shard_id} exited with code "
-                        f"{process.returncode} before becoming ready"
+                        f"{process.returncode} before becoming ready "
+                        f"(searcher log: {log_path})"
                     )
                 time.sleep(0.05)
             # chunk is None: spurious wakeup on a non-blocking fd.
 
 
-def _drain_output(process: subprocess.Popen) -> None:
-    """Keep reading (and discarding) the child's merged stdout/stderr.
+def _drain_output(process: subprocess.Popen, log_file) -> None:
+    """Keep reading the child's merged stdout/stderr into its log file.
 
     Without a reader, a long-lived searcher that logs more than the OS
     pipe buffer (~64 KiB) would eventually block inside ``print``/
     logging and stop answering RPCs -- looking exactly like a dead
-    shard.  A daemon thread per child keeps the pipe empty.
+    shard.  A daemon thread per child keeps the pipe empty, persisting
+    every line (flushed per line, so a crashed shard's log is current)
+    and closing the log at EOF.
     """
 
     def drain() -> None:
         assert process.stdout is not None
-        for _line in process.stdout:
-            pass
+        try:
+            for line in process.stdout:
+                log_file.write(line)
+                log_file.flush()
+        finally:
+            with contextlib.suppress(Exception):
+                log_file.close()
 
     threading.Thread(target=drain, daemon=True).start()
 
@@ -234,6 +292,7 @@ def launch_fleet(
     slow_shard: int | None = None,
     slow_every: int = 0,
     slow_delay_s: float = 0.0,
+    log_dir: str | Path | None = None,
 ) -> list[SearcherProcess]:
     """Spawn one searcher subprocess per shard; tears down on any failure.
 
@@ -253,6 +312,7 @@ def launch_fleet(
                     ready_timeout_s=ready_timeout_s,
                     slow_every=slow_every if slow else 0,
                     slow_delay_s=slow_delay_s if slow else 0.0,
+                    log_dir=log_dir,
                 )
             )
     except BaseException:
@@ -317,6 +377,7 @@ def launch_replicated_fleet(
     root: str | None = None,
     host: str = "127.0.0.1",
     ready_timeout_s: float = 120.0,
+    log_dir: str | Path | None = None,
 ) -> list[list[SearcherProcess]]:
     """Spawn ``replicas`` searcher subprocesses per shard position.
 
@@ -336,6 +397,7 @@ def launch_replicated_fleet(
                     root=root,
                     host=host,
                     ready_timeout_s=ready_timeout_s,
+                    log_dir=log_dir,
                 )
                 for _replica in range(replicas)
             ]
@@ -364,6 +426,7 @@ def relaunch_searcher(
     *,
     root: str | None = None,
     ready_timeout_s: float = 120.0,
+    log_dir: str | Path | None = None,
 ) -> SearcherProcess:
     """Start a fresh searcher process at ``member``'s exact address.
 
@@ -379,4 +442,5 @@ def relaunch_searcher(
         host=member.host,
         port=member.port,
         ready_timeout_s=ready_timeout_s,
+        log_dir=log_dir,
     )

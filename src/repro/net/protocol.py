@@ -40,8 +40,15 @@ import numpy as np
 
 from repro.errors import ConnectionLostError, ProtocolError, RemoteCallError
 
-#: Bump on any frame-layout or semantics change; peers reject mismatches.
-PROTOCOL_VERSION = 1
+#: Bump on any frame-layout or semantics change.  Version 2 (PR 8) adds
+#: the optional ``trace`` context to SEARCH headers and the optional
+#: ``cost`` / ``trace`` entries to RESULT headers -- pure header
+#: additions, so decoding still accepts version-1 frames (and version-1
+#: peers, which ignore unknown header keys, keep interoperating).
+PROTOCOL_VERSION = 2
+
+#: Frame versions this peer decodes.
+SUPPORTED_VERSIONS = (1, 2)
 
 MAGIC = b"LN"
 
@@ -79,13 +86,22 @@ def encode_frame(
     msg_type: int,
     header: dict | None = None,
     arrays: tuple | list = (),
+    *,
+    version: int = PROTOCOL_VERSION,
 ) -> list:
     """Build one frame as a list of buffers (prefix, header, raw arrays).
 
     Returned buffers are written to the socket back to back; the array
     entries are :class:`memoryview` s over the (C-contiguous) inputs, so
     large query/result blocks are never copied into the frame.
+    ``version`` lets tests (and a peer pinned to an older dialect) emit
+    any :data:`SUPPORTED_VERSIONS` frame.
     """
+    if version not in SUPPORTED_VERSIONS:
+        raise ProtocolError(
+            f"cannot encode protocol version {version} "
+            f"(supported: {SUPPORTED_VERSIONS})"
+        )
     header = dict(header) if header else {}
     metas = []
     buffers = []
@@ -114,7 +130,7 @@ def encode_frame(
         )
     payload_len = sum(len(buffer) for buffer in buffers)
     prefix = _PREFIX.pack(
-        MAGIC, PROTOCOL_VERSION, int(msg_type), len(header_bytes), payload_len
+        MAGIC, version, int(msg_type), len(header_bytes), payload_len
     )
     return [prefix, header_bytes, *buffers]
 
@@ -148,10 +164,10 @@ def parse_prefix(
     )
     if magic != MAGIC:
         raise ProtocolError(f"bad frame magic {magic!r}")
-    if version != PROTOCOL_VERSION:
+    if version not in SUPPORTED_VERSIONS:
         raise ProtocolError(
             f"unsupported protocol version {version} "
-            f"(speaking {PROTOCOL_VERSION})"
+            f"(speaking {SUPPORTED_VERSIONS})"
         )
     if header_len > MAX_HEADER_BYTES:
         raise ProtocolError(

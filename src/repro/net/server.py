@@ -29,6 +29,8 @@ import contextlib
 import threading
 from functools import partial
 
+import numpy as np
+
 from repro.errors import ConnectionLostError, ProtocolError
 from repro.net.protocol import (
     DEFAULT_MAX_FRAME,
@@ -37,6 +39,9 @@ from repro.net.protocol import (
     error_frame,
     read_frame_async,
 )
+from repro.obs.cost import SearchCost
+from repro.obs.metrics import get_registry
+from repro.obs.tracing import SpanRecorder, activate, deactivate, maybe_span
 from repro.online.searcher import SearcherNode
 
 #: Stdout line a launched server prints once it is accepting connections.
@@ -163,19 +168,28 @@ class SearcherServer:
         if msg_type == MsgType.PING:
             return self._ok({"shard_id": self.node.shard_id})
         if msg_type == MsgType.SEARCH:
-            index_name = str(header["index"])
-            top_k = int(header["top_k"])
-            ef = header.get("ef")
-            ef = int(ef) if ef is not None else None
-            probes = header.get("probes")
-            if probes is not None:
-                probes = [
-                    tuple(int(segment) for segment in row) for row in probes
-                ]
-            if len(arrays) != 1:
-                raise ProtocolError(
-                    f"SEARCH expects 1 query array, got {len(arrays)}"
-                )
+            # Observability extras (protocol v2, absent on v1 peers):
+            # a trace context turns on span recording for this request,
+            # a cost flag turns on search-cost accounting.
+            recorder = (
+                SpanRecorder() if header.get("trace") is not None else None
+            )
+            cost = SearchCost() if header.get("cost") else None
+            with maybe_span(recorder, "decode"):
+                index_name = str(header["index"])
+                top_k = int(header["top_k"])
+                ef = header.get("ef")
+                ef = int(ef) if ef is not None else None
+                probes = header.get("probes")
+                if probes is not None:
+                    probes = [
+                        tuple(int(segment) for segment in row)
+                        for row in probes
+                    ]
+                if len(arrays) != 1:
+                    raise ProtocolError(
+                        f"SEARCH expects 1 query array, got {len(arrays)}"
+                    )
             self.searches_seen += 1
             if (
                 self.slow_every
@@ -184,19 +198,38 @@ class SearcherServer:
             ):
                 # Injected straggler: stall this request only (the event
                 # loop keeps serving other connections meanwhile).
-                await asyncio.sleep(self.slow_delay_s)
-            ids, dists = await loop.run_in_executor(
-                None,
-                partial(
-                    self.node.search_batch,
-                    index_name,
-                    arrays[0],
-                    top_k,
-                    ef=ef,
-                    probes=probes,
-                ),
-            )
-            return self._result({"index": index_name}, [ids, dists])
+                with maybe_span(recorder, "stall", injected=True):
+                    await asyncio.sleep(self.slow_delay_s)
+
+            def _search():
+                # The ambient recorder must be installed inside the
+                # executor worker: contextvars do not follow
+                # run_in_executor.  The kernels then report their
+                # descend/beam/rescore spans into it.
+                token = activate(recorder) if recorder is not None else None
+                try:
+                    return self.node.search_batch(
+                        index_name,
+                        arrays[0],
+                        top_k,
+                        ef=ef,
+                        probes=probes,
+                        cost=cost,
+                    )
+                finally:
+                    if token is not None:
+                        deactivate(token)
+
+            ids, dists = await loop.run_in_executor(None, _search)
+            result_header: dict = {"index": index_name}
+            if cost is not None:
+                result_header["cost"] = cost.as_dict()
+            if recorder is not None:
+                with recorder.span("encode"):
+                    ids = np.ascontiguousarray(ids)
+                    dists = np.ascontiguousarray(dists)
+                result_header["trace"] = recorder.export()
+            return self._result(result_header, [ids, dists])
         if msg_type == MsgType.DEPLOY:
             await loop.run_in_executor(None, partial(self._deploy, header))
             return self._ok({"hosted": self.node.hosted_indices})
@@ -207,6 +240,9 @@ class SearcherServer:
             stats = self.node.stats()
             stats["connections_accepted"] = self.connections_accepted
             stats["frames_served"] = self.frames_served
+            # The process-wide metrics snapshot rides along so a broker
+            # (or `repro.cli stats`) can merge a fleet into one view.
+            stats["metrics"] = get_registry().snapshot()
             return self._ok({"stats": stats})
         raise ProtocolError(f"unexpected message type {msg_type!r}")
 

@@ -24,6 +24,8 @@ from repro.net.client import (
     AsyncRemoteSearcherClient,
     RemoteSearcherClient,
 )
+from repro.obs.cost import SearchCost
+from repro.obs.tracing import SpanRecorder, activate, deactivate
 from repro.online.searcher import SearcherNode
 
 __all__ = [
@@ -52,8 +54,18 @@ class SearcherTransport(abc.ABC):
         ef: int | None = None,
         deadline: float | None = None,
         probes: list[tuple[int, ...]] | None = None,
+        trace_ctx: dict | None = None,
+        collect_cost: bool = False,
+        info_out: dict | None = None,
     ) -> tuple[np.ndarray, np.ndarray]:
-        """Lockstep shard search; ``(B, k)`` id/distance arrays."""
+        """Lockstep shard search; ``(B, k)`` id/distance arrays.
+
+        ``trace_ctx`` propagates the broker's trace context (the shard
+        then reports its span tree), ``collect_cost`` asks for
+        search-cost counters; both land in ``info_out`` under the
+        ``"trace"`` / ``"cost"`` keys when produced.  Results are
+        bit-identical with or without them.
+        """
 
     @property
     @abc.abstractmethod
@@ -88,6 +100,9 @@ class AsyncSearcherTransport(abc.ABC):
         ef: int | None = None,
         deadline: float | None = None,
         probes: list[tuple[int, ...]] | None = None,
+        trace_ctx: dict | None = None,
+        collect_cost: bool = False,
+        info_out: dict | None = None,
     ) -> tuple[np.ndarray, np.ndarray]:
         """Coroutine twin of :meth:`SearcherTransport.search_batch`."""
 
@@ -108,10 +123,26 @@ class LocalSearcherTransport(SearcherTransport):
         ef: int | None = None,
         deadline: float | None = None,
         probes: list[tuple[int, ...]] | None = None,
+        trace_ctx: dict | None = None,
+        collect_cost: bool = False,
+        info_out: dict | None = None,
     ) -> tuple[np.ndarray, np.ndarray]:
-        return self.node.search_batch(
-            index_name, queries, k, ef=ef, probes=probes
-        )
+        cost = SearchCost() if collect_cost else None
+        recorder = SpanRecorder() if trace_ctx is not None else None
+        token = activate(recorder) if recorder is not None else None
+        try:
+            result = self.node.search_batch(
+                index_name, queries, k, ef=ef, probes=probes, cost=cost
+            )
+        finally:
+            if token is not None:
+                deactivate(token)
+        if info_out is not None:
+            if cost is not None:
+                info_out["cost"] = cost.as_dict()
+            if recorder is not None:
+                info_out["trace"] = recorder.export()
+        return result
 
     @property
     def queries_served(self) -> int:
@@ -169,9 +200,20 @@ class RemoteSearcherTransport(SearcherTransport):
         ef: int | None = None,
         deadline: float | None = None,
         probes: list[tuple[int, ...]] | None = None,
+        trace_ctx: dict | None = None,
+        collect_cost: bool = False,
+        info_out: dict | None = None,
     ) -> tuple[np.ndarray, np.ndarray]:
         return self.client.search_batch(
-            index_name, queries, k, ef=ef, deadline=deadline, probes=probes
+            index_name,
+            queries,
+            k,
+            ef=ef,
+            deadline=deadline,
+            probes=probes,
+            trace_ctx=trace_ctx,
+            collect_cost=collect_cost,
+            info_out=info_out,
         )
 
     def deploy(
@@ -249,9 +291,20 @@ class AsyncRemoteSearcherTransport(RemoteSearcherTransport, AsyncSearcherTranspo
         ef: int | None = None,
         deadline: float | None = None,
         probes: list[tuple[int, ...]] | None = None,
+        trace_ctx: dict | None = None,
+        collect_cost: bool = False,
+        info_out: dict | None = None,
     ) -> tuple[np.ndarray, np.ndarray]:
         return await self.async_client.search_batch(
-            index_name, queries, k, ef=ef, deadline=deadline, probes=probes
+            index_name,
+            queries,
+            k,
+            ef=ef,
+            deadline=deadline,
+            probes=probes,
+            trace_ctx=trace_ctx,
+            collect_cost=collect_cost,
+            info_out=info_out,
         )
 
     @property

@@ -62,6 +62,7 @@ import warnings
 from concurrent.futures import CancelledError as FutureCancelledError
 from concurrent.futures import ThreadPoolExecutor
 from concurrent.futures import TimeoutError as FutureTimeoutError
+from dataclasses import replace
 from functools import partial
 
 import numpy as np
@@ -81,6 +82,9 @@ from repro.net.transport import (
     AsyncSearcherTransport,
     SearcherTransport,
 )
+from repro.obs.cost import SearchCost
+from repro.obs.metrics import get_registry
+from repro.obs.tracing import Trace, Tracer
 from repro.online.cache import QueryResultCache, result_cache_key
 from repro.online.microbatch import MicroBatcher
 from repro.online.replicas import ReplicaGroup, ReplicaState
@@ -89,6 +93,37 @@ from repro.online.searcher import SearcherNode  # noqa: F401 (re-export)
 from repro.online.types import INHERIT, SearchRequest, SearchResponse
 from repro.segmenters.base import Segmenter
 from repro.utils.validation import as_vector
+
+_REGISTRY = get_registry()
+_QUERIES_TOTAL = _REGISTRY.counter(
+    "lanns_broker_queries_total",
+    "Query rows admitted per broker (cache hits included).",
+)
+_HEDGES = _REGISTRY.counter(
+    "lanns_broker_hedges_total",
+    "Hedged shard RPCs issued per broker.",
+)
+_HEDGE_WINS = _REGISTRY.counter(
+    "lanns_broker_hedge_wins_total",
+    "Hedge races where the hedge, not the primary, delivered the reply.",
+)
+_FAILOVERS = _REGISTRY.counter(
+    "lanns_broker_failovers_total",
+    "Requests re-issued on a sibling replica after a failure.",
+)
+_DEGRADED = _REGISTRY.counter(
+    "lanns_broker_degraded_batches_total",
+    "Batches that returned partial results under the degrade policy.",
+)
+_SHARD_FAILURES = _REGISTRY.counter(
+    "lanns_broker_shard_failures_total",
+    "Shard-group failures after replica failover was exhausted, "
+    "labelled by shard.",
+)
+_REQUEST_SECONDS = _REGISTRY.histogram(
+    "lanns_broker_request_seconds",
+    "End-to-end Broker.execute wall time, in seconds.",
+)
 
 #: Partial-result policies for shard failures during the fan-out.
 PARTIAL_POLICIES = ("fail", "degrade")
@@ -232,6 +267,22 @@ class Broker:
         Micro-batching knobs.  ``max_batch <= 1`` disables admission.
     cache / cache_size / cache_epoch / cache_quantize_decimals:
         Result-cache wiring; see :mod:`repro.online.cache`.
+    collect_cost:
+        Ask the searchers for per-batch search-cost counters (hops,
+        distance computations, ...; see :mod:`repro.obs.cost`) and
+        attach the aggregate to ``SearchResponse.cost``.  Requests
+        coalesced by the micro-batcher report costs to the metrics
+        registry only: per-request attribution of a shared lockstep
+        batch is ambiguous.
+    trace_sample_rate / slow_query_log_s / trace_seed:
+        Request-tracing knobs (see :mod:`repro.obs.tracing`):
+        the probability a request is traced end to end, the wall-time
+        threshold beyond which a request is force-kept and logged as a
+        slow query, and the sampling seed (tests want determinism).
+        Both knobs default off, so the hot path never builds a span.
+    name:
+        Label under which this broker reports to the metrics registry
+        (A/B deployments run several brokers in one process).
     """
 
     def __init__(
@@ -253,6 +304,11 @@ class Broker:
         request_timeout_s: float | None = None,
         segmenter: Segmenter | None = None,
         segment_sizes: list[list[int]] | None = None,
+        collect_cost: bool = True,
+        trace_sample_rate: float = 0.0,
+        slow_query_log_s: float | None = None,
+        trace_seed: int | None = None,
+        name: str = "broker",
     ) -> None:
         if len(searchers) != config.num_shards:
             raise ValueError(
@@ -327,6 +383,11 @@ class Broker:
             else None
         )
         self.timings = StageLatencyRecorder()
+        self.name = str(name)
+        self.collect_cost = bool(collect_cost)
+        self.tracer = Tracer(
+            trace_sample_rate, slow_query_log_s, seed=trace_seed
+        )
         self.cache = (
             cache if cache is not None else QueryResultCache(cache_size)
         )
@@ -412,6 +473,8 @@ class Broker:
             "hedge_wins": self.hedge_wins,
             "failovers": self.failovers,
             "queries_served": self.queries_served,
+            "collect_cost": self.collect_cost,
+            "tracer": self.tracer.stats(),
             "replicas": [group.stats() for group in self.groups],
             "partial": {
                 "policy": self.partial_policy,
@@ -518,6 +581,9 @@ class Broker:
         eff_ef = self.effective_ef(request.ef)
         with self._served_lock:
             self.queries_served += num_queries
+        _QUERIES_TOTAL.inc(num_queries, broker=self.name)
+        started = time.perf_counter()
+        trace = self.tracer.begin()
 
         plan: RoutingPlan | None = None
         route_s = 0.0
@@ -528,6 +594,11 @@ class Broker:
                     "router: construct the Broker with the index's "
                     "segmenter (OnlineService does this automatically)"
                 )
+            route_span = (
+                trace.start_span("route", spill=request.spill)
+                if trace is not None
+                else None
+            )
             tick = time.perf_counter()
             plan = self.router.plan(
                 queries,
@@ -538,40 +609,58 @@ class Broker:
             )
             route_s = time.perf_counter() - tick
             self.timings.record("route", route_s)
+            if route_span is not None:
+                trace.end_span(route_span)
+                route_span["annotations"]["groups"] = plan.groups_queried
 
         if plan is None and not request.overrides_policy:
+            extra: dict = {}
             ids, dists, answered = self._serve_cached(
-                request.index_name, queries, top_k, eff_ef
+                request.index_name,
+                queries,
+                top_k,
+                eff_ef,
+                trace=trace,
+                extra_out=extra,
             )
-            return SearchResponse(
+            response = SearchResponse(
                 ids=ids,
                 dists=dists,
                 shards_answered=answered,
                 shards_routed=np.full(num_queries, num_shards, dtype=np.int64),
                 num_shards=num_shards,
+                cost=extra.get("cost"),
             )
-
-        ids, dists, answered, routed, replicas_used, timings = (
-            self._execute_fanout(
-                request.index_name,
-                queries,
-                top_k,
-                eff_ef,
-                plan=plan,
-                timeout_s=request.deadline_s,
-                hedging=request.hedging,
+        else:
+            ids, dists, answered, routed, replicas_used, timings, cost = (
+                self._execute_fanout(
+                    request.index_name,
+                    queries,
+                    top_k,
+                    eff_ef,
+                    plan=plan,
+                    timeout_s=request.deadline_s,
+                    hedging=request.hedging,
+                    trace=trace,
+                    collect_cost=self.collect_cost,
+                )
             )
-        )
-        timings["route_ms"] = route_s * 1000.0
-        return SearchResponse(
-            ids=ids,
-            dists=dists,
-            shards_answered=answered,
-            shards_routed=routed,
-            num_shards=num_shards,
-            replicas_used=tuple(replicas_used),
-            timings=timings,
-        )
+            timings["route_ms"] = route_s * 1000.0
+            response = SearchResponse(
+                ids=ids,
+                dists=dists,
+                shards_answered=answered,
+                shards_routed=routed,
+                num_shards=num_shards,
+                replicas_used=tuple(replicas_used),
+                timings=timings,
+                cost=cost,
+            )
+        duration_s = time.perf_counter() - started
+        _REQUEST_SECONDS.observe(duration_s, broker=self.name)
+        if self.tracer.finish(trace, duration_s):
+            response = replace(response, trace=trace.to_dict())
+        return response
 
     # -- legacy entry points (thin shims) ----------------------------------------------
     def search(
@@ -640,6 +729,8 @@ class Broker:
         queries: np.ndarray,
         top_k: int,
         eff_ef: int,
+        trace: Trace | None = None,
+        extra_out: dict | None = None,
     ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
         """Cache -> admission -> execution for the default fan-out.
 
@@ -653,8 +744,18 @@ class Broker:
         """
         num_queries = queries.shape[0]
         if not self.cache.enabled:
-            return self._admit(index_name, queries, top_k, eff_ef)
+            return self._admit(
+                index_name,
+                queries,
+                top_k,
+                eff_ef,
+                trace=trace,
+                extra_out=extra_out,
+            )
 
+        cache_span = (
+            trace.start_span("cache") if trace is not None else None
+        )
         keys = [
             result_cache_key(
                 index_name,
@@ -681,10 +782,20 @@ class Broker:
                 miss_rows.append(row)
             else:
                 out_ids[row], out_dists[row] = cached
+        if cache_span is not None:
+            trace.end_span(cache_span)
+            cache_span["annotations"].update(
+                hits=num_queries - len(miss_rows), misses=len(miss_rows)
+            )
         if miss_rows:
             misses = np.asarray(miss_rows, dtype=np.int64)
             fresh_ids, fresh_dists, fresh_answered = self._admit(
-                index_name, queries[misses], top_k, eff_ef
+                index_name,
+                queries[misses],
+                top_k,
+                eff_ef,
+                trace=trace,
+                extra_out=extra_out,
             )
             out_ids[misses] = fresh_ids
             out_dists[misses] = fresh_dists
@@ -704,6 +815,8 @@ class Broker:
         queries: np.ndarray,
         top_k: int,
         eff_ef: int,
+        trace: Trace | None = None,
+        extra_out: dict | None = None,
     ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
         """Run a block through micro-batching when on, else directly.
 
@@ -712,17 +825,42 @@ class Broker:
         ``top_k`` (hence the per-shard budget), the beam width, and the
         dimensionality (so a malformed request cannot poison a
         well-formed one it happens to coalesce with).
+
+        Traced requests bypass the micro-batcher: the batch kernels are
+        batch-composition invariant, so executing the block alone is
+        bit-identical, and bypassing keeps the whole span tree -- and
+        the cost counters -- attributable to *this* request instead of
+        to whichever strangers it would have coalesced with.
         """
         key = (index_name, int(top_k), eff_ef, int(queries.shape[1]))
-        if self._batcher is None:
-            return self._execute_keyed(key, queries)
+        if self._batcher is None or trace is not None:
+            if trace is not None:
+                queue_span = trace.start_span(
+                    "queue_wait", coalesced=False
+                )
+                trace.end_span(queue_span)
+            return self._execute_keyed(
+                key, queries, trace=trace, extra_out=extra_out
+            )
         return self._batcher.submit(key, queries).result()
 
     def _execute_keyed(
-        self, key: tuple, queries: np.ndarray
+        self,
+        key: tuple,
+        queries: np.ndarray,
+        *,
+        trace: Trace | None = None,
+        extra_out: dict | None = None,
     ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
         index_name, top_k, eff_ef, _dim = key
-        return self._execute_batch(index_name, queries, top_k, eff_ef)
+        return self._execute_batch(
+            index_name,
+            queries,
+            top_k,
+            eff_ef,
+            trace=trace,
+            extra_out=extra_out,
+        )
 
     def _execute_batch(
         self,
@@ -730,16 +868,35 @@ class Broker:
         queries: np.ndarray,
         top_k: int,
         eff_ef: int,
+        *,
+        trace: Trace | None = None,
+        extra_out: dict | None = None,
     ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
         """Micro-batcher callback: full fan-out, per-row result tuple.
 
         Returns per-row ``(ids, dists, shards_answered)`` only -- every
         element must be sliceable per row because the micro-batcher
         splits the result tuple back across the coalesced requests.
+        Batch-level extras (the aggregated cost) land in ``extra_out``
+        when the caller supplied one (the direct, uncoalesced path).
         """
-        ids, dists, answered, _routed, _replicas, _timings = (
-            self._execute_fanout(index_name, queries, top_k, eff_ef)
+        ids, dists, answered, _routed, _replicas, _timings, cost = (
+            self._execute_fanout(
+                index_name,
+                queries,
+                top_k,
+                eff_ef,
+                trace=trace,
+                collect_cost=self.collect_cost,
+            )
         )
+        if extra_out is not None and cost is not None:
+            existing = extra_out.get("cost")
+            if existing is not None:
+                # Partial cache hits admit miss-blocks separately; the
+                # request's cost is their sum.
+                cost = SearchCost.from_dict(existing).merge(cost).as_dict()
+            extra_out["cost"] = cost
         return ids, dists, answered
 
     def _execute_fanout(
@@ -752,6 +909,8 @@ class Broker:
         plan: RoutingPlan | None = None,
         timeout_s: float | str | None = INHERIT,
         hedging: bool | float | str | None = INHERIT,
+        trace: Trace | None = None,
+        collect_cost: bool = False,
     ) -> tuple:
         """The lockstep path: one shard-group fan-out + one batched merge.
 
@@ -763,9 +922,16 @@ class Broker:
         merge already treats as absent).
 
         Returns ``(ids, dists, answered, routed, replicas_used,
-        timings)``; ``answered``/``routed`` are per-row ``(B,)`` arrays,
-        ``replicas_used`` one winning replica id per shard group (``-1``
-        for failed or unqueried groups).
+        timings, cost)``; ``answered``/``routed`` are per-row ``(B,)``
+        arrays, ``replicas_used`` one winning replica id per shard group
+        (``-1`` for failed or unqueried groups), ``cost`` the batch's
+        aggregated search-cost dict (``None`` unless ``collect_cost``).
+
+        ``trace`` spans the fan-out: one ``shard_rpc`` span per group
+        with each replica attempt (hedges included) as a child.  Spans
+        are created here and handed to the RPC paths explicitly, because
+        the async fan-out runs on a separate event-loop thread where the
+        recorder's nesting stack cannot be used.
         """
         num_queries = queries.shape[0]
         num_shards = len(self.groups)
@@ -809,6 +975,7 @@ class Broker:
                 routed,
                 replicas_used,
                 timings,
+                SearchCost().as_dict() if collect_cost else None,
             )
         if timeout_s == INHERIT:
             timeout_s = self.request_timeout_s
@@ -820,6 +987,17 @@ class Broker:
             if hedging == INHERIT
             else (None if hedging is False else hedging)
         )
+        fanout_span = (
+            trace.start_span("fanout", groups=len(work), budget=budget)
+            if trace is not None
+            else None
+        )
+        group_spans: list[dict | None] = [
+            trace.start_span("shard_rpc", parent=fanout_span, shard=group_id)
+            if trace is not None
+            else None
+            for group_id, *_ in work
+        ]
         tick = time.perf_counter()
         outcomes: list[tuple] | None = None
         fanout_loop = self._fanout_loop  # snapshot: close() may race
@@ -829,7 +1007,15 @@ class Broker:
             # live shard_rpc window between batches, not mid-batch.
             hedge_delay = self._resolve_hedge_delay(hedge_knob)
             coro = self._fanout_async(
-                index_name, work, budget, eff_ef, deadline, hedge_delay
+                index_name,
+                work,
+                budget,
+                eff_ef,
+                deadline,
+                hedge_delay,
+                trace,
+                group_spans,
+                collect_cost,
             )
             try:
                 future = fanout_loop.submit(coro)
@@ -858,8 +1044,16 @@ class Broker:
                         eff_ef,
                         deadline,
                         probes,
+                        trace,
+                        group_span,
+                        collect_cost,
                     )
-                    for group_id, sub_queries, _rows, probes in work
+                    for (
+                        group_id,
+                        sub_queries,
+                        _rows,
+                        probes,
+                    ), group_span in zip(work, group_spans)
                 ]
             except RuntimeError:
                 # Pool shut down mid-request: fall through to sequential.
@@ -871,7 +1065,9 @@ class Broker:
                         wait = None
                         if deadline is not None:
                             wait = max(deadline - time.monotonic(), 0.0)
-                        part, replica_id = future.result(timeout=wait)
+                        part, replica_id, part_cost = future.result(
+                            timeout=wait
+                        )
                     except (FutureTimeoutError, TimeoutError):
                         # The shard may still answer eventually, but this
                         # request is done waiting; the worker thread
@@ -885,17 +1081,23 @@ class Broker:
                                     f"{timeout_s}s request deadline"
                                 ),
                                 -1,
+                                None,
                             )
                         )
                     except TransportError as exc:
-                        outcomes.append((None, exc, -1))
+                        outcomes.append((None, exc, -1, None))
                     else:
-                        outcomes.append((part, None, replica_id))
+                        outcomes.append((part, None, replica_id, part_cost))
         if outcomes is None:
             outcomes = []
-            for group_id, sub_queries, _rows, probes in work:
+            for (
+                group_id,
+                sub_queries,
+                _rows,
+                probes,
+            ), group_span in zip(work, group_spans):
                 try:
-                    part, replica_id = self._group_search_sync(
+                    part, replica_id, part_cost = self._group_search_sync(
                         self.groups[group_id],
                         index_name,
                         sub_queries,
@@ -903,20 +1105,29 @@ class Broker:
                         eff_ef,
                         deadline,
                         probes,
+                        trace,
+                        group_span,
+                        collect_cost,
                     )
                 except TransportError as exc:
-                    outcomes.append((None, exc, -1))
+                    outcomes.append((None, exc, -1, None))
                 else:
-                    outcomes.append((part, None, replica_id))
+                    outcomes.append((part, None, replica_id, part_cost))
 
         parts: list[tuple[np.ndarray, np.ndarray]] = []
         answered = routed.copy()
         succeeded = 0
         failed_any = False
-        for (group_id, sub_queries, rows, _probes), outcome in zip(
-            work, outcomes
+        batch_cost = SearchCost() if collect_cost else None
+        for (group_id, sub_queries, rows, _probes), outcome, group_span in zip(
+            work, outcomes, group_spans
         ):
-            part, exc, replica_id = outcome
+            part, exc, replica_id, part_cost = outcome
+            if group_span is not None:
+                group_span["annotations"].update(
+                    ok=exc is None, replica=replica_id
+                )
+                trace.end_span(group_span)
             if exc is not None:
                 part = self._shard_failure(group_id, exc)
             if part is None:
@@ -938,6 +1149,8 @@ class Broker:
             else:
                 succeeded += 1
                 replicas_used[group_id] = replica_id
+                if batch_cost is not None:
+                    batch_cost.merge(part_cost)
             if rows is None:
                 parts.append(part)
             else:
@@ -959,14 +1172,32 @@ class Broker:
         if failed_any:
             with self._served_lock:
                 self.degraded_batches += 1
+            _DEGRADED.inc(broker=self.name)
+        if fanout_span is not None:
+            trace.end_span(fanout_span)
         fanned = time.perf_counter()
+        merge_span = (
+            trace.start_span("merge", parts=len(parts))
+            if trace is not None
+            else None
+        )
         ids, dists = merge_shard_results_batch(parts, top_k)
+        if merge_span is not None:
+            trace.end_span(merge_span)
         done = time.perf_counter()
         self.timings.record("fanout", fanned - tick)
         self.timings.record("merge", done - fanned)
         timings["fanout_ms"] = (fanned - tick) * 1000.0
         timings["merge_ms"] = (done - fanned) * 1000.0
-        return ids, dists, answered, routed, replicas_used, timings
+        return (
+            ids,
+            dists,
+            answered,
+            routed,
+            replicas_used,
+            timings,
+            batch_cost.as_dict() if batch_cost is not None else None,
+        )
 
     # -- replica selection + failover --------------------------------------------------
     @staticmethod
@@ -993,14 +1224,20 @@ class Broker:
         eff_ef: int,
         deadline: float | None,
         probes: list[tuple[int, ...]] | None,
-    ) -> tuple[tuple[np.ndarray, np.ndarray], int]:
+        trace: Trace | None = None,
+        group_span: dict | None = None,
+        collect_cost: bool = False,
+    ) -> tuple[tuple[np.ndarray, np.ndarray], int, dict | None]:
         """One group's answer on the calling thread, with failover.
 
         Picks the least-loaded replica, retries eligible failures on
         untried siblings while deadline budget remains, and maintains
         the group's in-flight/EWMA ledger.  Raises the last failure when
-        every eligible replica was tried.
+        every eligible replica was tried.  Returns ``(part, replica_id,
+        cost_dict)``; each attempt is a child span of ``group_span``
+        (with the searcher's own spans spliced under the winner).
         """
+        trace_ctx = trace.context() if trace is not None else None
         tried: list[int] = []
         last: TransportError | None = None
         while True:
@@ -1012,7 +1249,21 @@ class Broker:
                 # A sibling is actually taking over, not just a dead end.
                 with self._served_lock:
                     self.failovers += 1
+                _FAILOVERS.inc(broker=self.name)
             tried.append(replica.replica_id)
+            attempt_span = (
+                trace.start_span(
+                    "attempt",
+                    parent=group_span,
+                    replica=replica.replica_id,
+                    hedge=False,
+                )
+                if trace is not None
+                else None
+            )
+            info: dict | None = (
+                {} if (collect_cost or trace is not None) else None
+            )
             group.begin(replica)
             tick = time.perf_counter()
             try:
@@ -1023,9 +1274,17 @@ class Broker:
                     ef=eff_ef,
                     deadline=deadline,
                     probes=probes,
+                    trace_ctx=trace_ctx,
+                    collect_cost=collect_cost,
+                    info_out=info,
                 )
             except TransportError as exc:
                 group.finish(replica, outcome="error")
+                if attempt_span is not None:
+                    attempt_span["annotations"].update(
+                        outcome="error", win=False, error=type(exc).__name__
+                    )
+                    trace.end_span(attempt_span)
                 expired = (
                     deadline is not None
                     and deadline - time.monotonic() <= 0
@@ -1035,7 +1294,16 @@ class Broker:
                 last = exc
                 continue
             group.finish(replica, time.perf_counter() - tick)
-            return part, replica.replica_id
+            if attempt_span is not None:
+                attempt_span["annotations"].update(outcome="ok", win=True)
+                if info and info.get("trace"):
+                    trace.attach_remote(attempt_span, info["trace"])
+                trace.end_span(attempt_span)
+            return (
+                part,
+                replica.replica_id,
+                info.get("cost") if info else None,
+            )
 
     # -- asyncio fan-out ---------------------------------------------------------------
     def _resolve_hedge_delay(
@@ -1070,14 +1338,19 @@ class Broker:
         eff_ef: int,
         deadline: float | None,
         hedge_delay: float | None,
+        trace: Trace | None = None,
+        group_spans: list | None = None,
+        collect_cost: bool = False,
     ) -> list[tuple]:
         """Multiplex one batch's group RPCs (and their hedges) on the loop.
 
-        Returns one ``(part, exc, replica_id)`` triple per work item, in
-        work order.  Partial-result policy is applied by the calling
-        thread, so the counting and raise behavior is identical to the
-        thread-pool fan-out.
+        Returns one ``(part, exc, replica_id, cost)`` tuple per work
+        item, in work order.  Partial-result policy is applied by the
+        calling thread, so the counting and raise behavior is identical
+        to the thread-pool fan-out.
         """
+        if group_spans is None:
+            group_spans = [None] * len(work)
         return await asyncio.gather(
             *(
                 self._group_call_async(
@@ -1089,8 +1362,16 @@ class Broker:
                     deadline,
                     hedge_delay,
                     probes,
+                    trace,
+                    group_span,
+                    collect_cost,
                 )
-                for group_id, sub_queries, _rows, probes in work
+                for (
+                    group_id,
+                    sub_queries,
+                    _rows,
+                    probes,
+                ), group_span in zip(work, group_spans)
             )
         )
 
@@ -1104,6 +1385,9 @@ class Broker:
         deadline: float | None,
         hedge_delay: float | None,
         probes: list[tuple[int, ...]] | None,
+        trace: Trace | None = None,
+        group_span: dict | None = None,
+        collect_cost: bool = False,
     ) -> tuple:
         """One group's outcome on the loop: hedged search + failover."""
         tried: list[int] = []
@@ -1111,14 +1395,15 @@ class Broker:
         while True:
             replica = group.pick(exclude=tried)
             if replica is None:
-                return None, last, -1
+                return None, last, -1, None
             if tried:
                 # A sibling is actually taking over, not just a dead end.
                 with self._served_lock:
                     self.failovers += 1
+                _FAILOVERS.inc(broker=self.name)
             tried.append(replica.replica_id)
             try:
-                part, replica_id = await self._hedged_search_async(
+                part, replica_id, part_cost = await self._hedged_search_async(
                     group,
                     replica,
                     tried,
@@ -1129,6 +1414,9 @@ class Broker:
                     deadline,
                     hedge_delay,
                     probes,
+                    trace,
+                    group_span,
+                    collect_cost,
                 )
             except TransportError as exc:
                 expired = (
@@ -1136,10 +1424,10 @@ class Broker:
                     and deadline - time.monotonic() <= 0
                 )
                 if not self._failover_eligible(exc) or expired:
-                    return None, exc, -1
+                    return None, exc, -1, None
                 last = exc
                 continue
-            return part, None, replica_id
+            return part, None, replica_id, part_cost
 
     async def _search_one_async(
         self,
@@ -1150,6 +1438,9 @@ class Broker:
         eff_ef: int,
         deadline: float | None,
         probes: list[tuple[int, ...]] | None,
+        trace_ctx: dict | None = None,
+        collect_cost: bool = False,
+        info_out: dict | None = None,
     ) -> tuple[np.ndarray, np.ndarray]:
         """One shard RPC on the event loop.
 
@@ -1170,6 +1461,9 @@ class Broker:
                     ef=eff_ef,
                     deadline=deadline,
                     probes=probes,
+                    trace_ctx=trace_ctx,
+                    collect_cost=collect_cost,
+                    info_out=info_out,
                 )
             loop = asyncio.get_running_loop()
             call = partial(
@@ -1180,6 +1474,9 @@ class Broker:
                 ef=eff_ef,
                 deadline=deadline,
                 probes=probes,
+                trace_ctx=trace_ctx,
+                collect_cost=collect_cost,
+                info_out=info_out,
             )
             wait = None
             if deadline is not None:
@@ -1207,7 +1504,10 @@ class Broker:
         deadline: float | None,
         hedge_delay: float | None,
         probes: list[tuple[int, ...]] | None,
-    ) -> tuple[tuple[np.ndarray, np.ndarray], int]:
+        trace: Trace | None = None,
+        group_span: dict | None = None,
+        collect_cost: bool = False,
+    ) -> tuple[tuple[np.ndarray, np.ndarray], int, dict | None]:
         """One replica's answer, hedging a straggling RPC when allowed.
 
         The hedge fires only when (a) hedging is configured (a resolved
@@ -1218,12 +1518,29 @@ class Broker:
         that is what lets it dodge a slow process, not just a slow
         connection -- and on a second connection to the same process
         otherwise (the single-replica behavior of PR 4).  Tasks resolve
-        to ``(part, replica_id)``; the ledger is maintained per task,
-        with cancelled hedge losers releasing their in-flight slot
-        without polluting the latency EWMA.
+        to ``(part, replica_id, cost, attempt_span)``; the ledger is
+        maintained per task, with cancelled hedge losers releasing
+        their in-flight slot without polluting the latency EWMA.  Each
+        attempt is a child span of ``group_span`` annotated with
+        ``hedge``/``outcome``/``win``, so a trace shows the race.
         """
+        trace_ctx = trace.context() if trace is not None else None
 
-        def issue(target: ReplicaState):
+        def issue(target: ReplicaState, *, hedge: bool = False):
+            attempt_span = (
+                trace.start_span(
+                    "attempt",
+                    parent=group_span,
+                    replica=target.replica_id,
+                    hedge=hedge,
+                )
+                if trace is not None
+                else None
+            )
+            info: dict | None = (
+                {} if (collect_cost or trace is not None) else None
+            )
+
             async def run():
                 group.begin(target)
                 tick = time.perf_counter()
@@ -1236,15 +1553,45 @@ class Broker:
                         eff_ef,
                         deadline,
                         probes,
+                        trace_ctx,
+                        collect_cost,
+                        info,
                     )
                 except asyncio.CancelledError:
                     group.finish(target, outcome="cancelled")
+                    if attempt_span is not None:
+                        attempt_span["annotations"].update(
+                            outcome="cancelled", win=False
+                        )
+                        trace.end_span(attempt_span)
                     raise
-                except BaseException:
+                except BaseException as exc:
                     group.finish(target, outcome="error")
+                    if attempt_span is not None:
+                        attempt_span["annotations"].update(
+                            outcome="error",
+                            win=False,
+                            error=type(exc).__name__,
+                        )
+                        trace.end_span(attempt_span)
                     raise
                 group.finish(target, time.perf_counter() - tick)
-                return part, target.replica_id
+                if attempt_span is not None:
+                    # "win" defaults False: a completed loser (both
+                    # answered in one tick) stays a loss; the race
+                    # winner is flipped to True by _settle_winner.
+                    attempt_span["annotations"].update(
+                        outcome="ok", win=False
+                    )
+                    if info and info.get("trace"):
+                        trace.attach_remote(attempt_span, info["trace"])
+                    trace.end_span(attempt_span)
+                return (
+                    part,
+                    target.replica_id,
+                    info.get("cost") if info else None,
+                    attempt_span,
+                )
 
             return asyncio.create_task(run())
 
@@ -1256,15 +1603,15 @@ class Broker:
             and (deadline is None or deadline - time.monotonic() > delay)
         )
         if not can_hedge:
-            return await primary
+            return self._settle_winner(await primary)
         done, _ = await asyncio.wait({primary}, timeout=delay)
         if primary in done:
-            return primary.result()
+            return self._settle_winner(primary.result())
         if deadline is not None and deadline - time.monotonic() <= 0:
             # Out of budget: the in-flight primary is about to raise its
             # own DeadlineExceededError; hedging now would be a second
             # RPC that cannot answer in time either.
-            return await primary
+            return self._settle_winner(await primary)
         alternate = group.pick(exclude=tried)
         if alternate is not None and (
             alternate.draining
@@ -1276,7 +1623,20 @@ class Broker:
             tried.append(alternate.replica_id)
         with self._served_lock:
             self.hedges += 1
-        return await self._first_reply_async(primary, issue(hedge_target))
+        _HEDGES.inc(broker=self.name)
+        return await self._first_reply_async(
+            primary, issue(hedge_target, hedge=True)
+        )
+
+    @staticmethod
+    def _settle_winner(
+        result: tuple,
+    ) -> tuple[tuple[np.ndarray, np.ndarray], int, dict | None]:
+        """Mark a task result's attempt span as the winner and strip it."""
+        part, replica_id, cost, attempt_span = result
+        if attempt_span is not None:
+            attempt_span["annotations"]["win"] = True
+        return part, replica_id, cost
 
     async def _first_reply_async(self, primary, hedge):
         """Race the primary against its hedge; first *success* wins.
@@ -1326,7 +1686,8 @@ class Broker:
         if winner is hedge:
             with self._served_lock:
                 self.hedge_wins += 1
-        return winner.result()
+            _HEDGE_WINS.inc(broker=self.name)
+        return self._settle_winner(winner.result())
 
     def _shard_failure(self, shard_id: int, exc: TransportError) -> None:
         """Handle one shard group's failure per the active policy.
@@ -1354,6 +1715,7 @@ class Broker:
             raise exc
         with self._served_lock:
             self.shard_failures[shard_id] += 1
+        _SHARD_FAILURES.inc(broker=self.name, shard=shard_id)
         self._last_failure = exc
         return None
 

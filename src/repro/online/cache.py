@@ -26,6 +26,14 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.obs.metrics import get_registry
+
+_EVENTS = get_registry().counter(
+    "lanns_cache_events_total",
+    "Result-cache events, labelled by event "
+    "(hit/miss/eviction/invalidation).",
+)
+
 #: A cache key: (index_name, query bytes, top_k, ef, num_shards, epoch).
 CacheKey = tuple[str, bytes, int, int, int, int]
 
@@ -168,9 +176,11 @@ class QueryResultCache:
             entry = self._entries.get(key)
             if entry is None:
                 self.stats.misses += 1
+                _EVENTS.inc(event="miss")
                 return None
             self._entries.move_to_end(key)
             self.stats.hits += 1
+            _EVENTS.inc(event="hit")
             ids, dists = entry
             return ids.copy(), dists.copy()
 
@@ -187,6 +197,7 @@ class QueryResultCache:
             while len(self._entries) > self.capacity:
                 self._entries.popitem(last=False)
                 self.stats.evictions += 1
+                _EVENTS.inc(event="eviction")
 
     def invalidate(self, index_name: str) -> int:
         """Drop every entry cached for ``index_name``; returns the count.
@@ -203,11 +214,15 @@ class QueryResultCache:
             for key in stale:
                 del self._entries[key]
             self.stats.invalidations += len(stale)
+            if stale:
+                _EVENTS.inc(len(stale), event="invalidation")
             return len(stale)
 
     def clear(self) -> None:
         """Drop all entries (stats are kept)."""
         with self._lock:
+            if self._entries:
+                _EVENTS.inc(len(self._entries), event="invalidation")
             self.stats.invalidations += len(self._entries)
             self._entries.clear()
 

@@ -32,6 +32,13 @@ from typing import Callable, Hashable
 
 import numpy as np
 
+from repro.obs.metrics import get_registry
+
+_FLUSHES = get_registry().counter(
+    "lanns_microbatch_flushes_total",
+    "Micro-batch flushes, labelled by reason (size/timeout/close).",
+)
+
 #: ``execute(key, queries)`` -> a tuple of per-row arrays, each with one
 #: entry per query row (e.g. ``(ids, dists)`` or, with partial-result
 #: annotation, ``(ids, dists, shards_answered)``).  The batcher slices
@@ -104,6 +111,7 @@ class MicroBatcher:
             "rows_executed": 0,
             "largest_batch": 0,
             "inline_after_close": 0,
+            "flush_reasons": {"size": 0, "timeout": 0, "close": 0},
         }
         self._flusher = threading.Thread(
             target=self._run, name="broker-microbatch", daemon=True
@@ -163,33 +171,47 @@ class MicroBatcher:
                 self._stopped = True
             self._fail_remaining()
 
-    def _next_batch(self) -> tuple[Hashable, list[_Pending]] | None:
+    def _next_batch(
+        self,
+    ) -> tuple[Hashable, list[_Pending], str] | None:
         """Block until a group is ready to flush (or drained + stopped)."""
         with self._cond:
             while True:
                 if self._stopped and not self._groups:
                     return None
-                key, timeout = self._select_locked()
+                key, reason, timeout = self._select_locked()
                 if key is not None:
-                    return key, self._pop_locked(key)
+                    return key, self._pop_locked(key), reason
                 self._cond.wait(timeout)
 
-    def _select_locked(self) -> tuple[Hashable | None, float | None]:
-        """Pick a flush-ready group, else the wait until one ripens."""
+    def _select_locked(
+        self,
+    ) -> tuple[Hashable | None, str | None, float | None]:
+        """Pick a flush-ready group (with *why* it flushed: ``size`` --
+        the batch filled, ``timeout`` -- its oldest request aged out,
+        ``close`` -- the batcher is draining), else the wait until one
+        ripens."""
         now = time.perf_counter()
         ready: Hashable | None = None
+        ready_reason: str | None = None
         ready_age = -1.0
         timeout: float | None = None
         for key, pending in self._groups.items():
             rows = sum(block.queries.shape[0] for block in pending)
             age = now - pending[0].enqueued_at
-            if self._stopped or rows >= self.max_batch or age >= self.max_wait_s:
-                if age > ready_age:
-                    ready, ready_age = key, age
+            if rows >= self.max_batch:
+                reason = "size"
+            elif age >= self.max_wait_s:
+                reason = "timeout"
+            elif self._stopped:
+                reason = "close"
             else:
                 remaining = self.max_wait_s - age
                 timeout = remaining if timeout is None else min(timeout, remaining)
-        return ready, timeout
+                continue
+            if age > ready_age:
+                ready, ready_reason, ready_age = key, reason, age
+        return ready, ready_reason, timeout
 
     def _pop_locked(self, key: Hashable) -> list[_Pending]:
         """Take whole blocks until the flush reaches ``max_batch`` rows."""
@@ -204,7 +226,9 @@ class MicroBatcher:
             del self._groups[key]
         return taken
 
-    def _run_batch(self, key: Hashable, blocks: list[_Pending]) -> None:
+    def _run_batch(
+        self, key: Hashable, blocks: list[_Pending], reason: str
+    ) -> None:
         # Everything after popping the blocks runs under one try: once a
         # block leaves the queue, _fail_remaining can no longer see it,
         # so ANY failure here (even in stacking/slicing, not just in the
@@ -223,6 +247,8 @@ class MicroBatcher:
             )
             self.stats["batches_executed"] += 1
             self.stats["rows_executed"] += int(stacked.shape[0])
+            self.stats["flush_reasons"][reason] += 1
+            _FLUSHES.inc(reason=reason)
             self.stats["largest_batch"] = max(
                 self.stats["largest_batch"], int(stacked.shape[0])
             )

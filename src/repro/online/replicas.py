@@ -26,9 +26,19 @@ from statistics import median
 from typing import Iterable, Sequence
 
 from repro.net.transport import SearcherTransport, as_transport
+from repro.obs.metrics import get_registry
 
 #: Smoothing factor for the per-replica latency EWMA.
 EWMA_ALPHA = 0.2
+
+_IN_FLIGHT = get_registry().gauge(
+    "lanns_replica_in_flight",
+    "Requests currently outstanding on a replica.",
+)
+_EWMA_MS = get_registry().gauge(
+    "lanns_replica_ewma_ms",
+    "EWMA of observed RPC latency per replica, in milliseconds.",
+)
 
 
 class ReplicaState:
@@ -147,6 +157,11 @@ class ReplicaGroup:
         """Record that a request was issued to ``replica``."""
         with self._lock:
             replica.in_flight += 1
+            _IN_FLIGHT.set(
+                replica.in_flight,
+                shard=self.shard_id,
+                replica=replica.replica_id,
+            )
 
     def finish(
         self,
@@ -159,6 +174,11 @@ class ReplicaGroup:
         cancelled calls (hedge losers) only release the in-flight slot."""
         with self._lock:
             replica.in_flight = max(0, replica.in_flight - 1)
+            _IN_FLIGHT.set(
+                replica.in_flight,
+                shard=self.shard_id,
+                replica=replica.replica_id,
+            )
             if outcome == "cancelled":
                 return
             if outcome == "error":
@@ -174,6 +194,11 @@ class ReplicaGroup:
                         EWMA_ALPHA * latency_s
                         + (1.0 - EWMA_ALPHA) * replica.ewma_latency_s
                     )
+                _EWMA_MS.set(
+                    replica.ewma_latency_s * 1e3,
+                    shard=self.shard_id,
+                    replica=replica.replica_id,
+                )
 
     # -- administration ----------------------------------------------------------
     def drain(self, replica_id: int) -> None:

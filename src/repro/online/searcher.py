@@ -18,6 +18,27 @@ import threading
 import numpy as np
 
 from repro.core.index import ShardIndex
+from repro.obs.cost import FIELDS as _COST_FIELDS
+from repro.obs.metrics import get_registry
+
+_REGISTRY = get_registry()
+_REQUESTS = _REGISTRY.counter(
+    "lanns_searcher_requests_total", "Fan-out requests served by a searcher."
+)
+_QUERIES = _REGISTRY.counter(
+    "lanns_searcher_queries_total", "Query rows served by a searcher."
+)
+_MEMORY_VECTORS = _REGISTRY.gauge(
+    "lanns_searcher_memory_vectors",
+    "Vectors resident on a searcher across hosted indices.",
+)
+_COST_COUNTERS = {
+    field: _REGISTRY.counter(
+        f"lanns_search_cost_{field}_total",
+        f"Accumulated per-query search cost: {field}.",
+    )
+    for field in _COST_FIELDS
+}
 
 
 class SearcherNode:
@@ -38,6 +59,8 @@ class SearcherNode:
         with self._stats_lock:
             self.requests_served += 1
             self.queries_served += num_queries
+        _REQUESTS.inc(shard=self.shard_id)
+        _QUERIES.inc(num_queries, shard=self.shard_id)
 
     # -- hosting -----------------------------------------------------------------
     def host(self, index_name: str, shard: ShardIndex) -> None:
@@ -56,6 +79,9 @@ class SearcherNode:
             updated = dict(self._indices)
             updated[index_name] = shard
             self._indices = updated
+            _MEMORY_VECTORS.set(
+                sum(len(s) for s in updated.values()), shard=self.shard_id
+            )
 
     def unhost(self, index_name: str) -> None:
         """Detach a hosted index (e.g. at the end of an A/B test)."""
@@ -65,6 +91,9 @@ class SearcherNode:
             updated = dict(self._indices)
             del updated[index_name]
             self._indices = updated
+            _MEMORY_VECTORS.set(
+                sum(len(s) for s in updated.values()), shard=self.shard_id
+            )
 
     @property
     def hosted_indices(self) -> list[str]:
@@ -72,13 +101,22 @@ class SearcherNode:
         return sorted(self._indices)
 
     def stats(self) -> dict:
-        """Counters snapshot (served verbatim by the STATS RPC)."""
+        """Counters snapshot (served verbatim by the STATS RPC).
+
+        One *consistent* snapshot: the hosting table reference and the
+        counters are captured under the same lock, so a concurrent
+        deploy/undeploy cannot yield a report whose ``hosted_indices``
+        and ``memory_vectors`` disagree with the counters' point in
+        time.  (The table itself is copy-on-write, so the captured
+        reference is immutable.)
+        """
         with self._stats_lock:
+            indices = self._indices
             requests, queries = self.requests_served, self.queries_served
         return {
             "shard_id": self.shard_id,
-            "hosted_indices": self.hosted_indices,
-            "memory_vectors": self.memory_vectors(),
+            "hosted_indices": sorted(indices),
+            "memory_vectors": sum(len(shard) for shard in indices.values()),
             "requests_served": requests,
             "queries_served": queries,
         }
@@ -118,6 +156,7 @@ class SearcherNode:
         *,
         ef: int | None = None,
         probes: list[tuple[int, ...]] | None = None,
+        cost=None,
     ) -> tuple[np.ndarray, np.ndarray]:
         """Serve a query batch against the hosted shard of ``index_name``.
 
@@ -126,11 +165,22 @@ class SearcherNode:
         shard and returns ``(B, k)`` id/distance arrays (padded with
         ``-1`` / ``inf``).  ``probes`` carries the broker router's
         segment choice (see :meth:`ShardIndex.search_batch`).
+
+        ``cost`` optionally accumulates this request's search work; the
+        collected increments are also flushed into the process metrics
+        registry under this searcher's ``shard`` label.
         """
         self._count_request(int(np.asarray(queries).shape[0]))
-        return self._shard(index_name).search_batch(
-            queries, k, ef=ef, probes=probes
+        before = cost.as_dict() if cost is not None else None
+        result = self._shard(index_name).search_batch(
+            queries, k, ef=ef, probes=probes, cost=cost
         )
+        if cost is not None:
+            for field, counter in _COST_COUNTERS.items():
+                delta = getattr(cost, field) - before[field]
+                if delta:
+                    counter.inc(delta, shard=self.shard_id)
+        return result
 
     def _shard(self, index_name: str):
         try:

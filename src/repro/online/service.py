@@ -102,6 +102,13 @@ class OnlineService:
         Cosine cache-key quantization, passed to every broker.
     rpc_timeout_s, rpc_retries, rpc_pool_size:
         Per-searcher RPC client knobs (remote fleets only).
+    collect_cost, trace_sample_rate, slow_query_log_s, trace_seed:
+        Observability knobs passed to every broker: per-batch
+        search-cost accounting (on by default) and sampled request
+        tracing with a slow-query log (off by default); see
+        :class:`~repro.online.broker.Broker` and :mod:`repro.obs`.
+        Each broker registers under its index name in the metrics
+        registry.
     """
 
     def __init__(
@@ -121,6 +128,10 @@ class OnlineService:
         rpc_timeout_s: float = 30.0,
         rpc_retries: int = 2,
         rpc_pool_size: int = 2,
+        collect_cost: bool = True,
+        trace_sample_rate: float = 0.0,
+        slow_query_log_s: float | None = None,
+        trace_seed: int | None = None,
     ) -> None:
         self.brokers: dict[str, Broker] = {}
         self.configs: dict[str, LannsConfig] = {}
@@ -136,6 +147,10 @@ class OnlineService:
         self.partial_policy = partial_policy
         self.request_timeout_s = request_timeout_s
         self.cache_quantize_decimals = cache_quantize_decimals
+        self.collect_cost = bool(collect_cost)
+        self.trace_sample_rate = float(trace_sample_rate)
+        self.slow_query_log_s = slow_query_log_s
+        self.trace_seed = trace_seed
         self.cache = QueryResultCache(cache_size)
         self._deploy_epoch = 0
         if searchers is None:
@@ -275,6 +290,11 @@ class OnlineService:
             request_timeout_s=self.request_timeout_s,
             segmenter=segmenter,
             segment_sizes=manifest.segment_sizes,
+            collect_cost=self.collect_cost,
+            trace_sample_rate=self.trace_sample_rate,
+            slow_query_log_s=self.slow_query_log_s,
+            trace_seed=self.trace_seed,
+            name=index_name,
         )
         self.brokers[index_name] = broker
         self.configs[index_name] = config

@@ -149,6 +149,13 @@ class SearchResponse:
     num_shards: int
     replicas_used: tuple[int, ...] | None = None
     timings: dict[str, float] = field(default_factory=dict)
+    #: Aggregated search-cost counters for this batch (hops, distance
+    #: comps, ...; see :mod:`repro.obs.cost`), when the broker collected
+    #: them.  Cache hits carry no cost (no search ran).
+    cost: dict[str, int] | None = None
+    #: The request's exported trace (``Trace.to_dict`` form), when it
+    #: was sampled or force-kept by the slow-query log.
+    trace: dict | None = None
 
     @property
     def degraded_rows(self) -> int:
@@ -162,7 +169,10 @@ class SearchResponse:
 
     def info(self) -> dict[str, Any]:
         """The legacy ``with_info=True`` metadata dict."""
-        return {
+        info: dict[str, Any] = {
             "shards_answered": self.shards_answered,
             "num_shards": self.num_shards,
         }
+        if self.cost is not None:
+            info["cost"] = self.cost
+        return info

@@ -169,6 +169,65 @@ class TestServeAndRemoteQuery:
         with pytest.raises(SystemExit):
             main(["serve-searcher"])
 
+    def test_stats_and_traced_query_against_live_fleet(
+        self, corpus, capsys, tmp_path
+    ):
+        from repro.net.server import SearcherServer
+        from repro.online.searcher import SearcherNode
+
+        root, _, _ = corpus
+        args = build_args(root)
+        args[args.index("--out") + 1] = "idx-obs"
+        assert main(args) == 0
+        servers = [
+            SearcherServer(
+                SearcherNode(shard_id), root=str(root / "hdfs")
+            ).start_in_thread()
+            for shard_id in range(2)
+        ]
+        try:
+            spec = ",".join(server.address for server in servers)
+            trace_out = tmp_path / "trace.json"
+            capsys.readouterr()
+            code = main(
+                [
+                    "query",
+                    "--root", str(root / "hdfs"),
+                    "--index", "idx-obs",
+                    "--queries", str(root / "queries.npy"),
+                    "--top-k", "5",
+                    "--searchers", spec,
+                    "--trace-out", str(trace_out),
+                ]
+            )
+            out = capsys.readouterr().out
+            assert code == 0
+            assert "cost:" in out
+            assert trace_out.exists()
+
+            # The written trace pretty-prints through `repro.cli trace`.
+            assert main(["trace", "--file", str(trace_out)]) == 0
+            rendered = capsys.readouterr().out
+            assert "trace " in rendered
+            assert "fanout" in rendered
+            assert "merge" in rendered
+            assert "decode" in rendered  # remote spans crossed the wire
+
+            # `repro.cli stats` merges the fleet's metric snapshots.
+            assert main(["stats", "--searchers", spec]) == 0
+            out = capsys.readouterr().out
+            for server in servers:
+                assert f"# searcher {server.address}: shard" in out
+            assert "# TYPE" in out  # merged Prometheus exposition
+            assert "lanns_" in out
+
+            assert main(["stats", "--searchers", spec, "--json"]) == 0
+            payload = json.loads(capsys.readouterr().out)
+            assert set(payload) == {server.address for server in servers}
+        finally:
+            for server in servers:
+                server.stop()
+
     def test_min_graph_size_flag_flows_into_build(self, corpus):
         from repro.storage.hdfs import LocalHdfs
         from repro.storage.manifest import load_manifest

@@ -33,8 +33,11 @@ class TestMeasure:
 
     def test_qps_keys(self):
         stats = measure_qps(lambda q: None, np.zeros((5, 2)))
-        assert set(stats) == {"qps", "mean_ms", "p50_ms", "p99_ms"}
+        assert set(stats) == {
+            "qps", "mean_ms", "p50_ms", "p90_ms", "p99_ms", "max_ms"
+        }
         assert stats["qps"] > 0
+        assert stats["max_ms"] >= stats["p99_ms"] >= stats["p50_ms"]
 
 
 class TestTables:

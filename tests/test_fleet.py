@@ -137,6 +137,50 @@ class TestReadinessOutcomes:
         (child,) = spawned
         assert child.poll() is not None
 
+    def test_launch_failure_names_log_holding_child_output(
+        self, spawned, tmp_path
+    ):
+        """A failed launch points at the log file, and the log holds
+        what the child printed before dying."""
+        with pytest.raises(RuntimeError, match="searcher log: "):
+            fleet_mod.launch_searcher(
+                0,
+                ready_timeout_s=30.0,
+                log_dir=tmp_path,
+                command=_script(
+                    "import sys\n"
+                    "print('boom: manifest missing', flush=True)\n"
+                    "sys.exit(3)\n"
+                ),
+            )
+        (log,) = list(tmp_path.glob("searcher-shard0-*.log"))
+        assert b"boom: manifest missing" in log.read_bytes()
+
+    def test_live_searcher_output_persisted_to_log(self, spawned, tmp_path):
+        """Post-readiness output lands in ``SearcherProcess.log_path``."""
+        searcher = fleet_mod.launch_searcher(
+            2,
+            ready_timeout_s=30.0,
+            log_dir=tmp_path,
+            command=_script(
+                "import time\n"
+                "print('SEARCHER-READY shard=2 port=43210', flush=True)\n"
+                "print('serving traffic', flush=True)\n"
+                "time.sleep(600)\n"
+            ),
+        )
+        try:
+            assert searcher.log_path is not None
+            assert searcher.log_path.parent == tmp_path
+            deadline = time.monotonic() + 10.0
+            while time.monotonic() < deadline:
+                if b"serving traffic" in searcher.log_path.read_bytes():
+                    break
+                time.sleep(0.05)
+            assert b"serving traffic" in searcher.log_path.read_bytes()
+        finally:
+            searcher.kill()
+
     def test_ready_line_after_noise_is_parsed(self, spawned):
         """Readiness may follow other output (warnings, banners) and the
         announced port is returned."""

@@ -23,10 +23,12 @@ from repro.errors import (
 )
 from repro.net.protocol import (
     MAGIC,
+    SUPPORTED_VERSIONS,
     MAX_HEADER_BYTES,
     MsgType,
     PROTOCOL_VERSION,
     decode_frame,
+    encode_frame,
     error_frame,
     frame_to_bytes,
     parse_prefix,
@@ -263,3 +265,85 @@ class TestSocketHelpers:
                 recv_frame(right)
         finally:
             right.close()
+
+
+class TestProtocolVersions:
+    """Protocol v2 added the optional trace/cost header fields; both
+    versions must keep decoding (rolling upgrades mix peers)."""
+
+    def test_v1_search_frame_still_decodes(self):
+        queries = np.arange(24, dtype=np.float32).reshape(3, 8)
+        header = {"index": "main", "top_k": 5, "ef": 48}
+        data = b"".join(
+            bytes(part)
+            for part in encode_frame(
+                MsgType.SEARCH, header, (queries,), version=1
+            )
+        )
+        assert data[2] == 1
+        msg_type, decoded, arrays = decode_frame(data)
+        assert msg_type == MsgType.SEARCH
+        assert decoded == header
+        np.testing.assert_array_equal(arrays[0], queries)
+
+    def test_v2_frame_with_trace_context_round_trips(self):
+        queries = np.arange(16, dtype=np.float32).reshape(2, 8)
+        header = {
+            "index": "main",
+            "top_k": 5,
+            "trace": {"id": "t-0123abcd"},
+            "cost": True,
+        }
+        data = b"".join(
+            bytes(part)
+            for part in encode_frame(MsgType.SEARCH, header, (queries,))
+        )
+        assert data[2] == PROTOCOL_VERSION
+        _, decoded, arrays = decode_frame(data)
+        assert decoded["trace"] == {"id": "t-0123abcd"}
+        assert decoded["cost"] is True
+        np.testing.assert_array_equal(arrays[0], queries)
+
+    def test_trace_free_header_identical_across_versions(self):
+        """A peer that never traces emits headers an old peer accepts:
+        the trace fields are absent, not null-filled."""
+        header = {"index": "main", "top_k": 5}
+        frames = {
+            version: b"".join(
+                bytes(part)
+                for part in encode_frame(MsgType.SEARCH, header, version=version)
+            )
+            for version in SUPPORTED_VERSIONS
+        }
+        for version, data in frames.items():
+            _, decoded, _ = decode_frame(data)
+            assert decoded == header, f"v{version} header drifted"
+        # Only the version byte differs.
+        assert frames[1][:2] == frames[2][:2]
+        assert frames[1][3:] == frames[2][3:]
+
+    def test_result_frame_with_cost_and_trace_round_trips(self):
+        ids = np.arange(10, dtype=np.int64).reshape(2, 5)
+        dists = np.linspace(0, 1, 10, dtype=np.float32).reshape(2, 5)
+        header = {
+            "cost": {"hops": 12, "distance_comps": 340},
+            "trace": [
+                {
+                    "name": "decode",
+                    "start_ms": 0.0,
+                    "dur_ms": 0.1,
+                    "annotations": {},
+                    "children": [],
+                }
+            ],
+        }
+        data = frame_to_bytes(MsgType.RESULT, header, (ids, dists))
+        _, decoded, arrays = decode_frame(data)
+        assert decoded["cost"] == header["cost"]
+        assert decoded["trace"][0]["name"] == "decode"
+        np.testing.assert_array_equal(arrays[0], ids)
+        np.testing.assert_array_equal(arrays[1], dists)
+
+    def test_unsupported_encode_version_rejected(self):
+        with pytest.raises(ProtocolError, match="version"):
+            encode_frame(MsgType.PING, {}, version=3)
