@@ -55,7 +55,8 @@ def test_ablation_neighbor_heuristic(benchmark, heuristic_setup, results_dir):
                     found, _ = index.search(query, TOP_K, ef=ef)
                     ids[i, : len(found)] = found
                 stats = measure_qps(
-                    lambda q, idx=index: idx.search(q, TOP_K, ef=ef), queries
+                    lambda q, idx=index, ef=ef: idx.search(q, TOP_K, ef=ef),
+                    queries,
                 )
                 row[f"{label} R@{TOP_K}"] = recall_at_k(ids, truth, TOP_K)
                 row[f"{label} QPS"] = stats["qps"]

@@ -54,7 +54,7 @@ def query_with_budget(index, queries, top_k, budget):
         ]
         fetched += sum(len(results) for results in shard_results)
         merged = merge_shard_results(shard_results, top_k)
-        for rank, (dist, item) in enumerate(merged[:top_k]):
+        for rank, (_dist, item) in enumerate(merged[:top_k]):
             ids[row, rank] = item
     return ids, fetched / len(queries)
 

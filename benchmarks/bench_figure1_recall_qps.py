@@ -197,7 +197,7 @@ def test_figure1_frontier(benchmark, frontier_data, results_dir):
         str(k): rows for k, rows in series.items()
     }
 
-    for k, rows in series.items():
+    for _k, rows in series.items():
         brute = next(r for r in rows if r["algorithm"] == "brute_force")
         assert brute["recall"] == 1.0
         hnsw_rows = [r for r in rows if r["algorithm"] == "hnsw"]

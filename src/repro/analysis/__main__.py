@@ -1,0 +1,7 @@
+"""``python -m repro.analysis`` — run the invariant linter."""
+
+import sys
+
+from .linter import main
+
+sys.exit(main())

@@ -1,0 +1,171 @@
+"""Suppression baseline for the invariant linter.
+
+``analysis/baseline.toml`` holds ``[[suppression]]`` tables, one per
+accepted finding.  Every entry **must** carry a non-empty
+``justification`` — a baseline line without a written reason is itself
+a lint error, so the file documents *why* each exception to the rules
+is sound rather than silently hiding it.
+
+The file is parsed with a deliberately small TOML-subset reader
+(tables of ``key = "string"`` / ``key = int`` pairs, ``#`` comments)
+because the tier-1 CI floor is Python 3.10, which has no ``tomllib``,
+and the repo takes no third-party lint dependencies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from .diagnostics import Finding
+
+
+class BaselineError(ValueError):
+    """Raised when baseline.toml is malformed or missing a justification."""
+
+
+@dataclass
+class Suppression:
+    """One accepted finding.
+
+    Matching: ``checker`` and ``file`` are required and must match
+    exactly.  ``rule``, ``symbol`` and ``line`` are optional narrowing
+    keys — when present they must match too.  Prefer ``symbol`` over
+    ``line`` so entries survive unrelated edits to the file.
+    """
+
+    checker: str
+    file: str
+    justification: str
+    rule: str = ""
+    symbol: str = ""
+    line: int = 0
+    lineno: int = 0  # where the entry lives in baseline.toml
+    hits: int = field(default=0, compare=False)
+
+    def matches(self, finding: Finding) -> bool:
+        if self.checker != finding.checker or self.file != finding.path:
+            return False
+        if self.rule and self.rule != finding.rule:
+            return False
+        if self.symbol and self.symbol != finding.symbol:
+            return False
+        if self.line and self.line != finding.line:
+            return False
+        return True
+
+
+_STR_KEYS = {"checker", "file", "rule", "symbol", "justification"}
+_INT_KEYS = {"line"}
+
+
+def _parse_value(raw: str, lineno: int) -> str | int:
+    raw = raw.strip()
+    if raw.startswith('"') and raw.endswith('"') and len(raw) >= 2:
+        body = raw[1:-1]
+        # The subset supports the escapes a justification might need.
+        return (
+            body.replace('\\"', '"').replace("\\\\", "\\").replace("\\n", "\n")
+        )
+    if raw.lstrip("-").isdigit():
+        return int(raw)
+    raise BaselineError(
+        f"baseline.toml:{lineno}: unsupported value {raw!r} "
+        "(only quoted strings and integers)"
+    )
+
+
+def parse_baseline(text: str, origin: str = "baseline.toml") -> list[Suppression]:
+    entries: list[Suppression] = []
+    current: dict[str, str | int] | None = None
+    current_line = 0
+
+    def flush() -> None:
+        nonlocal current
+        if current is None:
+            return
+        missing = {"checker", "file"} - current.keys()
+        if missing:
+            raise BaselineError(
+                f"{origin}:{current_line}: suppression missing "
+                f"required key(s): {', '.join(sorted(missing))}"
+            )
+        justification = str(current.get("justification", "")).strip()
+        if not justification:
+            raise BaselineError(
+                f"{origin}:{current_line}: suppression for "
+                f"{current.get('checker')}/{current.get('file')} has no "
+                "justification — every baseline entry must explain why "
+                "the finding is accepted"
+            )
+        entries.append(
+            Suppression(
+                checker=str(current["checker"]),
+                file=str(current["file"]),
+                justification=justification,
+                rule=str(current.get("rule", "")),
+                symbol=str(current.get("symbol", "")),
+                line=int(current.get("line", 0)),
+                lineno=current_line,
+            )
+        )
+        current = None
+
+    for lineno, raw_line in enumerate(text.splitlines(), start=1):
+        line = raw_line.strip()
+        if not line or line.startswith("#"):
+            continue
+        if line == "[[suppression]]":
+            flush()
+            current = {}
+            current_line = lineno
+            continue
+        if line.startswith("["):
+            raise BaselineError(
+                f"{origin}:{lineno}: unexpected table {line!r} "
+                "(only [[suppression]] is supported)"
+            )
+        if "=" not in line:
+            raise BaselineError(f"{origin}:{lineno}: expected 'key = value'")
+        if current is None:
+            raise BaselineError(
+                f"{origin}:{lineno}: key outside a [[suppression]] table"
+            )
+        key, _, raw_value = line.partition("=")
+        key = key.strip()
+        if key not in _STR_KEYS | _INT_KEYS:
+            raise BaselineError(f"{origin}:{lineno}: unknown key {key!r}")
+        current[key] = _parse_value(raw_value, lineno)
+    flush()
+    return entries
+
+
+def load_baseline(path: Path) -> list[Suppression]:
+    if not path.exists():
+        return []
+    return parse_baseline(path.read_text(), origin=str(path))
+
+
+def apply_baseline(
+    findings: list[Finding], suppressions: list[Suppression]
+) -> tuple[list[Finding], list[Suppression]]:
+    """Drop suppressed findings; return (kept, stale_suppressions).
+
+    A suppression may absorb multiple findings (e.g. a symbol-scoped
+    entry covering several accesses in one method).  Entries that match
+    nothing are *stale* — reported so the baseline shrinks as code gets
+    fixed instead of accreting dead exceptions.
+    """
+
+    kept: list[Finding] = []
+    for finding in findings:
+        matched = False
+        for supp in suppressions:
+            if supp.matches(finding):
+                supp.hits += 1
+                matched = True
+                break
+        if not matched:
+            kept.append(finding)
+    stale = [s for s in suppressions if s.hits == 0]
+    return kept, stale

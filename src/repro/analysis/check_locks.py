@@ -1,0 +1,250 @@
+"""Lock-discipline checker: per-class guarded-by inference.
+
+For every class that creates a ``threading.Lock`` / ``RLock`` /
+``Condition`` attribute, infer which instance attributes the lock
+guards: any attribute *written* (rebound, aug-assigned, stored through
+a subscript/attribute, or mutated via a known mutating method such as
+``append``/``setdefault``/``move_to_end``) inside a ``with
+self.<lock>:`` block in a non-``__init__`` method is considered
+guarded by that lock.  Every other access to a guarded attribute —
+read *or* write — must then also happen while holding one of its
+guarding locks.
+
+Exemptions, matching the repo's concurrency conventions:
+
+- ``__init__`` (and ``__post_init__``): the object is not yet shared,
+  so unguarded construction-time writes are fine — this is the classic
+  guarded-by false positive the checker must not emit.
+- methods whose name ends in ``_locked``: the repo's convention for
+  "caller already holds the lock" helpers (``_select_locked``,
+  ``_pop_locked``); their bodies are treated as lock-held context.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+
+from .diagnostics import Finding, ModuleSource
+
+CHECKER = "lock-discipline"
+
+LOCK_FACTORIES = {"Lock", "RLock", "Condition", "Semaphore", "BoundedSemaphore"}
+
+# Method names that mutate their receiver in place.
+MUTATORS = {
+    "append", "appendleft", "add", "clear", "discard", "extend",
+    "extendleft", "insert", "pop", "popleft", "popitem", "remove",
+    "setdefault", "update", "move_to_end", "sort", "reverse",
+    "__setitem__", "__delitem__",
+}
+
+EXEMPT_METHODS = {"__init__", "__post_init__", "__del__", "__repr__"}
+
+
+def _is_lock_factory(call: ast.expr) -> bool:
+    """True for ``threading.Lock()`` / ``Lock()``-style creations."""
+    if not isinstance(call, ast.Call):
+        return False
+    func = call.func
+    if isinstance(func, ast.Attribute):
+        return func.attr in LOCK_FACTORIES
+    if isinstance(func, ast.Name):
+        return func.id in LOCK_FACTORIES
+    return False
+
+
+def _self_attr(node: ast.expr) -> str | None:
+    """Return ``X`` when node is exactly ``self.X``."""
+    if (
+        isinstance(node, ast.Attribute)
+        and isinstance(node.value, ast.Name)
+        and node.value.id == "self"
+    ):
+        return node.attr
+    return None
+
+
+@dataclass
+class _Access:
+    attr: str
+    lineno: int
+    col: int
+    held: frozenset[str]
+    is_write: bool
+    method: str
+    exempt: bool = False
+
+
+@dataclass
+class _ClassInfo:
+    name: str
+    lock_attrs: set[str] = field(default_factory=set)
+    accesses: list[_Access] = field(default_factory=list)
+
+
+class _MethodWalker(ast.NodeVisitor):
+    """Walk one method body tracking the set of held ``self.<lock>``s."""
+
+    def __init__(
+        self,
+        info: _ClassInfo,
+        method: str,
+        parents: dict[ast.AST, ast.AST],
+        exempt: bool,
+    ) -> None:
+        self.info = info
+        self.method = method
+        self.parents = parents
+        self.exempt = exempt
+        self.held: tuple[str, ...] = ()
+
+    def visit_With(self, node: ast.With) -> None:
+        acquired = []
+        for item in node.items:
+            attr = _self_attr(item.context_expr)
+            if attr is not None and attr in self.info.lock_attrs:
+                acquired.append(attr)
+        if acquired:
+            saved = self.held
+            self.held = saved + tuple(acquired)
+            for item in node.items:
+                self.visit(item)
+            for stmt in node.body:
+                self.visit(stmt)
+            self.held = saved
+        else:
+            self.generic_visit(node)
+
+    # Nested defs run later with unknown lock state — skip their bodies
+    # rather than misattribute the enclosing held set to them.
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        pass
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        pass
+
+    def visit_Lambda(self, node: ast.Lambda) -> None:
+        pass
+
+    def visit_Attribute(self, node: ast.Attribute) -> None:
+        attr = _self_attr(node)
+        if attr is None or attr in self.info.lock_attrs:
+            self.generic_visit(node)
+            return
+        self.info.accesses.append(
+            _Access(
+                attr=attr,
+                lineno=node.lineno,
+                col=node.col_offset,
+                held=frozenset(self.held),
+                is_write=self._is_write(node),
+                method=self.method,
+                exempt=self.exempt,
+            )
+        )
+        self.generic_visit(node)
+
+    def _is_write(self, node: ast.expr) -> bool:
+        """Classify a ``self.X`` occurrence as a write/mutation.
+
+        Covers direct stores (``self.x = v``, ``self.x += v``, ``del
+        self.x``), stores *through* the attribute (``self.x[k] = v``,
+        ``self.x.field = v``), and in-place mutating calls
+        (``self.x.append(v)``, ``self.x.setdefault(k, d).append(v)``).
+        """
+        if isinstance(node.ctx, (ast.Store, ast.Del)):
+            return True
+        # Climb the Attribute/Subscript chain this node roots.
+        current: ast.AST = node
+        while True:
+            parent = self.parents.get(current)
+            if isinstance(parent, (ast.Attribute, ast.Subscript)) and (
+                getattr(parent, "value", None) is current
+            ):
+                if isinstance(parent.ctx, (ast.Store, ast.Del)):
+                    return True
+                current = parent
+                continue
+            if (
+                isinstance(parent, ast.Call)
+                and isinstance(current, ast.Attribute)
+                and parent.func is current
+                and current.attr in MUTATORS
+            ):
+                return True
+            return False
+
+
+def _build_parent_map(root: ast.AST) -> dict[ast.AST, ast.AST]:
+    parents: dict[ast.AST, ast.AST] = {}
+    for parent in ast.walk(root):
+        for child in ast.iter_child_nodes(parent):
+            parents[child] = parent
+    return parents
+
+
+def _collect_class(node: ast.ClassDef) -> _ClassInfo:
+    info = _ClassInfo(name=node.name)
+    # Pass 1: which self attributes hold locks.
+    for sub in ast.walk(node):
+        if isinstance(sub, ast.Assign) and _is_lock_factory(sub.value):
+            for target in sub.targets:
+                attr = _self_attr(target)
+                if attr is not None:
+                    info.lock_attrs.add(attr)
+    if not info.lock_attrs:
+        return info
+    # Pass 2: every self.<attr> access per method, with held-lock sets.
+    for stmt in node.body:
+        if not isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        exempt = stmt.name in EXEMPT_METHODS or stmt.name.endswith("_locked")
+        parents = _build_parent_map(stmt)
+        walker = _MethodWalker(info, stmt.name, parents, exempt)
+        for body_stmt in stmt.body:
+            walker.visit(body_stmt)
+    return info
+
+
+def run(module: ModuleSource) -> list[Finding]:
+    findings: list[Finding] = []
+    for node in ast.walk(module.tree):
+        if not isinstance(node, ast.ClassDef):
+            continue
+        info = _collect_class(node)
+        if not info.lock_attrs:
+            continue
+        # Guarded-by inference: attr -> locks it was written under,
+        # outside exempt methods.
+        guarded: dict[str, set[str]] = {}
+        write_sites: dict[str, int] = {}
+        for acc in info.accesses:
+            if acc.is_write and acc.held and not acc.exempt:
+                guarded.setdefault(acc.attr, set()).update(acc.held)
+                write_sites.setdefault(acc.attr, acc.lineno)
+        for acc in info.accesses:
+            locks = guarded.get(acc.attr)
+            if not locks or acc.exempt:
+                continue
+            if acc.held & locks:
+                continue
+            kind = "written" if acc.is_write else "read"
+            lock_list = ", ".join(f"self.{lock}" for lock in sorted(locks))
+            findings.append(
+                Finding(
+                    checker=CHECKER,
+                    rule="unguarded-access",
+                    path=module.path,
+                    line=acc.lineno,
+                    col=acc.col,
+                    symbol=f"{info.name}.{acc.method}",
+                    message=(
+                        f"'self.{acc.attr}' is guarded by {lock_list} "
+                        f"(first guarded write at line "
+                        f"{write_sites[acc.attr]}) but {kind} here without "
+                        "holding it"
+                    ),
+                )
+            )
+    return findings

@@ -1,0 +1,540 @@
+"""Wire-protocol sync checker.
+
+``net/protocol.py`` declares :data:`FRAME_FIELDS` — the canonical
+per-message-type, per-version list of JSON header fields (``"name"``
+required, ``"name?"`` optional).  This checker cross-references that
+registry against what the code *actually* does:
+
+- registry self-consistency: every :class:`MsgType` member has an
+  entry, version keys are supported, and each version's field list is
+  a strict prefix of the next (the protocol evolves additively — new
+  fields append, nothing reorders or disappears);
+- client/server encoders only write declared fields, and write every
+  required field;
+- decoders only read declared fields, and ``header["x"]`` (required
+  read, raises on absence) is only used for fields that are required
+  in the *base* version — otherwise a v1 peer kills the connection.
+
+The three modules are analysed purely syntactically so the checker
+also runs on fixture snippets in tests.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from .diagnostics import Finding, ModuleSource
+
+CHECKER = "wire-protocol"
+
+# Request type -> response type carrying its reply header.
+RESPONSE_OF = {
+    "SEARCH": "RESULT",
+    "DEPLOY": "OK",
+    "UNDEPLOY": "OK",
+    "STATS": "OK",
+    "PING": "OK",
+}
+#: Response headers multiplex several request types, so requiredness
+#: is per-request and not checkable from the union declaration.
+UNION_TYPES = {"OK"}
+
+
+def _field_name(field: str) -> str:
+    return field[:-1] if field.endswith("?") else field
+
+
+def _required(fields: tuple[str, ...]) -> set[str]:
+    return {f for f in fields if not f.endswith("?")}
+
+
+def _names(fields: tuple[str, ...]) -> set[str]:
+    return {_field_name(f) for f in fields}
+
+
+class _Registry:
+    def __init__(
+        self,
+        frame_fields: dict[str, dict[int, tuple[str, ...]]],
+        msg_types: set[str],
+        supported_versions: tuple[int, ...],
+    ) -> None:
+        self.frame_fields = frame_fields
+        self.msg_types = msg_types
+        self.supported_versions = supported_versions
+
+    def all_names(self, msg: str) -> set[str]:
+        out: set[str] = set()
+        for fields in self.frame_fields.get(msg, {}).values():
+            out |= _names(fields)
+        return out
+
+    def base_required(self, msg: str) -> set[str]:
+        versions = self.frame_fields.get(msg, {})
+        if not versions:
+            return set()
+        return _required(versions[min(versions)])
+
+    def max_required(self, msg: str) -> set[str]:
+        versions = self.frame_fields.get(msg, {})
+        if not versions:
+            return set()
+        return _required(versions[max(versions)])
+
+
+def _extract_registry(
+    protocol: ModuleSource, findings: list[Finding]
+) -> _Registry | None:
+    frame_fields = None
+    supported: tuple[int, ...] = ()
+    msg_types: set[str] = set()
+    for node in ast.walk(protocol.tree):
+        if isinstance(node, ast.Assign):
+            for target in node.targets:
+                if not isinstance(target, ast.Name):
+                    continue
+                if target.id == "FRAME_FIELDS":
+                    try:
+                        frame_fields = ast.literal_eval(node.value)
+                    except ValueError:
+                        findings.append(
+                            Finding(
+                                checker=CHECKER,
+                                rule="registry",
+                                path=protocol.path,
+                                line=node.lineno,
+                                message="FRAME_FIELDS must be a literal "
+                                "dict of {msg: {version: (fields...)}}",
+                            )
+                        )
+                elif target.id == "SUPPORTED_VERSIONS":
+                    try:
+                        supported = tuple(ast.literal_eval(node.value))
+                    except ValueError:
+                        pass
+        elif isinstance(node, ast.ClassDef) and node.name == "MsgType":
+            for stmt in node.body:
+                if isinstance(stmt, ast.Assign):
+                    for target in stmt.targets:
+                        if isinstance(target, ast.Name):
+                            msg_types.add(target.id)
+    if frame_fields is None:
+        findings.append(
+            Finding(
+                checker=CHECKER,
+                rule="registry",
+                path=protocol.path,
+                line=1,
+                message="protocol module declares no FRAME_FIELDS registry",
+            )
+        )
+        return None
+    return _Registry(frame_fields, msg_types, supported)
+
+
+def _check_registry(
+    reg: _Registry, protocol: ModuleSource, findings: list[Finding]
+) -> None:
+    def flag(message: str) -> None:
+        findings.append(
+            Finding(
+                checker=CHECKER,
+                rule="registry",
+                path=protocol.path,
+                line=1,
+                symbol="FRAME_FIELDS",
+                message=message,
+            )
+        )
+
+    for msg in sorted(reg.msg_types - reg.frame_fields.keys()):
+        flag(f"MsgType.{msg} has no FRAME_FIELDS entry")
+    for msg in sorted(reg.frame_fields.keys() - reg.msg_types):
+        flag(f"FRAME_FIELDS declares unknown message type {msg!r}")
+    for msg, versions in reg.frame_fields.items():
+        ordered = sorted(versions)
+        for version in ordered:
+            if reg.supported_versions and version not in reg.supported_versions:
+                flag(
+                    f"{msg}: version {version} is not in SUPPORTED_VERSIONS "
+                    f"{reg.supported_versions}"
+                )
+        if reg.supported_versions and min(reg.supported_versions) not in versions:
+            flag(
+                f"{msg}: missing the base version "
+                f"{min(reg.supported_versions)} field list"
+            )
+        for lower, higher in zip(ordered, ordered[1:]):
+            low, high = versions[lower], versions[higher]
+            if tuple(high[: len(low)]) != tuple(low):
+                flag(
+                    f"{msg}: v{lower} fields {low} are not a prefix of "
+                    f"v{higher} fields {high} — the protocol must evolve "
+                    "additively (append only, same order)"
+                )
+
+
+def _header_keys_of_function(
+    fn: ast.FunctionDef | ast.AsyncFunctionDef, param: str = "header"
+) -> tuple[set[str], set[str], set[str]]:
+    """(written, required_reads, optional_reads) on ``param`` inside fn."""
+    written: set[str] = set()
+    required: set[str] = set()
+    optional: set[str] = set()
+    for node in ast.walk(fn):
+        if (
+            isinstance(node, ast.Subscript)
+            and isinstance(node.value, ast.Name)
+            and node.value.id == param
+            and isinstance(node.slice, ast.Constant)
+            and isinstance(node.slice.value, str)
+        ):
+            if isinstance(node.ctx, (ast.Store, ast.Del)):
+                written.add(node.slice.value)
+            else:
+                required.add(node.slice.value)
+        elif (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr == "get"
+            and isinstance(node.func.value, ast.Name)
+            and node.func.value.id == param
+            and node.args
+            and isinstance(node.args[0], ast.Constant)
+            and isinstance(node.args[0].value, str)
+        ):
+            optional.add(node.args[0].value)
+    return written, required, optional
+
+
+def _dict_literal_keys(node: ast.expr) -> set[str] | None:
+    if isinstance(node, ast.Dict):
+        keys = set()
+        for key in node.keys:
+            if isinstance(key, ast.Constant) and isinstance(key.value, str):
+                keys.add(key.value)
+        return keys
+    return None
+
+
+def _functions(tree: ast.Module):
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            yield node
+
+
+def _msgtype_refs(node: ast.AST) -> set[str]:
+    out = set()
+    for sub in ast.walk(node):
+        if (
+            isinstance(sub, ast.Attribute)
+            and isinstance(sub.value, ast.Name)
+            and sub.value.id == "MsgType"
+        ):
+            out.add(sub.attr)
+    return out
+
+
+def _check_encoders(
+    reg: _Registry, module: ModuleSource, findings: list[Finding]
+) -> None:
+    """Every ``call(MsgType.X, <header>)`` / ``encode_frame(MsgType.X,
+    <header>)`` site writes only declared fields and all required ones."""
+
+    # Header-builder helpers: local functions returning a dict literal
+    # they then extend via header["k"] = ... .
+    helper_keys: dict[str, set[str]] = {}
+    # Forwarding encoders: functions whose body passes their own
+    # parameter straight into encode_frame(MsgType.X, <param>), like the
+    # server's _ok/_result — a call to them encodes X.
+    forwarders: dict[str, str] = {}
+    for fn in _functions(module.tree):
+        keys: set[str] = set()
+        for node in ast.walk(fn):
+            if isinstance(node, ast.Assign) and isinstance(node.value, ast.Dict):
+                literal = _dict_literal_keys(node.value)
+                if literal is not None:
+                    keys |= literal
+            elif isinstance(node, ast.Return) and node.value is not None:
+                literal = _dict_literal_keys(node.value)
+                if literal:
+                    keys |= literal
+        written, _, _ = _header_keys_of_function(fn)
+        header_arg = keys | written
+        if header_arg:
+            helper_keys[fn.name] = header_arg
+        params = {a.arg for a in fn.args.args}
+        for node in ast.walk(fn):
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Name)
+                and node.func.id in ("encode_frame", "encode_frame_bytes")
+                and len(node.args) >= 2
+                and isinstance(node.args[0], ast.Attribute)
+                and isinstance(node.args[0].value, ast.Name)
+                and node.args[0].value.id == "MsgType"
+                and isinstance(node.args[1], ast.Name)
+                and node.args[1].id in params
+            ):
+                forwarders[fn.name] = node.args[0].attr
+
+    def local_dict_keys(fn: ast.AST, name: str) -> set[str] | None:
+        """Keys of a dict variable built inside ``fn``: its literal
+        initialiser plus every ``name["k"] = ...`` store."""
+        keys: set[str] | None = None
+        for node in ast.walk(fn):
+            value = None
+            if isinstance(node, ast.Assign) and any(
+                isinstance(t, ast.Name) and t.id == name for t in node.targets
+            ):
+                value = node.value
+            elif (
+                isinstance(node, ast.AnnAssign)
+                and isinstance(node.target, ast.Name)
+                and node.target.id == name
+            ):
+                value = node.value
+            if value is not None:
+                literal = _dict_literal_keys(value)
+                if literal is not None:
+                    keys = (keys or set()) | literal
+        if keys is None:
+            return None
+        written, _, _ = _header_keys_of_function(fn, param=name)
+        return keys | written
+
+    def encoded_keys(expr: ast.expr, enclosing: ast.AST) -> set[str] | None:
+        literal = _dict_literal_keys(expr)
+        if literal is not None:
+            return literal
+        if isinstance(expr, ast.Call):
+            name = (
+                expr.func.id
+                if isinstance(expr.func, ast.Name)
+                else expr.func.attr
+                if isinstance(expr.func, ast.Attribute)
+                else ""
+            )
+            return helper_keys.get(name)
+        if isinstance(expr, ast.Name):
+            return local_dict_keys(enclosing, expr.id)
+        return None
+
+    sites: list[tuple[str, ast.Call, ast.AST]] = []
+    for fn in _functions(module.tree):
+        for node in ast.walk(fn):
+            if not isinstance(node, ast.Call) or not node.args:
+                continue
+            func_name = (
+                node.func.attr
+                if isinstance(node.func, ast.Attribute)
+                else node.func.id
+                if isinstance(node.func, ast.Name)
+                else ""
+            )
+            if func_name in forwarders:
+                sites.append((forwarders[func_name], node, fn))
+                continue
+            if func_name not in ("call", "encode_frame", "encode_frame_bytes"):
+                continue
+            first = node.args[0]
+            if not (
+                isinstance(first, ast.Attribute)
+                and isinstance(first.value, ast.Name)
+                and first.value.id == "MsgType"
+            ):
+                continue
+            if len(node.args) < 2:
+                continue
+            sites.append((first.attr, node, fn))
+
+    for msg, node, enclosing in sites:
+        header_expr = (
+            node.args[0]
+            if (
+                isinstance(node.func, ast.Attribute)
+                and node.func.attr in forwarders
+            )
+            or (isinstance(node.func, ast.Name) and node.func.id in forwarders)
+            else node.args[1]
+        )
+        keys = encoded_keys(header_expr, enclosing)
+        if keys is None:
+            continue
+        declared = reg.all_names(msg)
+        required = reg.max_required(msg)
+        for key in sorted(keys - declared):
+            findings.append(
+                Finding(
+                    checker=CHECKER,
+                    rule="undeclared-field",
+                    path=module.path,
+                    line=node.lineno,
+                    message=(
+                        f"{msg} frame encodes header field {key!r} which "
+                        "FRAME_FIELDS does not declare — add it to the "
+                        "registry (new version) or drop it"
+                    ),
+                )
+            )
+        if msg not in UNION_TYPES:
+            for key in sorted(required - keys):
+                findings.append(
+                    Finding(
+                        checker=CHECKER,
+                        rule="missing-required-field",
+                        path=module.path,
+                        line=node.lineno,
+                        message=(
+                            f"{msg} frame omits required header field "
+                            f"{key!r} declared in FRAME_FIELDS"
+                        ),
+                    )
+                )
+
+
+def _check_server_decoders(
+    reg: _Registry, server: ModuleSource, findings: list[Finding]
+) -> None:
+    """Attribute ``header[...]``/``header.get(...)`` reads to the
+    ``msg_type == MsgType.X`` branch they sit in (following helper
+    methods that take a ``header`` parameter)."""
+
+    helper_reads: dict[str, tuple[set[str], set[str]]] = {}
+    for fn in _functions(server.tree):
+        params = {a.arg for a in fn.args.args}
+        if "header" in params:
+            _, required, optional = _header_keys_of_function(fn)
+            if required or optional:
+                helper_reads[fn.name] = (required, optional)
+
+    def check_branch(msg: str, body: list[ast.stmt]) -> None:
+        required: set[str] = set()
+        optional: set[str] = set()
+        wrapper = ast.Module(body=body, type_ignores=[])
+        for node in ast.walk(wrapper):
+            if (
+                isinstance(node, ast.Subscript)
+                and isinstance(node.value, ast.Name)
+                and node.value.id == "header"
+                and isinstance(node.slice, ast.Constant)
+                and isinstance(node.slice.value, str)
+                and not isinstance(node.ctx, (ast.Store, ast.Del))
+            ):
+                required.add(node.slice.value)
+            elif (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr == "get"
+                and isinstance(node.func.value, ast.Name)
+                and node.func.value.id == "header"
+                and node.args
+                and isinstance(node.args[0], ast.Constant)
+            ):
+                optional.add(node.args[0].value)
+            # Helper dispatch: self._deploy(header), partial(self._deploy, header)
+            if isinstance(node, (ast.Name, ast.Attribute)):
+                name = node.attr if isinstance(node, ast.Attribute) else node.id
+                if name in helper_reads:
+                    helper_req, helper_opt = helper_reads[name]
+                    required |= helper_req
+                    optional |= helper_opt
+        declared = reg.all_names(msg)
+        base_required = reg.base_required(msg)
+        lineno = body[0].lineno if body else 1
+        for key in sorted((required | optional) - declared):
+            findings.append(
+                Finding(
+                    checker=CHECKER,
+                    rule="undeclared-field",
+                    path=server.path,
+                    line=lineno,
+                    message=(
+                        f"{msg} handler reads header field {key!r} which "
+                        "FRAME_FIELDS does not declare for it"
+                    ),
+                )
+            )
+        if msg not in UNION_TYPES:
+            for key in sorted(required & declared - base_required):
+                findings.append(
+                    Finding(
+                        checker=CHECKER,
+                        rule="optional-read-as-required",
+                        path=server.path,
+                        line=lineno,
+                        message=(
+                            f"{msg} handler reads header[{key!r}] "
+                            "unconditionally, but FRAME_FIELDS declares it "
+                            "optional/versioned — use header.get() so "
+                            "older peers stay compatible"
+                        ),
+                    )
+                )
+
+    for node in ast.walk(server.tree):
+        if not isinstance(node, ast.If):
+            continue
+        test = node.test
+        if (
+            isinstance(test, ast.Compare)
+            and len(test.ops) == 1
+            and isinstance(test.ops[0], ast.Eq)
+        ):
+            sides = [test.left] + list(test.comparators)
+            for side in sides:
+                if (
+                    isinstance(side, ast.Attribute)
+                    and isinstance(side.value, ast.Name)
+                    and side.value.id == "MsgType"
+                    and side.attr in reg.frame_fields
+                ):
+                    check_branch(side.attr, node.body)
+
+
+def _check_client_decoders(
+    reg: _Registry, module: ModuleSource, findings: list[Finding]
+) -> None:
+    """Response-header reads in functions that speak exactly one
+    request type must stay within the declared response fields."""
+    for fn in _functions(module.tree):
+        refs = _msgtype_refs(fn) & RESPONSE_OF.keys()
+        if len(refs) != 1:
+            continue
+        response = RESPONSE_OF[next(iter(refs))]
+        _, required, optional = _header_keys_of_function(fn)
+        declared = reg.all_names(response)
+        for key in sorted((required | optional) - declared):
+            findings.append(
+                Finding(
+                    checker=CHECKER,
+                    rule="undeclared-field",
+                    path=module.path,
+                    line=fn.lineno,
+                    symbol=fn.name,
+                    message=(
+                        f"{fn.name}() reads {response} header field "
+                        f"{key!r} which FRAME_FIELDS does not declare"
+                    ),
+                )
+            )
+
+
+def run_wire(
+    protocol: ModuleSource,
+    client: ModuleSource | None = None,
+    server: ModuleSource | None = None,
+) -> list[Finding]:
+    findings: list[Finding] = []
+    reg = _extract_registry(protocol, findings)
+    if reg is None:
+        return findings
+    _check_registry(reg, protocol, findings)
+    _check_encoders(reg, protocol, findings)  # error_frame lives here
+    if client is not None:
+        _check_encoders(reg, client, findings)
+        _check_client_decoders(reg, client, findings)
+    if server is not None:
+        _check_encoders(reg, server, findings)
+        _check_server_decoders(reg, server, findings)
+    return findings

@@ -37,6 +37,7 @@ import numpy as np
 
 from repro.core.config import LannsConfig
 from repro.data.io import read_fvecs
+from repro.errors import LannsError
 from repro.hnsw.params import HnswParams
 from repro.offline.indexing import build_index_job
 from repro.offline.querying import query_index_job
@@ -262,8 +263,10 @@ def _query_remote(
         if deployed:
             try:
                 service.undeploy("default")
-            except Exception:
-                pass
+            except (LannsError, OSError) as exc:
+                # Cleanup is best-effort (the fleet may already be gone),
+                # but the operator should know the undeploy didn't land.
+                print(f"warning: undeploy failed: {exc}", file=sys.stderr)
         service.close()
     return 0
 
@@ -425,6 +428,18 @@ def _cmd_bench(args: argparse.Namespace) -> int:
             f"(hits: {load['core_stats']['cache']['hits']})"
         )
     return 0
+
+
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from repro.analysis.linter import main as lint_main
+
+    argv = list(args.paths)
+    argv += ["--format", args.format]
+    if args.baseline:
+        argv += ["--baseline", args.baseline]
+    if args.no_baseline:
+        argv.append("--no-baseline")
+    return lint_main(argv)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -744,6 +759,35 @@ def build_parser() -> argparse.ArgumentParser:
     )
     bench.add_argument("--seed", type=int, default=0)
     bench.set_defaults(handler=_cmd_bench)
+
+    lint = commands.add_parser(
+        "lint",
+        help=(
+            "run the repo-specific invariant linter (lock discipline, "
+            "asyncio hygiene, determinism, error discipline, wire-protocol "
+            "sync)"
+        ),
+    )
+    lint.add_argument(
+        "paths", nargs="*", help="files or directories (default: src/repro)"
+    )
+    lint.add_argument(
+        "--format",
+        choices=["text", "github"],
+        default="text",
+        help="diagnostic format: human text or GitHub ::error annotations",
+    )
+    lint.add_argument(
+        "--baseline",
+        default=None,
+        help="suppression baseline (default: src/repro/analysis/baseline.toml)",
+    )
+    lint.add_argument(
+        "--no-baseline",
+        action="store_true",
+        help="report every finding, ignoring the baseline",
+    )
+    lint.set_defaults(handler=_cmd_lint)
     return parser
 
 

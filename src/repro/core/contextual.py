@@ -15,7 +15,7 @@ Example::
 
 from __future__ import annotations
 
-from typing import Sequence
+from collections.abc import Sequence
 
 import numpy as np
 
@@ -171,7 +171,9 @@ def build_contextual_index(
             seed=seed,
         )
     except ConfigError as error:
-        raise ConfigError(f"invalid contextual index parameters: {error}")
+        raise ConfigError(
+            f"invalid contextual index parameters: {error}"
+        ) from error
 
     sharder = HashSharder(num_shards)
     shard_rows = sharder.partition(ids.tolist())

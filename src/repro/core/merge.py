@@ -13,7 +13,7 @@ dedupes by id (keeping the best distance).
 
 from __future__ import annotations
 
-from typing import Sequence
+from collections.abc import Sequence
 
 import numpy as np
 

@@ -10,8 +10,8 @@ on disk for comparison against the paper.
 from __future__ import annotations
 
 import json
+from collections.abc import Mapping, Sequence
 from pathlib import Path
-from typing import Mapping, Sequence
 
 
 def _render_cell(value) -> str:

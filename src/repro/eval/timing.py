@@ -5,7 +5,7 @@ from __future__ import annotations
 import threading
 import time
 from collections import deque
-from typing import Callable
+from collections.abc import Callable
 
 import numpy as np
 

@@ -438,7 +438,7 @@ class HnswIndex:
         by_bound: dict[int, tuple[list[int], list[list[tuple[float, int]]]]]
         by_bound = {}
         offset = 0
-        for position, (node, layer) in enumerate(targets):
+        for position, (_node, layer) in enumerate(targets):
             nbrs = neighbor_lists[position]
             problem = list(zip(dists[offset : offset + len(nbrs)], nbrs))
             offset += len(nbrs)

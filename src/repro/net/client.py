@@ -570,7 +570,9 @@ class AsyncRemoteSearcherClient:
         _, writer = conn
         try:
             writer.close()
-        except Exception:
+        except (OSError, RuntimeError):
+            # Already-dead transport or already-closed event loop: the
+            # connection is gone either way, which is all close() wanted.
             pass
         self._count("closes")
 

@@ -163,13 +163,13 @@ def launch_searcher(
             process.wait(timeout=30)
         # The child is dead: salvage whatever it printed after the last
         # readiness read (the traceback, usually) into the log.
-        with contextlib.suppress(Exception):
+        with contextlib.suppress(OSError, ValueError):
             while True:
                 tail = process.stdout.read(65536)
                 if not tail:
                     break
                 log_file.write(tail)
-        with contextlib.suppress(Exception):
+        with contextlib.suppress(OSError, ValueError):
             log_file.close()
         raise
     _drain_output(process, log_file)
@@ -277,7 +277,7 @@ def _drain_output(process: subprocess.Popen, log_file) -> None:
                 log_file.write(line)
                 log_file.flush()
         finally:
-            with contextlib.suppress(Exception):
+            with contextlib.suppress(OSError, ValueError):
                 log_file.close()
 
     threading.Thread(target=drain, daemon=True).start()
@@ -326,7 +326,9 @@ def shutdown_fleet(fleet: list[SearcherProcess]) -> None:
     for searcher in fleet:
         try:
             searcher.terminate()
-        except Exception:
+        except (OSError, subprocess.SubprocessError):
+            # Already-dead child (or one that ignored SIGKILL past the
+            # wait timeout): nothing more a best-effort stop can do.
             pass
 
 

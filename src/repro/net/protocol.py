@@ -81,6 +81,38 @@ class MsgType(IntEnum):
     ERROR = 18
 
 
+#: Canonical JSON-header field registry, per message type and protocol
+#: version: ``{msg_name: {version: (field, ...)}}``.  A trailing ``?``
+#: marks a field the encoder may omit (decoders must use
+#: ``header.get``); unmarked fields are always present.  The protocol
+#: evolves additively: each version's tuple must be a *prefix* of the
+#: next one — new fields append, nothing reorders or disappears — so a
+#: v1 peer can always decode the required core of a v2 frame.  The
+#: ``wire-protocol`` checker in :mod:`repro.analysis` cross-references
+#: this table against the actual encode/decode sites in ``client.py``
+#: and ``server.py``; extend it in the same change as the code.
+#:
+#: ``OK`` is a union: it answers DEPLOY/UNDEPLOY (``hosted``), STATS
+#: (``stats``) and PING (``shard_id``), so all of its fields are
+#: per-request optional.
+FRAME_FIELDS = {
+    "SEARCH": {
+        1: ("index", "top_k", "ef", "probes?"),
+        2: ("index", "top_k", "ef", "probes?", "trace?", "cost?"),
+    },
+    "DEPLOY": {1: ("index", "path", "root?")},
+    "UNDEPLOY": {1: ("index",)},
+    "STATS": {1: ()},
+    "PING": {1: ()},
+    "RESULT": {
+        1: ("index",),
+        2: ("index", "cost?", "trace?"),
+    },
+    "OK": {1: ("hosted?", "stats?", "shard_id?")},
+    "ERROR": {1: ("error_type", "message")},
+}
+
+
 # -- encoding ------------------------------------------------------------------------
 def encode_frame(
     msg_type: int,
@@ -122,7 +154,7 @@ def encode_frame(
             memoryview(array).cast("B") if array.size else b""
         )
     header["arrays"] = metas
-    header_bytes = json.dumps(header, separators=(",", ":")).encode("utf-8")
+    header_bytes = json.dumps(header, separators=(",", ":")).encode()
     if len(header_bytes) > MAX_HEADER_BYTES:
         raise ProtocolError(
             f"header of {len(header_bytes)} bytes exceeds "

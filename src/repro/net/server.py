@@ -138,7 +138,7 @@ class SearcherServer:
                 except ProtocolError as exc:
                     # Tell the peer what broke, then drop the connection:
                     # after a garbled frame the stream offset is unknown.
-                    with contextlib.suppress(Exception):
+                    with contextlib.suppress(OSError, RuntimeError):
                         for buffer in error_frame(exc):
                             writer.write(buffer)
                         await writer.drain()
@@ -158,7 +158,7 @@ class SearcherServer:
             # Shutdown cancels in-flight handler tasks; swallowing the
             # CancelledError here is fine -- the connection is closed
             # and the task has nothing left to do.
-            with contextlib.suppress(Exception, asyncio.CancelledError):
+            with contextlib.suppress(OSError, asyncio.CancelledError):
                 await writer.wait_closed()
 
     async def _dispatch(

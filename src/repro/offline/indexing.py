@@ -126,7 +126,7 @@ def build_index_job(
         checksums[segment_file(shard, segment)] = checksum
         shard_sizes[shard] += count
         segment_sizes[shard][segment] = count
-    segmenter_raw = json.dumps(segmenter.to_dict()).encode("utf-8")
+    segmenter_raw = json.dumps(segmenter.to_dict()).encode()
     fs.write_bytes(f"{output_path}/segmenter.json", segmenter_raw)
     checksums["segmenter.json"] = _checksum(segmenter_raw)
     manifest = IndexManifest(

@@ -458,6 +458,15 @@ class Broker:
 
     def stats(self) -> dict:
         """Serving counters: cache, micro-batching, per-stage latency."""
+        with self._served_lock:
+            # Snapshot every counter the serving threads bump under this
+            # lock, so a stats() scrape never reads a half-updated view.
+            hedges = self.hedges
+            hedge_wins = self.hedge_wins
+            failovers = self.failovers
+            queries_served = self.queries_served
+            degraded_batches = self.degraded_batches
+            shard_failures = list(self.shard_failures)
         return {
             "cache": self.cache.stats.as_dict(),
             "microbatch": dict(self._batcher.stats)
@@ -469,18 +478,18 @@ class Broker:
             else 0,
             "async_fanout": self.async_fanout,
             "hedge_after_s": self.hedge_after_s,
-            "hedges": self.hedges,
-            "hedge_wins": self.hedge_wins,
-            "failovers": self.failovers,
-            "queries_served": self.queries_served,
+            "hedges": hedges,
+            "hedge_wins": hedge_wins,
+            "failovers": failovers,
+            "queries_served": queries_served,
             "collect_cost": self.collect_cost,
             "tracer": self.tracer.stats(),
             "replicas": [group.stats() for group in self.groups],
             "partial": {
                 "policy": self.partial_policy,
                 "request_timeout_s": self.request_timeout_s,
-                "degraded_batches": self.degraded_batches,
-                "shard_failures": list(self.shard_failures),
+                "degraded_batches": degraded_batches,
+                "shard_failures": shard_failures,
             },
             # The fleet is shared between brokers (A/B deployments), so
             # this counts ALL traffic the searchers saw, not just ours.

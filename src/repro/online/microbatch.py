@@ -26,9 +26,9 @@ from __future__ import annotations
 import threading
 import time
 from collections import deque
+from collections.abc import Callable, Hashable
 from concurrent.futures import Future
 from dataclasses import dataclass, field
-from typing import Callable, Hashable
 
 import numpy as np
 
@@ -245,13 +245,17 @@ class MicroBatcher:
                     [block.queries for block in blocks], axis=0
                 )
             )
-            self.stats["batches_executed"] += 1
-            self.stats["rows_executed"] += int(stacked.shape[0])
-            self.stats["flush_reasons"][reason] += 1
+            with self._cond:
+                # submit() mutates these counters under the condition's
+                # lock; the flusher thread must too, or concurrent bumps
+                # lose increments.
+                self.stats["batches_executed"] += 1
+                self.stats["rows_executed"] += int(stacked.shape[0])
+                self.stats["flush_reasons"][reason] += 1
+                self.stats["largest_batch"] = max(
+                    self.stats["largest_batch"], int(stacked.shape[0])
+                )
             _FLUSHES.inc(reason=reason)
-            self.stats["largest_batch"] = max(
-                self.stats["largest_batch"], int(stacked.shape[0])
-            )
             parts = self._execute(key, stacked)
             start = 0
             for block in blocks:

@@ -22,8 +22,8 @@ tried and ask for a different one.
 from __future__ import annotations
 
 import threading
+from collections.abc import Iterable, Sequence
 from statistics import median
-from typing import Iterable, Sequence
 
 from repro.net.transport import SearcherTransport, as_transport
 from repro.obs.metrics import get_registry
@@ -98,11 +98,13 @@ class ReplicaGroup:
         self._lock = threading.Lock()
 
     def __len__(self) -> int:
-        return len(self.replicas)
+        with self._lock:
+            return len(self.replicas)
 
     @property
     def transports(self) -> list[SearcherTransport]:
-        return [replica.transport for replica in self.replicas]
+        with self._lock:
+            return [replica.transport for replica in self.replicas]
 
     # -- selection ---------------------------------------------------------------
     def pick(

@@ -25,7 +25,7 @@ from __future__ import annotations
 
 import time
 import warnings
-from typing import Callable, Sequence
+from collections.abc import Callable, Sequence
 
 import numpy as np
 
@@ -350,6 +350,8 @@ class OnlineService:
                     "no searcher in the fleet confirmed the deploy"
                 ) from unreachable
         except Exception:
+            # Broad on purpose, and NOT a swallow: any failure rolls the
+            # partially-deployed index back off the fleet, then re-raises.
             for transport in rollback:
                 try:
                     transport.undeploy(index_name)

@@ -17,7 +17,7 @@ merging, perShardTopK) is reused unchanged through
 
 from __future__ import annotations
 
-from typing import Iterable, Sequence
+from collections.abc import Iterable, Sequence
 
 import numpy as np
 

@@ -21,7 +21,7 @@ def stable_hash(key: int | str) -> int:
 
     63 bits (not 64) so values fit in a signed int64 numpy array.
     """
-    digest = hashlib.md5(str(key).encode("utf-8")).digest()
+    digest = hashlib.md5(str(key).encode()).digest()
     return int.from_bytes(digest[:8], "little") & 0x7FFF_FFFF_FFFF_FFFF
 
 

@@ -9,7 +9,7 @@ the per-stage metrics easy to attribute.
 
 from __future__ import annotations
 
-from typing import Callable, Sequence
+from collections.abc import Callable, Sequence
 
 from repro.sharding.sharder import stable_hash
 

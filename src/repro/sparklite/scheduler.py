@@ -16,7 +16,7 @@ single task) is preserved.
 from __future__ import annotations
 
 import heapq
-from typing import Sequence
+from collections.abc import Sequence
 
 
 def lpt_assignment(

@@ -19,8 +19,8 @@ import os
 import shutil
 import tempfile
 import uuid
+from collections.abc import Iterator
 from pathlib import Path
-from typing import Iterator
 
 from repro.errors import StorageError
 
@@ -62,7 +62,7 @@ class LocalHdfs:
 
     def write_text(self, path: str, text: str) -> None:
         """Atomically write UTF-8 text."""
-        self.write_bytes(path, text.encode("utf-8"))
+        self.write_bytes(path, text.encode())
 
     def write_json(self, path: str, payload) -> None:
         """Atomically write a JSON document."""

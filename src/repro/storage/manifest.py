@@ -145,7 +145,7 @@ def save_lanns_index(
             data = hnsw_to_bytes(segment)
             fs.write_bytes(f"{path}/{relative}", data)
             checksums[relative] = _checksum(data)
-    segmenter_raw = json.dumps(index.segmenter.to_dict()).encode("utf-8")
+    segmenter_raw = json.dumps(index.segmenter.to_dict()).encode()
     fs.write_bytes(f"{path}/segmenter.json", segmenter_raw)
     checksums["segmenter.json"] = _checksum(segmenter_raw)
     manifest = IndexManifest(

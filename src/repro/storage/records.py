@@ -69,7 +69,7 @@ def _encode_field(field_type: str, value) -> bytes:
     if field_type == "float":
         return struct.pack("<d", float(value))
     if field_type == "str":
-        raw = str(value).encode("utf-8")
+        raw = str(value).encode()
         return struct.pack("<I", len(raw)) + raw
     if field_type == "bytes":
         raw = bytes(value)
@@ -116,7 +116,7 @@ class _Reader:
 def write_records(schema: RecordSchema, records: list[dict]) -> bytes:
     """Serialize ``records`` (dicts keyed by field name) under ``schema``."""
     parts = [_MAGIC, struct.pack("<B", _VERSION)]
-    schema_raw = schema.to_json().encode("utf-8")
+    schema_raw = schema.to_json().encode()
     parts.append(struct.pack("<I", len(schema_raw)))
     parts.append(schema_raw)
     parts.append(struct.pack("<I", len(records)))

@@ -9,7 +9,7 @@ the root is then the current worst candidate and can be evicted in O(log k).
 from __future__ import annotations
 
 import heapq
-from typing import Iterable, Iterator, Sequence
+from collections.abc import Iterable, Iterator, Sequence
 
 
 class TopKHeap:

@@ -8,6 +8,8 @@ one does not.
 
 from __future__ import annotations
 
+import os
+
 import numpy as np
 import pytest
 
@@ -63,3 +65,28 @@ def fs(tmp_path) -> LocalHdfs:
 def cluster(fs) -> LocalCluster:
     """A 4-executor inline cluster with the tmp filesystem attached."""
     return LocalCluster(num_executors=4, fs=fs)
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _concurrency_sanitizer():
+    """Run the whole suite under the concurrency sanitizer.
+
+    Enabled by ``REPRO_SANITIZE=1``: every lock created during the run
+    is tracked, lock-order inversions and blocking calls made while
+    holding a lock are recorded, and the session fails at teardown if
+    anything was found — the stress/property tests double as race
+    tests.  Off by default (zero overhead).
+    """
+    if os.environ.get("REPRO_SANITIZE") != "1":
+        yield
+        return
+    from repro.analysis import sanitizer
+
+    sanitizer.install()
+    sanitizer.reset()
+    yield
+    found = sanitizer.violations()
+    assert not found, (
+        f"concurrency sanitizer recorded {len(found)} violation(s):\n"
+        + sanitizer.format_violations()
+    )

@@ -1,0 +1,590 @@
+"""Tests for the repo-specific invariant linter (``repro.analysis``).
+
+Each checker gets a must-flag fixture (a seeded violation it has to
+catch) and a must-pass fixture (idiomatic code it must not flag),
+including the known false-positive traps: lock-free initialisation in
+``__init__``, ``*_locked`` helper methods, executor thunks nested in
+async defs, and ``.result()`` on a completed asyncio task.
+"""
+
+import textwrap
+
+import pytest
+
+from repro.analysis import check_async, check_determinism, check_errors, check_locks
+from repro.analysis.baseline import (
+    BaselineError,
+    Suppression,
+    apply_baseline,
+    parse_baseline,
+)
+from repro.analysis.check_wire import run_wire
+from repro.analysis.diagnostics import Finding, ModuleSource, enclosing_symbol
+from repro.analysis.linter import default_repo_root, main, run_lint
+
+
+def _mod(source: str, path: str = "src/repro/net/example.py") -> ModuleSource:
+    return ModuleSource.parse(path, textwrap.dedent(source))
+
+
+def _rules(findings) -> set:
+    return {(f.checker, f.rule) for f in findings}
+
+
+# -- lock-discipline ----------------------------------------------------------------
+
+
+class TestLockDiscipline:
+
+    GUARDED = """
+        import threading
+
+        class Ledger:
+            def __init__(self):
+                self._lock = threading.Lock()
+                self._items = []
+                self.total = 0
+
+            def add(self, item):
+                with self._lock:
+                    self._items.append(item)
+                    self.total += 1
+        """
+
+    ROGUE = GUARDED + """
+            def rogue(self, item):
+                self._items.append(item)
+        """
+
+    def test_unguarded_write_flagged(self):
+        findings = check_locks.run(_mod(self.ROGUE))
+        assert ("lock-discipline", "unguarded-access") in _rules(findings)
+        (finding,) = [f for f in findings if f.rule == "unguarded-access"]
+        assert "Ledger.rogue" in finding.symbol
+        assert "_items" in finding.message
+
+    def test_guarded_class_clean(self):
+        assert check_locks.run(_mod(self.GUARDED)) == []
+
+    def test_init_lockfree_setup_not_flagged(self):
+        # __init__ builds state before the object escapes; requiring the
+        # lock there is the classic guarded-by false positive.
+        source = """
+            import threading
+
+            class Cache:
+                def __init__(self, seed):
+                    self._lock = threading.Lock()
+                    self._entries = {}
+                    self._entries.update(seed)
+
+                def put(self, key, value):
+                    with self._lock:
+                        self._entries[key] = value
+            """
+        assert check_locks.run(_mod(source)) == []
+
+    def test_locked_suffix_helper_exempt(self):
+        # *_locked helpers document "caller holds the lock" — the checker
+        # must trust that convention instead of flagging every call.
+        source = """
+            import threading
+
+            class Queue:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self._pending = []
+
+                def push(self, item):
+                    with self._lock:
+                        self._pending.append(item)
+
+                def _drain_locked(self):
+                    drained = list(self._pending)
+                    self._pending.clear()
+                    return drained
+            """
+        assert check_locks.run(_mod(source)) == []
+
+    def test_unlocked_class_ignored(self):
+        # No lock attribute -> no guarded-by inference at all.
+        source = """
+            class Plain:
+                def __init__(self):
+                    self.items = []
+
+                def add(self, item):
+                    self.items.append(item)
+            """
+        assert check_locks.run(_mod(source)) == []
+
+
+# -- asyncio-hygiene ----------------------------------------------------------------
+
+
+class TestAsyncHygiene:
+
+    def test_time_sleep_in_async_def_flagged(self):
+        source = """
+            import time
+
+            async def poll():
+                time.sleep(0.1)
+            """
+        findings = check_async.run(_mod(source))
+        assert ("asyncio-hygiene", "blocking-sleep") in _rules(findings)
+
+    def test_asyncio_sleep_clean(self):
+        source = """
+            import asyncio
+
+            async def poll():
+                await asyncio.sleep(0.1)
+            """
+        assert check_async.run(_mod(source)) == []
+
+    def test_sync_def_not_in_scope(self):
+        source = """
+            import time
+
+            def worker():
+                time.sleep(0.1)
+            """
+        assert check_async.run(_mod(source)) == []
+
+    def test_executor_thunk_nested_in_async_def_clean(self):
+        # The blocking call lives in a nested sync def handed to
+        # run_in_executor — exactly how blocking work *should* be done.
+        source = """
+            import asyncio
+            import time
+
+            async def search(loop):
+                def blocking():
+                    time.sleep(0.5)
+                    return 42
+
+                return await loop.run_in_executor(None, blocking)
+            """
+        assert check_async.run(_mod(source)) == []
+
+    def test_future_result_flagged(self):
+        source = """
+            async def gather(future):
+                return future.result()
+            """
+        findings = check_async.run(_mod(source))
+        assert ("asyncio-hygiene", "future-result") in _rules(findings)
+
+    def test_result_on_completed_task_clean(self):
+        # .result() on an awaited asyncio.Task never blocks.
+        source = """
+            import asyncio
+
+            async def gather(coro):
+                task = asyncio.create_task(coro)
+                await asyncio.wait([task])
+                return task.result()
+            """
+        assert check_async.run(_mod(source)) == []
+
+    def test_sync_socket_recv_flagged(self):
+        source = """
+            async def read(sock):
+                return sock.recv(4096)
+            """
+        findings = check_async.run(_mod(source))
+        assert ("asyncio-hygiene", "sync-socket") in _rules(findings)
+
+    def test_sync_client_in_async_def_flagged(self):
+        source = """
+            async def fan_out(address):
+                client = RemoteSearcherClient(address)
+                return client
+            """
+        findings = check_async.run(_mod(source))
+        assert ("asyncio-hygiene", "sync-client") in _rules(findings)
+
+
+# -- determinism --------------------------------------------------------------------
+
+
+class TestDeterminism:
+
+    PATH = "src/repro/hnsw/example.py"
+
+    def test_legacy_np_random_flagged(self):
+        source = """
+            import numpy as np
+
+            def jitter(n):
+                return np.random.rand(n)
+            """
+        findings = check_determinism.run(_mod(source, self.PATH))
+        assert ("determinism", "legacy-np-random") in _rules(findings)
+
+    def test_unseeded_default_rng_flagged(self):
+        source = """
+            import numpy as np
+
+            def make_rng():
+                return np.random.default_rng()
+            """
+        findings = check_determinism.run(_mod(source, self.PATH))
+        assert ("determinism", "unseeded-rng") in _rules(findings)
+
+    def test_seeded_default_rng_clean(self):
+        source = """
+            import numpy as np
+
+            def make_rng(seed):
+                return np.random.default_rng(seed)
+            """
+        assert check_determinism.run(_mod(source, self.PATH)) == []
+
+    def test_stdlib_random_flagged(self):
+        source = """
+            import random
+
+            def pick(items):
+                return random.choice(items)
+            """
+        findings = check_determinism.run(_mod(source, self.PATH))
+        assert ("determinism", "stdlib-random") in _rules(findings)
+
+    def test_wall_clock_flagged(self):
+        source = """
+            import time
+
+            def stamp():
+                return time.time()
+            """
+        findings = check_determinism.run(_mod(source, self.PATH))
+        assert ("determinism", "wall-clock") in _rules(findings)
+
+    def test_perf_counter_clean(self):
+        # Monotonic timers are fine — only wall clocks leak real time
+        # into kernel outputs.
+        source = """
+            import time
+
+            def stamp():
+                return time.perf_counter()
+            """
+        assert check_determinism.run(_mod(source, self.PATH)) == []
+
+
+# -- error-discipline ---------------------------------------------------------------
+
+
+class TestErrorDiscipline:
+
+    TAXONOMY = {"LannsError", "ConfigError", "TransportError"}
+
+    def _run(self, source: str):
+        return check_errors.run(_mod(source), self.TAXONOMY)
+
+    def test_off_taxonomy_raise_flagged(self):
+        source = """
+            def connect(address):
+                raise MadeUpNetworkError(address)
+            """
+        findings = self._run(source)
+        assert ("error-discipline", "off-taxonomy-raise") in _rules(findings)
+
+    def test_taxonomy_and_builtin_raises_clean(self):
+        source = """
+            def connect(address, retries):
+                if retries < 0:
+                    raise ValueError(f"retries must be >= 0, got {retries}")
+                raise TransportError(address)
+            """
+        assert self._run(source) == []
+
+    def test_locally_defined_error_clean(self):
+        source = """
+            class HandshakeError(Exception):
+                pass
+
+            def connect(address):
+                raise HandshakeError(address)
+            """
+        assert self._run(source) == []
+
+    def test_bare_reraise_clean(self):
+        source = """
+            def forward(primary, failures):
+                try:
+                    return primary()
+                except Exception:
+                    raise
+            """
+        assert self._run(source) == []
+
+    def test_silent_swallow_flagged(self):
+        source = """
+            def cleanup(resource):
+                try:
+                    resource.close()
+                except Exception:
+                    pass
+            """
+        findings = self._run(source)
+        assert ("error-discipline", "silent-swallow") in _rules(findings)
+
+    def test_suppress_exception_flagged(self):
+        source = """
+            from contextlib import suppress
+
+            def cleanup(resource):
+                with suppress(Exception):
+                    resource.close()
+            """
+        findings = self._run(source)
+        assert ("error-discipline", "silent-swallow") in _rules(findings)
+
+    def test_narrow_suppress_clean(self):
+        source = """
+            from contextlib import suppress
+
+            def cleanup(resource):
+                with suppress(OSError):
+                    resource.close()
+            """
+        assert self._run(source) == []
+
+    def test_handled_broad_except_clean(self):
+        # Broad catches are fine when the error is *used* (logged,
+        # recorded, re-raised) — only silent drops are flagged.
+        source = """
+            import sys
+
+            def cleanup(resource):
+                try:
+                    resource.close()
+                except Exception as exc:
+                    print(f"close failed: {exc}", file=sys.stderr)
+            """
+        assert self._run(source) == []
+
+
+# -- wire-protocol ------------------------------------------------------------------
+
+
+PROTOCOL_TEMPLATE = """
+    class MsgType:
+        SEARCH = "search"
+        RESULT = "result"
+        ERROR = "error"
+
+    SUPPORTED_VERSIONS = (1, 2)
+
+    FRAME_FIELDS = {registry}
+    """
+
+GOOD_REGISTRY = """{
+        "SEARCH": {1: ("index", "top_k"), 2: ("index", "top_k", "trace?")},
+        "RESULT": {1: ("index",)},
+        "ERROR": {1: ("error_type", "message")},
+    }"""
+
+
+class TestWireProtocol:
+
+    def _protocol(self, registry: str) -> ModuleSource:
+        return _mod(
+            PROTOCOL_TEMPLATE.format(registry=registry),
+            "src/repro/net/protocol.py",
+        )
+
+    def test_consistent_registry_clean(self):
+        assert run_wire(self._protocol(GOOD_REGISTRY)) == []
+
+    def test_missing_entry_flagged(self):
+        registry = """{
+            "SEARCH": {1: ("index", "top_k")},
+            "RESULT": {1: ("index",)},
+        }"""
+        findings = run_wire(self._protocol(registry))
+        assert any(
+            f.rule == "registry" and "ERROR" in f.message for f in findings
+        )
+
+    def test_non_prefix_evolution_flagged(self):
+        # v2 reorders v1's fields: decoding a v1 frame with v2 framing
+        # would silently shear the header, so this must be fatal.
+        registry = """{
+            "SEARCH": {1: ("index", "top_k"), 2: ("top_k", "index", "trace?")},
+            "RESULT": {1: ("index",)},
+            "ERROR": {1: ("error_type", "message")},
+        }"""
+        findings = run_wire(self._protocol(registry))
+        assert any(
+            f.rule == "registry" and "prefix" in f.message for f in findings
+        )
+
+    def test_unknown_version_flagged(self):
+        registry = """{
+            "SEARCH": {1: ("index", "top_k"), 7: ("index", "top_k", "x?")},
+            "RESULT": {1: ("index",)},
+            "ERROR": {1: ("error_type", "message")},
+        }"""
+        findings = run_wire(self._protocol(registry))
+        assert any(
+            f.rule == "registry" and "SUPPORTED_VERSIONS" in f.message
+            for f in findings
+        )
+
+    def test_encoder_undeclared_field_flagged(self):
+        client = _mod(
+            """
+            from repro.net.protocol import MsgType, encode_frame
+
+            def search(index, top_k):
+                return encode_frame(
+                    MsgType.SEARCH,
+                    {"index": index, "top_k": top_k, "bogus": 1},
+                )
+            """,
+            "src/repro/net/client.py",
+        )
+        findings = run_wire(self._protocol(GOOD_REGISTRY), client=client)
+        assert any(
+            f.rule == "undeclared-field" and "bogus" in f.message
+            for f in findings
+        )
+
+    def test_encoder_missing_required_field_flagged(self):
+        client = _mod(
+            """
+            from repro.net.protocol import MsgType, encode_frame
+
+            def report(error_type):
+                return encode_frame(MsgType.ERROR, {"error_type": error_type})
+            """,
+            "src/repro/net/client.py",
+        )
+        findings = run_wire(self._protocol(GOOD_REGISTRY), client=client)
+        assert any(
+            f.rule == "missing-required-field" and "message" in f.message
+            for f in findings
+        )
+
+    def test_complete_encoder_clean(self):
+        client = _mod(
+            """
+            from repro.net.protocol import MsgType, encode_frame
+
+            def search(index, top_k):
+                return encode_frame(
+                    MsgType.SEARCH, {"index": index, "top_k": top_k}
+                )
+            """,
+            "src/repro/net/client.py",
+        )
+        assert run_wire(self._protocol(GOOD_REGISTRY), client=client) == []
+
+
+# -- baseline -----------------------------------------------------------------------
+
+
+class TestBaseline:
+
+    def test_justified_entry_parses(self):
+        text = textwrap.dedent(
+            """
+            [[suppression]]
+            checker = "lock-discipline"
+            file = "src/repro/online/broker.py"
+            rule = "unguarded-access"
+            symbol = "Broker.search"
+            justification = "copy-on-write table; locking would serialize reads"
+            """
+        )
+        (supp,) = parse_baseline(text)
+        assert supp.checker == "lock-discipline"
+        assert supp.symbol == "Broker.search"
+
+    def test_missing_justification_rejected(self):
+        text = textwrap.dedent(
+            """
+            [[suppression]]
+            checker = "lock-discipline"
+            file = "src/repro/online/broker.py"
+            """
+        )
+        with pytest.raises(BaselineError):
+            parse_baseline(text)
+
+    def test_apply_filters_and_reports_stale(self):
+        hit = Finding(
+            checker="lock-discipline",
+            rule="unguarded-access",
+            path="src/repro/online/broker.py",
+            line=10,
+            message="m",
+            symbol="Broker.search",
+        )
+        other = Finding(
+            checker="determinism",
+            rule="wall-clock",
+            path="src/repro/hnsw/index.py",
+            line=5,
+            message="m",
+        )
+        matching = Suppression(
+            checker="lock-discipline",
+            file="src/repro/online/broker.py",
+            justification="why",
+            symbol="Broker.search",
+        )
+        stale_supp = Suppression(
+            checker="asyncio-hygiene",
+            file="src/repro/net/client.py",
+            justification="why",
+        )
+        kept, stale = apply_baseline([hit, other], [matching, stale_supp])
+        assert kept == [other]
+        assert stale == [stale_supp]
+
+
+# -- driver / diagnostics -----------------------------------------------------------
+
+
+class TestDriver:
+
+    def test_enclosing_symbol(self):
+        module = _mod(
+            """
+            class Outer:
+                def method(self):
+                    return 1
+
+            def free():
+                return 2
+            """
+        )
+        assert enclosing_symbol(module.tree, 4) == "Outer.method"
+        assert enclosing_symbol(module.tree, 7) == "free"
+
+    def test_github_format_escapes(self):
+        finding = Finding(
+            checker="determinism",
+            rule="wall-clock",
+            path="src/repro/hnsw/index.py",
+            line=3,
+            message="100% wrong\nsecond line",
+        )
+        rendered = finding.format_github()
+        assert rendered.startswith("::error file=src/repro/hnsw/index.py,")
+        assert "%25" in rendered and "%0A" in rendered
+        assert "\n" not in rendered
+
+    def test_repo_lints_clean_under_baseline(self):
+        # The acceptance bar for the whole PR: the real tree, with the
+        # checked-in baseline, has zero unsuppressed findings.
+        assert main([]) == 0
+
+    def test_repo_has_no_parse_errors(self):
+        _, errors = run_lint(default_repo_root())
+        assert errors == []

@@ -1,5 +1,7 @@
 """Tests for LannsConfig validation and serialization."""
 
+import dataclasses
+
 import pytest
 
 from repro.core.config import LannsConfig
@@ -75,5 +77,5 @@ class TestUpdatesAndSerialization:
         assert LannsConfig.from_dict(payload).hnsw == HnswParams()
 
     def test_frozen(self):
-        with pytest.raises(Exception):
+        with pytest.raises(dataclasses.FrozenInstanceError):
             LannsConfig().num_shards = 5

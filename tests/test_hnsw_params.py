@@ -2,6 +2,8 @@
 
 import math
 
+import dataclasses
+
 import pytest
 
 from repro.hnsw.params import HnswParams
@@ -30,7 +32,7 @@ class TestValidation:
 
     def test_frozen(self):
         params = HnswParams()
-        with pytest.raises(Exception):
+        with pytest.raises(dataclasses.FrozenInstanceError):
             params.M = 32
 
 

@@ -15,7 +15,7 @@ def line_graph(num_points: int):
     points[:, 0] = np.arange(num_points)
     scorer.add(points)
     graph = HnswGraph()
-    for index in range(num_points):
+    for _index in range(num_points):
         graph.add_node(0)
     for index in range(num_points - 1):
         graph.add_link(index, 0, index + 1)

@@ -284,7 +284,7 @@ class TestBrokerStress:
         try:
 
             def worker(client):
-                for repeat in range(3):
+                for _repeat in range(3):
                     for row in range(client, num_queries, NUM_CLIENTS):
                         ids, dists = core.search(
                             "main", clustered_queries[row], 8, ef=48
@@ -311,7 +311,7 @@ class TestBrokerStress:
 
         def worker(client):
             started.wait(timeout=30)
-            for repeat in range(5):
+            for _repeat in range(5):
                 for row in range(client, num_queries, NUM_CLIENTS):
                     ids, dists = core.search(
                         "main", clustered_queries[row], 8, ef=48

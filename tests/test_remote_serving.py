@@ -205,7 +205,7 @@ class TestRemoteParity:
 
             def client(worker: int) -> None:
                 try:
-                    for repeat in range(2):
+                    for _repeat in range(2):
                         for row in range(
                             worker, queries.shape[0], 6
                         ):
