@@ -79,6 +79,23 @@ class DeadlineExceededError(TransportError):
     """A remote call (or broker fan-out) ran past its deadline."""
 
 
+class OverloadedError(TransportError):
+    """A searcher shed the request at admission instead of executing it.
+
+    Raised when a searcher's in-flight limit and admission queue are both
+    full.  Unlike :class:`DeadlineExceededError` the work was refused
+    *instantly*, so the caller still has budget to fail over to a sibling
+    replica -- the broker treats this as failover-eligible and honors the
+    optional ``retry_after_s`` backoff hint from the server.
+    """
+
+    def __init__(
+        self, message: str, *, retry_after_s: float | None = None
+    ) -> None:
+        super().__init__(message)
+        self.retry_after_s = retry_after_s
+
+
 class RemoteCallError(TransportError):
     """The searcher *executed* the request and returned a structured error.
 

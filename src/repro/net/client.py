@@ -11,9 +11,12 @@ shard per batch); reliability is layered as:
   raises :class:`~repro.errors.DeadlineExceededError`;
 - **bounded retries with backoff** -- connectivity failures (refused,
   reset, EOF, garbled frames) retry idempotent calls up to ``retries``
-  times, reconnecting with exponential backoff.  Timeouts and
-  server-side :class:`~repro.errors.RemoteCallError` s never retry: the
-  former would double tail latency, the latter would repeat a bug.
+  times, reconnecting with exponential backoff plus *full jitter*
+  (uniform in ``[0, delay]``, seeded per client) so the retries of many
+  brokers hitting one recovering searcher spread out instead of
+  arriving in synchronized waves.  Timeouts and server-side
+  :class:`~repro.errors.RemoteCallError` s never retry: the former
+  would double tail latency, the latter would repeat a bug.
 
 A dead connection is always discarded, never returned to the pool, so
 one crash can't poison later requests.
@@ -22,9 +25,11 @@ one crash can't poison later requests.
 from __future__ import annotations
 
 import asyncio
+import random
 import socket
 import threading
 import time
+import zlib
 
 import numpy as np
 
@@ -61,13 +66,17 @@ def _search_header(
     probes: list[tuple[int, ...]] | None,
     trace_ctx: dict | None = None,
     collect_cost: bool = False,
+    deadline: float | None = None,
 ) -> dict:
     """SEARCH frame header; ``probes`` is the router's per-row segment
     push-down, ``trace_ctx`` the broker's trace context (the searcher
     then returns its span tree in the RESULT header) and ``collect_cost``
-    asks for per-batch search-cost counters.  All three are omitted
-    entirely when absent (old servers ignore unknown keys, so the fields
-    are wire-compatible both ways)."""
+    asks for per-batch search-cost counters.  ``deadline`` (absolute
+    ``time.monotonic()``) ships as ``deadline_ms`` *remaining* budget --
+    monotonic clocks don't compare across hosts, a relative budget does
+    -- so the searcher can reject already-expired work before burning
+    CPU on it.  All extras are omitted entirely when absent (old servers
+    ignore unknown keys, so the fields are wire-compatible both ways)."""
     header = {"index": str(index_name), "top_k": int(k), "ef": ef}
     if probes is not None:
         header["probes"] = [
@@ -77,6 +86,9 @@ def _search_header(
         header["trace"] = dict(trace_ctx)
     if collect_cost:
         header["cost"] = True
+    if deadline is not None:
+        remaining_ms = (deadline - time.monotonic()) * 1e3
+        header["deadline_ms"] = max(remaining_ms, 0.0)
     return header
 
 
@@ -121,8 +133,12 @@ class RemoteSearcherClient:
     retries:
         Connectivity-failure retries for idempotent calls.
     backoff_s / backoff_max_s:
-        Reconnect backoff: first retry waits ``backoff_s``, doubling up
-        to ``backoff_max_s``.
+        Reconnect backoff ceiling schedule: retry ``n`` waits a uniform
+        random ("full jitter") slice of ``min(backoff_s * 2**n,
+        backoff_max_s)``.
+    backoff_seed:
+        Seed for the jitter RNG; defaults to a per-address hash so each
+        client desynchronizes deterministically without configuration.
     """
 
     def __init__(
@@ -135,6 +151,7 @@ class RemoteSearcherClient:
         retries: int = 2,
         backoff_s: float = 0.05,
         backoff_max_s: float = 1.0,
+        backoff_seed: int | None = None,
         max_frame: int = DEFAULT_MAX_FRAME,
     ) -> None:
         if timeout_s <= 0 or connect_timeout_s <= 0:
@@ -150,6 +167,11 @@ class RemoteSearcherClient:
         self.retries = int(retries)
         self.backoff_s = float(backoff_s)
         self.backoff_max_s = float(backoff_max_s)
+        self._backoff_rng = random.Random(
+            zlib.crc32(self.address.encode())
+            if backoff_seed is None
+            else backoff_seed
+        )
         self.max_frame = int(max_frame)
         self._lock = threading.Lock()
         self._idle: list[socket.socket] = []
@@ -165,6 +187,18 @@ class RemoteSearcherClient:
     def _count(self, counter: str, amount: int = 1) -> None:
         with self._lock:
             setattr(self, counter, getattr(self, counter) + amount)
+
+    def _jitter(self, delay: float) -> float:
+        """Full-jitter backoff draw: uniform in ``[0, delay]``.
+
+        Pure exponential doubling makes every client that failed at the
+        same instant retry at the same instants forever -- a retry storm
+        that re-knocks a recovering searcher over.  Locked because the
+        fan-out pool drives one client from several threads and
+        ``random.Random`` state updates are not atomic.
+        """
+        with self._lock:
+            return self._backoff_rng.uniform(0.0, delay)
 
     @property
     def address(self) -> str:
@@ -294,7 +328,7 @@ class RemoteSearcherClient:
         for attempt in range(attempts):
             if attempt:
                 self._count("retried")
-                pause = delay
+                pause = self._jitter(delay)
                 if deadline is not None:
                     remaining = deadline - time.monotonic()
                     if remaining <= 0:
@@ -353,7 +387,15 @@ class RemoteSearcherClient:
         queries = np.ascontiguousarray(queries, dtype=np.float32)
         _, header, arrays = self.call(
             MsgType.SEARCH,
-            _search_header(index_name, k, ef, probes, trace_ctx, collect_cost),
+            _search_header(
+                index_name,
+                k,
+                ef,
+                probes,
+                trace_ctx,
+                collect_cost,
+                deadline=deadline,
+            ),
             (queries,),
             deadline=deadline,
         )
@@ -457,6 +499,7 @@ class AsyncRemoteSearcherClient:
         retries: int = 2,
         backoff_s: float = 0.05,
         backoff_max_s: float = 1.0,
+        backoff_seed: int | None = None,
         max_frame: int = DEFAULT_MAX_FRAME,
     ) -> None:
         if timeout_s <= 0 or connect_timeout_s <= 0:
@@ -472,6 +515,11 @@ class AsyncRemoteSearcherClient:
         self.retries = int(retries)
         self.backoff_s = float(backoff_s)
         self.backoff_max_s = float(backoff_max_s)
+        self._backoff_rng = random.Random(
+            zlib.crc32(self.address.encode())
+            if backoff_seed is None
+            else backoff_seed
+        )
         self.max_frame = int(max_frame)
         self._lock = threading.Lock()
         self._pools: dict[object, list[tuple]] = {}
@@ -488,6 +536,11 @@ class AsyncRemoteSearcherClient:
     def _count(self, counter: str, amount: int = 1) -> None:
         with self._lock:
             setattr(self, counter, getattr(self, counter) + amount)
+
+    def _jitter(self, delay: float) -> float:
+        """Full-jitter backoff draw (see the sync client's ``_jitter``)."""
+        with self._lock:
+            return self._backoff_rng.uniform(0.0, delay)
 
     @property
     def address(self) -> str:
@@ -676,7 +729,7 @@ class AsyncRemoteSearcherClient:
         for attempt in range(attempts):
             if attempt:
                 self._count("retried")
-                pause = delay
+                pause = self._jitter(delay)
                 if deadline is not None:
                     remaining = deadline - time.monotonic()
                     if remaining <= 0:
@@ -721,7 +774,15 @@ class AsyncRemoteSearcherClient:
         queries = np.ascontiguousarray(queries, dtype=np.float32)
         _, header, arrays = await self.call(
             MsgType.SEARCH,
-            _search_header(index_name, k, ef, probes, trace_ctx, collect_cost),
+            _search_header(
+                index_name,
+                k,
+                ef,
+                probes,
+                trace_ctx,
+                collect_cost,
+                deadline=deadline,
+            ),
             (queries,),
             deadline=deadline,
         )

@@ -84,6 +84,12 @@ def launch_searcher(
     ready_timeout_s: float = 120.0,
     slow_every: int = 0,
     slow_delay_s: float = 0.0,
+    max_in_flight: int = 0,
+    queue_cap: int = 0,
+    retry_after_s: float | None = None,
+    batch_max: int = 1,
+    batch_wait_ms: float | None = None,
+    chaos_spec: str | None = None,
     command: list[str] | None = None,
     log_dir: str | Path | None = None,
 ) -> SearcherProcess:
@@ -107,8 +113,12 @@ def launch_searcher(
     between lines.  On expiry the child is SIGKILLed and reaped, then
     :class:`TimeoutError` raises.
 
-    ``slow_every`` / ``slow_delay_s`` forward straggler injection to the
-    server (see :class:`~repro.net.server.SearcherServer`); ``command``
+    ``slow_every`` / ``slow_delay_s`` forward straggler injection, the
+    admission knobs (``max_in_flight`` / ``queue_cap`` /
+    ``retry_after_s``), server-side micro-batching (``batch_max`` /
+    ``batch_wait_ms``) and ``chaos_spec`` (a
+    :meth:`~repro.net.chaos.FaultPlan.parse` spec string) to the server
+    (see :class:`~repro.net.server.SearcherServer`); ``command``
     overrides the spawned argv entirely (readiness-failure tests).
     """
     if command is None:
@@ -133,6 +143,18 @@ def launch_searcher(
                 "--slow-delay-s",
                 str(slow_delay_s),
             ]
+        if max_in_flight:
+            command += ["--max-in-flight", str(max_in_flight)]
+        if queue_cap:
+            command += ["--queue-cap", str(queue_cap)]
+        if retry_after_s is not None:
+            command += ["--retry-after-s", str(retry_after_s)]
+        if batch_max > 1:
+            command += ["--batch-max", str(batch_max)]
+        if batch_wait_ms is not None:
+            command += ["--batch-wait-ms", str(batch_wait_ms)]
+        if chaos_spec:
+            command += ["--chaos-spec", str(chaos_spec)]
     env = dict(os.environ)
     src = _src_path()
     existing = env.get("PYTHONPATH")
@@ -292,13 +314,21 @@ def launch_fleet(
     slow_shard: int | None = None,
     slow_every: int = 0,
     slow_delay_s: float = 0.0,
+    max_in_flight: int = 0,
+    queue_cap: int = 0,
+    retry_after_s: float | None = None,
+    batch_max: int = 1,
+    batch_wait_ms: float | None = None,
+    chaos_spec: str | None = None,
     log_dir: str | Path | None = None,
 ) -> list[SearcherProcess]:
     """Spawn one searcher subprocess per shard; tears down on any failure.
 
     ``slow_shard`` selects one fleet member to launch with straggler
     injection (``slow_every`` / ``slow_delay_s``) -- the slow-shard
-    hedging benchmark's setup.
+    hedging benchmark's setup.  The admission / micro-batching / chaos
+    knobs apply to *every* member (overload and chaos benchmarks want a
+    uniformly configured fleet).
     """
     fleet: list[SearcherProcess] = []
     try:
@@ -312,6 +342,12 @@ def launch_fleet(
                     ready_timeout_s=ready_timeout_s,
                     slow_every=slow_every if slow else 0,
                     slow_delay_s=slow_delay_s if slow else 0.0,
+                    max_in_flight=max_in_flight,
+                    queue_cap=queue_cap,
+                    retry_after_s=retry_after_s,
+                    batch_max=batch_max,
+                    batch_wait_ms=batch_wait_ms,
+                    chaos_spec=chaos_spec,
                     log_dir=log_dir,
                 )
             )

@@ -38,17 +38,26 @@ from enum import IntEnum
 
 import numpy as np
 
-from repro.errors import ConnectionLostError, ProtocolError, RemoteCallError
+from repro.errors import (
+    ConnectionLostError,
+    DeadlineExceededError,
+    OverloadedError,
+    ProtocolError,
+    RemoteCallError,
+)
 
 #: Bump on any frame-layout or semantics change.  Version 2 (PR 8) adds
 #: the optional ``trace`` context to SEARCH headers and the optional
-#: ``cost`` / ``trace`` entries to RESULT headers -- pure header
-#: additions, so decoding still accepts version-1 frames (and version-1
-#: peers, which ignore unknown header keys, keep interoperating).
-PROTOCOL_VERSION = 2
+#: ``cost`` / ``trace`` entries to RESULT headers.  Version 3 (PR 10)
+#: adds the optional ``deadline_ms`` remaining-budget hint to SEARCH
+#: headers and the optional ``retry_after_s`` backoff hint to ERROR
+#: headers -- pure header additions, so decoding still accepts older
+#: frames (and older peers, which ignore unknown header keys, keep
+#: interoperating).
+PROTOCOL_VERSION = 3
 
 #: Frame versions this peer decodes.
-SUPPORTED_VERSIONS = (1, 2)
+SUPPORTED_VERSIONS = (1, 2, 3)
 
 MAGIC = b"LN"
 
@@ -99,6 +108,15 @@ FRAME_FIELDS = {
     "SEARCH": {
         1: ("index", "top_k", "ef", "probes?"),
         2: ("index", "top_k", "ef", "probes?", "trace?", "cost?"),
+        3: (
+            "index",
+            "top_k",
+            "ef",
+            "probes?",
+            "trace?",
+            "cost?",
+            "deadline_ms?",
+        ),
     },
     "DEPLOY": {1: ("index", "path", "root?")},
     "UNDEPLOY": {1: ("index",)},
@@ -109,7 +127,10 @@ FRAME_FIELDS = {
         2: ("index", "cost?", "trace?"),
     },
     "OK": {1: ("hosted?", "stats?", "shard_id?")},
-    "ERROR": {1: ("error_type", "message")},
+    "ERROR": {
+        1: ("error_type", "message"),
+        3: ("error_type", "message", "retry_after_s?"),
+    },
 }
 
 
@@ -175,11 +196,17 @@ def frame_to_bytes(
 
 
 def error_frame(exc: BaseException) -> list:
-    """A structured error response for a server-side exception."""
-    return encode_frame(
-        MsgType.ERROR,
-        {"error_type": type(exc).__name__, "message": str(exc)},
-    )
+    """A structured error response for a server-side exception.
+
+    An :class:`~repro.errors.OverloadedError` (or anything else carrying
+    a ``retry_after_s`` attribute) ships its backoff hint so the peer can
+    wait before re-offering the work instead of hammering the searcher.
+    """
+    header = {"error_type": type(exc).__name__, "message": str(exc)}
+    retry_after_s = getattr(exc, "retry_after_s", None)
+    if retry_after_s is not None:
+        header["retry_after_s"] = float(retry_after_s)
+    return encode_frame(MsgType.ERROR, header)
 
 
 # -- decoding ------------------------------------------------------------------------
@@ -293,12 +320,30 @@ def decode_frame(
 
 
 def raise_if_error(msg_type: MsgType, header: dict) -> None:
-    """Re-raise a peer's structured error frame as :class:`RemoteCallError`."""
-    if msg_type == MsgType.ERROR:
-        raise RemoteCallError(
-            str(header.get("error_type", "RemoteError")),
-            str(header.get("message", "")),
+    """Re-raise a peer's structured error frame as a typed exception.
+
+    Transport-level refusals keep their identity across the wire so the
+    broker's retry/failover policy can see them: an ``OverloadedError``
+    frame (admission shed, carries ``retry_after_s``) and a
+    ``DeadlineExceededError`` frame (server-side expiry rejection) come
+    back as those exception types; everything else -- the searcher
+    *executed* and failed -- surfaces as :class:`RemoteCallError`.
+    """
+    if msg_type != MsgType.ERROR:
+        return
+    error_type = str(header.get("error_type", "RemoteError"))
+    message = str(header.get("message", ""))
+    if error_type == "OverloadedError":
+        retry_after_s = header.get("retry_after_s")
+        raise OverloadedError(
+            message,
+            retry_after_s=(
+                float(retry_after_s) if retry_after_s is not None else None
+            ),
         )
+    if error_type == "DeadlineExceededError":
+        raise DeadlineExceededError(message)
+    raise RemoteCallError(error_type, message)
 
 
 # -- blocking-socket IO ----------------------------------------------------------------

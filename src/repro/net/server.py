@@ -17,6 +17,20 @@ Request handling is per-connection sequential -- one frame in, one frame
 out -- which keeps the protocol trivially orderable; concurrency comes
 from the client's connection pool, not from pipelining.
 
+Overload safety (PR 10): the server *admits* SEARCH work instead of
+executing everything that arrives.  ``max_in_flight`` bounds concurrent
+searches, ``queue_cap`` bounds how many more may wait; anything beyond
+both is shed instantly with a structured ``OVERLOADED`` error frame
+carrying a ``retry_after_s`` hint, so a broker still has budget to fail
+over instead of discovering the overload via timeout.  Requests that
+ship a ``deadline_ms`` remaining budget are rejected (cheaply) once
+that budget is spent -- on arrival or after queueing -- and a client
+that hangs up mid-request (a cancelled hedge loser) has its in-flight
+work abandoned rather than computed for nobody.  With ``batch_max > 1``
+a server-side :class:`~repro.online.microbatch.MicroBatcher` coalesces
+SEARCH frames arriving from many broker connections into lockstep
+batches (safe because the kernels are batch-composition invariant).
+
 Launch standalone via ``repro.cli serve-searcher --shard-id S --port P``
 (prints a ``SEARCHER-READY`` line used by :mod:`repro.net.fleet`), or
 in-process via :meth:`SearcherServer.start_in_thread` (tests).
@@ -27,11 +41,18 @@ from __future__ import annotations
 import asyncio
 import contextlib
 import threading
+import time
 from functools import partial
 
 import numpy as np
 
-from repro.errors import ConnectionLostError, ProtocolError
+from repro.errors import (
+    ConnectionLostError,
+    DeadlineExceededError,
+    OverloadedError,
+    ProtocolError,
+)
+from repro.net.chaos import FaultPlan
 from repro.net.protocol import (
     DEFAULT_MAX_FRAME,
     MsgType,
@@ -42,7 +63,25 @@ from repro.net.protocol import (
 from repro.obs.cost import SearchCost
 from repro.obs.metrics import get_registry
 from repro.obs.tracing import SpanRecorder, activate, deactivate, maybe_span
+from repro.online.microbatch import MicroBatcher
 from repro.online.searcher import SearcherNode
+
+_SHED = get_registry().counter(
+    "lanns_searcher_shed_total",
+    "SEARCH frames refused at admission with an OVERLOADED error frame.",
+)
+_EXPIRED = get_registry().counter(
+    "lanns_searcher_expired_total",
+    "SEARCH frames rejected because their deadline budget was spent.",
+)
+_ABANDONED = get_registry().counter(
+    "lanns_searcher_abandoned_total",
+    "In-flight SEARCH frames abandoned because the client hung up.",
+)
+_FAULTS = get_registry().counter(
+    "lanns_chaos_faults_total",
+    "Chaos faults injected at the server boundary, labelled by kind.",
+)
 
 #: Stdout line a launched server prints once it is accepting connections.
 READY_PREFIX = "SEARCHER-READY"
@@ -89,6 +128,22 @@ class SearcherServer:
         uniformly slow machine.  ``slow_every=2`` makes a hedged retry
         of a stalled request land on a fast slot; ``slow_every=1``
         stalls every request.  ``0`` (default) disables injection.
+    max_in_flight, queue_cap:
+        Admission control: at most ``max_in_flight`` SEARCH requests
+        execute concurrently and at most ``queue_cap`` more wait for a
+        slot; anything beyond is shed with ``OVERLOADED``.
+        ``max_in_flight=0`` (default) disables admission entirely.
+    retry_after_s:
+        Backoff hint shipped inside OVERLOADED error frames.
+    batch_max, batch_wait_ms:
+        Server-side micro-batching: with ``batch_max > 1``, plain SEARCH
+        frames (no probes/trace/cost extras) from *different*
+        connections coalesce into one lockstep batch of up to
+        ``batch_max`` rows, flushing after ``batch_wait_ms`` at the
+        latest.  ``batch_max=1`` (default) executes each frame alone.
+    chaos:
+        Optional seeded :class:`~repro.net.chaos.FaultPlan`; one fault
+        decision is drawn per SEARCH frame in arrival order.
     """
 
     def __init__(
@@ -101,9 +156,21 @@ class SearcherServer:
         max_frame: int = DEFAULT_MAX_FRAME,
         slow_every: int = 0,
         slow_delay_s: float = 0.0,
+        max_in_flight: int = 0,
+        queue_cap: int = 0,
+        retry_after_s: float = 0.05,
+        batch_max: int = 1,
+        batch_wait_ms: float = 2.0,
+        chaos: FaultPlan | None = None,
     ) -> None:
         if slow_every < 0 or slow_delay_s < 0:
             raise ValueError("slow_every / slow_delay_s must be >= 0")
+        if max_in_flight < 0 or queue_cap < 0:
+            raise ValueError("max_in_flight / queue_cap must be >= 0")
+        if retry_after_s < 0:
+            raise ValueError(f"retry_after_s must be >= 0, got {retry_after_s}")
+        if batch_max < 1:
+            raise ValueError(f"batch_max must be >= 1, got {batch_max}")
         self.node = node
         self.host = host
         self.port = int(port)
@@ -111,11 +178,35 @@ class SearcherServer:
         self.max_frame = int(max_frame)
         self.slow_every = int(slow_every)
         self.slow_delay_s = float(slow_delay_s)
+        self.max_in_flight = int(max_in_flight)
+        self.queue_cap = int(queue_cap)
+        self.retry_after_s = float(retry_after_s)
+        self.chaos = chaos
         #: Lifetime counters (surfaced through the STATS RPC).
         self.connections_accepted = 0
         self.frames_served = 0
         #: SEARCH requests seen (drives the straggler injection cycle).
         self.searches_seen = 0
+        self.searches_shed = 0
+        self.searches_expired = 0
+        self.searches_abandoned = 0
+        #: Abandoned dispatches that died with an error rather than a
+        #: clean cancel; the repr of the last one aids postmortems.
+        self.abandoned_errors = 0
+        self._last_abandoned_error: str | None = None
+        self._batcher = (
+            MicroBatcher(
+                self._batched_search,
+                max_batch=int(batch_max),
+                max_wait_ms=float(batch_wait_ms),
+            )
+            if batch_max > 1
+            else None
+        )
+        self._admission: asyncio.Semaphore | None = None
+        #: SEARCH frames currently waiting for an admission slot.  Only
+        #: the event-loop thread touches this, so no lock is needed.
+        self._queued = 0
         self._loop: asyncio.AbstractEventLoop | None = None
         self._stop: asyncio.Event | None = None
         self._thread: threading.Thread | None = None
@@ -143,8 +234,25 @@ class SearcherServer:
                             writer.write(buffer)
                         await writer.drain()
                     return
+                if msg_type == MsgType.SEARCH and self.chaos is not None:
+                    action = await self._inject_fault(writer)
+                    if action == "reset":
+                        return
+                    if action in ("drop", "overload"):
+                        continue
                 try:
-                    response = await self._dispatch(msg_type, header, arrays)
+                    if msg_type == MsgType.SEARCH:
+                        response = await self._dispatch_watched(
+                            reader, msg_type, header, arrays
+                        )
+                        if response is None:
+                            # Peer hung up mid-request: the answer has
+                            # no audience and the connection is dead.
+                            return
+                    else:
+                        response = await self._dispatch(
+                            msg_type, header, arrays
+                        )
                 except Exception as exc:  # -> structured error frame
                     response = error_frame(exc)
                 self.frames_served += 1
@@ -160,6 +268,107 @@ class SearcherServer:
             # and the task has nothing left to do.
             with contextlib.suppress(OSError, asyncio.CancelledError):
                 await writer.wait_closed()
+
+    async def _inject_fault(self, writer: asyncio.StreamWriter) -> str | None:
+        """Apply the chaos plan's next decision to this SEARCH frame.
+
+        Returns the drawn kind so the connection loop knows whether to
+        keep serving (``None``/``"delay"``), skip the response
+        (``"drop"``/``"overload"``) or kill the connection (``"reset"``).
+        """
+        kind = self.chaos.draw()
+        if kind is None:
+            return None
+        _FAULTS.inc(kind=kind)
+        if kind == "delay":
+            await asyncio.sleep(self.chaos.delay_s)
+        elif kind == "overload":
+            shed = OverloadedError(
+                f"injected overload (shard {self.node.shard_id})",
+                retry_after_s=self.retry_after_s,
+            )
+            with contextlib.suppress(OSError, RuntimeError):
+                for buffer in error_frame(shed):
+                    writer.write(buffer)
+                await writer.drain()
+            self.frames_served += 1
+        # "reset" and "drop" need no action here: the caller closes the
+        # connection / withholds the response respectively.
+        return kind
+
+    async def _dispatch_watched(
+        self,
+        reader: asyncio.StreamReader,
+        msg_type: MsgType,
+        header: dict,
+        arrays: list,
+    ) -> list | None:
+        """Run a SEARCH dispatch, abandoning it if the client hangs up.
+
+        The protocol is one-frame-in/one-frame-out per connection, so
+        while a request is in flight the only legitimate inbound event
+        is EOF -- the client timing out, failing over, or cancelling a
+        hedge loser.  A 1-byte peek read races the dispatch: if the
+        peek wins, nobody wants the answer any more, so the work is
+        cancelled (queued work frees its admission slot instantly;
+        work already on an executor thread finishes but its result is
+        discarded) and the connection is closed.
+        """
+        work = asyncio.ensure_future(self._dispatch(msg_type, header, arrays))
+        watch = asyncio.ensure_future(reader.read(1))
+        try:
+            await asyncio.wait(
+                {work, watch}, return_when=asyncio.FIRST_COMPLETED
+            )
+        except asyncio.CancelledError:
+            work.cancel()
+            watch.cancel()
+            raise
+        if work.done():
+            watch.cancel()
+            # Cancelling a pending StreamReader.read consumes nothing,
+            # so a not-yet-arrived next frame is untouched.
+            with contextlib.suppress(asyncio.CancelledError):
+                await watch
+            return work.result()
+        work.cancel()
+        try:
+            await work
+        except asyncio.CancelledError:
+            pass
+        except Exception as exc:
+            # Nobody is listening for this error any more; keep it
+            # visible in stats rather than folding it into a success.
+            self.abandoned_errors += 1
+            self._last_abandoned_error = repr(exc)
+        self.searches_abandoned += 1
+        _ABANDONED.inc()
+        return None
+
+    async def _admit(self) -> bool:
+        """Take an admission slot, or shed the request with OVERLOADED.
+
+        Returns whether a slot was actually taken (``False`` when
+        admission is disabled).  The shed decision and the waiter count
+        both live on the event-loop thread, so check-then-act is
+        race-free without a lock.
+        """
+        if self._admission is None:
+            return False
+        if self._admission.locked() and self._queued >= self.queue_cap:
+            self.searches_shed += 1
+            _SHED.inc()
+            raise OverloadedError(
+                f"searcher shard {self.node.shard_id} is at capacity "
+                f"({self.max_in_flight} in flight, {self._queued} queued)",
+                retry_after_s=self.retry_after_s,
+            )
+        self._queued += 1
+        try:
+            await self._admission.acquire()
+        finally:
+            self._queued -= 1
+        return True
 
     async def _dispatch(
         self, msg_type: MsgType, header: dict, arrays: list
@@ -186,41 +395,56 @@ class SearcherServer:
                         tuple(int(segment) for segment in row)
                         for row in probes
                     ]
+                deadline_ms = header.get("deadline_ms")
                 if len(arrays) != 1:
                     raise ProtocolError(
                         f"SEARCH expects 1 query array, got {len(arrays)}"
                     )
             self.searches_seen += 1
-            if (
-                self.slow_every
-                and self.slow_delay_s > 0
-                and (self.searches_seen - 1) % self.slow_every == 0
-            ):
-                # Injected straggler: stall this request only (the event
-                # loop keeps serving other connections meanwhile).
-                with maybe_span(recorder, "stall", injected=True):
-                    await asyncio.sleep(self.slow_delay_s)
-
-            def _search():
-                # The ambient recorder must be installed inside the
-                # executor worker: contextvars do not follow
-                # run_in_executor.  The kernels then report their
-                # descend/beam/rescore spans into it.
-                token = activate(recorder) if recorder is not None else None
-                try:
-                    return self.node.search_batch(
-                        index_name,
-                        arrays[0],
-                        top_k,
-                        ef=ef,
-                        probes=probes,
-                        cost=cost,
+            # The peer shipped its *remaining* budget; pin it to this
+            # host's clock once, then every later check is a cheap
+            # comparison.
+            expires_at = (
+                time.monotonic() + float(deadline_ms) / 1e3
+                if deadline_ms is not None
+                else None
+            )
+            if expires_at is not None and time.monotonic() >= expires_at:
+                self.searches_expired += 1
+                _EXPIRED.inc()
+                raise DeadlineExceededError(
+                    f"request budget of {float(deadline_ms):.1f}ms was "
+                    "already spent on arrival"
+                )
+            admitted = await self._admit()
+            try:
+                if expires_at is not None and time.monotonic() >= expires_at:
+                    # Queueing ate the rest of the budget: the client
+                    # has already given up, so executing now would burn
+                    # CPU on an answer nobody reads.
+                    self.searches_expired += 1
+                    _EXPIRED.inc()
+                    raise DeadlineExceededError(
+                        "request budget spent waiting for admission"
                     )
-                finally:
-                    if token is not None:
-                        deactivate(token)
-
-            ids, dists = await loop.run_in_executor(None, _search)
+                if (
+                    self.slow_every
+                    and self.slow_delay_s > 0
+                    and (self.searches_seen - 1) % self.slow_every == 0
+                ):
+                    # Injected straggler: stall this request only (the
+                    # event loop keeps serving other connections).  The
+                    # stall holds its admission slot -- a stalled
+                    # request occupies real capacity.
+                    with maybe_span(recorder, "stall", injected=True):
+                        await asyncio.sleep(self.slow_delay_s)
+                ids, dists = await self._execute_search(
+                    loop, index_name, arrays[0], top_k, ef, probes,
+                    cost, recorder,
+                )
+            finally:
+                if admitted:
+                    self._admission.release()
             result_header: dict = {"index": index_name}
             if cost is not None:
                 result_header["cost"] = cost.as_dict()
@@ -240,11 +464,76 @@ class SearcherServer:
             stats = self.node.stats()
             stats["connections_accepted"] = self.connections_accepted
             stats["frames_served"] = self.frames_served
+            stats["admission"] = {
+                "max_in_flight": self.max_in_flight,
+                "queue_cap": self.queue_cap,
+                "searches_shed": self.searches_shed,
+                "searches_expired": self.searches_expired,
+                "searches_abandoned": self.searches_abandoned,
+                "abandoned_errors": self.abandoned_errors,
+                "last_abandoned_error": self._last_abandoned_error,
+            }
+            if self._batcher is not None:
+                stats["server_microbatch"] = {
+                    key: (dict(value) if isinstance(value, dict) else value)
+                    for key, value in self._batcher.stats.items()
+                }
+            if self.chaos is not None:
+                stats["chaos"] = self.chaos.snapshot()
             # The process-wide metrics snapshot rides along so a broker
             # (or `repro.cli stats`) can merge a fleet into one view.
             stats["metrics"] = get_registry().snapshot()
             return self._ok({"stats": stats})
         raise ProtocolError(f"unexpected message type {msg_type!r}")
+
+    async def _execute_search(
+        self, loop, index_name, queries, top_k, ef, probes, cost, recorder
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Run one admitted search: coalesced server-side when possible.
+
+        Plain requests (no per-request probes/trace/cost extras) go
+        through the server-side micro-batcher, which merges frames from
+        *different* broker connections into one lockstep batch --
+        batch-composition invariance guarantees the rows come back
+        bit-identical to a solo execution.  Requests carrying extras
+        execute alone on the thread-pool executor, exactly as before.
+        """
+        if (
+            self._batcher is not None
+            and probes is None
+            and cost is None
+            and recorder is None
+        ):
+            key = (index_name, top_k, ef, int(queries.shape[1]))
+            return await asyncio.wrap_future(
+                self._batcher.submit(key, queries)
+            )
+
+        def _search():
+            # The ambient recorder must be installed inside the
+            # executor worker: contextvars do not follow
+            # run_in_executor.  The kernels then report their
+            # descend/beam/rescore spans into it.
+            token = activate(recorder) if recorder is not None else None
+            try:
+                return self.node.search_batch(
+                    index_name,
+                    queries,
+                    top_k,
+                    ef=ef,
+                    probes=probes,
+                    cost=cost,
+                )
+            finally:
+                if token is not None:
+                    deactivate(token)
+
+        return await loop.run_in_executor(None, _search)
+
+    def _batched_search(self, key, queries) -> tuple[np.ndarray, np.ndarray]:
+        """Micro-batcher execute hook (runs on the flusher thread)."""
+        index_name, top_k, ef, _dim = key
+        return self.node.search_batch(index_name, queries, top_k, ef=ef)
 
     def _deploy(self, header: dict) -> None:
         # Imported here: the server must start fast and the storage stack
@@ -275,6 +564,15 @@ class SearcherServer:
     async def _serve(self, on_ready=None) -> None:
         self._loop = asyncio.get_running_loop()
         self._stop = asyncio.Event()
+        # Fresh per serve: an asyncio primitive binds to the loop that
+        # first awaits it, and each run()/start_in_thread() owns a new
+        # loop.
+        self._admission = (
+            asyncio.Semaphore(self.max_in_flight)
+            if self.max_in_flight > 0
+            else None
+        )
+        self._queued = 0
         server = await asyncio.start_server(
             self._handle_connection, self.host, self.port
         )
@@ -298,6 +596,9 @@ class SearcherServer:
             asyncio.run(self._serve(on_ready))
         except KeyboardInterrupt:
             pass
+        finally:
+            if self._batcher is not None:
+                self._batcher.close()
         return 0
 
     def start_in_thread(self, timeout: float = 30.0) -> "SearcherServer":
@@ -326,13 +627,26 @@ class SearcherServer:
         return self
 
     def stop(self, timeout: float = 30.0) -> None:
-        """Stop a :meth:`start_in_thread` server (idempotent)."""
+        """Stop a :meth:`start_in_thread` server (idempotent).
+
+        Raises :class:`TimeoutError` if the server thread is still alive
+        after ``timeout`` -- a silent return here would leak a live
+        server holding the port and make the next bind-to-same-port
+        restart fail mysteriously.
+        """
         if self._loop is not None and self._stop is not None:
             with contextlib.suppress(RuntimeError):
                 self._loop.call_soon_threadsafe(self._stop.set)
         if self._thread is not None:
             self._thread.join(timeout)
+            if self._thread.is_alive():
+                raise TimeoutError(
+                    f"searcher server thread (shard {self.node.shard_id}, "
+                    f"port {self.port}) still alive after {timeout}s"
+                )
             self._thread = None
+        if self._batcher is not None:
+            self._batcher.close()
 
     @property
     def address(self) -> str:

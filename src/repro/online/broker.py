@@ -73,6 +73,7 @@ from repro.core.topk import per_shard_top_k
 from repro.errors import (
     ConnectionLostError,
     DeadlineExceededError,
+    OverloadedError,
     ProtocolError,
     RemoteCallError,
     TransportError,
@@ -119,6 +120,10 @@ _SHARD_FAILURES = _REGISTRY.counter(
     "lanns_broker_shard_failures_total",
     "Shard-group failures after replica failover was exhausted, "
     "labelled by shard.",
+)
+_OVERLOADED = _REGISTRY.counter(
+    "lanns_broker_overloaded_total",
+    "Shard RPCs shed by a searcher's admission control (OVERLOADED).",
 )
 _REQUEST_SECONDS = _REGISTRY.histogram(
     "lanns_broker_request_seconds",
@@ -204,6 +209,14 @@ class _FanoutLoop:
         with contextlib.suppress(RuntimeError):
             self.loop.call_soon_threadsafe(self.loop.stop)
         self._thread.join(timeout)
+        if self._thread.is_alive():
+            # A silent return here would leak a live loop thread still
+            # running shard RPCs against a broker the caller believes
+            # is gone.
+            raise TimeoutError(
+                f"fan-out loop thread still alive after {timeout}s "
+                "(an in-flight shard RPC is wedged past every deadline)"
+            )
 
 
 class Broker:
@@ -280,6 +293,13 @@ class Broker:
         threshold beyond which a request is force-kept and logged as a
         slow query, and the sampling seed (tests want determinism).
         Both knobs default off, so the hot path never builds a span.
+    breaker_threshold, breaker_cooldown_s:
+        Per-replica circuit breakers (see
+        :class:`~repro.online.replicas.ReplicaGroup`):
+        ``breaker_threshold`` consecutive transport failures open the
+        breaker for ``breaker_cooldown_s`` seconds, after which one
+        half-open probe decides recovery.  ``breaker_threshold=0``
+        disables breakers.
     name:
         Label under which this broker reports to the metrics registry
         (A/B deployments run several brokers in one process).
@@ -308,6 +328,8 @@ class Broker:
         trace_sample_rate: float = 0.0,
         slow_query_log_s: float | None = None,
         trace_seed: int | None = None,
+        breaker_threshold: int = 3,
+        breaker_cooldown_s: float = 1.0,
         name: str = "broker",
     ) -> None:
         if len(searchers) != config.num_shards:
@@ -318,6 +340,8 @@ class Broker:
             ReplicaGroup(
                 shard_id,
                 entry if isinstance(entry, (list, tuple)) else [entry],
+                breaker_threshold=breaker_threshold,
+                breaker_cooldown_s=breaker_cooldown_s,
             )
             for shard_id, entry in enumerate(searchers)
         ]
@@ -1213,16 +1237,43 @@ class Broker:
     def _failover_eligible(exc: TransportError) -> bool:
         """Whether a sibling replica may retry after this failure.
 
-        Dead/unreachable/garbled connections and a replica that does not
-        host the index (restarted process) fail over; timeouts do not
-        (retrying a blown budget only makes it later), and structured
-        remote errors do not (the request itself is broken).
+        Dead/unreachable/garbled connections, a replica shedding with
+        ``OVERLOADED`` (the work was refused instantly, so budget
+        remains and a sibling may have capacity), and a replica that
+        does not host the index (restarted process) fail over; timeouts
+        do not (retrying a blown budget only makes it later), and
+        structured remote errors do not (the request itself is broken).
         """
-        if isinstance(exc, (ConnectionLostError, ProtocolError)):
+        if isinstance(
+            exc, (ConnectionLostError, ProtocolError, OverloadedError)
+        ):
             return True
         return (
             isinstance(exc, RemoteCallError) and exc.error_type == "KeyError"
         )
+
+    @staticmethod
+    def _retry_after_pause(
+        last: TransportError | None,
+        deadline: float | None,
+        waited: bool,
+    ) -> float | None:
+        """Honor an OVERLOADED retry-after hint, at most once per request.
+
+        When every replica of a group shed with ``OVERLOADED``, the
+        servers told us exactly when asking again is worth it.  Returns
+        the pause to sleep before re-trying the whole group -- only if
+        we have not paused yet and the hint fits inside the remaining
+        deadline budget -- else ``None`` (give up with the overload).
+        """
+        if waited or not isinstance(last, OverloadedError):
+            return None
+        hint = last.retry_after_s
+        if hint is None or hint < 0:
+            return None
+        if deadline is not None and deadline - time.monotonic() <= hint:
+            return None
+        return hint
 
     def _group_search_sync(
         self,
@@ -1249,10 +1300,20 @@ class Broker:
         trace_ctx = trace.context() if trace is not None else None
         tried: list[int] = []
         last: TransportError | None = None
+        waited_retry = False
         while True:
             replica = group.pick(exclude=tried)
             if replica is None:
                 assert last is not None
+                pause = self._retry_after_pause(last, deadline, waited_retry)
+                if pause is not None:
+                    # Every replica shed with OVERLOADED and the hint
+                    # fits the deadline: back off once, then re-try the
+                    # whole group.
+                    time.sleep(pause)
+                    waited_retry = True
+                    tried.clear()
+                    continue
                 raise last
             if tried:
                 # A sibling is actually taking over, not just a dead end.
@@ -1289,6 +1350,8 @@ class Broker:
                 )
             except TransportError as exc:
                 group.finish(replica, outcome="error")
+                if isinstance(exc, OverloadedError):
+                    _OVERLOADED.inc(broker=self.name)
                 if attempt_span is not None:
                     attempt_span["annotations"].update(
                         outcome="error", win=False, error=type(exc).__name__
@@ -1401,9 +1464,19 @@ class Broker:
         """One group's outcome on the loop: hedged search + failover."""
         tried: list[int] = []
         last: TransportError | None = None
+        waited_retry = False
         while True:
             replica = group.pick(exclude=tried)
             if replica is None:
+                pause = self._retry_after_pause(last, deadline, waited_retry)
+                if pause is not None:
+                    # Every replica shed with OVERLOADED and the hint
+                    # fits the deadline: back off once, then re-try the
+                    # whole group.
+                    await asyncio.sleep(pause)
+                    waited_retry = True
+                    tried.clear()
+                    continue
                 return None, last, -1, None
             if tried:
                 # A sibling is actually taking over, not just a dead end.
@@ -1428,6 +1501,8 @@ class Broker:
                     collect_cost,
                 )
             except TransportError as exc:
+                if isinstance(exc, OverloadedError):
+                    _OVERLOADED.inc(broker=self.name)
                 expired = (
                     deadline is not None
                     and deadline - time.monotonic() <= 0

@@ -256,13 +256,24 @@ class MicroBatcher:
                     self.stats["largest_batch"], int(stacked.shape[0])
                 )
             _FLUSHES.inc(reason=reason)
+            # Claim each future before computing: a waiter cancelled
+            # after flush (e.g. an abandoned server-side request) is
+            # skipped here and can no longer race result delivery for
+            # the rest of the batch.
+            claimed = [
+                block.future.set_running_or_notify_cancel()
+                for block in blocks
+            ]
+            if not any(claimed):
+                return
             parts = self._execute(key, stacked)
             start = 0
-            for block in blocks:
+            for block, live in zip(blocks, claimed):
                 stop = start + block.queries.shape[0]
-                block.future.set_result(
-                    tuple(part[start:stop] for part in parts)
-                )
+                if live:
+                    block.future.set_result(
+                        tuple(part[start:stop] for part in parts)
+                    )
                 start = stop
         except BaseException as exc:
             for block in blocks:

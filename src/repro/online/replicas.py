@@ -17,11 +17,23 @@ non-draining replicas first, least in-flight, EWMA latency as the
 tie-break.  Failover and cross-replica hedging are built on ``pick``'s
 ``exclude`` parameter: callers accumulate the replicas they already
 tried and ask for a different one.
+
+With ``breaker_threshold > 0`` each replica additionally carries a
+circuit breaker over ``consecutive_failures``: once the streak reaches
+the threshold the breaker *opens* and ``pick`` skips the replica for
+``breaker_cooldown_s`` (no request even attempts it, so a crashed or
+shedding replica stops eating one failed RPC per query).  After the
+cooldown the breaker is *half-open*: exactly one probe request is let
+through -- success closes the breaker, failure re-opens it for another
+cooldown.  The zero-drop guarantee survives: when every replica of a
+group is open, requests flow anyway (answering on a suspect replica
+beats answering nobody).
 """
 
 from __future__ import annotations
 
 import threading
+import time
 from collections.abc import Iterable, Sequence
 from statistics import median
 
@@ -39,6 +51,17 @@ _EWMA_MS = get_registry().gauge(
     "lanns_replica_ewma_ms",
     "EWMA of observed RPC latency per replica, in milliseconds.",
 )
+_BREAKER_STATE = get_registry().gauge(
+    "lanns_replica_breaker_state",
+    "Per-replica circuit breaker state (0=closed, 1=open, 2=half-open).",
+)
+_BREAKER_TRIPS = get_registry().counter(
+    "lanns_replica_breaker_trips_total",
+    "Circuit-breaker openings (closed/half-open -> open) per replica.",
+)
+
+#: ``_BREAKER_STATE`` gauge values, index-aligned with the state names.
+BREAKER_STATES = ("closed", "open", "half-open")
 
 
 class ReplicaState:
@@ -53,6 +76,9 @@ class ReplicaState:
         "failures",
         "consecutive_failures",
         "draining",
+        "breaker_open_until",
+        "breaker_probing",
+        "breaker_trips",
     )
 
     def __init__(self, transport: SearcherTransport, replica_id: int) -> None:
@@ -64,6 +90,12 @@ class ReplicaState:
         self.failures = 0
         self.consecutive_failures = 0
         self.draining = False
+        #: Circuit breaker: the instant (``time.monotonic``) the open
+        #: state expires into half-open, whether the half-open probe is
+        #: currently outstanding, and lifetime openings.
+        self.breaker_open_until = 0.0
+        self.breaker_probing = False
+        self.breaker_trips = 0
 
     def snapshot(self) -> dict:
         return {
@@ -74,16 +106,40 @@ class ReplicaState:
             "failures": self.failures,
             "consecutive_failures": self.consecutive_failures,
             "draining": self.draining,
+            "breaker_trips": self.breaker_trips,
         }
 
 
 class ReplicaGroup:
-    """The replicas serving one shard, with load-aware selection."""
+    """The replicas serving one shard, with load-aware selection.
 
-    def __init__(self, shard_id: int, searchers: Sequence) -> None:
+    ``breaker_threshold`` consecutive transport failures trip a
+    per-replica circuit breaker for ``breaker_cooldown_s`` (``0``
+    disables breakers entirely -- the pre-breaker behaviour, where a
+    failing replica is merely deprioritized).
+    """
+
+    def __init__(
+        self,
+        shard_id: int,
+        searchers: Sequence,
+        *,
+        breaker_threshold: int = 0,
+        breaker_cooldown_s: float = 1.0,
+    ) -> None:
         if not searchers:
             raise ValueError(f"shard {shard_id} has an empty replica group")
+        if breaker_threshold < 0:
+            raise ValueError(
+                f"breaker_threshold must be >= 0, got {breaker_threshold}"
+            )
+        if breaker_cooldown_s <= 0:
+            raise ValueError(
+                f"breaker_cooldown_s must be > 0, got {breaker_cooldown_s}"
+            )
         self.shard_id = int(shard_id)
+        self.breaker_threshold = int(breaker_threshold)
+        self.breaker_cooldown_s = float(breaker_cooldown_s)
         self.replicas = [
             ReplicaState(as_transport(searcher), replica_id)
             for replica_id, searcher in enumerate(searchers)
@@ -106,6 +162,39 @@ class ReplicaGroup:
         with self._lock:
             return [replica.transport for replica in self.replicas]
 
+    # -- circuit breaker ---------------------------------------------------------
+    def _breaker_state_locked(self, replica: ReplicaState, now: float) -> int:
+        """0 = closed, 1 = open, 2 = half-open (caller holds the lock)."""
+        if (
+            not self.breaker_threshold
+            or replica.consecutive_failures < self.breaker_threshold
+        ):
+            return 0
+        return 1 if now < replica.breaker_open_until else 2
+
+    def _breaker_blocked_locked(
+        self, replica: ReplicaState, now: float
+    ) -> bool:
+        """Whether the breaker keeps this replica out of the rotation.
+
+        Open blocks outright; half-open blocks while its single probe
+        is outstanding (one request at a time decides recovery, not a
+        thundering herd of optimists).
+        """
+        state = self._breaker_state_locked(replica, now)
+        if state == 1:
+            return True
+        return state == 2 and replica.breaker_probing
+
+    def _publish_breaker_locked(
+        self, replica: ReplicaState, now: float
+    ) -> None:
+        _BREAKER_STATE.set(
+            self._breaker_state_locked(replica, now),
+            shard=self.shard_id,
+            replica=replica.replica_id,
+        )
+
     # -- selection ---------------------------------------------------------------
     def pick(
         self, exclude: Iterable[int] = ()
@@ -113,17 +202,21 @@ class ReplicaGroup:
         """Choose the least-loaded replica not in ``exclude``.
 
         Draining replicas are skipped while an alternative exists (that
-        is the zero-drop guarantee of rolling restarts); among the rest,
-        replicas with consecutive failures are deprioritized, then least
-        in-flight wins with EWMA latency as tie-break.  A replica with
-        no latency sample yet (fresh, or just restored from a rolling
-        restart) ranks at the pool's median EWMA: neither preferred over
+        is the zero-drop guarantee of rolling restarts), and so are
+        replicas whose circuit breaker is open (or half-open with the
+        probe already outstanding); among the rest, replicas with
+        consecutive failures are deprioritized, then least in-flight
+        wins with EWMA latency as tie-break.  A replica with no latency
+        sample yet (fresh, or just restored from a rolling restart)
+        ranks at the pool's median EWMA: neither preferred over
         measured siblings (an implicit ``0.0`` would send every tie to
         the coldest replica) nor starved behind them (``+inf`` would
-        keep it unmeasured forever).  Returns ``None`` when every
-        replica is excluded.
+        keep it unmeasured forever).  Picking a half-open replica marks
+        its probe as outstanding.  Returns ``None`` when every replica
+        is excluded.
         """
         excluded = set(exclude)
+        now = time.monotonic()
         with self._lock:
             candidates = [
                 replica
@@ -133,7 +226,10 @@ class ReplicaGroup:
             if not candidates:
                 return None
             live = [r for r in candidates if not r.draining]
-            pool = live or candidates
+            ready = [
+                r for r in live if not self._breaker_blocked_locked(r, now)
+            ]
+            pool = ready or live or candidates
             known = [
                 r.ewma_latency_s
                 for r in pool
@@ -152,6 +248,8 @@ class ReplicaGroup:
                 ),
             )
             chosen.picks += 1
+            if self._breaker_state_locked(chosen, now) == 2:
+                chosen.breaker_probing = True
             return chosen
 
     # -- accounting --------------------------------------------------------------
@@ -173,7 +271,10 @@ class ReplicaGroup:
         outcome: str = "ok",
     ) -> None:
         """Record completion.  ``outcome`` is ``ok``/``error``/``cancelled``;
-        cancelled calls (hedge losers) only release the in-flight slot."""
+        cancelled calls (hedge losers) only release the in-flight slot
+        (and free a half-open probe slot, so an abandoned probe does not
+        wedge the breaker)."""
+        now = time.monotonic()
         with self._lock:
             replica.in_flight = max(0, replica.in_flight - 1)
             _IN_FLIGHT.set(
@@ -182,12 +283,37 @@ class ReplicaGroup:
                 replica=replica.replica_id,
             )
             if outcome == "cancelled":
+                replica.breaker_probing = False
                 return
             if outcome == "error":
                 replica.failures += 1
                 replica.consecutive_failures += 1
+                replica.breaker_probing = False
+                if (
+                    self.breaker_threshold
+                    and replica.consecutive_failures
+                    >= self.breaker_threshold
+                ):
+                    # Trip (or re-trip after a failed probe).  Errors
+                    # landing while already open -- stragglers issued
+                    # before the trip -- extend the cooldown without
+                    # counting another trip.
+                    was_open = now < replica.breaker_open_until
+                    replica.breaker_open_until = (
+                        now + self.breaker_cooldown_s
+                    )
+                    if not was_open:
+                        replica.breaker_trips += 1
+                        _BREAKER_TRIPS.inc(
+                            shard=self.shard_id,
+                            replica=replica.replica_id,
+                        )
+                self._publish_breaker_locked(replica, now)
                 return
             replica.consecutive_failures = 0
+            replica.breaker_probing = False
+            replica.breaker_open_until = 0.0
+            self._publish_breaker_locked(replica, now)
             if latency_s is not None:
                 if replica.ewma_latency_s is None:
                     replica.ewma_latency_s = latency_s
@@ -210,19 +336,32 @@ class ReplicaGroup:
 
     def restore(self, replica_id: int) -> None:
         """Return a drained replica to the rotation with a clean slate."""
+        now = time.monotonic()
         with self._lock:
             replica = self.replicas[replica_id]
             replica.draining = False
             replica.consecutive_failures = 0
             replica.ewma_latency_s = None
+            replica.breaker_open_until = 0.0
+            replica.breaker_probing = False
+            self._publish_breaker_locked(replica, now)
 
     def in_flight(self, replica_id: int) -> int:
         with self._lock:
             return self.replicas[replica_id].in_flight
 
     def stats(self) -> dict:
+        now = time.monotonic()
         with self._lock:
+            snapshots = []
+            for replica in self.replicas:
+                snapshot = replica.snapshot()
+                snapshot["breaker_state"] = BREAKER_STATES[
+                    self._breaker_state_locked(replica, now)
+                ]
+                snapshots.append(snapshot)
             return {
                 "shard_id": self.shard_id,
-                "replicas": [replica.snapshot() for replica in self.replicas],
+                "breaker_threshold": self.breaker_threshold,
+                "replicas": snapshots,
             }

@@ -98,6 +98,12 @@ class OnlineService:
     partial_policy, request_timeout_s:
         Fan-out failure semantics, passed to every broker (see
         :class:`~repro.online.broker.Broker`).
+    breaker_threshold, breaker_cooldown_s:
+        Per-replica circuit breaker knobs, passed to every broker's
+        replica groups: ``breaker_threshold`` consecutive transport
+        failures open a replica's breaker for ``breaker_cooldown_s``
+        seconds (``0`` disables breakers; see
+        :class:`~repro.online.replicas.ReplicaGroup`).
     cache_quantize_decimals:
         Cosine cache-key quantization, passed to every broker.
     rpc_timeout_s, rpc_retries, rpc_pool_size:
@@ -124,6 +130,8 @@ class OnlineService:
         searchers: str | Sequence | None = None,
         partial_policy: str = "fail",
         request_timeout_s: float | None = None,
+        breaker_threshold: int = 3,
+        breaker_cooldown_s: float = 1.0,
         cache_quantize_decimals: int | None = None,
         rpc_timeout_s: float = 30.0,
         rpc_retries: int = 2,
@@ -146,6 +154,8 @@ class OnlineService:
         self.max_wait_ms = float(max_wait_ms)
         self.partial_policy = partial_policy
         self.request_timeout_s = request_timeout_s
+        self.breaker_threshold = int(breaker_threshold)
+        self.breaker_cooldown_s = float(breaker_cooldown_s)
         self.cache_quantize_decimals = cache_quantize_decimals
         self.collect_cost = bool(collect_cost)
         self.trace_sample_rate = float(trace_sample_rate)
@@ -288,6 +298,8 @@ class OnlineService:
             cache_quantize_decimals=self.cache_quantize_decimals,
             partial_policy=self.partial_policy,
             request_timeout_s=self.request_timeout_s,
+            breaker_threshold=self.breaker_threshold,
+            breaker_cooldown_s=self.breaker_cooldown_s,
             segmenter=segmenter,
             segment_sizes=manifest.segment_sizes,
             collect_cost=self.collect_cost,

@@ -18,6 +18,8 @@ import pytest
 
 from repro.errors import (
     ConnectionLostError,
+    DeadlineExceededError,
+    OverloadedError,
     ProtocolError,
     RemoteCallError,
 )
@@ -346,4 +348,71 @@ class TestProtocolVersions:
 
     def test_unsupported_encode_version_rejected(self):
         with pytest.raises(ProtocolError, match="version"):
-            encode_frame(MsgType.PING, {}, version=3)
+            encode_frame(MsgType.PING, {}, version=PROTOCOL_VERSION + 1)
+
+
+class TestProtocolV3:
+    """Protocol v3 added the optional overload/deadline fields: a
+    ``deadline_ms`` remaining budget on SEARCH and a ``retry_after_s``
+    hint on ERROR frames.  Both are additive -- v2 peers keep working."""
+
+    def test_search_deadline_ms_round_trips(self):
+        queries = np.arange(16, dtype=np.float32).reshape(2, 8)
+        header = {"index": "main", "top_k": 5, "deadline_ms": 87.5}
+        data = b"".join(
+            bytes(part)
+            for part in encode_frame(MsgType.SEARCH, header, (queries,))
+        )
+        assert data[2] == PROTOCOL_VERSION
+        _, decoded, arrays = decode_frame(data)
+        assert decoded["deadline_ms"] == 87.5
+        np.testing.assert_array_equal(arrays[0], queries)
+
+    def test_v2_search_frame_still_decodes(self):
+        """A v2 peer (no deadline field) keeps working mid-upgrade."""
+        header = {"index": "main", "top_k": 5, "cost": True}
+        data = b"".join(
+            bytes(part)
+            for part in encode_frame(MsgType.SEARCH, header, version=2)
+        )
+        assert data[2] == 2
+        _, decoded, _ = decode_frame(data)
+        assert decoded == header
+        assert "deadline_ms" not in decoded
+
+    def test_overloaded_error_frame_carries_retry_after(self):
+        exc = OverloadedError("shard 3 at capacity", retry_after_s=0.25)
+        data = b"".join(bytes(part) for part in error_frame(exc))
+        msg_type, header, _ = decode_frame(data)
+        assert header["error_type"] == "OverloadedError"
+        assert header["retry_after_s"] == 0.25
+        with pytest.raises(OverloadedError, match="capacity") as excinfo:
+            raise_if_error(msg_type, header)
+        assert excinfo.value.retry_after_s == 0.25
+
+    def test_overloaded_without_hint_round_trips_as_none(self):
+        exc = OverloadedError("at capacity")
+        data = b"".join(bytes(part) for part in error_frame(exc))
+        msg_type, header, _ = decode_frame(data)
+        assert "retry_after_s" not in header
+        with pytest.raises(OverloadedError) as excinfo:
+            raise_if_error(msg_type, header)
+        assert excinfo.value.retry_after_s is None
+
+    def test_deadline_exceeded_error_maps_to_typed_exception(self):
+        exc = DeadlineExceededError("budget spent on arrival")
+        data = b"".join(bytes(part) for part in error_frame(exc))
+        msg_type, header, _ = decode_frame(data)
+        with pytest.raises(DeadlineExceededError, match="budget"):
+            raise_if_error(msg_type, header)
+
+    def test_plain_error_frame_still_maps_to_remote_call_error(self):
+        """ERROR frames without the v3 hint (v1 peers, or any remote
+        exception) still raise the generic RemoteCallError."""
+        data = b"".join(
+            bytes(part) for part in error_frame(ValueError("bad k"))
+        )
+        msg_type, header, _ = decode_frame(data)
+        assert "retry_after_s" not in header
+        with pytest.raises(RemoteCallError, match="ValueError"):
+            raise_if_error(msg_type, header)

@@ -18,6 +18,7 @@ Pinned here:
 from __future__ import annotations
 
 import threading
+import time
 
 import numpy as np
 import pytest
@@ -202,6 +203,119 @@ class TestReplicaGroupLedger:
     def test_empty_group_rejected(self):
         with pytest.raises(ValueError, match="empty replica group"):
             ReplicaGroup(0, [])
+
+
+class TestCircuitBreaker:
+    def make_group(
+        self, size: int = 2, threshold: int = 2, cooldown: float = 0.05
+    ) -> ReplicaGroup:
+        return ReplicaGroup(
+            0,
+            [SearcherNode(0) for _ in range(size)],
+            breaker_threshold=threshold,
+            breaker_cooldown_s=cooldown,
+        )
+
+    @staticmethod
+    def fail(group: ReplicaGroup, replica) -> None:
+        group.begin(replica)
+        group.finish(replica, outcome="error")
+
+    @staticmethod
+    def state(group: ReplicaGroup, replica_id: int) -> str:
+        return group.stats()["replicas"][replica_id]["breaker_state"]
+
+    def test_trips_after_threshold_and_skips_open_replica(self):
+        group = self.make_group(threshold=2, cooldown=60.0)
+        flaky = group.replicas[0]
+        self.fail(group, flaky)
+        assert self.state(group, 0) == "closed"
+        self.fail(group, flaky)
+        assert self.state(group, 0) == "open"
+        assert flaky.breaker_trips == 1
+        for _ in range(3):
+            assert group.pick().replica_id == 1
+
+    def test_straggler_error_while_open_extends_without_new_trip(self):
+        group = self.make_group(threshold=2, cooldown=60.0)
+        flaky = group.replicas[0]
+        self.fail(group, flaky)
+        self.fail(group, flaky)
+        # A request issued before the trip fails late: still one trip.
+        self.fail(group, flaky)
+        assert flaky.breaker_trips == 1
+        assert self.state(group, 0) == "open"
+
+    def test_half_open_probe_then_success_closes(self):
+        group = self.make_group(threshold=1, cooldown=0.03)
+        flaky = group.replicas[0]
+        self.fail(group, flaky)
+        assert self.state(group, 0) == "open"
+        time.sleep(0.05)
+        assert self.state(group, 0) == "half-open"
+        probe = group.pick(exclude=[1])
+        assert probe.replica_id == 0
+        assert probe.breaker_probing
+        group.begin(probe)
+        group.finish(probe, 0.01)
+        assert self.state(group, 0) == "closed"
+        assert flaky.consecutive_failures == 0
+        assert group.pick().replica_id == 0
+
+    def test_failed_probe_reopens_with_new_trip(self):
+        group = self.make_group(threshold=1, cooldown=0.03)
+        flaky = group.replicas[0]
+        self.fail(group, flaky)
+        time.sleep(0.05)
+        probe = group.pick(exclude=[1])
+        assert probe.replica_id == 0
+        self.fail(group, probe)
+        assert self.state(group, 0) == "open"
+        assert flaky.breaker_trips == 2
+
+    def test_cancelled_probe_frees_the_probe_slot(self):
+        group = self.make_group(threshold=1, cooldown=0.03)
+        flaky = group.replicas[0]
+        self.fail(group, flaky)
+        time.sleep(0.05)
+        probe = group.pick(exclude=[1])
+        group.begin(probe)
+        group.finish(probe, outcome="cancelled")
+        assert not flaky.breaker_probing
+        # The breaker is still half-open and a new probe may go out.
+        assert group.pick(exclude=[1]).replica_id == 0
+
+    def test_every_breaker_open_still_serves(self):
+        group = self.make_group(size=1, threshold=1, cooldown=60.0)
+        self.fail(group, group.replicas[0])
+        assert self.state(group, 0) == "open"
+        # Zero-drop fallback: a suspect replica beats answering nobody.
+        assert group.pick().replica_id == 0
+
+    def test_restore_clears_breaker_state(self):
+        group = self.make_group(threshold=1, cooldown=60.0)
+        self.fail(group, group.replicas[0])
+        group.drain(0)
+        group.restore(0)
+        assert self.state(group, 0) == "closed"
+        assert group.replicas[0].consecutive_failures == 0
+        assert group.pick().replica_id == 0
+
+    def test_disabled_by_default(self):
+        group = ReplicaGroup(0, [SearcherNode(0), SearcherNode(0)])
+        flaky = group.replicas[0]
+        for _ in range(10):
+            self.fail(group, flaky)
+        assert self.state(group, 0) == "closed"
+        assert flaky.breaker_trips == 0
+        # Deprioritized, never blocked: the pre-breaker behaviour.
+        assert group.pick(exclude=[1]).replica_id == 0
+
+    def test_knob_validation(self):
+        with pytest.raises(ValueError, match="breaker_threshold"):
+            self.make_group(threshold=-1)
+        with pytest.raises(ValueError, match="breaker_cooldown_s"):
+            self.make_group(cooldown=0.0)
 
 
 class TestFleetSpec:
